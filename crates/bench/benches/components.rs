@@ -1,0 +1,113 @@
+//! Microbenchmarks of the building blocks: the coding substrate, the
+//! cache structures, the workload generator and the full pipeline. These
+//! bound how fast the figure regeneration can go and catch performance
+//! regressions in the hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use icr_core::{DataL1, DataL1Config, Scheme};
+use icr_ecc::{ByteParity, ProtectedWord, Protection, SecDed};
+use icr_mem::{AccessKind, Addr, BlockAddr, Cache, CacheGeometry, DataBlock, HierarchyConfig, MemoryBackend};
+use icr_sim::{run_sim, SimConfig};
+use icr_trace::{apps, TraceGenerator};
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("secded_encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(SecDed::encode(black_box(x)))
+        })
+    });
+    g.bench_function("secded_decode_clean", |b| {
+        let code = SecDed::encode(0xDEAD_BEEF_F00D_CAFE);
+        b.iter(|| black_box(code.decode(black_box(0xDEAD_BEEF_F00D_CAFE))))
+    });
+    g.bench_function("secded_decode_corrupted", |b| {
+        let code = SecDed::encode(0xDEAD_BEEF_F00D_CAFE);
+        b.iter(|| black_box(code.decode(black_box(0xDEAD_BEEF_F00D_CAFE ^ (1 << 42)))))
+    });
+    g.bench_function("parity_encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(ByteParity::encode(black_box(x)))
+        })
+    });
+    g.bench_function("protected_word_check", |b| {
+        let mut w = ProtectedWord::encode(12345, Protection::SecDed);
+        b.iter(|| black_box(w.check_and_correct()))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l2_lookup_hit", |b| {
+        let geom = CacheGeometry::new(256 * 1024, 4, 64);
+        let mut cache = Cache::new(geom, 6);
+        let addr = BlockAddr(0x1000);
+        cache.fill(addr, DataBlock::pristine(addr, 8), false);
+        b.iter(|| black_box(cache.lookup(black_box(addr), AccessKind::Read)))
+    });
+    g.bench_function("dl1_load_hit_basep", |b| {
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        dl1.load(Addr(0x1000_0000), 0, &mut backend);
+        let mut now = 1;
+        b.iter(|| {
+            now += 2;
+            black_box(dl1.load(black_box(Addr(0x1000_0000)), now, &mut backend))
+        })
+    });
+    g.bench_function("dl1_store_with_replication", |b| {
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+        let mut now = 0;
+        b.iter(|| {
+            now += 2;
+            let addr = Addr(0x1000_0000 + (now % 4096) * 64);
+            black_box(dl1.store(black_box(addr), now, &mut backend))
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(10_000));
+    for app in ["gzip", "mcf"] {
+        g.bench_function(format!("generate_10k_{app}"), |b| {
+            b.iter(|| {
+                let gen = TraceGenerator::new(apps::profile(app), 1);
+                black_box(gen.take(10_000).count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20_000));
+    for scheme in [Scheme::BaseP, Scheme::icr_p_ps_s()] {
+        g.bench_function(format!("sim_20k_insts_{}", scheme.name()), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::paper(
+                    "gzip",
+                    DataL1Config::paper_default(scheme),
+                    20_000,
+                    42,
+                );
+                black_box(run_sim(&cfg).pipeline.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecc, bench_cache, bench_trace, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! One Criterion bench target per table/figure of the paper: each
+//! iteration regenerates the figure's data end-to-end (workload
+//! generation → pipeline → dL1 schemes → metrics). Instruction budgets
+//! are kept small here so `cargo bench` terminates quickly; use the
+//! `icr-exp` binary for full-budget regeneration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icr_sim::experiment::{self, ExpOptions};
+
+fn opts() -> ExpOptions {
+    ExpOptions {
+        instructions: 5_000,
+        seed: 42,
+    }
+}
+
+macro_rules! fig_bench {
+    ($group:expr, $name:literal, $runner:path) => {
+        $group.bench_function($name, |b| {
+            b.iter(|| {
+                let r = $runner(&opts());
+                r.validate().expect("consistent figure");
+                black_box(r)
+            })
+        });
+    };
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(experiment::table1())));
+    fig_bench!(g, "fig1_replication_ability_attempts", experiment::fig1);
+    fig_bench!(g, "fig2_loads_with_replica_attempts", experiment::fig2);
+    fig_bench!(g, "fig3_one_vs_two_replicas", experiment::fig3);
+    fig_bench!(g, "fig4_miss_rate_two_replicas", experiment::fig4);
+    fig_bench!(g, "fig5_vertical_vs_horizontal", experiment::fig5);
+    fig_bench!(g, "fig6_ability_ls_vs_s", experiment::fig6);
+    fig_bench!(g, "fig7_loads_with_replica_ls_vs_s", experiment::fig7);
+    fig_bench!(g, "fig8_miss_rates", experiment::fig8);
+    fig_bench!(g, "fig9_all_schemes_cycles", experiment::fig9);
+    fig_bench!(g, "fig10_decay_window_metrics", experiment::fig10);
+    fig_bench!(g, "fig11_decay_window_cycles", experiment::fig11);
+    fig_bench!(g, "fig12_relaxed_cycles", experiment::fig12);
+    fig_bench!(g, "fig13_window_1000_vs_0", experiment::fig13);
+    fig_bench!(g, "fig14_error_injection", experiment::fig14);
+    fig_bench!(g, "fig15_keep_replicas", experiment::fig15);
+    fig_bench!(g, "fig16_write_through", experiment::fig16);
+    fig_bench!(g, "fig17_speculative_ecc", experiment::fig17);
+    fig_bench!(g, "sens_cache_shapes", experiment::sensitivity);
+    fig_bench!(g, "ablation_victim_policy", experiment::victim_ablation);
+    fig_bench!(g, "extension_error_models", experiment::error_models);
+    fig_bench!(g, "extension_software_hints", experiment::hints_ablation);
+    fig_bench!(g, "extension_dupcache_comparison", experiment::dupcache);
+    fig_bench!(g, "extension_scrubbing", experiment::scrub);
+    fig_bench!(g, "extension_ruu_window", experiment::window);
+    fig_bench!(g, "extension_dram_open_page", experiment::dram);
+    fig_bench!(g, "extension_avf_exposure", experiment::exposure);
+    fig_bench!(g, "extension_silent_corruption", experiment::sdc);
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness for the ICR reproduction (see benches/).

@@ -1,0 +1,148 @@
+//! Dead-block prediction via cache-decay counters (Kaxiras et al.),
+//! the mechanism ICR recycles to find space for replicas.
+//!
+//! Each line conceptually carries a 2-bit saturating counter that a global
+//! timer ticks up every `window / 4` cycles and any access resets; a line
+//! whose counter saturates (i.e. has gone a full decay window without an
+//! access) is *dead*. We compute the counter lazily from the line's
+//! last-access cycle — bit-for-bit equivalent to ticking, without the
+//! global sweep.
+//!
+//! A window of **0** models the paper's "aggressive" §5.1–5.2 setting:
+//! a block is pronounced dead the moment its access completes.
+
+use serde::{Deserialize, Serialize};
+
+/// Decay configuration: the window (in cycles) after which an untouched
+/// line is declared dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecayConfig {
+    /// Cycles without access after which a line is dead. `0` = immediately.
+    pub window: u64,
+}
+
+impl DecayConfig {
+    /// The aggressive setting of §5.1–5.2: dead as soon as accessed.
+    pub fn aggressive() -> Self {
+        DecayConfig { window: 0 }
+    }
+
+    /// The relaxed setting the paper settles on for §5.4+ (1000 cycles).
+    pub fn relaxed() -> Self {
+        DecayConfig { window: 1000 }
+    }
+
+    /// Interval between conceptual timer ticks (window / 4, minimum 1).
+    pub fn tick_interval(&self) -> u64 {
+        (self.window / 4).max(1)
+    }
+}
+
+impl Default for DecayConfig {
+    fn default() -> Self {
+        DecayConfig::relaxed()
+    }
+}
+
+/// Per-line decay state: the cycle of the last access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecayState {
+    last_access: u64,
+}
+
+impl DecayState {
+    /// A line just accessed at `now`.
+    pub fn touched_at(now: u64) -> Self {
+        DecayState { last_access: now }
+    }
+
+    /// Records an access at `now`, resetting the counter.
+    pub fn touch(&mut self, now: u64) {
+        self.last_access = now;
+    }
+
+    /// The cycle of the last access.
+    pub fn last_access(&self) -> u64 {
+        self.last_access
+    }
+
+    /// The value the line's 2-bit counter would hold at `now` (0–3).
+    pub fn counter(&self, config: DecayConfig, now: u64) -> u8 {
+        if config.window == 0 {
+            return 3;
+        }
+        let elapsed = now.saturating_sub(self.last_access);
+        (elapsed / config.tick_interval()).min(3) as u8
+    }
+
+    /// `true` when the line has decayed: a full window has elapsed since
+    /// the last access (always, for window 0).
+    pub fn is_dead(&self, config: DecayConfig, now: u64) -> bool {
+        if config.window == 0 {
+            return true;
+        }
+        now.saturating_sub(self.last_access) >= config.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressive_window_is_always_dead() {
+        let cfg = DecayConfig::aggressive();
+        let s = DecayState::touched_at(100);
+        assert!(s.is_dead(cfg, 100));
+        assert!(s.is_dead(cfg, 101));
+        assert_eq!(s.counter(cfg, 100), 3);
+    }
+
+    #[test]
+    fn relaxed_window_decays_after_window_cycles() {
+        let cfg = DecayConfig { window: 1000 };
+        let s = DecayState::touched_at(0);
+        assert!(!s.is_dead(cfg, 999));
+        assert!(s.is_dead(cfg, 1000));
+        assert!(s.is_dead(cfg, 5000));
+    }
+
+    #[test]
+    fn touch_resets_the_counter() {
+        let cfg = DecayConfig { window: 1000 };
+        let mut s = DecayState::touched_at(0);
+        assert_eq!(s.counter(cfg, 600), 2);
+        s.touch(600);
+        assert_eq!(s.counter(cfg, 600), 0);
+        assert!(!s.is_dead(cfg, 1599));
+        assert!(s.is_dead(cfg, 1600));
+    }
+
+    #[test]
+    fn counter_saturates_at_three() {
+        let cfg = DecayConfig { window: 1000 };
+        let s = DecayState::touched_at(0);
+        assert_eq!(s.counter(cfg, 0), 0);
+        assert_eq!(s.counter(cfg, 250), 1);
+        assert_eq!(s.counter(cfg, 500), 2);
+        assert_eq!(s.counter(cfg, 750), 3);
+        assert_eq!(s.counter(cfg, 1_000_000), 3);
+    }
+
+    #[test]
+    fn dead_exactly_when_counter_saturated_a_full_window() {
+        // is_dead and the counter agree at the window boundary.
+        let cfg = DecayConfig { window: 2000 };
+        let s = DecayState::touched_at(500);
+        assert_eq!(s.counter(cfg, 2499), 3);
+        assert!(!s.is_dead(cfg, 2499)); // 1999 elapsed < 2000
+        assert!(s.is_dead(cfg, 2500));
+    }
+
+    #[test]
+    fn tick_interval_never_zero() {
+        assert_eq!(DecayConfig { window: 0 }.tick_interval(), 1);
+        assert_eq!(DecayConfig { window: 2 }.tick_interval(), 1);
+        assert_eq!(DecayConfig { window: 1000 }.tick_interval(), 250);
+    }
+}

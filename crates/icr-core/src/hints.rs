@@ -1,0 +1,142 @@
+//! Software-controlled replication — the paper's future work (§6):
+//! "controlling replication using software mechanisms that can direct how
+//! many replicas are needed for each line, when such replication should be
+//! initiated, and what blocks should not be replicated."
+//!
+//! Hints are address-range directives the compiler/OS would communicate
+//! (e.g. via page attributes): critical structures can demand extra
+//! replicas, scratch data can opt out entirely. The dL1 consults
+//! [`ReplicationHints::replica_target`] on every replication trigger.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// What software asks for over one address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HintAction {
+    /// Never replicate blocks in this range (e.g. scratch buffers whose
+    /// loss is harmless — replicating them only costs misses).
+    NeverReplicate,
+    /// Maintain up to this many replicas (subject to the placement
+    /// policy's attempt list) — e.g. 2 for critical state.
+    ReplicaCount(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HintRule {
+    start: u64,
+    end: u64,
+    action: HintAction,
+}
+
+/// An ordered set of address-range replication directives.
+///
+/// Later rules win on overlap, so a broad default can be refined:
+///
+/// ```
+/// use icr_core::hints::{HintAction, ReplicationHints};
+///
+/// let hints = ReplicationHints::new()
+///     .deny(0x2000_0000..0x3000_0000)            // whole scratch arena
+///     .replicas(0x2800_0000..0x2800_1000, 2);    // ...except this table
+/// assert_eq!(hints.replica_target(0x2000_0040, 1), 0);
+/// assert_eq!(hints.replica_target(0x2800_0040, 1), 2);
+/// assert_eq!(hints.replica_target(0x1000_0000, 1), 1); // unhinted: default
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationHints {
+    rules: Vec<HintRule>,
+}
+
+impl ReplicationHints {
+    /// No directives: hardware policy applies everywhere.
+    pub fn new() -> Self {
+        ReplicationHints::default()
+    }
+
+    /// Adds a "do not replicate" directive for `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn deny(mut self, range: Range<u64>) -> Self {
+        self.push(range, HintAction::NeverReplicate);
+        self
+    }
+
+    /// Adds a replica-count directive for `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn replicas(mut self, range: Range<u64>, count: usize) -> Self {
+        self.push(range, HintAction::ReplicaCount(count));
+        self
+    }
+
+    fn push(&mut self, range: Range<u64>, action: HintAction) {
+        assert!(range.start < range.end, "hint range must be non-empty");
+        self.rules.push(HintRule {
+            start: range.start,
+            end: range.end,
+            action,
+        });
+    }
+
+    /// `true` when no directives are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The number of replicas software wants for the block at `addr`,
+    /// given the hardware `default`. Returns 0 for denied ranges. The
+    /// most recently added matching rule wins.
+    pub fn replica_target(&self, addr: u64, default: usize) -> usize {
+        for rule in self.rules.iter().rev() {
+            if (rule.start..rule.end).contains(&addr) {
+                return match rule.action {
+                    HintAction::NeverReplicate => 0,
+                    HintAction::ReplicaCount(n) => n,
+                };
+            }
+        }
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hints_return_default() {
+        let h = ReplicationHints::new();
+        assert!(h.is_empty());
+        assert_eq!(h.replica_target(0x1234, 1), 1);
+        assert_eq!(h.replica_target(0x1234, 2), 2);
+    }
+
+    #[test]
+    fn deny_zeroes_the_target() {
+        let h = ReplicationHints::new().deny(0x1000..0x2000);
+        assert_eq!(h.replica_target(0x1000, 1), 0);
+        assert_eq!(h.replica_target(0x1FFF, 1), 0);
+        assert_eq!(h.replica_target(0x2000, 1), 1, "end is exclusive");
+        assert_eq!(h.replica_target(0x0FFF, 1), 1);
+    }
+
+    #[test]
+    fn later_rules_override_earlier_ones() {
+        let h = ReplicationHints::new()
+            .deny(0x0..0x1_0000)
+            .replicas(0x8000..0x9000, 2);
+        assert_eq!(h.replica_target(0x100, 1), 0);
+        assert_eq!(h.replica_target(0x8800, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = ReplicationHints::new().deny(5..5);
+    }
+}

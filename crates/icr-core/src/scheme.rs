@@ -1,0 +1,304 @@
+//! The ten schemes of §3.2, plus the §5.8/§5.9 comparison variants.
+
+use icr_ecc::Protection;
+use serde::{Deserialize, Serialize};
+
+/// When replication is attempted (§3.1, "When do we replicate?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Replicate on dL1 stores only — the paper's `(S)` variants.
+    StoreOnly,
+    /// Replicate on dL1 load misses *and* stores — the `(LS)` variants.
+    LoadMissAndStore,
+}
+
+impl Trigger {
+    /// `true` when load misses trigger replication.
+    pub fn on_load_miss(self) -> bool {
+        matches!(self, Trigger::LoadMissAndStore)
+    }
+}
+
+/// How replicas are consulted on loads (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaLookup {
+    /// `PS`: the primary alone is read (1 cycle, parity); the replica is
+    /// consulted only when the primary's parity fails.
+    Sequential,
+    /// `PP`: primary and replica are read and compared in parallel on
+    /// every load to a replicated block (2 cycles, conservatively).
+    Parallel,
+}
+
+/// One of the dL1 protection schemes under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain parity-protected dL1, no replication. 1-cycle loads.
+    BaseP,
+    /// SEC-DED on every line, no replication. 2-cycle loads, or 1-cycle
+    /// when `speculative` (§5.9: checks complete in the background).
+    BaseEcc {
+        /// Loads complete in 1 cycle with background ECC checking.
+        speculative: bool,
+    },
+    /// In-cache replication.
+    Icr {
+        /// Protection for non-replicated lines (`P` = parity,
+        /// `ECC` = SEC-DED). Replicated lines are always parity.
+        unreplicated: Protection,
+        /// Sequential (`PS`) or parallel (`PP`) replica lookup.
+        lookup: ReplicaLookup,
+        /// Replication on stores (`S`) or load-misses-and-stores (`LS`).
+        trigger: Trigger,
+    },
+}
+
+impl Scheme {
+    /// `ICR-P-PS (LS)`.
+    pub fn icr_p_ps_ls() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::Parity,
+            lookup: ReplicaLookup::Sequential,
+            trigger: Trigger::LoadMissAndStore,
+        }
+    }
+
+    /// `ICR-P-PS (S)` — one of the paper's two recommended schemes.
+    pub fn icr_p_ps_s() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::Parity,
+            lookup: ReplicaLookup::Sequential,
+            trigger: Trigger::StoreOnly,
+        }
+    }
+
+    /// `ICR-P-PP (LS)`.
+    pub fn icr_p_pp_ls() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::Parity,
+            lookup: ReplicaLookup::Parallel,
+            trigger: Trigger::LoadMissAndStore,
+        }
+    }
+
+    /// `ICR-P-PP (S)`.
+    pub fn icr_p_pp_s() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::Parity,
+            lookup: ReplicaLookup::Parallel,
+            trigger: Trigger::StoreOnly,
+        }
+    }
+
+    /// `ICR-ECC-PS (LS)`.
+    pub fn icr_ecc_ps_ls() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::SecDed,
+            lookup: ReplicaLookup::Sequential,
+            trigger: Trigger::LoadMissAndStore,
+        }
+    }
+
+    /// `ICR-ECC-PS (S)` — the paper's other recommended scheme.
+    pub fn icr_ecc_ps_s() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::SecDed,
+            lookup: ReplicaLookup::Sequential,
+            trigger: Trigger::StoreOnly,
+        }
+    }
+
+    /// `ICR-ECC-PP (LS)`.
+    pub fn icr_ecc_pp_ls() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::SecDed,
+            lookup: ReplicaLookup::Parallel,
+            trigger: Trigger::LoadMissAndStore,
+        }
+    }
+
+    /// `ICR-ECC-PP (S)`.
+    pub fn icr_ecc_pp_s() -> Self {
+        Scheme::Icr {
+            unreplicated: Protection::SecDed,
+            lookup: ReplicaLookup::Parallel,
+            trigger: Trigger::StoreOnly,
+        }
+    }
+
+    /// The ten schemes of Figure 9, in the paper's order.
+    pub fn all_paper_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::BaseP,
+            Scheme::BaseEcc { speculative: false },
+            Scheme::icr_p_ps_ls(),
+            Scheme::icr_p_ps_s(),
+            Scheme::icr_p_pp_ls(),
+            Scheme::icr_p_pp_s(),
+            Scheme::icr_ecc_ps_ls(),
+            Scheme::icr_ecc_ps_s(),
+            Scheme::icr_ecc_pp_ls(),
+            Scheme::icr_ecc_pp_s(),
+        ]
+    }
+
+    /// `true` for the ICR variants (the schemes that replicate).
+    pub fn replicates(self) -> bool {
+        matches!(self, Scheme::Icr { .. })
+    }
+
+    /// The replication trigger, if this scheme replicates.
+    pub fn trigger(self) -> Option<Trigger> {
+        match self {
+            Scheme::Icr { trigger, .. } => Some(trigger),
+            _ => None,
+        }
+    }
+
+    /// Protection applied to a line that currently has no replica.
+    pub fn unreplicated_protection(self) -> Protection {
+        match self {
+            Scheme::BaseP => Protection::Parity,
+            Scheme::BaseEcc { .. } => Protection::SecDed,
+            Scheme::Icr { unreplicated, .. } => unreplicated,
+        }
+    }
+
+    /// Load-hit latency in cycles, given whether the block has a replica.
+    ///
+    /// Encodes §3.2's latency table: parity checks fit in the 1-cycle
+    /// access; ECC verification adds a cycle (unless speculative); parallel
+    /// replica compares add a cycle.
+    pub fn load_hit_latency(self, has_replica: bool) -> u64 {
+        match self {
+            Scheme::BaseP => 1,
+            Scheme::BaseEcc { speculative } => {
+                if speculative {
+                    1
+                } else {
+                    2
+                }
+            }
+            Scheme::Icr {
+                unreplicated,
+                lookup,
+                ..
+            } => {
+                if has_replica {
+                    match lookup {
+                        ReplicaLookup::Sequential => 1,
+                        ReplicaLookup::Parallel => 2,
+                    }
+                } else {
+                    match unreplicated {
+                        Protection::Parity => 1,
+                        Protection::SecDed => 2,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper's display name for the scheme.
+    pub fn name(self) -> String {
+        match self {
+            Scheme::BaseP => "BaseP".into(),
+            Scheme::BaseEcc { speculative: false } => "BaseECC".into(),
+            Scheme::BaseEcc { speculative: true } => "BaseECC-spec".into(),
+            Scheme::Icr {
+                unreplicated,
+                lookup,
+                trigger,
+            } => {
+                let p = match unreplicated {
+                    Protection::Parity => "P",
+                    Protection::SecDed => "ECC",
+                };
+                let l = match lookup {
+                    ReplicaLookup::Sequential => "PS",
+                    ReplicaLookup::Parallel => "PP",
+                };
+                let t = match trigger {
+                    Trigger::StoreOnly => "S",
+                    Trigger::LoadMissAndStore => "LS",
+                };
+                format!("ICR-{p}-{l} ({t})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_schemes_in_paper_order() {
+        let names: Vec<String> = Scheme::all_paper_schemes()
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "BaseP",
+                "BaseECC",
+                "ICR-P-PS (LS)",
+                "ICR-P-PS (S)",
+                "ICR-P-PP (LS)",
+                "ICR-P-PP (S)",
+                "ICR-ECC-PS (LS)",
+                "ICR-ECC-PS (S)",
+                "ICR-ECC-PP (LS)",
+                "ICR-ECC-PP (S)",
+            ]
+        );
+    }
+
+    #[test]
+    fn latency_table_matches_section_3_2() {
+        // BaseP loads: 1 cycle. BaseECC loads: 2 (1 speculative).
+        assert_eq!(Scheme::BaseP.load_hit_latency(false), 1);
+        assert_eq!(Scheme::BaseEcc { speculative: false }.load_hit_latency(false), 2);
+        assert_eq!(Scheme::BaseEcc { speculative: true }.load_hit_latency(false), 1);
+        // PS schemes: replicated lines are 1-cycle parity.
+        assert_eq!(Scheme::icr_p_ps_s().load_hit_latency(true), 1);
+        assert_eq!(Scheme::icr_ecc_ps_s().load_hit_latency(true), 1);
+        // ECC-PS unreplicated lines pay the ECC cycle.
+        assert_eq!(Scheme::icr_ecc_ps_s().load_hit_latency(false), 2);
+        // PP schemes pay 2 cycles on replicated loads.
+        assert_eq!(Scheme::icr_p_pp_s().load_hit_latency(true), 2);
+        assert_eq!(Scheme::icr_ecc_pp_ls().load_hit_latency(true), 2);
+        // P-PP unreplicated lines are plain parity: 1 cycle.
+        assert_eq!(Scheme::icr_p_pp_s().load_hit_latency(false), 1);
+    }
+
+    #[test]
+    fn triggers_and_replication_flags() {
+        assert!(!Scheme::BaseP.replicates());
+        assert!(Scheme::icr_p_ps_s().replicates());
+        assert_eq!(Scheme::icr_p_ps_s().trigger(), Some(Trigger::StoreOnly));
+        assert!(Scheme::icr_p_ps_ls()
+            .trigger()
+            .expect("ICR has trigger")
+            .on_load_miss());
+        assert_eq!(Scheme::BaseP.trigger(), None);
+    }
+
+    #[test]
+    fn unreplicated_protection_follows_the_scheme_letter() {
+        assert_eq!(Scheme::BaseP.unreplicated_protection(), Protection::Parity);
+        assert_eq!(
+            Scheme::BaseEcc { speculative: false }.unreplicated_protection(),
+            Protection::SecDed
+        );
+        assert_eq!(
+            Scheme::icr_ecc_pp_s().unreplicated_protection(),
+            Protection::SecDed
+        );
+        assert_eq!(
+            Scheme::icr_p_pp_ls().unreplicated_protection(),
+            Protection::Parity
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The Kim–Somani duplication cache — the *area-cost* alternative ICR is
+//! pitched against.
+//!
+//! Kim & Somani ("Area efficient architectures for information integrity
+//! in cache memories", ISCA 1999 — the paper's reference \[11\]) add a **small
+//! separate cache** that keeps duplicates of recently used/written L1
+//! data; a parity error in the main array recovers from the duplicate.
+//! The ICR paper's §5.2 argument is that hot data "gets automatically
+//! replicated (we do not need a separate cache for achieving this compared
+//! to that needed by \[11\])" — same coverage, zero extra area.
+//!
+//! This module implements the comparison point: a fully-associative,
+//! LRU-replaced duplicate store, written on every dL1 store, consulted on
+//! parity failures. The `dupcache` experiment sweeps its size against
+//! ICR's zero-area coverage.
+
+use icr_ecc::{ProtectedWord, Protection};
+use icr_mem::{BlockAddr, DataBlock};
+
+/// A small fully-associative duplicate store (the Kim–Somani R-cache).
+#[derive(Debug, Clone)]
+pub struct DuplicationCache {
+    capacity: usize,
+    /// MRU-first list of (block, parity-protected words).
+    entries: Vec<(BlockAddr, Vec<ProtectedWord>)>,
+    writes: u64,
+    hits: u64,
+    probes: u64,
+}
+
+impl DuplicationCache {
+    /// A duplicate store holding `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "duplication cache needs at least one block");
+        DuplicationCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            writes: 0,
+            hits: 0,
+            probes: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently duplicated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been duplicated yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a duplicate of `block` (called on every dL1 store), LRU
+    /// evicting the oldest duplicate when full.
+    pub fn record(&mut self, block: BlockAddr, data: &DataBlock) {
+        self.writes += 1;
+        let words: Vec<ProtectedWord> = data
+            .words()
+            .iter()
+            .map(|&w| ProtectedWord::encode(w, Protection::Parity))
+            .collect();
+        if let Some(pos) = self.entries.iter().position(|(a, _)| *a == block) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (block, words));
+    }
+
+    /// Updates a single word of an existing duplicate, if present.
+    pub fn update_word(&mut self, block: BlockAddr, word: usize, value: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(a, _)| *a == block) {
+            self.entries[pos].1[word] = ProtectedWord::encode(value, Protection::Parity);
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up the duplicate of `block` and verifies `word`; returns the
+    /// word's value when the duplicate is present and passes its own
+    /// parity check. Counts a probe either way.
+    pub fn recover(&mut self, block: BlockAddr, word: usize) -> Option<u64> {
+        self.probes += 1;
+        let pos = self.entries.iter().position(|(a, _)| *a == block)?;
+        let mut w = self.entries[pos].1[word];
+        if w.check_and_correct().data_is_good() {
+            self.hits += 1;
+            Some(w.data())
+        } else {
+            None
+        }
+    }
+
+    /// `true` if a duplicate of `block` is currently held (no counters).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|(a, _)| *a == block)
+    }
+
+    /// Invalidates the duplicate of `block`, if any.
+    pub fn invalidate(&mut self, block: BlockAddr) {
+        self.entries.retain(|(a, _)| *a != block);
+    }
+
+    /// Duplicates written (one per recorded store block).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Recovery probes that found a usable duplicate.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Recovery probes made.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Flips a data bit inside a held duplicate (fault injection).
+    pub fn flip_data_bit(&mut self, index: usize, word: usize, bit: u32) -> bool {
+        match self.entries.get_mut(index) {
+            Some((_, words)) => {
+                words[word].flip_data_bit(bit);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(addr: u64) -> (BlockAddr, DataBlock) {
+        let a = BlockAddr(addr);
+        (a, DataBlock::pristine(a, 8))
+    }
+
+    #[test]
+    fn records_and_recovers() {
+        let mut d = DuplicationCache::new(4);
+        let (a, data) = blk(0x1000);
+        d.record(a, &data);
+        assert_eq!(d.recover(a, 3), Some(data.word(3)));
+        assert_eq!(d.hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_duplicate() {
+        let mut d = DuplicationCache::new(2);
+        let (a, da) = blk(0x1000);
+        let (b, db) = blk(0x2000);
+        let (c, dc) = blk(0x3000);
+        d.record(a, &da);
+        d.record(b, &db);
+        d.record(c, &dc); // evicts a
+        assert!(!d.contains(a));
+        assert!(d.contains(b));
+        assert!(d.contains(c));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rerecording_refreshes_recency() {
+        let mut d = DuplicationCache::new(2);
+        let (a, da) = blk(0x1000);
+        let (b, db) = blk(0x2000);
+        let (c, dc) = blk(0x3000);
+        d.record(a, &da);
+        d.record(b, &db);
+        d.record(a, &da); // a is MRU again
+        d.record(c, &dc); // evicts b
+        assert!(d.contains(a));
+        assert!(!d.contains(b));
+    }
+
+    #[test]
+    fn update_word_keeps_duplicate_coherent() {
+        let mut d = DuplicationCache::new(2);
+        let (a, da) = blk(0x1000);
+        d.record(a, &da);
+        assert!(d.update_word(a, 2, 0xFEED));
+        assert_eq!(d.recover(a, 2), Some(0xFEED));
+        assert!(!d.update_word(BlockAddr(0x9000), 0, 1), "absent block");
+    }
+
+    #[test]
+    fn corrupted_duplicate_refuses_to_recover() {
+        let mut d = DuplicationCache::new(2);
+        let (a, da) = blk(0x1000);
+        d.record(a, &da);
+        assert!(d.flip_data_bit(0, 5, 17));
+        assert_eq!(d.recover(a, 5), None, "bad duplicate must not be used");
+        assert_eq!(d.hits(), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_duplicate() {
+        let mut d = DuplicationCache::new(2);
+        let (a, da) = blk(0x1000);
+        d.record(a, &da);
+        d.invalidate(a);
+        assert!(d.is_empty());
+        assert_eq!(d.recover(a, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_capacity_panics() {
+        DuplicationCache::new(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Metrics the paper reports for the dL1: replication ability, loads with
+//! replica, miss rates, error-recovery outcomes, and the access counts the
+//! energy model consumes.
+
+use icr_mem::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything the dL1 counts during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IcrStats {
+    /// Base hit/miss counters (primary lookups only).
+    pub cache: CacheStats,
+    /// Replication attempts (one per triggering store / load miss).
+    pub replication_attempts: u64,
+    /// Attempts after which at least one replica of the block existed.
+    pub replication_with_one: u64,
+    /// Attempts after which at least two replicas existed.
+    pub replication_with_two: u64,
+    /// Replicas newly created.
+    pub replicas_created: u64,
+    /// Existing replicas updated in place by stores.
+    pub replica_updates: u64,
+    /// Replicas dropped (by primary eviction, or displacement).
+    pub replica_evictions: u64,
+    /// Read hits whose block had at least one replica at access time
+    /// (the paper's "loads with replica" numerator).
+    pub read_hits_with_replica: u64,
+    /// Primary-copy misses served from a surviving replica (§5.6 mode).
+    pub misses_served_by_replica: u64,
+    /// Dirty victims written back to L2.
+    pub writebacks: u64,
+
+    // ---- error bookkeeping (Figure 14) ----
+    /// Load-word checks that detected an error.
+    pub errors_detected: u64,
+    /// Errors corrected in place by SEC-DED.
+    pub errors_corrected_ecc: u64,
+    /// Errors recovered by reading the replica.
+    pub errors_recovered_replica: u64,
+    /// Errors recovered by refetching a clean block from L2.
+    pub errors_recovered_l2: u64,
+    /// Errors recovered from a Kim–Somani duplication cache (only with
+    /// the `duplication_cache` comparison option).
+    pub errors_recovered_duplicate: u64,
+    /// Loads whose error could not be recovered (dirty, unreplicated,
+    /// parity-only — the paper's unrecoverable case).
+    pub unrecoverable_loads: u64,
+    /// Loads that consumed wrong data with a *clean* check — silent data
+    /// corruption, countable only when the oracle shadow is enabled
+    /// (`DataL1Config::oracle`). Parity's blind spot: an even number of
+    /// flips within one byte.
+    pub silent_corruptions: u64,
+    /// Errors caught by the PP schemes' primary/replica comparison even
+    /// though every parity check passed (the paper's NMR observation).
+    pub errors_caught_by_compare: u64,
+
+    // ---- scrubbing (extension) ----
+    /// Words integrity-checked by the background scrubber.
+    pub scrub_checks: u64,
+    /// Faults the scrubber healed before any load saw them.
+    pub scrub_heals: u64,
+
+    // ---- access counts for the energy model ----
+    /// dL1 line reads (includes parallel replica reads and recovery reads).
+    pub l1_read_ops: u64,
+    /// dL1 line writes (includes replica creations and updates).
+    pub l1_write_ops: u64,
+    /// Parity encode/check operations.
+    pub parity_ops: u64,
+    /// SEC-DED encode/check operations.
+    pub ecc_ops: u64,
+}
+
+impl IcrStats {
+    /// The paper's *replication ability*: fraction of triggering events
+    /// after which the block had a replica.
+    pub fn replication_ability(&self) -> f64 {
+        ratio(self.replication_with_one, self.replication_attempts)
+    }
+
+    /// Fraction of triggering events after which the block had **two**
+    /// replicas (Figure 3's second series).
+    pub fn replication_ability_two(&self) -> f64 {
+        ratio(self.replication_with_two, self.replication_attempts)
+    }
+
+    /// The paper's *loads with replica*: fraction of read hits that found
+    /// a replica in the cache.
+    pub fn loads_with_replica(&self) -> f64 {
+        ratio(self.read_hits_with_replica, self.cache.read_hits)
+    }
+
+    /// dL1 miss rate over all accesses.
+    pub fn miss_rate(&self) -> f64 {
+        self.cache.miss_rate()
+    }
+
+    /// Fraction of loads that hit an unrecoverable error (Figure 14's
+    /// y-axis, as a fraction of all loads).
+    pub fn unrecoverable_load_fraction(&self) -> f64 {
+        ratio(self.unrecoverable_loads, self.cache.read_accesses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_zero_on_empty_stats() {
+        let s = IcrStats::default();
+        assert_eq!(s.replication_ability(), 0.0);
+        assert_eq!(s.loads_with_replica(), 0.0);
+        assert_eq!(s.unrecoverable_load_fraction(), 0.0);
+    }
+
+    #[test]
+    fn replication_ability_divides_attempts() {
+        let s = IcrStats {
+            replication_attempts: 10,
+            replication_with_one: 4,
+            replication_with_two: 1,
+            ..Default::default()
+        };
+        assert!((s.replication_ability() - 0.4).abs() < 1e-12);
+        assert!((s.replication_ability_two() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_with_replica_divides_read_hits() {
+        let mut s = IcrStats::default();
+        s.cache.read_accesses = 100;
+        s.cache.read_hits = 50;
+        s.read_hits_with_replica = 40;
+        assert!((s.loads_with_replica() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Functional-unit pool: per-class issue bandwidth and latencies.
+
+use crate::config::CpuConfig;
+use icr_trace::OpClass;
+
+/// Execution latency of each op class, in cycles (SimpleScalar defaults
+/// for pipelined units; loads/stores are handled by the memory system).
+pub fn op_latency(op: OpClass) -> u64 {
+    match op {
+        OpClass::IntAlu | OpClass::Branch => 1,
+        OpClass::IntMul => 3,
+        OpClass::FpAlu => 2,
+        OpClass::FpMul => 4,
+        // Memory latency comes from the cache model, not here.
+        OpClass::Load | OpClass::Store => 1,
+    }
+}
+
+/// Tracks how many units of each class have been claimed this cycle.
+/// All units are pipelined (occupancy 1), so availability resets per cycle.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_alu: usize,
+    int_mul: usize,
+    fp_alu: usize,
+    fp_mul: usize,
+    used_int_alu: usize,
+    used_int_mul: usize,
+    used_fp_alu: usize,
+    used_fp_mul: usize,
+}
+
+impl FuPool {
+    /// Builds the pool from a config.
+    pub fn from_config(config: &CpuConfig) -> Self {
+        FuPool {
+            int_alu: config.int_alu_units,
+            int_mul: config.int_mul_units,
+            fp_alu: config.fp_alu_units,
+            fp_mul: config.fp_mul_units,
+            used_int_alu: 0,
+            used_int_mul: 0,
+            used_fp_alu: 0,
+            used_fp_mul: 0,
+        }
+    }
+
+    /// Starts a new cycle: all pipelined units accept one new op again.
+    pub fn new_cycle(&mut self) {
+        self.used_int_alu = 0;
+        self.used_int_mul = 0;
+        self.used_fp_alu = 0;
+        self.used_fp_mul = 0;
+    }
+
+    /// Tries to claim a unit for `op` this cycle.
+    ///
+    /// Branches and memory ops execute on the integer ALUs (address
+    /// generation / condition evaluation), as in SimpleScalar.
+    pub fn try_claim(&mut self, op: OpClass) -> bool {
+        let (used, total): (&mut usize, usize) = match op {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Load | OpClass::Store => {
+                (&mut self.used_int_alu, self.int_alu)
+            }
+            OpClass::IntMul => (&mut self.used_int_mul, self.int_mul),
+            OpClass::FpAlu => (&mut self.used_fp_alu, self.fp_alu),
+            OpClass::FpMul => (&mut self.used_fp_mul, self.fp_mul),
+        };
+        if *used < total {
+            *used += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        assert_eq!(op_latency(OpClass::IntAlu), 1);
+        assert!(op_latency(OpClass::IntMul) > op_latency(OpClass::IntAlu));
+        assert!(op_latency(OpClass::FpMul) > op_latency(OpClass::FpAlu));
+    }
+
+    #[test]
+    fn pool_limits_per_cycle_claims() {
+        let mut pool = FuPool::from_config(&CpuConfig::default());
+        // 4 integer ALUs.
+        for _ in 0..4 {
+            assert!(pool.try_claim(OpClass::IntAlu));
+        }
+        assert!(!pool.try_claim(OpClass::IntAlu));
+        // Only 1 integer multiplier.
+        assert!(pool.try_claim(OpClass::IntMul));
+        assert!(!pool.try_claim(OpClass::IntMul));
+        // New cycle resets.
+        pool.new_cycle();
+        assert!(pool.try_claim(OpClass::IntAlu));
+        assert!(pool.try_claim(OpClass::IntMul));
+    }
+
+    #[test]
+    fn mem_ops_share_integer_alus() {
+        let mut pool = FuPool::from_config(&CpuConfig::default());
+        assert!(pool.try_claim(OpClass::Load));
+        assert!(pool.try_claim(OpClass::Store));
+        assert!(pool.try_claim(OpClass::Branch));
+        assert!(pool.try_claim(OpClass::IntAlu));
+        assert!(!pool.try_claim(OpClass::Load), "4 int ALUs exhausted");
+    }
+}

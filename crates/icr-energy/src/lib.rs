@@ -1,0 +1,204 @@
+//! Dynamic-energy accounting for the cache hierarchy — the paper's §5.8 /
+//! §5.9 energy comparisons (Figures 16(b), 17(b), 17(c)).
+//!
+//! The paper obtains per-access energies from CACTI 3.0 and reports only
+//! *normalised* energy, with the parity and ECC computation costs expressed
+//! as fractions of an L1 access (their representative points: parity 10% or
+//! 15%, ECC 30%). This model does the same: it turns the access counts the
+//! simulator collects into energy units, with every coefficient
+//! configurable. Absolute joules are irrelevant — only ratios are reported,
+//! exactly as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-access energy coefficients, in arbitrary consistent units.
+///
+/// Defaults are CACTI-ballpark for the paper's geometries: a 256KB L2
+/// access costs several times a 16KB L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One L1 line read.
+    pub l1_read: f64,
+    /// One L1 line write.
+    pub l1_write: f64,
+    /// One L2 access (read or write).
+    pub l2_access: f64,
+    /// One parity computation/check, as a fraction of an L1 access
+    /// (paper: 0.10 or 0.15).
+    pub parity_frac: f64,
+    /// One SEC-DED computation/check, as a fraction of an L1 access
+    /// (paper: 0.30).
+    pub ecc_frac: f64,
+}
+
+impl EnergyModel {
+    /// The paper's Figure 17(b) point: parity 15%, ECC 30%.
+    pub fn parity15_ecc30() -> Self {
+        EnergyModel {
+            parity_frac: 0.15,
+            ecc_frac: 0.30,
+            ..EnergyModel::default()
+        }
+    }
+
+    /// The paper's Figure 17(c) point: parity 10%, ECC 30%.
+    pub fn parity10_ecc30() -> Self {
+        EnergyModel {
+            parity_frac: 0.10,
+            ecc_frac: 0.30,
+            ..EnergyModel::default()
+        }
+    }
+
+    /// Validates the coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (v, what) in [
+            (self.l1_read, "l1_read"),
+            (self.l1_write, "l1_write"),
+            (self.l2_access, "l2_access"),
+            (self.parity_frac, "parity_frac"),
+            (self.ecc_frac, "ecc_frac"),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{what} must be a non-negative finite number"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // CACTI-3.0-flavoured ratios: a 16KB 4-way L1 access ≈ 1 unit, a
+        // 256KB 4-way L2 access ≈ 8 units (the 16× capacity gap costs
+        // roughly an order of magnitude in dynamic access energy).
+        EnergyModel {
+            l1_read: 1.0,
+            l1_write: 1.0,
+            l2_access: 8.0,
+            parity_frac: 0.15,
+            ecc_frac: 0.30,
+        }
+    }
+}
+
+/// Raw access counts for one run (the simulator fills this in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// dL1 line reads.
+    pub l1_reads: u64,
+    /// dL1 line writes (fills, stores, replica writes).
+    pub l1_writes: u64,
+    /// Parity computations/checks.
+    pub parity_ops: u64,
+    /// SEC-DED computations/checks.
+    pub ecc_ops: u64,
+    /// L2 accesses (reads + writes, from dL1 misses, writebacks or
+    /// write-through traffic).
+    pub l2_accesses: u64,
+}
+
+/// Energy of one run, decomposed by source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent in dL1 array accesses.
+    pub l1: f64,
+    /// Energy spent computing/checking parity and ECC.
+    pub coding: f64,
+    /// Energy spent in L2 accesses.
+    pub l2: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy (the quantity the paper normalises).
+    pub fn total(&self) -> f64 {
+        self.l1 + self.coding + self.l2
+    }
+}
+
+impl EnergyModel {
+    /// Converts access counts into energy.
+    pub fn energy(&self, counts: &AccessCounts) -> EnergyBreakdown {
+        let l1_access_mean = 0.5 * (self.l1_read + self.l1_write);
+        EnergyBreakdown {
+            l1: counts.l1_reads as f64 * self.l1_read + counts.l1_writes as f64 * self.l1_write,
+            coding: counts.parity_ops as f64 * self.parity_frac * l1_access_mean
+                + counts.ecc_ops as f64 * self.ecc_frac * l1_access_mean,
+            l2: counts.l2_accesses as f64 * self.l2_access,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        EnergyModel::default().validate().unwrap();
+        EnergyModel::parity15_ecc30().validate().unwrap();
+        EnergyModel::parity10_ecc30().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_ratio_points_differ_only_in_parity() {
+        let b = EnergyModel::parity15_ecc30();
+        let c = EnergyModel::parity10_ecc30();
+        assert_eq!(b.ecc_frac, c.ecc_frac);
+        assert!(b.parity_frac > c.parity_frac);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_counts() {
+        let m = EnergyModel::default();
+        let one = m.energy(&AccessCounts {
+            l1_reads: 1,
+            l1_writes: 1,
+            parity_ops: 1,
+            ecc_ops: 1,
+            l2_accesses: 1,
+        });
+        let ten = m.energy(&AccessCounts {
+            l1_reads: 10,
+            l1_writes: 10,
+            parity_ops: 10,
+            ecc_ops: 10,
+            l2_accesses: 10,
+        });
+        assert!((ten.total() - 10.0 * one.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecc_ops_cost_more_than_parity_ops() {
+        let m = EnergyModel::default();
+        let parity = m.energy(&AccessCounts {
+            parity_ops: 100,
+            ..Default::default()
+        });
+        let ecc = m.energy(&AccessCounts {
+            ecc_ops: 100,
+            ..Default::default()
+        });
+        assert!(ecc.total() > parity.total());
+        assert!((ecc.total() / parity.total() - 2.0).abs() < 1e-9, "30% vs 15%");
+    }
+
+    #[test]
+    fn l2_dominates_per_access() {
+        let m = EnergyModel::default();
+        assert!(m.l2_access >= 4.0 * m.l1_read);
+    }
+
+    #[test]
+    fn negative_coefficient_rejected() {
+        let m = EnergyModel {
+            parity_frac: -0.1,
+            ..Default::default()
+        };
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Transient-fault injection for the ICR reproduction (§5.5 / Figure 14).
+//!
+//! The paper injects errors "at each clock cycle based on a constant
+//! probability", using the four models of Kim & Somani: *direct*,
+//! *adjacent*, *column* and *random*. Faults here flip real stored bits in
+//! the dL1 (data or check bits); whether they are later detected,
+//! corrected, healed from a replica, refetched from L2 or lost is decided
+//! by the cache's own integrity machinery, not by the injector.
+
+pub mod injector;
+pub mod model;
+
+pub use injector::{FaultInjector, InjectedFault};
+pub use model::ErrorModel;

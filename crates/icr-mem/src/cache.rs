@@ -1,0 +1,385 @@
+//! A generic set-associative, write-back, write-allocate cache with real
+//! data storage — used for the L2 and the instruction L1. (The data L1,
+//! with its replicas and protection codes, lives in `icr-core` and builds
+//! on the same geometry/LRU primitives.)
+
+use crate::addr::{BlockAddr, CacheGeometry, SetIndex};
+use crate::block::DataBlock;
+use crate::lru::LruQueue;
+use crate::stats::CacheStats;
+
+/// Whether a lookup models a read or a write, for stats purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load / instruction fetch.
+    Read,
+    /// Store / writeback arriving from an upper level.
+    Write,
+}
+
+/// A valid block evicted by a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    /// The block's address.
+    pub addr: BlockAddr,
+    /// The block's data at eviction time.
+    pub data: DataBlock,
+    /// `true` when the block was dirty and must be written back.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    data: DataBlock,
+}
+
+#[derive(Debug, Clone)]
+struct Set {
+    lines: Vec<Line>,
+    lru: LruQueue,
+}
+
+/// Set-associative write-back cache storing real block data.
+///
+/// ```
+/// use icr_mem::{Cache, CacheGeometry, AccessKind, DataBlock, BlockAddr};
+///
+/// let mut l2 = Cache::new(CacheGeometry::new(256 * 1024, 4, 64), 6);
+/// let a = BlockAddr(0x1000);
+/// assert!(!l2.lookup(a, AccessKind::Read));          // cold miss
+/// l2.fill(a, DataBlock::pristine(a, 8), false);
+/// assert!(l2.lookup(a, AccessKind::Read));           // now hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    hit_latency: u64,
+    sets: Vec<Set>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given shape and hit latency.
+    pub fn new(geometry: CacheGeometry, hit_latency: u64) -> Self {
+        let ways = geometry.associativity();
+        let words = geometry.words_per_block();
+        let sets = (0..geometry.num_sets())
+            .map(|_| Set {
+                lines: (0..ways)
+                    .map(|_| Line {
+                        valid: false,
+                        dirty: false,
+                        tag: 0,
+                        data: DataBlock::zeroed(words),
+                    })
+                    .collect(),
+                lru: LruQueue::new(ways),
+            })
+            .collect();
+        Cache {
+            geometry,
+            hit_latency,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's shape.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Latency of a hit, in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&self, addr: BlockAddr) -> SetIndex {
+        self.geometry.set_index(addr)
+    }
+
+    fn find_way(&self, addr: BlockAddr) -> Option<usize> {
+        let tag = self.geometry.tag(addr);
+        let set = &self.sets[self.set_of(addr).0];
+        set.lines
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    /// `true` when the block is resident (no state change, no stats).
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.find_way(addr).is_some()
+    }
+
+    /// Looks the block up, updating LRU and stats. Returns `true` on hit.
+    /// On a write hit, the line is marked dirty.
+    pub fn lookup(&mut self, addr: BlockAddr, kind: AccessKind) -> bool {
+        let hit = self.find_way(addr);
+        match kind {
+            AccessKind::Read => {
+                self.stats.read_accesses += 1;
+                if hit.is_some() {
+                    self.stats.read_hits += 1;
+                }
+            }
+            AccessKind::Write => {
+                self.stats.write_accesses += 1;
+                if hit.is_some() {
+                    self.stats.write_hits += 1;
+                }
+            }
+        }
+        if let Some(way) = hit {
+            let set_idx = self.set_of(addr).0;
+            let set = &mut self.sets[set_idx];
+            set.lru.touch(way);
+            if kind == AccessKind::Write {
+                set.lines[way].dirty = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads a word of a resident block, updating LRU.
+    ///
+    /// Returns `None` when the block is not resident.
+    pub fn read_word(&mut self, addr: BlockAddr, word: usize) -> Option<u64> {
+        let way = self.find_way(addr)?;
+        let set_idx = self.set_of(addr).0;
+        let set = &mut self.sets[set_idx];
+        set.lru.touch(way);
+        Some(set.lines[way].data.word(word))
+    }
+
+    /// Writes a word of a resident block, marking it dirty.
+    ///
+    /// Returns `false` when the block is not resident.
+    pub fn write_word(&mut self, addr: BlockAddr, word: usize, value: u64) -> bool {
+        let Some(way) = self.find_way(addr) else {
+            return false;
+        };
+        let set_idx = self.set_of(addr).0;
+        let set = &mut self.sets[set_idx];
+        set.lru.touch(way);
+        set.lines[way].data.set_word(word, value);
+        set.lines[way].dirty = true;
+        true
+    }
+
+    /// Reads a whole resident block without disturbing LRU (used when an
+    /// upper level refetches after an error).
+    pub fn peek_block(&self, addr: BlockAddr) -> Option<&DataBlock> {
+        let way = self.find_way(addr)?;
+        Some(&self.sets[self.set_of(addr).0].lines[way].data)
+    }
+
+    /// Overwrites a resident block's data in place, marking it dirty
+    /// (a full-block writeback arriving from an upper level).
+    ///
+    /// Returns `false` when the block is not resident.
+    pub fn update_block(&mut self, addr: BlockAddr, data: DataBlock) -> bool {
+        let Some(way) = self.find_way(addr) else {
+            return false;
+        };
+        let set_idx = self.set_of(addr).0;
+        let set = &mut self.sets[set_idx];
+        set.lru.touch(way);
+        set.lines[way].data = data;
+        set.lines[way].dirty = true;
+        true
+    }
+
+    /// Installs a block, evicting the LRU way if the set is full.
+    ///
+    /// Returns the evicted valid block, if any. The caller routes dirty
+    /// evictions to the next level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already resident (fill implies a prior miss).
+    pub fn fill(&mut self, addr: BlockAddr, data: DataBlock, dirty: bool) -> Option<Evicted> {
+        assert!(
+            self.find_way(addr).is_none(),
+            "fill of already-resident block {addr}"
+        );
+        self.stats.fills += 1;
+        let tag = self.geometry.tag(addr);
+        let set_idx = self.set_of(addr).0;
+        let geometry = self.geometry;
+        let set = &mut self.sets[set_idx];
+
+        // Prefer an invalid way; otherwise evict LRU.
+        let way = match set.lines.iter().position(|l| !l.valid) {
+            Some(w) => w,
+            None => set.lru.victim(),
+        };
+        let line = &mut set.lines[way];
+        let evicted = if line.valid {
+            self.stats.evictions += 1;
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted {
+                addr: geometry.block_addr_from_parts(line.tag, SetIndex(set_idx)),
+                data: std::mem::replace(&mut line.data, DataBlock::zeroed(0)),
+                dirty: line.dirty,
+            })
+        } else {
+            None
+        };
+        *line = Line {
+            valid: true,
+            dirty,
+            tag,
+            data,
+        };
+        set.lru.touch(way);
+        evicted
+    }
+
+    /// Invalidates a block if resident, returning it (for flush modelling).
+    pub fn invalidate(&mut self, addr: BlockAddr) -> Option<Evicted> {
+        let way = self.find_way(addr)?;
+        let set_idx = self.set_of(addr).0;
+        let geometry = self.geometry;
+        let set = &mut self.sets[set_idx];
+        let line = &mut set.lines[way];
+        line.valid = false;
+        Some(Evicted {
+            addr: geometry.block_addr_from_parts(line.tag, SetIndex(set_idx)),
+            data: std::mem::replace(&mut line.data, DataBlock::zeroed(geometry.words_per_block())),
+            dirty: std::mem::take(&mut line.dirty),
+        })
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets, 2 ways, 64B blocks.
+        Cache::new(CacheGeometry::new(256, 2, 64), 6)
+    }
+
+    fn blk(addr: u64) -> DataBlock {
+        DataBlock::pristine(BlockAddr(addr), 8)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        let a = BlockAddr(0);
+        assert!(!c.lookup(a, AccessKind::Read));
+        c.fill(a, blk(0), false);
+        assert!(c.lookup(a, AccessKind::Read));
+        assert_eq!(c.stats().read_accesses, 2);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn fill_evicts_lru_when_set_full() {
+        let mut c = small();
+        // Set 0 gets blocks at 0, 128 (2 sets * 64B => stride 128).
+        let (a, b, d) = (BlockAddr(0), BlockAddr(128), BlockAddr(256));
+        c.fill(a, blk(0), false);
+        c.fill(b, blk(128), false);
+        c.lookup(a, AccessKind::Read); // a is MRU; b is LRU
+        let ev = c.fill(d, blk(256), false).expect("must evict");
+        assert_eq!(ev.addr, b);
+        assert!(!ev.dirty);
+        assert!(c.contains(a));
+        assert!(c.contains(d));
+        assert!(!c.contains(b));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let (a, b, d) = (BlockAddr(0), BlockAddr(128), BlockAddr(256));
+        c.fill(a, blk(0), false);
+        c.lookup(a, AccessKind::Write); // dirty a
+        c.fill(b, blk(128), false);
+        c.lookup(b, AccessKind::Read); // a is LRU and dirty
+        let ev = c.fill(d, blk(256), false).unwrap();
+        assert_eq!(ev.addr, a);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn words_read_and_write_back() {
+        let mut c = small();
+        let a = BlockAddr(64); // set 1
+        c.fill(a, blk(64), false);
+        assert_eq!(c.read_word(a, 3), Some(blk(64).word(3)));
+        assert!(c.write_word(a, 3, 0x42));
+        assert_eq!(c.read_word(a, 3), Some(0x42));
+        assert_eq!(c.read_word(BlockAddr(0), 0), None);
+    }
+
+    #[test]
+    fn update_block_replaces_data_and_dirties() {
+        let mut c = small();
+        let a = BlockAddr(0);
+        c.fill(a, blk(0), false);
+        let mut d = DataBlock::zeroed(8);
+        d.set_word(0, 7);
+        assert!(c.update_block(a, d.clone()));
+        assert_eq!(c.peek_block(a), Some(&d));
+        // Evicting it now reports dirty.
+        c.fill(BlockAddr(128), blk(128), false);
+        c.lookup(BlockAddr(128), AccessKind::Read);
+        // Fill once more to push out `a` (LRU).
+        c.lookup(BlockAddr(128), AccessKind::Read);
+        let ev = c.fill(BlockAddr(256), blk(256), false).unwrap();
+        assert_eq!(ev.addr, a);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small();
+        let a = BlockAddr(0);
+        c.fill(a, blk(0), false);
+        let ev = c.invalidate(a).expect("was resident");
+        assert_eq!(ev.addr, a);
+        assert!(!c.contains(a));
+        assert_eq!(c.invalidate(a), None);
+    }
+
+    #[test]
+    fn resident_blocks_counts_valid_lines() {
+        let mut c = small();
+        assert_eq!(c.resident_blocks(), 0);
+        c.fill(BlockAddr(0), blk(0), false);
+        c.fill(BlockAddr(64), blk(64), false);
+        assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_fill_panics() {
+        let mut c = small();
+        c.fill(BlockAddr(0), blk(0), false);
+        c.fill(BlockAddr(0), blk(0), false);
+    }
+}

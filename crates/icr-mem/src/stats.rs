@@ -1,0 +1,86 @@
+//! Access counters shared by every cache-like component.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/traffic counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read (load / fetch) lookups.
+    pub read_accesses: u64,
+    /// Read lookups that hit.
+    pub read_hits: u64,
+    /// Write (store) lookups.
+    pub write_accesses: u64,
+    /// Write lookups that hit.
+    pub write_hits: u64,
+    /// Blocks filled into the cache.
+    pub fills: u64,
+    /// Valid blocks evicted.
+    pub evictions: u64,
+    /// Dirty blocks written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total lookups of either kind.
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses + self.write_accesses
+    }
+
+    /// Total hits of either kind.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses of either kind.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Overall miss rate in `[0, 1]`; `0` when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Read (load) miss rate in `[0, 1]`; `0` when there were no reads.
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.read_accesses == 0 {
+            0.0
+        } else {
+            (self.read_accesses - self.read_hits) as f64 / self.read_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.read_miss_rate(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn rates_combine_reads_and_writes() {
+        let s = CacheStats {
+            read_accesses: 8,
+            read_hits: 6,
+            write_accesses: 2,
+            write_hits: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.hits(), 7);
+        assert_eq!(s.misses(), 3);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.read_miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

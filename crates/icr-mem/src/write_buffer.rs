@@ -1,0 +1,201 @@
+//! A coalescing write buffer between a write-through L1 and the L2.
+//!
+//! Used by the paper's §5.8 comparison: `BaseP` with a write-through dL1
+//! "using a coalescing write-buffer of 8 entries" ([Skadron & Clark 97]).
+//! Writes enqueue here instead of stalling for L2; the buffer drains one
+//! entry per L2-write latency; a write that finds the buffer full stalls
+//! the processor until the head entry retires.
+
+use crate::addr::BlockAddr;
+use std::collections::VecDeque;
+
+/// Coalescing write buffer with a fixed number of entries.
+///
+/// Time is supplied by the caller as an absolute cycle count, so the buffer
+/// composes with any driving model.
+///
+/// ```
+/// use icr_mem::{WriteBuffer, BlockAddr};
+///
+/// let mut wb = WriteBuffer::new(2, 6);
+/// assert_eq!(wb.push(0, BlockAddr(0x00)), 0);   // room available
+/// assert_eq!(wb.push(0, BlockAddr(0x40)), 0);   // room available
+/// assert_eq!(wb.push(0, BlockAddr(0x40)), 0);   // coalesces, no stall
+/// let stall = wb.push(0, BlockAddr(0x80));      // full: wait for the head
+/// assert!(stall > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    service_latency: u64,
+    /// Pending block writes with the cycle at which each retires to L2.
+    entries: VecDeque<(BlockAddr, u64)>,
+    /// When the L2 write port frees up.
+    port_free_at: u64,
+    /// Writes absorbed (including coalesced).
+    pushes: u64,
+    /// Pushes that coalesced into an existing entry.
+    coalesced: u64,
+    /// Entries retired to L2 (equals L2 write traffic).
+    retired: u64,
+    /// Total stall cycles charged to full-buffer pushes.
+    stall_cycles: u64,
+}
+
+impl WriteBuffer {
+    /// A buffer of `capacity` entries, each taking `service_latency` cycles
+    /// of L2 time to retire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, service_latency: u64) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            capacity,
+            service_latency,
+            entries: VecDeque::new(),
+            port_free_at: 0,
+            pushes: 0,
+            coalesced: 0,
+            retired: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    fn drain(&mut self, now: u64) {
+        while let Some(&(_, ready)) = self.entries.front() {
+            if ready <= now {
+                self.entries.pop_front();
+                self.retired += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Absorbs a block write at cycle `now`; returns the stall cycles the
+    /// processor must wait (0 in the common case).
+    pub fn push(&mut self, now: u64, block: BlockAddr) -> u64 {
+        self.pushes += 1;
+        self.drain(now);
+        if self.entries.iter().any(|&(a, _)| a == block) {
+            self.coalesced += 1;
+            return 0;
+        }
+        let mut stall = 0;
+        if self.entries.len() == self.capacity {
+            // Wait for the head entry to retire.
+            let (_, ready) = self.entries.pop_front().expect("capacity > 0");
+            self.retired += 1;
+            stall = ready.saturating_sub(now);
+            self.stall_cycles += stall;
+        }
+        let start = self.port_free_at.max(now + stall);
+        let ready = start + self.service_latency;
+        self.port_free_at = ready;
+        self.entries.push_back((block, ready));
+        stall
+    }
+
+    /// Entries currently pending.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Writes absorbed (including coalesced ones).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pushes that merged into an existing pending entry.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Entries retired so far — the L2 write traffic this buffer generated.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Entries retired plus entries still pending: total distinct L2 writes
+    /// this buffer will have generated once drained.
+    pub fn total_l2_writes(&self) -> u64 {
+        self.retired + self.entries.len() as u64
+    }
+
+    /// Total stall cycles charged so far.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pushes_without_pressure_do_not_stall() {
+        let mut wb = WriteBuffer::new(8, 6);
+        for i in 0..8u64 {
+            assert_eq!(wb.push(0, BlockAddr(i * 64)), 0);
+        }
+        assert_eq!(wb.occupancy(), 8);
+    }
+
+    #[test]
+    fn coalescing_merges_same_block() {
+        let mut wb = WriteBuffer::new(2, 6);
+        wb.push(0, BlockAddr(0));
+        wb.push(0, BlockAddr(0));
+        wb.push(0, BlockAddr(0));
+        assert_eq!(wb.occupancy(), 1);
+        assert_eq!(wb.coalesced(), 2);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_head_retires() {
+        let mut wb = WriteBuffer::new(1, 6);
+        assert_eq!(wb.push(0, BlockAddr(0)), 0); // head retires at 6
+        let stall = wb.push(0, BlockAddr(64));
+        assert_eq!(stall, 6);
+        assert_eq!(wb.stall_cycles(), 6);
+    }
+
+    #[test]
+    fn entries_drain_with_time() {
+        let mut wb = WriteBuffer::new(1, 6);
+        wb.push(0, BlockAddr(0));
+        // By cycle 10 the head has retired: no stall.
+        assert_eq!(wb.push(10, BlockAddr(64)), 0);
+        assert_eq!(wb.retired(), 1);
+    }
+
+    #[test]
+    fn serial_port_backs_up() {
+        let mut wb = WriteBuffer::new(4, 6);
+        wb.push(0, BlockAddr(0)); // retires at 6
+        wb.push(0, BlockAddr(64)); // retires at 12
+        wb.push(0, BlockAddr(128)); // retires at 18
+        wb.push(0, BlockAddr(192)); // retires at 24
+        let stall = wb.push(0, BlockAddr(256)); // head ready at 6
+        assert_eq!(stall, 6);
+        assert_eq!(wb.occupancy(), 4);
+    }
+
+    #[test]
+    fn total_l2_writes_counts_pending_and_retired() {
+        let mut wb = WriteBuffer::new(8, 6);
+        wb.push(0, BlockAddr(0));
+        wb.push(0, BlockAddr(0)); // coalesced
+        wb.push(100, BlockAddr(64)); // first has retired by now
+        assert_eq!(wb.retired(), 1);
+        assert_eq!(wb.total_l2_writes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        WriteBuffer::new(0, 6);
+    }
+}

@@ -1,0 +1,114 @@
+//! `icr-exp` — regenerate any table or figure of the ICR paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]
+//!
+//! experiments: table1, fig1..fig17, sens, victim, extensions, all
+//! ```
+
+use icr_sim::experiment::{self, ExpOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]\n\
+         experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
+         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure sdc all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        return usage();
+    };
+    let mut opts = ExpOptions::default();
+    let mut json = false;
+    let mut spark = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--spark" => {
+                spark = true;
+                i += 1;
+            }
+            "--insts" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts.instructions = n;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(s) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts.seed = s;
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let emit = |fig: icr_sim::FigureResult| {
+        if json {
+            println!("{}", fig.to_json());
+        } else {
+            print!("{fig}");
+            if spark {
+                print!("{}", fig.sparklines());
+            }
+        }
+    };
+    match which.as_str() {
+        "table1" => print!("{}", experiment::table1()),
+        "fig1" => emit(experiment::fig1(&opts)),
+        "fig2" => emit(experiment::fig2(&opts)),
+        "fig3" => emit(experiment::fig3(&opts)),
+        "fig4" => emit(experiment::fig4(&opts)),
+        "fig5" => emit(experiment::fig5(&opts)),
+        "fig6" => emit(experiment::fig6(&opts)),
+        "fig7" => emit(experiment::fig7(&opts)),
+        "fig8" => emit(experiment::fig8(&opts)),
+        "fig9" => emit(experiment::fig9(&opts)),
+        "fig10" => emit(experiment::fig10(&opts)),
+        "fig11" => emit(experiment::fig11(&opts)),
+        "fig12" => emit(experiment::fig12(&opts)),
+        "fig13" => emit(experiment::fig13(&opts)),
+        "fig14" => emit(experiment::fig14(&opts)),
+        "fig15" => emit(experiment::fig15(&opts)),
+        "fig16" => emit(experiment::fig16(&opts)),
+        "fig17" => emit(experiment::fig17(&opts)),
+        "sens" => emit(experiment::sensitivity(&opts)),
+        "victim" => emit(experiment::victim_ablation(&opts)),
+        "models" => emit(experiment::error_models(&opts)),
+        "hints" => emit(experiment::hints_ablation(&opts)),
+        "dupcache" => emit(experiment::dupcache(&opts)),
+        "stability" => emit(experiment::stability(&opts)),
+        "scrub" => emit(experiment::scrub(&opts)),
+        "window" => emit(experiment::window(&opts)),
+        "dram" => emit(experiment::dram(&opts)),
+        "exposure" => emit(experiment::exposure(&opts)),
+        "sdc" => emit(experiment::sdc(&opts)),
+        "all" => {
+            if !json {
+                print!("{}", experiment::table1());
+            }
+            for fig in experiment::all_figures(&opts) {
+                if !json {
+                    println!();
+                }
+                emit(fig);
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! `icr-run` — run one simulation and print the full report.
+//!
+//! ```text
+//! icr-run <app> <scheme> [options]
+//!
+//! schemes: basep, baseecc, baseecc-spec,
+//!          icr-p-ps-s, icr-p-ps-ls, icr-p-pp-s, icr-p-pp-ls,
+//!          icr-ecc-ps-s, icr-ecc-ps-ls, icr-ecc-pp-s, icr-ecc-pp-ls
+//!
+//! options:
+//!   --insts N          instructions to simulate      (default 200000)
+//!   --seed S           workload seed                 (default 42)
+//!   --window W         decay window in cycles        (default 1000)
+//!   --victim P         dead-only|dead-first|replica-first|replica-only
+//!   --keep             leave replicas on primary eviction (§5.6)
+//!   --write-through N  write-through dL1 with an N-entry buffer (§5.8)
+//!   --fault P          random-model fault probability per cycle
+//!   --scrub I          scrub 16 lines every I cycles
+//! ```
+
+use icr_core::{DataL1Config, DecayConfig, Scheme, VictimPolicy, WritePolicy};
+use icr_fault::ErrorModel;
+use icr_sim::{run_sim, FaultConfig, ScrubConfig, SimConfig};
+use std::process::ExitCode;
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    Some(match name {
+        "basep" => Scheme::BaseP,
+        "baseecc" => Scheme::BaseEcc { speculative: false },
+        "baseecc-spec" => Scheme::BaseEcc { speculative: true },
+        "icr-p-ps-s" => Scheme::icr_p_ps_s(),
+        "icr-p-ps-ls" => Scheme::icr_p_ps_ls(),
+        "icr-p-pp-s" => Scheme::icr_p_pp_s(),
+        "icr-p-pp-ls" => Scheme::icr_p_pp_ls(),
+        "icr-ecc-ps-s" => Scheme::icr_ecc_ps_s(),
+        "icr-ecc-ps-ls" => Scheme::icr_ecc_ps_ls(),
+        "icr-ecc-pp-s" => Scheme::icr_ecc_pp_s(),
+        "icr-ecc-pp-ls" => Scheme::icr_ecc_pp_ls(),
+        _ => return None,
+    })
+}
+
+fn parse_victim(name: &str) -> Option<VictimPolicy> {
+    Some(match name {
+        "dead-only" => VictimPolicy::DeadOnly,
+        "dead-first" => VictimPolicy::DeadFirst,
+        "replica-first" => VictimPolicy::ReplicaFirst,
+        "replica-only" => VictimPolicy::ReplicaOnly,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: icr-run <app> <scheme> [--insts N] [--seed S] [--window W]\n\
+         \x20                [--victim P] [--keep] [--write-through N]\n\
+         \x20                [--fault P] [--scrub I]\n\
+         apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)\n\
+         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let app = args[0].clone();
+    let Some(scheme) = parse_scheme(&args[1]) else {
+        eprintln!("unknown scheme {:?}", args[1]);
+        return usage();
+    };
+
+    let mut dl1 = DataL1Config::paper_default(scheme);
+    let mut instructions = 200_000u64;
+    let mut seed = 42u64;
+    let mut fault: Option<FaultConfig> = None;
+    let mut scrub: Option<ScrubConfig> = None;
+
+    let mut i = 2;
+    macro_rules! val {
+        () => {{
+            let Some(v) = args.get(i + 1) else { return usage() };
+            i += 2;
+            v
+        }};
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--insts" => {
+                let Ok(n) = val!().parse() else { return usage() };
+                instructions = n;
+            }
+            "--seed" => {
+                let Ok(s) = val!().parse() else { return usage() };
+                seed = s;
+            }
+            "--window" => {
+                let Ok(w) = val!().parse() else { return usage() };
+                dl1.decay = DecayConfig { window: w };
+            }
+            "--victim" => {
+                let Some(p) = parse_victim(val!()) else { return usage() };
+                dl1.victim = p;
+            }
+            "--keep" => {
+                dl1.keep_replicas_on_evict = true;
+                i += 1;
+            }
+            "--write-through" => {
+                let Ok(n) = val!().parse() else { return usage() };
+                dl1.write_policy = WritePolicy::WriteThrough { buffer_entries: n };
+            }
+            "--fault" => {
+                let Ok(p) = val!().parse() else { return usage() };
+                fault = Some(FaultConfig {
+                    model: ErrorModel::Random,
+                    p_per_cycle: p,
+                    seed: seed.wrapping_add(1),
+                });
+            }
+            "--scrub" => {
+                let Ok(interval) = val!().parse() else { return usage() };
+                scrub = Some(ScrubConfig {
+                    interval,
+                    lines_per_step: 16,
+                });
+            }
+            _ => return usage(),
+        }
+    }
+
+    let mut cfg = SimConfig::paper(&app, dl1, instructions, seed);
+    cfg.fault = fault;
+    cfg.scrub = scrub;
+    let r = run_sim(&cfg);
+
+    println!("== {} on {} ({} instructions, seed {seed}) ==", r.scheme, r.app, instructions);
+    println!();
+    println!("-- core --");
+    println!("cycles               : {}", r.pipeline.cycles);
+    println!("IPC                  : {:.3}", r.pipeline.ipc());
+    println!("branch mispredicts   : {} ({:.2}%)", r.pipeline.mispredicts, 100.0 * r.pipeline.mispredict_rate());
+    println!("mean load latency    : {:.2} cycles", r.pipeline.mean_load_latency());
+    println!();
+    println!("-- dL1 --");
+    println!("accesses             : {} ({} loads, {} stores)", r.icr.cache.accesses(), r.icr.cache.read_accesses, r.icr.cache.write_accesses);
+    println!("miss rate            : {:.2}%", 100.0 * r.icr.miss_rate());
+    println!("writebacks           : {}", r.icr.writebacks);
+    println!();
+    println!("-- replication --");
+    println!("attempts             : {}", r.icr.replication_attempts);
+    println!("ability              : {:.2}%", 100.0 * r.icr.replication_ability());
+    println!("replicas created     : {}", r.icr.replicas_created);
+    println!("replica updates      : {}", r.icr.replica_updates);
+    println!("replica evictions    : {}", r.icr.replica_evictions);
+    println!("loads with replica   : {:.2}%", 100.0 * r.icr.loads_with_replica());
+    println!("misses served by repl: {}", r.icr.misses_served_by_replica);
+    println!();
+    println!("-- reliability --");
+    println!("faults injected      : {}", r.faults_injected);
+    println!("errors detected      : {}", r.icr.errors_detected);
+    println!("corrected by ECC     : {}", r.icr.errors_corrected_ecc);
+    println!("healed from replica  : {}", r.icr.errors_recovered_replica);
+    println!("refetched from L2    : {}", r.icr.errors_recovered_l2);
+    println!("scrub heals          : {}", r.icr.scrub_heals);
+    println!("unrecoverable loads  : {} ({:.4}% of loads)", r.icr.unrecoverable_loads, 100.0 * r.icr.unrecoverable_load_fraction());
+    println!("avg vulnerable words : {:.1} / 2048", r.avg_vulnerable_words);
+    println!();
+    println!("-- memory system --");
+    println!("L2 accesses          : {} (miss rate {:.2}%)", r.l2.accesses(), 100.0 * r.l2.miss_rate());
+    println!("L1I miss rate        : {:.2}%", 100.0 * r.l1i.miss_rate());
+    println!("memory reads/writes  : {} / {}", r.memory_reads, r.memory_writes);
+    println!();
+    println!("-- energy inputs --");
+    println!("L1 reads/writes      : {} / {}", r.energy_counts.l1_reads, r.energy_counts.l1_writes);
+    println!("parity / ECC ops     : {} / {}", r.energy_counts.parity_ops, r.energy_counts.ecc_ops);
+    println!("L2 accesses (energy) : {}", r.energy_counts.l2_accesses);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1496 @@
+//! One runner per table/figure of the paper's evaluation (§4–§5).
+//!
+//! Every runner returns a [`FigureResult`] whose series mirror the bars or
+//! lines of the original figure. Instruction budgets are scaled down from
+//! the paper's 500M (see `EXPERIMENTS.md`); seeds are fixed, so every
+//! number is reproducible.
+
+use crate::report::{FigureResult, Series};
+use crate::simulator::{run_sim, FaultConfig, SimConfig, SimResult};
+use icr_core::{DataL1Config, DecayConfig, PlacementPolicy, Scheme, VictimPolicy};
+use icr_energy::EnergyModel;
+use icr_fault::ErrorModel;
+use icr_mem::CacheGeometry;
+use icr_trace::apps::APP_NAMES;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Dynamic instructions per simulation (paper: 500M; scaled here).
+    pub instructions: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            instructions: 200_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let slots: Vec<_> = items.into_iter().map(|t| Some(t)).collect();
+    let slots = std::sync::Mutex::new(slots);
+    let results: Vec<_> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots.lock().expect("not poisoned")[i]
+                    .take()
+                    .expect("each slot taken once");
+                let r = f(item);
+                *results[i].lock().expect("not poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("not poisoned").expect("filled"))
+        .collect()
+}
+
+/// Runs the full (variant × app) matrix in parallel.
+/// Returns `matrix[variant][app]`.
+fn run_matrix(
+    apps: &[&str],
+    variants: &[(String, DataL1Config, Option<FaultConfig>)],
+    opts: &ExpOptions,
+) -> Vec<Vec<SimResult>> {
+    let jobs: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| (0..apps.len()).map(move |a| (v, a)))
+        .collect();
+    let results = parallel_map(jobs, |(v, a)| {
+        let (_, dl1, fault) = &variants[v];
+        let mut cfg = SimConfig::paper(apps[a], dl1.clone(), opts.instructions, opts.seed);
+        cfg.fault = *fault;
+        ((v, a), run_sim(&cfg))
+    });
+    let mut matrix: Vec<Vec<Option<SimResult>>> = (0..variants.len())
+        .map(|_| (0..apps.len()).map(|_| None).collect())
+        .collect();
+    for ((v, a), r) in results {
+        matrix[v][a] = Some(r);
+    }
+    matrix
+        .into_iter()
+        .map(|row| row.into_iter().map(|r| r.expect("job ran")).collect())
+        .collect()
+}
+
+/// Builds a figure whose xs are the eight applications plus `AVG`, from a
+/// per-(variant, app) metric.
+fn figure_over_apps(
+    id: &str,
+    title: &str,
+    unit: &str,
+    notes: &str,
+    variants: &[(String, DataL1Config, Option<FaultConfig>)],
+    opts: &ExpOptions,
+    metric: impl Fn(&SimResult, &SimResult) -> f64,
+) -> FigureResult {
+    let matrix = run_matrix(&APP_NAMES, variants, opts);
+    let baseline = &matrix[0]; // variant 0 doubles as the baseline
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut values: Vec<f64> = (0..APP_NAMES.len())
+            .map(|a| metric(&matrix[vi][a], &baseline[a]))
+            .collect();
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        values.push(avg);
+        series.push(Series {
+            label: label.clone(),
+            values,
+        });
+    }
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        unit: unit.into(),
+        xs,
+        series,
+        notes: notes.into(),
+    }
+}
+
+fn v(label: &str, dl1: DataL1Config) -> (String, DataL1Config, Option<FaultConfig>) {
+    (label.to_owned(), dl1, None)
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Table 1: the machine configuration, rendered as text.
+pub fn table1() -> String {
+    let cpu = icr_cpu::CpuConfig::default();
+    let h = icr_mem::HierarchyConfig::default();
+    let dl1 = DataL1Config::paper_default(Scheme::BaseP);
+    let g = dl1.geometry;
+    format!(
+        "== table1 — Configuration parameters (paper Table 1) ==\n\
+         Functional units     : {} int ALU, {} int mul/div, {} FP ALU, {} FP mul/div\n\
+         LSQ size             : {} instructions\n\
+         RUU size             : {} instructions\n\
+         Issue width          : {} instructions/cycle\n\
+         L1 instruction cache : {}KB, {}-way, {} byte blocks, {} cycle latency\n\
+         L1 data cache        : {}KB, {}-way, {} byte blocks, 1 cycle latency\n\
+         L2                   : {}KB unified, {}-way, {} byte blocks, {} cycle latency\n\
+         Memory               : {} cycle latency\n\
+         Branch predictor     : combined, bimodal {} entries + two-level {} entries, {} bit history\n\
+         BTB                  : {} entry, {}-way\n\
+         Misprediction penalty: {} cycles\n\
+         All caches write-back (except the §5.8 write-through comparison).\n",
+        cpu.int_alu_units,
+        cpu.int_mul_units,
+        cpu.fp_alu_units,
+        cpu.fp_mul_units,
+        cpu.lsq_size,
+        cpu.ruu_size,
+        cpu.issue_width,
+        h.l1i_geometry.size_bytes() / 1024,
+        h.l1i_geometry.associativity(),
+        h.l1i_geometry.block_bytes(),
+        h.l1i_latency,
+        g.size_bytes() / 1024,
+        g.associativity(),
+        g.block_bytes(),
+        h.l2_geometry.size_bytes() / 1024,
+        h.l2_geometry.associativity(),
+        h.l2_geometry.block_bytes(),
+        h.l2_latency,
+        h.memory_latency,
+        cpu.bimodal_entries,
+        cpu.two_level_entries,
+        cpu.history_bits,
+        cpu.btb_entries,
+        cpu.btb_ways,
+        cpu.mispredict_penalty,
+    )
+}
+
+// ---------------------------------------------------------------------
+// §5.1 — Replication mechanisms (Figures 1–5)
+// ---------------------------------------------------------------------
+
+/// Figure 1: replication ability, single vs multiple attempt,
+/// `ICR-P-PS (S)`, aggressive dead-block prediction.
+pub fn fig1(opts: &ExpOptions) -> FigureResult {
+    let g = CacheGeometry::new(16 * 1024, 4, 64);
+    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut multi = single.clone();
+    multi.placement = PlacementPolicy::multi_attempt(g);
+    figure_over_apps(
+        "fig1",
+        "Replication ability: single vs multiple attempts, ICR-P-PS (S)",
+        "fraction of attempts",
+        "paper shape: multiple attempts raise replication ability",
+        &[v("single (N/2)", single), v("multi (N/2,N/4)", multi)],
+        opts,
+        |r, _| r.icr.replication_ability(),
+    )
+}
+
+/// Figure 2: loads with replica, single vs multiple attempt.
+pub fn fig2(opts: &ExpOptions) -> FigureResult {
+    let g = CacheGeometry::new(16 * 1024, 4, 64);
+    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut multi = single.clone();
+    multi.placement = PlacementPolicy::multi_attempt(g);
+    figure_over_apps(
+        "fig2",
+        "Loads with replica: single vs multiple attempts, ICR-P-PS (S)",
+        "fraction of read hits",
+        "paper shape: negligible improvement from multiple attempts",
+        &[v("single (N/2)", single), v("multi (N/2,N/4)", multi)],
+        opts,
+        |r, _| r.icr.loads_with_replica(),
+    )
+}
+
+/// Figure 3: ability to create one vs two replicas, `ICR-P-PS (S)`.
+pub fn fig3(opts: &ExpOptions) -> FigureResult {
+    let g = CacheGeometry::new(16 * 1024, 4, 64);
+    let mut two = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    two.placement = PlacementPolicy::two_replicas(g);
+    let matrix = run_matrix(&APP_NAMES, &[v("two-replica policy", two)], opts);
+    let mut one_vals: Vec<f64> = matrix[0]
+        .iter()
+        .map(|r| r.icr.replication_ability())
+        .collect();
+    let mut two_vals: Vec<f64> = matrix[0]
+        .iter()
+        .map(|r| r.icr.replication_ability_two())
+        .collect();
+    one_vals.push(one_vals.iter().sum::<f64>() / one_vals.len() as f64);
+    two_vals.push(two_vals.iter().sum::<f64>() / two_vals.len() as f64);
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    FigureResult {
+        id: "fig3".into(),
+        title: "Replication ability for one and two replicas, ICR-P-PS (S)".into(),
+        unit: "fraction of attempts".into(),
+        xs,
+        series: vec![
+            Series {
+                label: ">=1 replica".into(),
+                values: one_vals,
+            },
+            Series {
+                label: ">=2 replicas".into(),
+                values: two_vals,
+            },
+        ],
+        notes: "paper shape: two replicas succeed ~12% of the time on average".into(),
+    }
+}
+
+/// Figure 4: miss rates with one vs two replicas, `ICR-P-PS (S)`.
+pub fn fig4(opts: &ExpOptions) -> FigureResult {
+    let g = CacheGeometry::new(16 * 1024, 4, 64);
+    let one = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut two = one.clone();
+    two.placement = PlacementPolicy::two_replicas(g);
+    figure_over_apps(
+        "fig4",
+        "Miss rates with one vs two replicas, ICR-P-PS (S)",
+        "dL1 miss rate",
+        "paper shape: a second replica worsens miss rate (mesa nearly doubles)",
+        &[v("1 replica", one), v("2 replicas", two)],
+        opts,
+        |r, _| r.icr.miss_rate(),
+    )
+}
+
+/// Figure 5: loads with replica, vertical (N/2) vs horizontal (0)
+/// replication, `ICR-P-PS (S)`.
+pub fn fig5(opts: &ExpOptions) -> FigureResult {
+    let vertical = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut horizontal = vertical.clone();
+    horizontal.placement = PlacementPolicy::horizontal();
+    figure_over_apps(
+        "fig5",
+        "Loads with replica: vertical (N/2) vs horizontal (0) replication",
+        "fraction of read hits",
+        "paper shape: little difference between the two placements",
+        &[v("vertical N/2", vertical), v("horizontal 0", horizontal)],
+        opts,
+        |r, _| r.icr.loads_with_replica(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// §5.2 — Aggressive dead-block prediction (Figures 6–9)
+// ---------------------------------------------------------------------
+
+/// Figure 6: replication ability, `ICR-*(LS)` vs `ICR-*(S)`.
+pub fn fig6(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "fig6",
+        "Replication ability: LS vs S triggers (aggressive decay)",
+        "fraction of attempts",
+        "paper shape: LS replicates more data than S",
+        &[
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+        ],
+        opts,
+        |r, _| r.icr.replication_ability(),
+    )
+}
+
+/// Figure 7: loads with replica, `ICR-*(LS)` vs `ICR-*(S)`.
+pub fn fig7(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "fig7",
+        "Loads with replica: LS vs S triggers (aggressive decay)",
+        "fraction of read hits",
+        "paper shape: S > 65% on average, LS > 90%, mcf near-complete duplication",
+        &[
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+        ],
+        opts,
+        |r, _| r.icr.loads_with_replica(),
+    )
+}
+
+/// Figure 8: miss rates for Base*, ICR-*(LS) and ICR-*(S).
+pub fn fig8(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "fig8",
+        "Miss rates: Base vs ICR-*(LS) vs ICR-*(S) (aggressive decay)",
+        "dL1 miss rate",
+        "paper shape: ICR raises misses; mcf barely moves (poor locality anyway)",
+        &[
+            v("Base*", DataL1Config::paper_default(Scheme::BaseP)),
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+        ],
+        opts,
+        |r, _| r.icr.miss_rate(),
+    )
+}
+
+/// Figure 9: normalized execution cycles for all ten schemes,
+/// aggressive dead-block prediction, dead-only victims.
+pub fn fig9(opts: &ExpOptions) -> FigureResult {
+    let variants: Vec<_> = Scheme::all_paper_schemes()
+        .into_iter()
+        .map(|s| {
+            let cfg = if s.replicates() {
+                DataL1Config::aggressive(s)
+            } else {
+                DataL1Config::paper_default(s)
+            };
+            v(&s.name(), cfg)
+        })
+        .collect();
+    figure_over_apps(
+        "fig9",
+        "Normalized execution cycles, all schemes (aggressive decay, dead-only)",
+        "cycles / BaseP cycles",
+        "paper shape: BaseECC ~+30%; ICR-P-PS(S) ~+3.6%; ICR-ECC-PS(S) ~+21%; PP variants ECC-class",
+        &variants,
+        opts,
+        |r, base| r.pipeline.cycles as f64 / base.pipeline.cycles as f64,
+    )
+}
+
+// ---------------------------------------------------------------------
+// §5.3 — Decay-window aggressiveness (Figures 10–11, vpr)
+// ---------------------------------------------------------------------
+
+const WINDOWS: [u64; 5] = [0, 500, 1000, 5000, 10000];
+
+/// Figure 10: replication ability and loads-with-replica vs decay window
+/// (vpr, `ICR-P-PS (S)`).
+pub fn fig10(opts: &ExpOptions) -> FigureResult {
+    let jobs: Vec<u64> = WINDOWS.to_vec();
+    let results = parallel_map(jobs, |w| {
+        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        dl1.decay = DecayConfig { window: w };
+        // §5.3 runs before the paper switches to dead-first, and its
+        // falling-ability trend requires dead-only victims: a longer
+        // window shrinks the pool of dead lines replicas may take.
+        dl1.victim = VictimPolicy::DeadOnly;
+        run_sim(&SimConfig::paper("vpr", dl1, opts.instructions, opts.seed))
+    });
+    FigureResult {
+        id: "fig10".into(),
+        title: "Replication ability and loads with replica vs decay window (vpr)".into(),
+        unit: "fraction".into(),
+        xs: WINDOWS.iter().map(|w| w.to_string()).collect(),
+        series: vec![
+            Series {
+                label: "replication ability".into(),
+                values: results.iter().map(|r| r.icr.replication_ability()).collect(),
+            },
+            Series {
+                label: "loads w/ replica".into(),
+                values: results.iter().map(|r| r.icr.loads_with_replica()).collect(),
+            },
+        ],
+        notes: "paper shape: ability falls with window; loads-with-replica nearly flat".into(),
+    }
+}
+
+/// Figure 11: normalized execution cycles vs decay window (vpr).
+pub fn fig11(opts: &ExpOptions) -> FigureResult {
+    let base = run_sim(&SimConfig::paper(
+        "vpr",
+        DataL1Config::paper_default(Scheme::BaseP),
+        opts.instructions,
+        opts.seed,
+    ));
+    let jobs: Vec<(u64, Scheme)> = WINDOWS
+        .iter()
+        .flat_map(|&w| {
+            [Scheme::icr_p_ps_s(), Scheme::icr_ecc_ps_s()]
+                .into_iter()
+                .map(move |s| (w, s))
+        })
+        .collect();
+    let results = parallel_map(jobs, |(w, s)| {
+        let mut dl1 = DataL1Config::paper_default(s);
+        dl1.decay = DecayConfig { window: w };
+        dl1.victim = VictimPolicy::DeadOnly;
+        (
+            (w, s.name()),
+            run_sim(&SimConfig::paper("vpr", dl1, opts.instructions, opts.seed)),
+        )
+    });
+    let series_for = |name: &str| -> Vec<f64> {
+        WINDOWS
+            .iter()
+            .map(|&w| {
+                let r = results
+                    .iter()
+                    .find(|((rw, rn), _)| *rw == w && rn == name)
+                    .map(|(_, r)| r)
+                    .expect("ran");
+                r.pipeline.cycles as f64 / base.pipeline.cycles as f64
+            })
+            .collect()
+    };
+    FigureResult {
+        id: "fig11".into(),
+        title: "Normalized execution cycles vs decay window (vpr)".into(),
+        unit: "cycles / BaseP cycles".into(),
+        xs: WINDOWS.iter().map(|w| w.to_string()).collect(),
+        series: vec![
+            Series {
+                label: "ICR-P-PS (S)".into(),
+                values: series_for("ICR-P-PS (S)"),
+            },
+            Series {
+                label: "ICR-ECC-PS (S)".into(),
+                values: series_for("ICR-ECC-PS (S)"),
+            },
+        ],
+        notes: "paper shape: overhead shrinks as the window grows (<4% at 1000 for ICR-P-PS(S))"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.4 — Relaxed dead-block prediction (Figures 12–13)
+// ---------------------------------------------------------------------
+
+/// Figure 12: normalized execution cycles with a 1000-cycle decay window.
+pub fn fig12(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "fig12",
+        "Normalized execution cycles, 1000-cycle decay window, dead-first",
+        "cycles / BaseP cycles",
+        "paper shape: BaseECC +30.9%, ICR-P-PS(S) +2.4%, ICR-ECC-PS(S) +10.2% on average",
+        &[
+            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v(
+                "BaseECC",
+                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+            ),
+            v(
+                "ICR-P-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            ),
+            v(
+                "ICR-ECC-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+            ),
+        ],
+        opts,
+        |r, base| r.pipeline.cycles as f64 / base.pipeline.cycles as f64,
+    )
+}
+
+/// Figure 13: replication ability and loads-with-replica, 1000 vs 0
+/// cycle windows.
+pub fn fig13(opts: &ExpOptions) -> FigureResult {
+    let aggressive = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let relaxed = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let matrix = run_matrix(
+        &APP_NAMES,
+        &[v("window 0", aggressive), v("window 1000", relaxed)],
+        opts,
+    );
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut series = Vec::new();
+    for (vi, label) in ["window 0", "window 1000"].iter().enumerate() {
+        for (metric_name, f) in [
+            ("ability", true),
+            ("loads w/ replica", false),
+        ] {
+            let mut vals: Vec<f64> = matrix[vi]
+                .iter()
+                .map(|r| {
+                    if f {
+                        r.icr.replication_ability()
+                    } else {
+                        r.icr.loads_with_replica()
+                    }
+                })
+                .collect();
+            vals.push(vals.iter().sum::<f64>() / vals.len() as f64);
+            series.push(Series {
+                label: format!("{metric_name} ({label})"),
+                values: vals,
+            });
+        }
+    }
+    FigureResult {
+        id: "fig13".into(),
+        title: "Replication ability & loads with replica: window 1000 vs 0".into(),
+        unit: "fraction".into(),
+        xs,
+        series,
+        notes: "paper shape: loads-with-replica barely changes with the window".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.5 — Error injection (Figure 14)
+// ---------------------------------------------------------------------
+
+/// Error probabilities swept in Figure 14 (per cycle).
+pub const FIG14_PROBS: [f64; 4] = [1e-2, 1e-3, 1e-4, 1e-5];
+
+/// Figure 14: percentage of unrecoverable loads vs per-cycle error
+/// probability (vortex, random injection model).
+pub fn fig14(opts: &ExpOptions) -> FigureResult {
+    let schemes = [
+        ("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+        (
+            "ICR-P-PS (S)",
+            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+        ),
+        (
+            "ICR-ECC-PS (S)",
+            DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+        ),
+        (
+            "BaseECC",
+            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+        ),
+    ];
+    let jobs: Vec<(usize, usize)> = (0..schemes.len())
+        .flat_map(|s| (0..FIG14_PROBS.len()).map(move |p| (s, p)))
+        .collect();
+    let results = parallel_map(jobs, |(s, p)| {
+        let cfg = SimConfig::paper(
+            "vortex",
+            schemes[s].1.clone(),
+            opts.instructions,
+            opts.seed,
+        )
+        .with_fault(FaultConfig {
+            model: ErrorModel::Random,
+            p_per_cycle: FIG14_PROBS[p],
+            seed: opts.seed.wrapping_add(p as u64),
+        });
+        ((s, p), run_sim(&cfg))
+    });
+    let series = schemes
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| Series {
+            label: (*label).into(),
+            values: (0..FIG14_PROBS.len())
+                .map(|pi| {
+                    let r = results
+                        .iter()
+                        .find(|((s, p), _)| *s == si && *p == pi)
+                        .map(|(_, r)| r)
+                        .expect("ran");
+                    100.0 * r.icr.unrecoverable_load_fraction()
+                })
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        id: "fig14".into(),
+        title: "Unrecoverable loads vs error probability (vortex, random model)".into(),
+        unit: "% of loads".into(),
+        xs: FIG14_PROBS.iter().map(|p| format!("{p:e}")).collect(),
+        series,
+        notes: "paper shape: BaseP >> ICR-P-PS(S) > ICR-ECC-PS(S); BaseECC corrects all 1-bit errors"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.6 — Performance improvements (Figure 15)
+// ---------------------------------------------------------------------
+
+/// Figure 15: normalized execution cycles when replicas are left in the
+/// cache on primary eviction and can serve misses.
+pub fn fig15(opts: &ExpOptions) -> FigureResult {
+    let mut icr_p = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    icr_p.keep_replicas_on_evict = true;
+    let mut icr_ecc = DataL1Config::paper_default(Scheme::icr_ecc_ps_s());
+    icr_ecc.keep_replicas_on_evict = true;
+    figure_over_apps(
+        "fig15",
+        "Normalized execution cycles with replicas used for performance (§5.6)",
+        "cycles / BaseP cycles",
+        "paper shape: ICR-*-PS(S) match BaseP, and beat it on mcf/vpr (up to ~24%)",
+        &[
+            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v(
+                "BaseECC",
+                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+            ),
+            v("ICR-P-PS (S) keep", icr_p),
+            v("ICR-ECC-PS (S) keep", icr_ecc),
+        ],
+        opts,
+        |r, base| r.pipeline.cycles as f64 / base.pipeline.cycles as f64,
+    )
+}
+
+// ---------------------------------------------------------------------
+// §5.7 — Sensitivity (prose in the paper)
+// ---------------------------------------------------------------------
+
+/// §5.7 sensitivity: replication ability and loads-with-replica across
+/// cache sizes and associativities (ICR-P-PS (S), gzip + mcf).
+pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
+    let shapes: Vec<(String, CacheGeometry)> = vec![
+        ("8KB/4w".into(), CacheGeometry::new(8 * 1024, 4, 64)),
+        ("16KB/2w".into(), CacheGeometry::new(16 * 1024, 2, 64)),
+        ("16KB/4w".into(), CacheGeometry::new(16 * 1024, 4, 64)),
+        ("16KB/8w".into(), CacheGeometry::new(16 * 1024, 8, 64)),
+        ("32KB/4w".into(), CacheGeometry::new(32 * 1024, 4, 64)),
+    ];
+    let apps = ["gzip", "mcf"];
+    let jobs: Vec<(usize, usize)> = (0..shapes.len())
+        .flat_map(|s| (0..apps.len()).map(move |a| (s, a)))
+        .collect();
+    let results = parallel_map(jobs, |(s, a)| {
+        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        dl1.geometry = shapes[s].1;
+        dl1.placement = PlacementPolicy::vertical(shapes[s].1);
+        // Dead-only makes replication ability a direct read-out of how
+        // many replication sites each shape offers (§5.7's claim).
+        dl1.victim = VictimPolicy::DeadOnly;
+        ((s, a), run_sim(&SimConfig::paper(apps[a], dl1, opts.instructions, opts.seed)))
+    });
+    let mut series = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        for metric in ["ability", "loads w/ replica"] {
+            series.push(Series {
+                label: format!("{app} {metric}"),
+                values: (0..shapes.len())
+                    .map(|si| {
+                        let r = results
+                            .iter()
+                            .find(|((s, a), _)| *s == si && *a == ai)
+                            .map(|(_, r)| r)
+                            .expect("ran");
+                        if metric == "ability" {
+                            r.icr.replication_ability()
+                        } else {
+                            r.icr.loads_with_replica()
+                        }
+                    })
+                    .collect(),
+            });
+        }
+    }
+    FigureResult {
+        id: "sens".into(),
+        title: "§5.7 sensitivity: cache size and associativity".into(),
+        unit: "fraction".into(),
+        xs: shapes.iter().map(|(n, _)| n.clone()).collect(),
+        series,
+        notes: "paper shape: ability rises with size; loads-with-replica stays high".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.8 — Write-through comparison (Figure 16)
+// ---------------------------------------------------------------------
+
+/// Figure 16: `BaseP` with a write-through dL1 (8-entry coalescing
+/// buffer), normalized to `ICR-P-PS (S)` with write-back — execution
+/// cycles and energy.
+pub fn fig16(opts: &ExpOptions) -> FigureResult {
+    let mut wt = DataL1Config::paper_default(Scheme::BaseP);
+    wt.write_policy = icr_core::WritePolicy::WriteThrough { buffer_entries: 8 };
+    let icr = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let matrix = run_matrix(&APP_NAMES, &[v("ICR-P-PS (S) wb", icr), v("BaseP wt", wt)], opts);
+    let energy_model = EnergyModel::default();
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut cycles: Vec<f64> = (0..APP_NAMES.len())
+        .map(|a| matrix[1][a].pipeline.cycles as f64 / matrix[0][a].pipeline.cycles as f64)
+        .collect();
+    let mut energy: Vec<f64> = (0..APP_NAMES.len())
+        .map(|a| {
+            energy_model.energy(&matrix[1][a].energy_counts).total()
+                / energy_model.energy(&matrix[0][a].energy_counts).total()
+        })
+        .collect();
+    cycles.push(cycles.iter().sum::<f64>() / cycles.len() as f64);
+    energy.push(energy.iter().sum::<f64>() / energy.len() as f64);
+    FigureResult {
+        id: "fig16".into(),
+        title: "Write-through BaseP normalized to write-back ICR-P-PS (S)".into(),
+        unit: "ratio (wt BaseP / wb ICR)".into(),
+        xs,
+        series: vec![
+            Series {
+                label: "norm. cycles".into(),
+                values: cycles,
+            },
+            Series {
+                label: "norm. energy (L1+L2)".into(),
+                values: energy,
+            },
+        ],
+        notes: "paper shape: ICR ~5.7% faster on average; WT energy more than 2x ICR".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.9 — Speculative-ECC comparison (Figure 17)
+// ---------------------------------------------------------------------
+
+/// Figure 17: `BaseECC` with speculative 1-cycle loads, normalized to the
+/// performance-optimized `ICR-P-PS (S)` (replicas left in place) —
+/// execution cycles and energy at two parity:ECC cost points.
+pub fn fig17(opts: &ExpOptions) -> FigureResult {
+    let spec = DataL1Config::paper_default(Scheme::BaseEcc { speculative: true });
+    let mut icr = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    icr.keep_replicas_on_evict = true;
+    let matrix = run_matrix(
+        &APP_NAMES,
+        &[v("ICR-P-PS (S) keep", icr), v("BaseECC spec", spec)],
+        opts,
+    );
+    let m15 = EnergyModel::parity15_ecc30();
+    let m10 = EnergyModel::parity10_ecc30();
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut cycles: Vec<f64> = (0..APP_NAMES.len())
+        .map(|a| matrix[1][a].pipeline.cycles as f64 / matrix[0][a].pipeline.cycles as f64)
+        .collect();
+    let mut e15: Vec<f64> = (0..APP_NAMES.len())
+        .map(|a| {
+            m15.energy(&matrix[1][a].energy_counts).total()
+                / m15.energy(&matrix[0][a].energy_counts).total()
+        })
+        .collect();
+    let mut e10: Vec<f64> = (0..APP_NAMES.len())
+        .map(|a| {
+            m10.energy(&matrix[1][a].energy_counts).total()
+                / m10.energy(&matrix[0][a].energy_counts).total()
+        })
+        .collect();
+    cycles.push(cycles.iter().sum::<f64>() / cycles.len() as f64);
+    e15.push(e15.iter().sum::<f64>() / e15.len() as f64);
+    e10.push(e10.iter().sum::<f64>() / e10.len() as f64);
+    FigureResult {
+        id: "fig17".into(),
+        title: "Speculative BaseECC normalized to perf-optimized ICR-P-PS (S)".into(),
+        unit: "ratio (spec ECC / ICR keep)".into(),
+        xs,
+        series: vec![
+            Series {
+                label: "norm. cycles".into(),
+                values: cycles,
+            },
+            Series {
+                label: "norm. energy 15:30".into(),
+                values: e15,
+            },
+            Series {
+                label: "norm. energy 10:30".into(),
+                values: e10,
+            },
+        ],
+        notes: "paper shape: ICR ~2.5% faster avg (mcf ~30%); energy ≈ parity at 15:30, ECC +~3% at 10:30"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation: victim policies (DESIGN.md §5)
+// ---------------------------------------------------------------------
+
+/// Ablation bench: the four victim policies under `ICR-P-PS (S)`.
+pub fn victim_ablation(opts: &ExpOptions) -> FigureResult {
+    let policies = [
+        VictimPolicy::DeadOnly,
+        VictimPolicy::DeadFirst,
+        VictimPolicy::ReplicaFirst,
+        VictimPolicy::ReplicaOnly,
+    ];
+    let variants: Vec<_> = policies
+        .iter()
+        .map(|&p| {
+            let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+            cfg.victim = p;
+            v(p.name(), cfg)
+        })
+        .collect();
+    let matrix = run_matrix(&APP_NAMES, &variants, opts);
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut vals: Vec<f64> = matrix[vi]
+            .iter()
+            .map(|r| r.icr.loads_with_replica())
+            .collect();
+        vals.push(vals.iter().sum::<f64>() / vals.len() as f64);
+        series.push(Series {
+            label: format!("{label} (lwr)"),
+            values: vals,
+        });
+        let mut miss: Vec<f64> = matrix[vi].iter().map(|r| r.icr.miss_rate()).collect();
+        miss.push(miss.iter().sum::<f64>() / miss.len() as f64);
+        series.push(Series {
+            label: format!("{label} (miss)"),
+            values: miss,
+        });
+    }
+    FigureResult {
+        id: "victim".into(),
+        title: "Ablation: victim policy vs loads-with-replica and miss rate".into(),
+        unit: "fraction".into(),
+        xs,
+        series,
+        notes: "replica-only cannot bootstrap replicas in fresh sets; dead-first balances both"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: §5.5's error-model equivalence claim
+// ---------------------------------------------------------------------
+
+/// §5.5 states "we have considered several transient error models
+/// (direct, adjacent, column and random)… the overall results are
+/// similar". This experiment verifies that claim: unrecoverable-load
+/// fractions per model, for BaseP and ICR-P-PS (S) at p = 10⁻².
+pub fn error_models(opts: &ExpOptions) -> FigureResult {
+    let schemes = [
+        ("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+        (
+            "ICR-P-PS (S)",
+            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+        ),
+    ];
+    let models = ErrorModel::all();
+    let jobs: Vec<(usize, usize)> = (0..schemes.len())
+        .flat_map(|s| (0..models.len()).map(move |m| (s, m)))
+        .collect();
+    let results = parallel_map(jobs, |(s, m)| {
+        let cfg = SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed)
+            .with_fault(FaultConfig {
+                model: models[m],
+                p_per_cycle: 1e-2,
+                seed: opts.seed,
+            });
+        ((s, m), run_sim(&cfg))
+    });
+    let series = schemes
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| Series {
+            label: (*label).into(),
+            values: (0..models.len())
+                .map(|mi| {
+                    let r = results
+                        .iter()
+                        .find(|((s, m), _)| *s == si && *m == mi)
+                        .map(|(_, r)| r)
+                        .expect("ran");
+                    100.0 * r.icr.unrecoverable_load_fraction()
+                })
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        id: "models".into(),
+        title: "§5.5 claim: the four error models behave similarly".into(),
+        unit: "% unrecoverable loads (p=1e-2, vortex)".into(),
+        xs: models.iter().map(|m| m.name().to_owned()).collect(),
+        series,
+        notes: "adjacent can silently defeat parity (same-byte double flips are invisible), \
+                so its *detected* losses run lower while silent corruption is possible"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: §6 future work — software-controlled replication
+// ---------------------------------------------------------------------
+
+/// The paper's §6 future work, realised: software hints that deny
+/// replication for low-value data. Compares unhinted ICR-P-PS (S) with a
+/// hinted variant that only replicates each app's hot region.
+pub fn hints_ablation(opts: &ExpOptions) -> FigureResult {
+    use icr_core::ReplicationHints;
+    let unhinted = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
+        v("no hints", unhinted.clone()),
+        {
+            // Hot-region blocks live at the front of each app's data
+            // segment; deny everything past the first 16KB so replication
+            // effort focuses on the data that is actually hot.
+            let mut cfg = unhinted;
+            cfg.hints = ReplicationHints::new()
+                .deny(0x1000_4000..u64::MAX)
+                .replicas(0x1000_0000..0x1000_4000, 1);
+            v("hot-only hints", cfg)
+        },
+    ];
+    let matrix = run_matrix(&APP_NAMES, &variants, opts);
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        for metric in ["lwr", "miss"] {
+            let mut vals: Vec<f64> = matrix[vi]
+                .iter()
+                .map(|r| {
+                    if metric == "lwr" {
+                        r.icr.loads_with_replica()
+                    } else {
+                        r.icr.miss_rate()
+                    }
+                })
+                .collect();
+            vals.push(vals.iter().sum::<f64>() / vals.len() as f64);
+            series.push(Series {
+                label: format!("{label} ({metric})"),
+                values: vals,
+            });
+        }
+    }
+    FigureResult {
+        id: "hints".into(),
+        title: "§6 future work: software-directed replication (hot region only)".into(),
+        unit: "fraction".into(),
+        xs,
+        series,
+        notes: "hinted replication keeps most of the hot-load coverage while cutting \
+                the replica-induced miss inflation on spread-out data"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: the Kim–Somani duplication-cache comparison ([11])
+// ---------------------------------------------------------------------
+
+/// ICR's §5.2 claim vs the area-cost alternative: "hot data items are
+/// getting automatically replicated (we do not need a separate cache for
+/// achieving this compared to that needed by \[11\])". Sweeps a Kim–Somani
+/// duplicate store from 8 to 64 blocks on BaseP and compares its
+/// unrecoverable-load rate (under random faults at p = 10⁻²) against
+/// zero-extra-area ICR-P-PS (S).
+pub fn dupcache(opts: &ExpOptions) -> FigureResult {
+    let fault = FaultConfig {
+        model: ErrorModel::Random,
+        p_per_cycle: 1e-2,
+        seed: opts.seed,
+    };
+    let mut variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
+        (
+            "BaseP".into(),
+            DataL1Config::paper_default(Scheme::BaseP),
+            Some(fault),
+        ),
+        (
+            "ICR-P-PS (S), +0 area".into(),
+            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            Some(fault),
+        ),
+    ];
+    for blocks in [8usize, 16, 32, 64] {
+        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        cfg.duplication_cache = Some(blocks);
+        variants.push((format!("dup-cache {blocks} blk"), cfg, Some(fault)));
+    }
+    figure_over_apps(
+        "dupcache",
+        "Kim–Somani duplication cache vs zero-area ICR (random faults, p=1e-2)",
+        "% unrecoverable loads",
+        "ICR reaches duplicate-store-class recoverability without the extra array",
+        &variants,
+        opts,
+        |r, _| 100.0 * r.icr.unrecoverable_load_fraction(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Extension: seed-stability of the headline numbers
+// ---------------------------------------------------------------------
+
+/// Runs the Figure-12 headline comparison over several independent
+/// workload seeds and reports mean ± 95% CI of the normalized cycles —
+/// statistical hygiene the single-run original could not offer. The
+/// `ci95` series carry the half-widths for each scheme.
+pub fn stability(opts: &ExpOptions) -> FigureResult {
+    use crate::stats::Summary;
+    const SEEDS: u64 = 5;
+    let schemes = [
+        ("BaseECC", Scheme::BaseEcc { speculative: false }),
+        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
+        ("ICR-ECC-PS (S)", Scheme::icr_ecc_ps_s()),
+    ];
+    // (scheme index incl. BaseP at 0, app, seed) jobs.
+    let jobs: Vec<(usize, usize, u64)> = (0..=schemes.len())
+        .flat_map(|s| {
+            (0..APP_NAMES.len()).flat_map(move |a| (0..SEEDS).map(move |k| (s, a, k)))
+        })
+        .collect();
+    let results = parallel_map(jobs, |(s, a, k)| {
+        let scheme = if s == 0 { Scheme::BaseP } else { schemes[s - 1].1 };
+        let cfg = SimConfig::paper(
+            APP_NAMES[a],
+            DataL1Config::paper_default(scheme),
+            opts.instructions,
+            opts.seed.wrapping_add(k.wrapping_mul(7919)),
+        );
+        ((s, a, k), run_sim(&cfg).pipeline.cycles)
+    });
+    let cycles = |s: usize, a: usize, k: u64| -> u64 {
+        results
+            .iter()
+            .find(|((rs, ra, rk), _)| *rs == s && *ra == a && *rk == k)
+            .map(|(_, c)| *c)
+            .expect("ran")
+    };
+    // Per-seed 8-app average of normalized cycles, summarised per scheme.
+    let mut series = Vec::new();
+    for (si, (label, _)) in schemes.iter().enumerate() {
+        let samples: Vec<f64> = (0..SEEDS)
+            .map(|k| {
+                (0..APP_NAMES.len())
+                    .map(|a| cycles(si + 1, a, k) as f64 / cycles(0, a, k) as f64)
+                    .sum::<f64>()
+                    / APP_NAMES.len() as f64
+            })
+            .collect();
+        let summary = Summary::from_samples(&samples);
+        series.push(Series {
+            label: format!("{label} mean"),
+            values: vec![summary.mean],
+        });
+        series.push(Series {
+            label: format!("{label} ci95"),
+            values: vec![summary.ci95],
+        });
+    }
+    FigureResult {
+        id: "stability".into(),
+        title: format!("Seed stability of Figure 12 averages ({SEEDS} seeds)"),
+        unit: "normalized cycles (mean, ±95% CI)".into(),
+        xs: vec!["8-app average".into()],
+        series,
+        notes: "the scheme ordering must hold beyond seed noise".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: background scrubbing ([21] in the paper's references)
+// ---------------------------------------------------------------------
+
+/// Scrubbing ablation: unrecoverable-load rate vs scrub interval under a
+/// heavy random fault storm, for BaseECC (where scrubbing prevents
+/// double-bit accumulation) and ICR-P-PS (S).
+pub fn scrub(opts: &ExpOptions) -> FigureResult {
+    use crate::simulator::ScrubConfig;
+    let fault = FaultConfig {
+        model: ErrorModel::Random,
+        p_per_cycle: 2e-2,
+        seed: opts.seed,
+    };
+    let intervals: [Option<u64>; 4] = [None, Some(20_000), Some(4_000), Some(500)];
+    let schemes = [
+        ("BaseECC", Scheme::BaseEcc { speculative: false }),
+        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
+    ];
+    let jobs: Vec<(usize, usize)> = (0..schemes.len())
+        .flat_map(|s| (0..intervals.len()).map(move |i| (s, i)))
+        .collect();
+    let results = parallel_map(jobs, |(s, i)| {
+        let mut cfg = SimConfig::paper(
+            "vortex",
+            DataL1Config::paper_default(schemes[s].1),
+            opts.instructions,
+            opts.seed,
+        )
+        .with_fault(fault);
+        if let Some(interval) = intervals[i] {
+            cfg = cfg.with_scrub(ScrubConfig {
+                interval,
+                lines_per_step: 64,
+            });
+        }
+        ((s, i), run_sim(&cfg))
+    });
+    let series = schemes
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| Series {
+            label: (*label).into(),
+            values: (0..intervals.len())
+                .map(|ii| {
+                    let r = results
+                        .iter()
+                        .find(|((s, i), _)| *s == si && *i == ii)
+                        .map(|(_, r)| r)
+                        .expect("ran");
+                    100.0 * r.icr.unrecoverable_load_fraction()
+                })
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        id: "scrub".into(),
+        title: "Extension: background scrubbing vs unrecoverable loads (p=2e-2)".into(),
+        unit: "% unrecoverable loads (vortex)".into(),
+        xs: intervals
+            .iter()
+            .map(|i| match i {
+                None => "off".to_owned(),
+                Some(v) => format!("every {v}"),
+            })
+            .collect(),
+        series,
+        notes: "scrubbing complements SEC-DED (it heals single-bit strikes before they                 pair into uncorrectable doubles) but cannot help parity-only ICR lines,                 whose losses are dirty-word detections scrubbing cannot correct"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: out-of-order window vs the ECC penalty
+// ---------------------------------------------------------------------
+
+/// How much of the ECC latency the out-of-order window hides: sweeps the
+/// RUU size and reports BaseECC's and ICR-ECC-PS (S)'s slowdown over
+/// BaseP at each point. The paper's RUU is 16; wider windows absorb more
+/// of the 2-cycle ECC load path, shrinking ICR's advantage — the
+/// microarchitectural sensitivity behind the whole comparison.
+pub fn window(opts: &ExpOptions) -> FigureResult {
+    let ruu_sizes = [8usize, 16, 32, 64];
+    let schemes = [
+        ("BaseP", Scheme::BaseP),
+        ("BaseECC", Scheme::BaseEcc { speculative: false }),
+        ("ICR-ECC-PS (S)", Scheme::icr_ecc_ps_s()),
+    ];
+    let jobs: Vec<(usize, usize)> = (0..ruu_sizes.len())
+        .flat_map(|r| (0..schemes.len()).map(move |s| (r, s)))
+        .collect();
+    let results = parallel_map(jobs, |(r, s)| {
+        let mut cfg = SimConfig::paper(
+            "gzip",
+            DataL1Config::paper_default(schemes[s].1),
+            opts.instructions,
+            opts.seed,
+        );
+        cfg.cpu.ruu_size = ruu_sizes[r];
+        cfg.cpu.lsq_size = (ruu_sizes[r] / 2).max(4);
+        ((r, s), run_sim(&cfg).pipeline.cycles)
+    });
+    let cycles = |r: usize, s: usize| -> u64 {
+        results
+            .iter()
+            .find(|((rr, rs), _)| *rr == r && *rs == s)
+            .map(|(_, c)| *c)
+            .expect("ran")
+    };
+    let series = schemes
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(si, (label, _))| Series {
+            label: (*label).into(),
+            values: (0..ruu_sizes.len())
+                .map(|ri| cycles(ri, si) as f64 / cycles(ri, 0) as f64)
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        id: "window".into(),
+        title: "Extension: RUU size vs the ECC slowdown (gzip)".into(),
+        unit: "cycles / BaseP cycles at same RUU".into(),
+        xs: ruu_sizes.iter().map(|r| format!("RUU {r}")).collect(),
+        series,
+        notes: "with the ECC port-occupancy model, BaseECC stays *throughput*-bound: a                 wider window speeds BaseP up more than BaseECC, so the relative ECC                 penalty persists — latency can be hidden, bandwidth cannot"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: DRAM open-page sensitivity
+// ---------------------------------------------------------------------
+
+/// Replaces the paper's flat 100-cycle memory with an open-page DRAM
+/// model (8 banks, 4KB rows, 40/100 cycles) and re-checks the headline
+/// scheme ordering on the two memory-bound applications. ICR's extra
+/// misses are mostly re-fetches of recently-touched rows, so open-page
+/// timing softens their cost.
+pub fn dram(opts: &ExpOptions) -> FigureResult {
+    use icr_mem::RowBufferConfig;
+    let apps = ["mcf", "art"];
+    let schemes = [
+        ("BaseP", Scheme::BaseP),
+        ("BaseECC", Scheme::BaseEcc { speculative: false }),
+        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
+    ];
+    let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
+        .flat_map(|a| {
+            (0..schemes.len()).flat_map(move |s| [false, true].map(move |rb| (a, s, rb)))
+        })
+        .collect();
+    let results = parallel_map(jobs, |(a, s, rb)| {
+        let mut cfg = SimConfig::paper(
+            apps[a],
+            DataL1Config::paper_default(schemes[s].1),
+            opts.instructions,
+            opts.seed,
+        );
+        if rb {
+            cfg.hierarchy.memory_row_buffer = Some(RowBufferConfig::default_2003());
+        }
+        ((a, s, rb), run_sim(&cfg).pipeline.cycles)
+    });
+    let cycles = |a: usize, s: usize, rb: bool| -> u64 {
+        results
+            .iter()
+            .find(|((ra, rs, rrb), _)| *ra == a && *rs == s && *rrb == rb)
+            .map(|(_, c)| *c)
+            .expect("ran")
+    };
+    let mut xs = Vec::new();
+    for app in apps {
+        xs.push(format!("{app} flat"));
+        xs.push(format!("{app} open-page"));
+    }
+    let series = schemes
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(si, (label, _))| Series {
+            label: (*label).into(),
+            values: (0..apps.len())
+                .flat_map(|a| {
+                    [false, true]
+                        .map(|rb| cycles(a, si, rb) as f64 / cycles(a, 0, rb) as f64)
+                })
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        id: "dram".into(),
+        title: "Extension: flat vs open-page DRAM under the headline schemes".into(),
+        unit: "cycles / BaseP cycles (same memory model)".into(),
+        xs,
+        series,
+        notes: "the scheme ordering must survive a more realistic memory system".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: AVF-style exposure
+// ---------------------------------------------------------------------
+
+/// Time-weighted average number of words exposed to single-bit loss
+/// (dirty + parity-only + unreplicated), per scheme — an architectural-
+/// vulnerability-style summary of the reliability story without any
+/// fault injection at all. The dL1 holds 2048 words total.
+pub fn exposure(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "exposure",
+        "Extension: time-averaged words exposed to single-bit loss",
+        "vulnerable words (of 2048)",
+        "BaseP exposes its whole dirty footprint; ICR covers it with replicas;          SEC-DED schemes expose nothing to single-bit strikes",
+        &[
+            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v(
+                "ICR-P-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            ),
+            v(
+                "ICR-P-PS (LS)",
+                DataL1Config::paper_default(Scheme::icr_p_ps_ls()),
+            ),
+            v(
+                "ICR-ECC-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+            ),
+        ],
+        opts,
+        |r, _| r.avg_vulnerable_words,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Extension: silent data corruption under the adjacent-bit model
+// ---------------------------------------------------------------------
+
+/// Silent data corruption: the adjacent-bit model flips two neighbouring
+/// bits, which byte parity misses whenever both land in one byte. An
+/// oracle shadow counts loads that consumed wrong data with clean checks.
+/// The PP schemes' primary/replica *comparison* catches what parity
+/// cannot — the NMR coverage the paper alludes to in §1.
+pub fn sdc(opts: &ExpOptions) -> FigureResult {
+    let fault = FaultConfig {
+        model: ErrorModel::Adjacent,
+        p_per_cycle: 1e-2,
+        seed: opts.seed,
+    };
+    let mk = |scheme: Scheme| {
+        let mut cfg = DataL1Config::paper_default(scheme);
+        cfg.oracle = true;
+        cfg
+    };
+    let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
+        ("BaseP".into(), mk(Scheme::BaseP), Some(fault)),
+        ("ICR-P-PS (S)".into(), mk(Scheme::icr_p_ps_s()), Some(fault)),
+        ("ICR-P-PP (S)".into(), mk(Scheme::icr_p_pp_s()), Some(fault)),
+        (
+            "BaseECC".into(),
+            mk(Scheme::BaseEcc { speculative: false }),
+            Some(fault),
+        ),
+    ];
+    let matrix = run_matrix(&APP_NAMES, &variants, opts);
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut sdc: Vec<f64> = matrix[vi]
+            .iter()
+            .map(|r| r.icr.silent_corruptions as f64)
+            .collect();
+        sdc.push(sdc.iter().sum::<f64>() / sdc.len() as f64);
+        series.push(Series {
+            label: format!("{label} silent"),
+            values: sdc,
+        });
+    }
+    // One extra series: how many aliased errors PP's compare caught.
+    let mut caught: Vec<f64> = matrix[2]
+        .iter()
+        .map(|r| r.icr.errors_caught_by_compare as f64)
+        .collect();
+    caught.push(caught.iter().sum::<f64>() / caught.len() as f64);
+    series.push(Series {
+        label: "PP compare catches".into(),
+        values: caught,
+    });
+    FigureResult {
+        id: "sdc".into(),
+        title: "Extension: silent corruption under adjacent-bit faults (p=1e-2)".into(),
+        unit: "silently consumed corruptions (count)".into(),
+        xs,
+        series,
+        notes: "parity-based schemes consume same-byte double flips silently; the PP                 compare converts them into detected (and often recovered) errors;                 SEC-DED detects all double flips outright"
+            .into(),
+    }
+}
+
+/// Every figure runner, for `icr-exp all` and the benches.
+pub fn all_figures(opts: &ExpOptions) -> Vec<FigureResult> {
+    vec![
+        fig1(opts),
+        fig2(opts),
+        fig3(opts),
+        fig4(opts),
+        fig5(opts),
+        fig6(opts),
+        fig7(opts),
+        fig8(opts),
+        fig9(opts),
+        fig10(opts),
+        fig11(opts),
+        fig12(opts),
+        fig13(opts),
+        fig14(opts),
+        fig15(opts),
+        sensitivity(opts),
+        fig16(opts),
+        fig17(opts),
+        victim_ablation(opts),
+        error_models(opts),
+        hints_ablation(opts),
+        dupcache(opts),
+        stability(opts),
+        scrub(opts),
+        window(opts),
+        dram(opts),
+        exposure(opts),
+        sdc(opts),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            instructions: 8_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let t = table1();
+        assert!(t.contains("16KB"));
+        assert!(t.contains("256KB"));
+        assert!(t.contains("100 cycle"));
+    }
+
+    #[test]
+    fn fig1_has_two_series_over_nine_xs() {
+        let r = fig1(&tiny());
+        r.validate().unwrap();
+        assert_eq!(r.series.len(), 2);
+        assert_eq!(r.xs.len(), 9); // 8 apps + AVG
+    }
+
+    #[test]
+    fn fig9_normalizes_basep_to_one() {
+        let r = fig9(&tiny());
+        r.validate().unwrap();
+        for x in &r.xs {
+            let v = r.value("BaseP", x).expect("BaseP present");
+            assert!((v - 1.0).abs() < 1e-12, "{x}: BaseP must be 1.0, got {v}");
+        }
+        // BaseECC must cost more than BaseP everywhere.
+        assert!(r.series_mean("BaseECC").expect("present") > 1.0);
+    }
+
+    #[test]
+    fn fig14_reports_percentages() {
+        let opts = ExpOptions {
+            instructions: 5_000,
+            seed: 3,
+        };
+        let r = fig14(&opts);
+        r.validate().unwrap();
+        for s in &r.series {
+            for &val in &s.values {
+                assert!((0.0..=100.0).contains(&val));
+            }
+        }
+    }
+}

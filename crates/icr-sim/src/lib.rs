@@ -1,0 +1,43 @@
+//! Top-level simulator and experiment harness for the ICR reproduction.
+//!
+//! This crate assembles the full machine of the paper — the out-of-order
+//! core (`icr-cpu`), the instruction L1 / unified L2 / memory
+//! (`icr-mem`), the replica-aware data L1 (`icr-core`), transient-fault
+//! injection (`icr-fault`) and energy accounting (`icr-energy`) — and
+//! provides one experiment runner per table/figure of the paper's
+//! evaluation.
+//!
+//! * [`simulator`] — [`SimConfig`] → [`run_sim`] → [`SimResult`];
+//! * [`experiment`] — `table1`, `fig1` … `fig17`, `sensitivity`,
+//!   `victim_ablation`;
+//! * [`report`] — [`FigureResult`], a printable series-per-scheme table.
+//!
+//! The `icr-exp` binary exposes all of it from the command line:
+//!
+//! ```text
+//! cargo run --release -p icr-sim --bin icr-exp -- fig9 --insts 500000
+//! ```
+//!
+//! ```
+//! use icr_sim::{run_sim, SimConfig};
+//! use icr_core::{DataL1Config, Scheme};
+//!
+//! let cfg = SimConfig::paper(
+//!     "gzip",
+//!     DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+//!     10_000,
+//!     42,
+//! );
+//! let result = run_sim(&cfg);
+//! assert_eq!(result.pipeline.committed, 10_000);
+//! ```
+
+pub mod experiment;
+pub mod report;
+pub mod simulator;
+pub mod stats;
+
+pub use experiment::ExpOptions;
+pub use report::{FigureResult, Series};
+pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimResult};
+pub use stats::Summary;

@@ -1,0 +1,351 @@
+//! The assembled machine: out-of-order core + iL1 + ICR dL1 + L2 + memory
+//! + (optional) fault injection, with one entry point: [`run_sim`].
+
+use icr_core::{DataL1, DataL1Config, WritePolicy};
+use icr_cpu::{CpuConfig, DataMemory, InstrMemory, Pipeline, PipelineStats};
+use icr_energy::AccessCounts;
+use icr_fault::{ErrorModel, FaultInjector};
+use icr_mem::{Addr, CacheStats, HierarchyConfig, InstrCache, MemoryBackend};
+use icr_trace::{apps, TraceGenerator};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Fault-injection settings for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Which of the four error models strikes.
+    pub model: ErrorModel,
+    /// Per-cycle fault probability.
+    pub p_per_cycle: f64,
+    /// Injector seed.
+    pub seed: u64,
+}
+
+/// Background-scrubber settings for a run (extension; see
+/// `DataL1::scrub_step`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Cycles between scrub steps.
+    pub interval: u64,
+    /// Lines swept per step.
+    pub lines_per_step: usize,
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core parameters (Table 1 defaults).
+    pub cpu: CpuConfig,
+    /// iL1/L2/memory parameters (Table 1 defaults).
+    pub hierarchy: HierarchyConfig,
+    /// The dL1 under study.
+    pub dl1: DataL1Config,
+    /// Workload name (one of [`icr_trace::apps::APP_NAMES`]).
+    pub app: String,
+    /// Dynamic instructions to simulate.
+    pub instructions: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Optional transient-fault injection.
+    pub fault: Option<FaultConfig>,
+    /// Optional background scrubbing.
+    pub scrub: Option<ScrubConfig>,
+}
+
+impl SimConfig {
+    /// The paper's machine running `app` for `instructions` instructions
+    /// with the given dL1.
+    pub fn paper(app: &str, dl1: DataL1Config, instructions: u64, seed: u64) -> Self {
+        SimConfig {
+            cpu: CpuConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            dl1,
+            app: app.to_owned(),
+            instructions,
+            seed,
+            fault: None,
+            scrub: None,
+        }
+    }
+
+    /// Adds fault injection.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Adds background scrubbing.
+    pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
+        self.scrub = Some(scrub);
+        self
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Workload name.
+    pub app: String,
+    /// dL1 scheme name.
+    pub scheme: String,
+    /// Core statistics (cycles, IPC, mispredicts, …).
+    pub pipeline: PipelineStats,
+    /// dL1 statistics (replication, recovery, …).
+    pub icr: icr_core::IcrStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// iL1 statistics.
+    pub l1i: CacheStats,
+    /// Main-memory block reads.
+    pub memory_reads: u64,
+    /// Main-memory block writes.
+    pub memory_writes: u64,
+    /// Faults injected during the run.
+    pub faults_injected: u64,
+    /// Access counts for the energy model (write-through L2 write traffic
+    /// already coalesced through the write buffer).
+    pub energy_counts: AccessCounts,
+    /// Time-weighted average number of words vulnerable to single-bit
+    /// loss (AVF-style exposure; see `DataL1::vulnerable_word_count`).
+    pub avg_vulnerable_words: f64,
+}
+
+/// The machine state shared between the pipeline's two memory ports.
+struct Machine {
+    dl1: DataL1,
+    icache: InstrCache,
+    backend: MemoryBackend,
+    injector: Option<FaultInjector>,
+    /// Last cycle up to which faults have been injected.
+    fault_horizon: u64,
+    scrub: Option<ScrubConfig>,
+    /// Next cycle at which the scrubber fires.
+    next_scrub: u64,
+    /// Time-weighted exposure sampling: (sum of vulnerable-word samples,
+    /// sample count, next sample cycle).
+    vuln_sum: u128,
+    vuln_samples: u64,
+    next_vuln_sample: u64,
+}
+
+impl Machine {
+    /// Brings fault injection up to `now` before an access observes state.
+    fn advance_faults(&mut self, now: u64) {
+        if let Some(inj) = &mut self.injector {
+            if now > self.fault_horizon {
+                inj.advance(&mut self.dl1, self.fault_horizon, now);
+                self.fault_horizon = now;
+            }
+        }
+        if let Some(scrub) = self.scrub {
+            while now >= self.next_scrub {
+                self.dl1.scrub_step(scrub.lines_per_step, &mut self.backend);
+                self.next_scrub += scrub.interval.max(1);
+            }
+        }
+        // Exposure sampling every ~1000 cycles (cheap, time-weighted).
+        while now >= self.next_vuln_sample {
+            self.vuln_sum += self.dl1.vulnerable_word_count() as u128;
+            self.vuln_samples += 1;
+            self.next_vuln_sample += 1000;
+        }
+    }
+}
+
+struct DmemPort(Rc<RefCell<Machine>>);
+struct ImemPort(Rc<RefCell<Machine>>);
+
+impl DataMemory for DmemPort {
+    fn load(&mut self, addr: u64, now: u64) -> u64 {
+        let mut m = self.0.borrow_mut();
+        m.advance_faults(now);
+        let m = &mut *m;
+        m.dl1.load(Addr(addr), now, &mut m.backend)
+    }
+
+    fn store(&mut self, addr: u64, now: u64) -> u64 {
+        let mut m = self.0.borrow_mut();
+        m.advance_faults(now);
+        let m = &mut *m;
+        m.dl1.store(Addr(addr), now, &mut m.backend)
+    }
+}
+
+impl InstrMemory for ImemPort {
+    fn fetch(&mut self, pc: u64, now: u64) -> u64 {
+        let mut m = self.0.borrow_mut();
+        let m = &mut *m;
+        let _ = now;
+        m.icache.fetch(Addr(pc), &mut m.backend)
+    }
+}
+
+/// Runs one complete simulation.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or unknown application name.
+pub fn run_sim(config: &SimConfig) -> SimResult {
+    let profile = apps::profile(&config.app);
+    let trace = TraceGenerator::new(profile, config.seed).take(config.instructions as usize);
+    let mut pipeline = Pipeline::new(config.cpu);
+
+    let machine = Rc::new(RefCell::new(Machine {
+        dl1: DataL1::new(config.dl1.clone()),
+        icache: InstrCache::new(&config.hierarchy),
+        backend: MemoryBackend::new(&config.hierarchy),
+        injector: config
+            .fault
+            .map(|f| FaultInjector::new(f.model, f.p_per_cycle, f.seed)),
+        fault_horizon: 0,
+        scrub: config.scrub,
+        next_scrub: config.scrub.map(|s| s.interval).unwrap_or(0),
+        vuln_sum: 0,
+        vuln_samples: 0,
+        next_vuln_sample: 1000,
+    }));
+
+    let stats = pipeline.run(
+        trace,
+        &mut ImemPort(machine.clone()),
+        &mut DmemPort(machine.clone()),
+    );
+
+    let m = machine.borrow();
+    let icr = *m.dl1.stats();
+    let l2 = *m.backend.l2_stats();
+    let l1i = *m.l1i_stats();
+
+    // Energy: in write-through mode the buffer coalesces stores, so L2
+    // write traffic is the buffer's drain count, not one write per store.
+    let l2_accesses = match m.dl1.config().write_policy {
+        WritePolicy::WriteBack => l2.accesses(),
+        WritePolicy::WriteThrough { .. } => {
+            let wb_writes = m
+                .dl1
+                .write_buffer()
+                .map(|wb| wb.total_l2_writes())
+                .unwrap_or(0);
+            l2.read_accesses + wb_writes
+        }
+    };
+    let energy_counts = AccessCounts {
+        l1_reads: icr.l1_read_ops,
+        l1_writes: icr.l1_write_ops,
+        parity_ops: icr.parity_ops,
+        ecc_ops: icr.ecc_ops,
+        l2_accesses,
+    };
+
+    SimResult {
+        app: config.app.clone(),
+        scheme: config.dl1.scheme.name(),
+        pipeline: stats,
+        icr,
+        l2,
+        l1i,
+        memory_reads: m.backend.memory_reads(),
+        memory_writes: m.backend.memory_writes(),
+        faults_injected: m.injector.as_ref().map(|i| i.injected()).unwrap_or(0),
+        energy_counts,
+        avg_vulnerable_words: if m.vuln_samples == 0 {
+            0.0
+        } else {
+            m.vuln_sum as f64 / m.vuln_samples as f64
+        },
+    }
+}
+
+impl Machine {
+    fn l1i_stats(&self) -> &CacheStats {
+        self.icache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icr_core::Scheme;
+
+    fn quick(app: &str, dl1: DataL1Config) -> SimResult {
+        run_sim(&SimConfig::paper(app, dl1, 20_000, 1))
+    }
+
+    #[test]
+    fn full_machine_runs_to_completion() {
+        let r = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
+        assert_eq!(r.pipeline.committed, 20_000);
+        assert!(r.pipeline.cycles > 0);
+        assert!(r.icr.cache.accesses() > 0);
+        assert!(r.l2.accesses() > 0, "dL1 misses must reach L2");
+        assert!(r.l1i.accesses() > 0);
+    }
+
+    #[test]
+    fn baseecc_is_slower_than_basep() {
+        let p = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
+        let e = quick(
+            "gzip",
+            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+        );
+        assert!(
+            e.pipeline.cycles > p.pipeline.cycles,
+            "2-cycle ECC loads must cost cycles: {} vs {}",
+            e.pipeline.cycles,
+            p.pipeline.cycles
+        );
+    }
+
+    #[test]
+    fn icr_p_ps_s_is_close_to_basep() {
+        let p = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
+        let i = quick("gzip", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        let overhead = i.pipeline.cycles as f64 / p.pipeline.cycles as f64;
+        assert!(
+            overhead < 1.15,
+            "ICR-P-PS(S) should be near BaseP, got {overhead:.3}x"
+        );
+        assert!(i.icr.loads_with_replica() > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_config_same_result() {
+        let a = quick("vpr", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        let b = quick("vpr", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(a.icr, b.icr);
+    }
+
+    #[test]
+    fn fault_injection_produces_detections() {
+        let cfg = SimConfig::paper(
+            "vortex",
+            DataL1Config::paper_default(Scheme::BaseP),
+            20_000,
+            1,
+        )
+        .with_fault(FaultConfig {
+            model: ErrorModel::Random,
+            p_per_cycle: 0.01,
+            seed: 9,
+        });
+        let r = run_sim(&cfg);
+        assert!(r.faults_injected > 0);
+        assert!(
+            r.icr.errors_detected > 0,
+            "with {} faults injected some loads must detect",
+            r.faults_injected
+        );
+    }
+
+    #[test]
+    fn energy_counts_populated() {
+        let r = quick("gcc", DataL1Config::paper_default(Scheme::icr_ecc_ps_s()));
+        assert!(r.energy_counts.l1_reads > 0);
+        assert!(r.energy_counts.l1_writes > 0);
+        assert!(r.energy_counts.ecc_ops > 0, "unreplicated lines use ECC");
+        assert!(r.energy_counts.parity_ops > 0, "replicated lines use parity");
+        assert!(r.energy_counts.l2_accesses > 0);
+    }
+}

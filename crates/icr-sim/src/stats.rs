@@ -1,0 +1,130 @@
+//! Statistical summaries across seeds — reproduction hygiene the original
+//! paper (single SimpleScalar runs) could not offer: every headline number
+//! here can be reported as mean ± 95% confidence interval over independent
+//! workload seeds.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and spread of one metric over independent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (t-distribution).
+    pub ci95: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a set of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary {
+                mean,
+                ci95: 0.0,
+                stddev: 0.0,
+                n,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let t = t_critical_95(n - 1);
+        Summary {
+            mean,
+            ci95: t * stddev / (n as f64).sqrt(),
+            stddev,
+            n,
+        }
+    }
+
+    /// `true` when `other`'s mean lies outside this summary's 95% CI —
+    /// a quick "statistically distinguishable" check.
+    pub fn distinguishable_from(&self, other: &Summary) -> bool {
+        (self.mean - other.mean).abs() > self.ci95 + other.ci95
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.ci95)
+    }
+}
+
+/// Two-sided 95% critical values of Student's t (common small dfs, then
+/// the normal approximation).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_spread() {
+        let s = Summary::from_samples(&[2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // samples 1..=5: mean 3, sd sqrt(2.5), t(4)=2.776
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.stddev - 2.5f64.sqrt()).abs() < 1e-12);
+        let expected_ci = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((s.ci95 - expected_ci).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinguishable_means_do_not_overlap() {
+        let a = Summary::from_samples(&[1.0, 1.1, 0.9, 1.05]);
+        let b = Summary::from_samples(&[2.0, 2.1, 1.9, 2.05]);
+        assert!(a.distinguishable_from(&b));
+        let c = Summary::from_samples(&[1.0, 1.2, 0.8, 1.1]);
+        assert!(!a.distinguishable_from(&c));
+    }
+
+    #[test]
+    fn t_table_decreases_toward_normal() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(30));
+        assert_eq!(t_critical_95(1000), 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_panic() {
+        Summary::from_samples(&[]);
+    }
+}

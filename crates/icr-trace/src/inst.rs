@@ -1,0 +1,145 @@
+//! The dynamic-instruction record that flows from a workload generator into
+//! the out-of-order timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation class, mirroring the functional-unit classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (1-cycle, 4 units in the paper's machine).
+    IntAlu,
+    /// Integer multiply/divide (long latency, 1 unit).
+    IntMul,
+    /// Floating-point add/compare (2-cycle, 4 units).
+    FpAlu,
+    /// Floating-point multiply/divide (long latency, 1 unit).
+    FpMul,
+    /// Memory load (issues through the LSQ to the dL1).
+    Load,
+    /// Memory store (issues through the LSQ; retires via a write buffer).
+    Store,
+    /// Conditional branch (resolved at execute; mispredictions flush).
+    Branch,
+}
+
+impl OpClass {
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// An architectural register name. The machine has 32 integer + 32 FP
+/// registers; the generator hands out indices `0..64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// One dynamic instruction.
+///
+/// This is a *timing* record: it names the registers it reads/writes (for
+/// dependence tracking), the memory address it touches (for the cache
+/// model), and its branch outcome (for the predictor) — everything
+/// `sim-outorder` would extract from a real instruction, minus the
+/// semantics the reliability study doesn't need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Fetch address of this instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the op writes one.
+    pub dest: Option<Reg>,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// For branches: whether the branch is taken.
+    pub taken: bool,
+    /// For branches: the target when taken.
+    pub target: u64,
+}
+
+impl Inst {
+    /// A non-memory, non-branch op (helper for tests and examples).
+    pub fn alu(pc: u64, op: OpClass, dest: Reg, srcs: [Option<Reg>; 2]) -> Self {
+        debug_assert!(!op.is_mem() && op != OpClass::Branch);
+        Inst {
+            pc,
+            op,
+            dest: Some(dest),
+            srcs,
+            mem_addr: None,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A load of `addr` into `dest`.
+    pub fn load(pc: u64, addr: u64, dest: Reg, base: Option<Reg>) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Load,
+            dest: Some(dest),
+            srcs: [base, None],
+            mem_addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A store of `src` to `addr`.
+    pub fn store(pc: u64, addr: u64, src: Reg, base: Option<Reg>) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Store,
+            dest: None,
+            srcs: [Some(src), base],
+            mem_addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A conditional branch at `pc` to `target`, `taken` or not.
+    pub fn branch(pc: u64, target: u64, taken: bool, src: Option<Reg>) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Branch,
+            dest: None,
+            srcs: [src, None],
+            mem_addr: None,
+            taken,
+            target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_mem_predicate() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let ld = Inst::load(0x100, 0x2000, Reg(3), Some(Reg(4)));
+        assert_eq!(ld.op, OpClass::Load);
+        assert_eq!(ld.mem_addr, Some(0x2000));
+        assert_eq!(ld.dest, Some(Reg(3)));
+
+        let st = Inst::store(0x104, 0x2008, Reg(3), None);
+        assert_eq!(st.op, OpClass::Store);
+        assert_eq!(st.dest, None);
+        assert_eq!(st.srcs[0], Some(Reg(3)));
+
+        let br = Inst::branch(0x108, 0x80, true, Some(Reg(1)));
+        assert!(br.taken);
+        assert_eq!(br.target, 0x80);
+    }
+}

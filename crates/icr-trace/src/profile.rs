@@ -1,0 +1,305 @@
+//! Stochastic workload profiles: the knobs that make one synthetic
+//! application behave like gzip and another like mcf.
+//!
+//! The ICR results are driven by a handful of workload properties — how
+//! concentrated the hot data is, how large the total footprint is relative
+//! to the 16KB dL1, how store-heavy the program is, and how predictable its
+//! branches are. A profile pins those properties; the generator in
+//! [`crate::generator`] turns a profile plus a seed into a deterministic
+//! instruction stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of each op class in the dynamic instruction stream.
+///
+/// Must sum to 1 (checked by [`OpMix::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+    /// Integer ALU.
+    pub int_alu: f64,
+    /// Integer multiply/divide.
+    pub int_mul: f64,
+    /// FP add/compare.
+    pub fp_alu: f64,
+    /// FP multiply/divide.
+    pub fp_mul: f64,
+}
+
+impl OpMix {
+    /// A typical integer-code mix.
+    pub fn integer_default() -> Self {
+        OpMix {
+            load: 0.24,
+            store: 0.10,
+            branch: 0.14,
+            int_alu: 0.48,
+            int_mul: 0.01,
+            fp_alu: 0.02,
+            fp_mul: 0.01,
+        }
+    }
+
+    /// A typical FP-code mix.
+    pub fn fp_default() -> Self {
+        OpMix {
+            load: 0.28,
+            store: 0.08,
+            branch: 0.06,
+            int_alu: 0.28,
+            int_mul: 0.01,
+            fp_alu: 0.22,
+            fp_mul: 0.07,
+        }
+    }
+
+    /// Checks that the fractions are non-negative and sum to ~1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let parts = [
+            self.load,
+            self.store,
+            self.branch,
+            self.int_alu,
+            self.int_mul,
+            self.fp_alu,
+            self.fp_mul,
+        ];
+        if parts.iter().any(|&p| p < 0.0) {
+            return Err("op-mix fractions must be non-negative".into());
+        }
+        let sum: f64 = parts.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("op-mix fractions sum to {sum}, expected 1"));
+        }
+        Ok(())
+    }
+}
+
+/// How an application's data accesses are distributed.
+///
+/// The model is a three-tier working set: a small *hot* region that absorbs
+/// most references, a *warm* region of moderate reuse, and a large *cold*
+/// region that is either streamed (strided) or pointer-chased. Sizes are in
+/// 64-byte blocks; the paper's dL1 holds 256 of them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityProfile {
+    /// Hot-region size in blocks.
+    pub hot_blocks: usize,
+    /// Warm-region size in blocks.
+    pub warm_blocks: usize,
+    /// Cold-region size in blocks.
+    pub cold_blocks: usize,
+    /// Probability an access targets the hot region.
+    pub p_hot: f64,
+    /// Probability an access targets the warm region (rest go cold).
+    pub p_warm: f64,
+    /// Fraction of cold accesses that stream sequentially rather than
+    /// jump randomly.
+    pub stride_fraction: f64,
+    /// `true` for mcf-style pointer chasing through the cold region
+    /// (a deterministic pseudo-random walk with no spatial locality).
+    pub pointer_chase: bool,
+    /// How much *stores* concentrate into the hot region relative to loads
+    /// (1.0 = same distribution; >1 skews stores hotter). ICR's
+    /// store-triggered replication makes this matter.
+    pub store_hot_bias: f64,
+    /// Probability that a load revisits a recently *stored* block
+    /// (update-then-reread behaviour of linked structures). This is the
+    /// access pattern the paper's §5.6 replica-serves-miss optimization
+    /// exploits: the reread often arrives after the primary was evicted
+    /// but while the replica survives.
+    pub store_reuse: f64,
+    /// Warm-tier generational dwell: the warm region is accessed through a
+    /// small *active subset* that rotates one block ahead every
+    /// `warm_dwell` warm accesses. Blocks are reused intensely while
+    /// active, then never touched again for a long time — the
+    /// generational behaviour cache decay (and therefore ICR's dead-block
+    /// prediction) relies on. `0` disables rotation (uniform random warm
+    /// accesses).
+    pub warm_dwell: u32,
+    /// Lay the hot region out with set conflicts: hot blocks share half as
+    /// many sets (two tags per set against the paper's 64-set dL1), so
+    /// interfering traffic periodically knocks hot primaries out even
+    /// though they are in active use. Surviving replicas at distance N/2
+    /// then act as extra associativity — the §5.6 effect the paper sees
+    /// most strongly in mcf and vpr.
+    pub hot_confined: bool,
+}
+
+impl LocalityProfile {
+    /// Checks the probability fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.p_hot)
+            || !(0.0..=1.0).contains(&self.p_warm)
+            || self.p_hot + self.p_warm > 1.0
+        {
+            return Err("p_hot/p_warm must be probabilities with sum <= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.stride_fraction) {
+            return Err("stride_fraction must be in [0,1]".into());
+        }
+        if self.hot_blocks == 0 || self.warm_blocks == 0 || self.cold_blocks == 0 {
+            return Err("all regions need at least one block".into());
+        }
+        if self.store_hot_bias <= 0.0 {
+            return Err("store_hot_bias must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.store_reuse) {
+            return Err("store_reuse must be in [0,1]".into());
+        }
+        Ok(())
+    }
+
+    /// Total data footprint in blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.hot_blocks + self.warm_blocks + self.cold_blocks
+    }
+}
+
+/// Branch behaviour of the synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchProfile {
+    /// Number of static branch sites (basic blocks) in the program.
+    pub sites: usize,
+    /// Mean probability a branch is taken.
+    pub taken_rate: f64,
+    /// How biased individual branch sites are (0 = all coin flips,
+    /// 1 = every site is fully biased one way — perfectly predictable).
+    pub predictability: f64,
+}
+
+impl BranchProfile {
+    /// Checks the probability fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites == 0 {
+            return Err("need at least one branch site".into());
+        }
+        if !(0.0..=1.0).contains(&self.taken_rate) || !(0.0..=1.0).contains(&self.predictability) {
+            return Err("taken_rate/predictability must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete synthetic-application profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (the SPEC2000 program this profile stands in for).
+    pub name: String,
+    /// Dynamic instruction mix.
+    pub mix: OpMix,
+    /// Data-access locality.
+    pub locality: LocalityProfile,
+    /// Branch behaviour.
+    pub branch: BranchProfile,
+    /// Base virtual address of the data segment.
+    pub data_base: u64,
+    /// Base virtual address of the code segment.
+    pub code_base: u64,
+}
+
+impl AppProfile {
+    /// Checks every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mix.validate()?;
+        self.locality.validate()?;
+        self.branch.validate()?;
+        if self.name.is_empty() {
+            return Err("profile needs a name".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mixes_are_valid() {
+        OpMix::integer_default().validate().unwrap();
+        OpMix::fp_default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_mix_sum_rejected() {
+        let mut m = OpMix::integer_default();
+        m.load += 0.5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn negative_fraction_rejected() {
+        let mut m = OpMix::integer_default();
+        m.load = -0.1;
+        m.int_alu += 0.34; // keep the sum at 1 so the sign check is what trips
+        assert!(m.validate().unwrap_err().contains("non-negative"));
+    }
+
+    #[test]
+    fn locality_probability_bounds() {
+        let l = LocalityProfile {
+            hot_blocks: 64,
+            warm_blocks: 512,
+            cold_blocks: 4096,
+            p_hot: 0.7,
+            p_warm: 0.5, // 0.7 + 0.5 > 1
+            stride_fraction: 0.5,
+            pointer_chase: false,
+            store_hot_bias: 1.0,
+            store_reuse: 0.0,
+            warm_dwell: 0,
+            hot_confined: false,
+        };
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn total_blocks_sums_regions() {
+        let l = LocalityProfile {
+            hot_blocks: 10,
+            warm_blocks: 20,
+            cold_blocks: 30,
+            p_hot: 0.6,
+            p_warm: 0.3,
+            stride_fraction: 0.0,
+            pointer_chase: false,
+            store_hot_bias: 1.5,
+            store_reuse: 0.05,
+            warm_dwell: 32,
+            hot_confined: false,
+        };
+        assert_eq!(l.total_blocks(), 60);
+    }
+
+    #[test]
+    fn branch_profile_validation() {
+        let b = BranchProfile {
+            sites: 0,
+            taken_rate: 0.6,
+            predictability: 0.9,
+        };
+        assert!(b.validate().is_err());
+    }
+}

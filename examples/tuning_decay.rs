@@ -1,0 +1,48 @@
+//! Decay-window tuning (the paper's §5.3): how aggressively should blocks
+//! be declared dead? Sweeps the window on one application and prints the
+//! three quantities the decision trades off.
+//!
+//! ```text
+//! cargo run --release --example tuning_decay [app]
+//! ```
+
+use icr::core::{DataL1Config, DecayConfig, Scheme, VictimPolicy};
+use icr::sim::{run_sim, SimConfig};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "vpr".into());
+    let instructions = 150_000;
+
+    // BaseP reference for normalization.
+    let base = run_sim(&SimConfig::paper(
+        &app,
+        DataL1Config::paper_default(Scheme::BaseP),
+        instructions,
+        42,
+    ));
+
+    println!("workload: {app}; scheme: ICR-P-PS (S), dead-only victims");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>12}",
+        "window", "ability", "loads w/ repl", "miss rate", "norm cycles"
+    );
+    for window in [0u64, 250, 500, 1000, 2500, 5000, 10_000, 50_000] {
+        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        dl1.decay = DecayConfig { window };
+        dl1.victim = VictimPolicy::DeadOnly;
+        let r = run_sim(&SimConfig::paper(&app, dl1, instructions, 42));
+        println!(
+            "{:>8} {:>9.1}% {:>13.1}% {:>11.1}% {:>11.3}x",
+            window,
+            100.0 * r.icr.replication_ability(),
+            100.0 * r.icr.loads_with_replica(),
+            100.0 * r.icr.miss_rate(),
+            r.pipeline.cycles as f64 / base.pipeline.cycles as f64,
+        );
+    }
+
+    println!();
+    println!("The paper settles on 1000 cycles: replica coverage is still high");
+    println!("while the miss-rate (and cycle) overhead of premature deaths");
+    println!("fades. Window 0 is the most reliability-biased point.");
+}

@@ -1,0 +1,263 @@
+//! Cross-crate integration tests asserting the paper's qualitative
+//! results hold on the assembled machine. These are the claims the
+//! benchmark harness regenerates quantitatively; here they gate CI.
+
+use icr::core::{DataL1Config, DecayConfig, PlacementPolicy, Scheme, VictimPolicy};
+use icr::fault::ErrorModel;
+use icr::sim::{run_sim, FaultConfig, SimConfig};
+
+const N: u64 = 60_000;
+const SEED: u64 = 42;
+
+fn cycles(app: &str, dl1: DataL1Config) -> u64 {
+    run_sim(&SimConfig::paper(app, dl1, N, SEED)).pipeline.cycles
+}
+
+/// §3.2/§5.2: the latency ordering of the four headline schemes.
+#[test]
+fn scheme_cycle_ordering_matches_figure_12() {
+    for app in ["gzip", "vpr", "vortex"] {
+        let base_p = cycles(app, DataL1Config::paper_default(Scheme::BaseP));
+        let icr_p = cycles(app, DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        let icr_ecc = cycles(app, DataL1Config::paper_default(Scheme::icr_ecc_ps_s()));
+        let base_ecc = cycles(
+            app,
+            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+        );
+        assert!(base_p <= icr_p, "{app}: BaseP must be fastest");
+        assert!(icr_p < icr_ecc, "{app}: ICR-P-PS(S) beats ICR-ECC-PS(S)");
+        assert!(icr_ecc < base_ecc, "{app}: ICR-ECC-PS(S) beats BaseECC");
+    }
+}
+
+/// §5.2 Figure 7: the LS trigger covers more read hits than S, and both
+/// cover well over half.
+#[test]
+fn ls_trigger_covers_more_loads_than_s() {
+    for app in ["gzip", "mcf", "mesa"] {
+        let s = run_sim(&SimConfig::paper(
+            app,
+            DataL1Config::aggressive(Scheme::icr_p_ps_s()),
+            N,
+            SEED,
+        ));
+        let ls = run_sim(&SimConfig::paper(
+            app,
+            DataL1Config::aggressive(Scheme::icr_p_ps_ls()),
+            N,
+            SEED,
+        ));
+        assert!(
+            ls.icr.loads_with_replica() > s.icr.loads_with_replica(),
+            "{app}: LS {:.2} must exceed S {:.2}",
+            ls.icr.loads_with_replica(),
+            s.icr.loads_with_replica()
+        );
+        assert!(ls.icr.loads_with_replica() > 0.8, "{app}: LS covers most hits");
+        assert!(s.icr.loads_with_replica() > 0.5, "{app}: S covers most hits");
+        assert!(
+            ls.icr.replication_ability() > s.icr.replication_ability(),
+            "{app}: Figure 6 ordering"
+        );
+    }
+}
+
+/// §5.1 Figure 4: maintaining two replicas costs misses.
+#[test]
+fn second_replica_costs_miss_rate() {
+    let one = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut two = one.clone();
+    two.placement = PlacementPolicy::two_replicas(two.geometry);
+    for app in ["mesa", "gzip"] {
+        let r1 = run_sim(&SimConfig::paper(app, one.clone(), N, SEED));
+        let r2 = run_sim(&SimConfig::paper(app, two.clone(), N, SEED));
+        assert!(
+            r2.icr.miss_rate() > 1.3 * r1.icr.miss_rate(),
+            "{app}: two replicas must visibly worsen misses ({:.3} vs {:.3})",
+            r2.icr.miss_rate(),
+            r1.icr.miss_rate()
+        );
+    }
+}
+
+/// §5.5 Figure 14: recoverability ordering under random fault injection.
+#[test]
+fn error_recovery_ordering_matches_figure_14() {
+    let fault = FaultConfig {
+        model: ErrorModel::Random,
+        p_per_cycle: 1e-2,
+        seed: 9,
+    };
+    let run = |scheme: Scheme| {
+        run_sim(
+            &SimConfig::paper("vortex", DataL1Config::paper_default(scheme), N, SEED)
+                .with_fault(fault),
+        )
+    };
+    let base_p = run(Scheme::BaseP);
+    let icr_p = run(Scheme::icr_p_ps_s());
+    let icr_ecc = run(Scheme::icr_ecc_ps_s());
+    assert!(base_p.icr.unrecoverable_loads > 0, "the storm must hurt BaseP");
+    assert!(
+        base_p.icr.unrecoverable_load_fraction() > 3.0 * icr_p.icr.unrecoverable_load_fraction(),
+        "replicas must recover most of what BaseP loses ({} vs {})",
+        base_p.icr.unrecoverable_loads,
+        icr_p.icr.unrecoverable_loads
+    );
+    assert!(
+        icr_ecc.icr.unrecoverable_load_fraction() <= icr_p.icr.unrecoverable_load_fraction(),
+        "ECC on unreplicated lines can only help"
+    );
+    assert!(icr_p.icr.errors_recovered_replica > 0, "replicas actually used");
+    assert!(icr_ecc.icr.errors_corrected_ecc > 0, "ECC actually used");
+}
+
+/// §5.3 Figure 10: a longer decay window lowers replication ability but
+/// barely moves replica coverage at the paper's chosen 1000 cycles.
+#[test]
+fn decay_window_tradeoff_matches_figure_10() {
+    let mut w0 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    w0.decay = DecayConfig { window: 0 };
+    w0.victim = VictimPolicy::DeadOnly;
+    let mut w1000 = w0.clone();
+    w1000.decay = DecayConfig { window: 1000 };
+    let r0 = run_sim(&SimConfig::paper("vpr", w0, N, SEED));
+    let r1000 = run_sim(&SimConfig::paper("vpr", w1000, N, SEED));
+    assert!(
+        r0.icr.replication_ability() > r1000.icr.replication_ability(),
+        "aggressive decay creates more replicas"
+    );
+    assert!(
+        r1000.icr.loads_with_replica() > 0.85 * r0.icr.loads_with_replica(),
+        "replica coverage barely moves: {:.2} vs {:.2}",
+        r1000.icr.loads_with_replica(),
+        r0.icr.loads_with_replica()
+    );
+    assert!(
+        r1000.pipeline.cycles < r0.pipeline.cycles,
+        "relaxed decay recovers performance"
+    );
+}
+
+/// §5.6 Figure 15: leaving replicas behind on primary eviction never
+/// hurts, and serves some misses cheaply.
+#[test]
+fn keep_replicas_mode_helps() {
+    for app in ["mcf", "vpr"] {
+        let drop = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut keep = drop.clone();
+        keep.keep_replicas_on_evict = true;
+        let r_drop = run_sim(&SimConfig::paper(app, drop, N, SEED));
+        let r_keep = run_sim(&SimConfig::paper(app, keep, N, SEED));
+        assert!(r_keep.icr.misses_served_by_replica > 0, "{app}: serves happen");
+        assert!(
+            r_keep.pipeline.cycles <= r_drop.pipeline.cycles,
+            "{app}: keeping replicas must not cost cycles ({} vs {})",
+            r_keep.pipeline.cycles,
+            r_drop.pipeline.cycles
+        );
+    }
+}
+
+/// §5.1: "experiments with Distance-7 (a prime number)… were not any
+/// different from those obtained in the Distance-N/2 case".
+#[test]
+fn distance_seven_matches_vertical_placement() {
+    for app in ["gzip", "vortex"] {
+        let vertical = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut prime = vertical.clone();
+        prime.placement = PlacementPolicy::single(7);
+        let rv = run_sim(&SimConfig::paper(app, vertical, N, SEED));
+        let rp = run_sim(&SimConfig::paper(app, prime, N, SEED));
+        let dv = rv.icr.loads_with_replica();
+        let dp = rp.icr.loads_with_replica();
+        assert!(
+            (dv - dp).abs() < 0.08,
+            "{app}: distance-7 coverage {dp:.3} should match N/2 {dv:.3}"
+        );
+        let cyc_ratio = rp.pipeline.cycles as f64 / rv.pipeline.cycles as f64;
+        assert!(
+            (0.97..1.03).contains(&cyc_ratio),
+            "{app}: distance-7 cycles within 3% of N/2, got {cyc_ratio:.3}"
+        );
+    }
+}
+
+/// §3.1's power-2 fallback chain is a valid placement policy end-to-end
+/// and never loses to the single-attempt baseline on replica coverage.
+#[test]
+fn power2_fallback_never_hurts_coverage() {
+    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut power2 = single.clone();
+    power2.placement = PlacementPolicy::power2(32, 5);
+    let rs = run_sim(&SimConfig::paper("mesa", single, N, SEED));
+    let rp = run_sim(&SimConfig::paper("mesa", power2, N, SEED));
+    assert!(
+        rp.icr.replication_ability() >= rs.icr.replication_ability() - 0.02,
+        "five fallback tries cannot create fewer replicas: {:.3} vs {:.3}",
+        rp.icr.replication_ability(),
+        rs.icr.replication_ability()
+    );
+    assert!(rp.icr.loads_with_replica() > 0.5);
+}
+
+/// Full-machine determinism: identical config ⇒ identical results.
+#[test]
+fn runs_are_deterministic() {
+    let cfg = SimConfig::paper(
+        "parser",
+        DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+        30_000,
+        123,
+    )
+    .with_fault(FaultConfig {
+        model: ErrorModel::Adjacent,
+        p_per_cycle: 1e-3,
+        seed: 5,
+    });
+    let a = run_sim(&cfg);
+    let b = run_sim(&cfg);
+    assert_eq!(a.pipeline, b.pipeline);
+    assert_eq!(a.icr, b.icr);
+    assert_eq!(a.l2, b.l2);
+    assert_eq!(a.faults_injected, b.faults_injected);
+}
+
+/// Base schemes never replicate; ICR schemes always do (on these
+/// store-bearing workloads).
+#[test]
+fn replication_happens_exactly_for_icr_schemes() {
+    for scheme in Scheme::all_paper_schemes() {
+        let r = run_sim(&SimConfig::paper(
+            "gcc",
+            DataL1Config::paper_default(scheme),
+            20_000,
+            SEED,
+        ));
+        if scheme.replicates() {
+            assert!(r.icr.replicas_created > 0, "{}", scheme.name());
+        } else {
+            assert_eq!(r.icr.replicas_created, 0, "{}", scheme.name());
+            assert_eq!(r.icr.read_hits_with_replica, 0, "{}", scheme.name());
+        }
+    }
+}
+
+/// The speculative-ECC variant recovers BaseECC's lost cycles (§5.9).
+#[test]
+fn speculative_ecc_recovers_performance() {
+    let ecc = cycles(
+        "gzip",
+        DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+    );
+    let spec = cycles(
+        "gzip",
+        DataL1Config::paper_default(Scheme::BaseEcc { speculative: true }),
+    );
+    let base = cycles("gzip", DataL1Config::paper_default(Scheme::BaseP));
+    assert!(spec < ecc, "speculation hides the ECC cycle");
+    assert!(
+        (spec as f64) < 1.02 * base as f64,
+        "speculative ECC is within a whisker of BaseP"
+    );
+}
