@@ -1,0 +1,41 @@
+# Convenience targets. `make verify` is the full local CI gate; the
+# tier-1 gate from ROADMAP.md is `make check`.
+
+CARGO ?= cargo
+
+.PHONY: verify check build test fmt fmt-check clippy bench campaign clean
+
+## Full verification: build + all tests + formatting + lints.
+verify: build test fmt-check clippy
+	@echo "verify: OK"
+
+## Tier-1 gate (ROADMAP.md): release build + quiet tests.
+check:
+	$(CARGO) build --release
+	$(CARGO) test -q
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Criterion benchmarks (confined to the bench crate).
+bench:
+	$(CARGO) bench -p icr-bench
+
+## A 1,200-trial deterministic fault-injection campaign.
+campaign:
+	$(CARGO) run --release -p icr-sim --bin icr-campaign -- --trials 100
+
+clean:
+	$(CARGO) clean

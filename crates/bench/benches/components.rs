@@ -6,7 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use icr_core::{DataL1, DataL1Config, Scheme};
 use icr_ecc::{ByteParity, ProtectedWord, Protection, SecDed};
-use icr_mem::{AccessKind, Addr, BlockAddr, Cache, CacheGeometry, DataBlock, HierarchyConfig, MemoryBackend};
+use icr_mem::{
+    AccessKind, Addr, BlockAddr, Cache, CacheGeometry, DataBlock, HierarchyConfig, MemoryBackend,
+};
 use icr_sim::{run_sim, SimConfig};
 use icr_trace::{apps, TraceGenerator};
 
@@ -96,12 +98,7 @@ fn bench_pipeline(c: &mut Criterion) {
     for scheme in [Scheme::BaseP, Scheme::icr_p_ps_s()] {
         g.bench_function(format!("sim_20k_insts_{}", scheme.name()), |b| {
             b.iter(|| {
-                let cfg = SimConfig::paper(
-                    "gzip",
-                    DataL1Config::paper_default(scheme),
-                    20_000,
-                    42,
-                );
+                let cfg = SimConfig::paper("gzip", DataL1Config::paper_default(scheme), 20_000, 42);
                 black_box(run_sim(&cfg).pipeline.cycles)
             })
         });

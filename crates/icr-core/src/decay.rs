@@ -11,11 +11,9 @@
 //! A window of **0** models the paper's "aggressive" §5.1–5.2 setting:
 //! a block is pronounced dead the moment its access completes.
 
-use serde::{Deserialize, Serialize};
-
 /// Decay configuration: the window (in cycles) after which an untouched
 /// line is declared dead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecayConfig {
     /// Cycles without access after which a line is dead. `0` = immediately.
     pub window: u64,

@@ -36,19 +36,16 @@
 
 use crate::decay::{DecayConfig, DecayState};
 use crate::hints::ReplicationHints;
-use crate::side_cache::DuplicationCache;
 use crate::placement::PlacementPolicy;
 use crate::scheme::{ReplicaLookup, Scheme};
+use crate::side_cache::DuplicationCache;
 use crate::stats::IcrStats;
 use crate::victim::{CandidateLine, VictimPolicy};
 use icr_ecc::{CheckOutcome, ProtectedWord, Protection};
-use icr_mem::{
-    Addr, BlockAddr, CacheGeometry, DataBlock, LruQueue, MemoryBackend, WriteBuffer,
-};
-use serde::{Deserialize, Serialize};
+use icr_mem::{Addr, BlockAddr, CacheGeometry, DataBlock, LruQueue, MemoryBackend, WriteBuffer};
 
 /// Write policy of the dL1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Write-back, write-allocate (the paper's default for all schemes).
     WriteBack,
@@ -61,7 +58,7 @@ pub enum WritePolicy {
 }
 
 /// Full configuration of the dL1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataL1Config {
     /// Cache shape (paper: 16KB, 4-way, 64-byte blocks).
     pub geometry: CacheGeometry,
@@ -695,8 +692,7 @@ impl DataL1 {
             if replica_word.check_and_correct().data_is_good() {
                 let value = replica_word.data();
                 let protection = self.sets[set].lines[way].words[word].protection();
-                self.sets[set].lines[way].words[word] =
-                    ProtectedWord::encode(value, protection);
+                self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 self.stats.errors_recovered_replica += 1;
@@ -710,8 +706,7 @@ impl DataL1 {
             self.stats.parity_ops += 1;
             if let Some(value) = dup.recover(block, word) {
                 let protection = self.sets[set].lines[way].words[word].protection();
-                self.sets[set].lines[way].words[word] =
-                    ProtectedWord::encode(value, protection);
+                self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 self.stats.errors_recovered_duplicate += 1;
@@ -783,8 +778,7 @@ impl DataL1 {
         self.stats.unrecoverable_loads += 1;
         let bad = self.sets[set].lines[way].words[word].data();
         for (rs, rw) in self.find_replicas(block) {
-            self.sets[rs].lines[rw].words[word] =
-                ProtectedWord::encode(bad, Protection::Parity);
+            self.sets[rs].lines[rw].words[word] = ProtectedWord::encode(bad, Protection::Parity);
         }
         if self.config.oracle {
             if let Some(sh) = self.shadow.get_mut(&block) {
@@ -841,11 +835,8 @@ impl DataL1 {
                         };
                         if !is_replica && !dirty {
                             let (data, _) = backend.read_block(block);
-                            let prot =
-                                self.sets[set].lines[way].words[0].protection();
-                            for (i, w) in
-                                self.sets[set].lines[way].words.iter_mut().enumerate()
-                            {
+                            let prot = self.sets[set].lines[way].words[0].protection();
+                            for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
                                 *w = ProtectedWord::encode(data.word(i), prot);
                             }
                             self.stats.l1_write_ops += 1;
@@ -1484,7 +1475,10 @@ mod tests {
         c.store(a, 1, &mut b);
         let block = g.block_addr(a);
         let (s, w) = c.find_primary(block).unwrap();
-        assert!(!c.line_view(s, w).unwrap().dirty, "write-through stays clean");
+        assert!(
+            !c.line_view(s, w).unwrap().dirty,
+            "write-through stays clean"
+        );
         // The store reached L2: golden copy matches the stored word.
         let wi = g.word_index(a);
         assert_eq!(
@@ -1607,8 +1601,7 @@ mod tests {
             attempts: PlacementPolicy::two_replicas(cfg.geometry).attempts,
             max_replicas: 1,
         };
-        cfg.hints =
-            crate::hints::ReplicationHints::new().replicas(0x1000_0000..0x1000_1000, 2);
+        cfg.hints = crate::hints::ReplicationHints::new().replicas(0x1000_0000..0x1000_1000, 2);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let hinted = Addr(0x1000_0040);
@@ -1748,8 +1741,8 @@ mod tests {
         let a = Addr(0x1000_0000);
         c.load(a, 0, &mut b); // clean fill
         c.store(a, 1, &mut b); // replicate (dirty)
-        // Flush the dirt so recovery can use L2: evict + refill... instead
-        // test the clean case on a separate block replicated via LS.
+                               // Flush the dirt so recovery can use L2: evict + refill... instead
+                               // test the clean case on a separate block replicated via LS.
         let cfg2 = DataL1Config::aggressive(Scheme::icr_p_pp_ls());
         let mut c2 = DataL1::new(cfg2);
         c2.load(a, 0, &mut b); // LS replicates at load miss; line is clean

@@ -8,11 +8,10 @@
 //! replicas, scratch data can opt out entirely. The dL1 consults
 //! [`ReplicationHints::replica_target`] on every replication trigger.
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// What software asks for over one address range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HintAction {
     /// Never replicate blocks in this range (e.g. scratch buffers whose
     /// loss is harmless — replicating them only costs misses).
@@ -22,7 +21,7 @@ pub enum HintAction {
     ReplicaCount(usize),
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct HintRule {
     start: u64,
     end: u64,
@@ -43,7 +42,7 @@ struct HintRule {
 /// assert_eq!(hints.replica_target(0x2800_0040, 1), 2);
 /// assert_eq!(hints.replica_target(0x1000_0000, 1), 1); // unhinted: default
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReplicationHints {
     rules: Vec<HintRule>,
 }

@@ -47,10 +47,10 @@ pub mod stats;
 pub mod victim;
 
 pub use decay::{DecayConfig, DecayState};
-pub use hints::{HintAction, ReplicationHints};
 pub use dl1::{DataL1, DataL1Config, LineView, WritePolicy};
+pub use hints::{HintAction, ReplicationHints};
 pub use placement::PlacementPolicy;
 pub use scheme::{ReplicaLookup, Scheme, Trigger};
 pub use side_cache::DuplicationCache;
-pub use stats::IcrStats;
+pub use stats::{ErrorOutcome, IcrStats, OutcomeTally};
 pub use victim::{CandidateLine, VictimPolicy};

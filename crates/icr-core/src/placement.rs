@@ -3,7 +3,6 @@
 //! should we replicate?").
 
 use icr_mem::{CacheGeometry, SetIndex};
-use serde::{Deserialize, Serialize};
 
 /// Replica-placement policy: an ordered list of set distances to try, and
 /// how many replicas to maintain.
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// * the two-replica variant of Figures 3–4 keeps replica 1 at N/2 and
 ///   replica 2 at N/4;
 /// * `power2` generates the paper's k, k±k/2, … fallback chain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementPolicy {
     /// Set distances to try, in order.
     pub attempts: Vec<isize>,
@@ -143,10 +142,7 @@ mod tests {
     fn horizontal_is_distance_zero() {
         let p = PlacementPolicy::horizontal();
         assert_eq!(p.attempts, vec![0]);
-        assert_eq!(
-            p.candidate_sets(dl1(), SetIndex(5)),
-            vec![SetIndex(5)]
-        );
+        assert_eq!(p.candidate_sets(dl1(), SetIndex(5)), vec![SetIndex(5)]);
     }
 
     #[test]

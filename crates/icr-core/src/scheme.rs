@@ -1,10 +1,9 @@
 //! The ten schemes of §3.2, plus the §5.8/§5.9 comparison variants.
 
 use icr_ecc::Protection;
-use serde::{Deserialize, Serialize};
 
 /// When replication is attempted (§3.1, "When do we replicate?").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trigger {
     /// Replicate on dL1 stores only — the paper's `(S)` variants.
     StoreOnly,
@@ -20,7 +19,7 @@ impl Trigger {
 }
 
 /// How replicas are consulted on loads (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplicaLookup {
     /// `PS`: the primary alone is read (1 cycle, parity); the replica is
     /// consulted only when the primary's parity fails.
@@ -31,7 +30,7 @@ pub enum ReplicaLookup {
 }
 
 /// One of the dL1 protection schemes under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Plain parity-protected dL1, no replication. 1-cycle loads.
     BaseP,
@@ -259,8 +258,14 @@ mod tests {
     fn latency_table_matches_section_3_2() {
         // BaseP loads: 1 cycle. BaseECC loads: 2 (1 speculative).
         assert_eq!(Scheme::BaseP.load_hit_latency(false), 1);
-        assert_eq!(Scheme::BaseEcc { speculative: false }.load_hit_latency(false), 2);
-        assert_eq!(Scheme::BaseEcc { speculative: true }.load_hit_latency(false), 1);
+        assert_eq!(
+            Scheme::BaseEcc { speculative: false }.load_hit_latency(false),
+            2
+        );
+        assert_eq!(
+            Scheme::BaseEcc { speculative: true }.load_hit_latency(false),
+            1
+        );
         // PS schemes: replicated lines are 1-cycle parity.
         assert_eq!(Scheme::icr_p_ps_s().load_hit_latency(true), 1);
         assert_eq!(Scheme::icr_ecc_ps_s().load_hit_latency(true), 1);

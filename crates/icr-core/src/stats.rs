@@ -3,10 +3,9 @@
 //! energy model consumes.
 
 use icr_mem::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Everything the dL1 counts during a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IcrStats {
     /// Base hit/miss counters (primary lookups only).
     pub cache: CacheStats,
@@ -110,6 +109,184 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// How one injected soft error ended, in the taxonomy of the paper's §5.3
+/// recovery discussion. Produced per trial by the Monte-Carlo campaign
+/// engine (`icr-sim`'s `campaign` module) from a single-fault run's
+/// [`IcrStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorOutcome {
+    /// Healed by reading a replica of the struck word (ICR's recovery
+    /// path; dirty data survives).
+    CorrectedByReplica,
+    /// Corrected in place by SEC-DED.
+    CorrectedByEcc,
+    /// Detected on a clean line and healed by refetching the block from
+    /// L2 (available to every scheme, including BaseP).
+    RefetchedFromL2,
+    /// Caught by the PP schemes' primary/replica comparison after every
+    /// per-word check passed.
+    CaughtByCompare,
+    /// Detected but unrecoverable: dirty, unreplicated, parity-only — the
+    /// paper's data-loss case.
+    DetectedUnrecoverable,
+    /// Wrong data consumed with a clean check — silent data corruption
+    /// (requires the oracle shadow to observe).
+    SilentCorruption,
+    /// A fault was injected but never observed by any consumer: the
+    /// struck word was overwritten, evicted clean, or simply never read.
+    Masked,
+    /// The injector's arrival never fired within the simulated window.
+    NotInjected,
+}
+
+impl ErrorOutcome {
+    /// Every variant, in report order.
+    pub const ALL: [ErrorOutcome; 8] = [
+        ErrorOutcome::CorrectedByReplica,
+        ErrorOutcome::CorrectedByEcc,
+        ErrorOutcome::RefetchedFromL2,
+        ErrorOutcome::CaughtByCompare,
+        ErrorOutcome::DetectedUnrecoverable,
+        ErrorOutcome::SilentCorruption,
+        ErrorOutcome::Masked,
+        ErrorOutcome::NotInjected,
+    ];
+
+    /// Stable snake_case name (used as the JSON report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorOutcome::CorrectedByReplica => "corrected_by_replica",
+            ErrorOutcome::CorrectedByEcc => "corrected_by_ecc",
+            ErrorOutcome::RefetchedFromL2 => "refetched_from_l2",
+            ErrorOutcome::CaughtByCompare => "caught_by_compare",
+            ErrorOutcome::DetectedUnrecoverable => "detected_unrecoverable",
+            ErrorOutcome::SilentCorruption => "silent_corruption",
+            ErrorOutcome::Masked => "masked",
+            ErrorOutcome::NotInjected => "not_injected",
+        }
+    }
+
+    /// `true` for outcomes where the consumer got correct data back
+    /// despite the fault (the campaign's "recovered" numerator).
+    pub fn is_recovered(self) -> bool {
+        matches!(
+            self,
+            ErrorOutcome::CorrectedByReplica
+                | ErrorOutcome::CorrectedByEcc
+                | ErrorOutcome::RefetchedFromL2
+                | ErrorOutcome::CaughtByCompare
+        )
+    }
+
+    /// `true` when the fault was actually delivered and its effect (or
+    /// harmlessness) observed — the campaign's denominator for recovery
+    /// fractions excludes [`ErrorOutcome::NotInjected`].
+    pub fn was_injected(self) -> bool {
+        self != ErrorOutcome::NotInjected
+    }
+
+    /// Classifies a **single-fault** run from its final statistics.
+    ///
+    /// With at most one fault delivered (`FaultInjector::with_max_faults(1)`)
+    /// every nonzero error counter is attributable to that fault, so the
+    /// worst observed consequence wins: silent corruption over data loss
+    /// over the recovery paths over masking.
+    pub fn classify_single_fault(faults_injected: u64, stats: &IcrStats) -> ErrorOutcome {
+        if faults_injected == 0 {
+            ErrorOutcome::NotInjected
+        } else if stats.silent_corruptions > 0 {
+            ErrorOutcome::SilentCorruption
+        } else if stats.unrecoverable_loads > 0 {
+            ErrorOutcome::DetectedUnrecoverable
+        } else if stats.errors_recovered_replica > 0 {
+            ErrorOutcome::CorrectedByReplica
+        } else if stats.errors_corrected_ecc > 0 {
+            ErrorOutcome::CorrectedByEcc
+        } else if stats.errors_recovered_l2 > 0 || stats.errors_recovered_duplicate > 0 {
+            ErrorOutcome::RefetchedFromL2
+        } else if stats.errors_caught_by_compare > 0 {
+            ErrorOutcome::CaughtByCompare
+        } else {
+            ErrorOutcome::Masked
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Integer tallies of [`ErrorOutcome`]s for one campaign cell. Plain
+/// commutative sums, so merging per-thread partial tallies yields the
+/// same result for every work distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    counts: [u64; ErrorOutcome::ALL.len()],
+}
+
+impl OutcomeTally {
+    /// Records one trial's outcome.
+    pub fn record(&mut self, outcome: ErrorOutcome) {
+        self.counts[Self::index(outcome)] += 1;
+    }
+
+    /// Trials that ended with `outcome`.
+    pub fn count(&self, outcome: ErrorOutcome) -> u64 {
+        self.counts[Self::index(outcome)]
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Trials whose fault was actually delivered.
+    pub fn injected(&self) -> u64 {
+        self.total() - self.count(ErrorOutcome::NotInjected)
+    }
+
+    /// Delivered trials that ended in a recovery outcome.
+    pub fn recovered(&self) -> u64 {
+        ErrorOutcome::ALL
+            .iter()
+            .filter(|o| o.is_recovered())
+            .map(|&o| self.count(o))
+            .sum()
+    }
+
+    /// Fraction of delivered faults the scheme survived (recovered or
+    /// harmlessly masked — i.e. everything except data loss and silent
+    /// corruption), the campaign's headline per-scheme number.
+    pub fn survived_fraction(&self) -> f64 {
+        let injected = self.injected();
+        let lost = self.count(ErrorOutcome::DetectedUnrecoverable)
+            + self.count(ErrorOutcome::SilentCorruption);
+        ratio(injected - lost, injected)
+    }
+
+    /// Fraction of delivered faults recovered by an active mechanism
+    /// (replica, ECC, L2 refetch, compare).
+    pub fn recovered_fraction(&self) -> f64 {
+        ratio(self.recovered(), self.injected())
+    }
+
+    /// Folds another tally into this one (order-independent).
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    fn index(outcome: ErrorOutcome) -> usize {
+        ErrorOutcome::ALL
+            .iter()
+            .position(|&o| o == outcome)
+            .expect("every outcome is in ALL")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +318,58 @@ mod tests {
         s.cache.read_hits = 50;
         s.read_hits_with_replica = 40;
         assert!((s.loads_with_replica() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_prefers_worst_consequence() {
+        let mut s = IcrStats::default();
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(0, &s),
+            ErrorOutcome::NotInjected
+        );
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::Masked
+        );
+        s.errors_recovered_l2 = 1;
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::RefetchedFromL2
+        );
+        s.errors_recovered_replica = 1;
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::CorrectedByReplica
+        );
+        s.unrecoverable_loads = 1;
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::DetectedUnrecoverable
+        );
+        s.silent_corruptions = 1;
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::SilentCorruption
+        );
+    }
+
+    #[test]
+    fn tally_merges_commutatively() {
+        let mut a = OutcomeTally::default();
+        let mut b = OutcomeTally::default();
+        a.record(ErrorOutcome::CorrectedByReplica);
+        a.record(ErrorOutcome::DetectedUnrecoverable);
+        b.record(ErrorOutcome::CorrectedByEcc);
+        b.record(ErrorOutcome::NotInjected);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 4);
+        assert_eq!(ab.injected(), 3);
+        assert_eq!(ab.recovered(), 2);
+        assert!((ab.recovered_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ab.survived_fraction() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

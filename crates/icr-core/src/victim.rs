@@ -6,10 +6,8 @@
 //! construction. They differ in how they order dead primaries vs existing
 //! replicas.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's four replica-victim policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VictimPolicy {
     /// LRU among dead primary blocks only. Reliability-biased: existing
     /// replicas are never displaced (the paper's §5.1–5.2 setting).

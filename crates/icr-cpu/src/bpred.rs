@@ -36,7 +36,10 @@ impl Bimodal {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Bimodal {
             table: vec![2; entries],
         }
@@ -196,9 +199,15 @@ impl Btb {
     /// Panics unless `ways` divides `entries` and the set count is a power
     /// of two.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries.is_multiple_of(ways), "ways must divide entries");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         Btb {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -316,7 +325,7 @@ mod tests {
     #[test]
     fn btb_evicts_lru_within_a_set() {
         let mut b = Btb::new(8, 2); // 4 sets, 2 ways
-        // Three branches mapping to the same set (stride = 4 sets * 4B).
+                                    // Three branches mapping to the same set (stride = 4 sets * 4B).
         let (a, c, d) = (0x10, 0x10 + 16, 0x10 + 32);
         b.update(a, 1);
         b.update(c, 2);

@@ -1,9 +1,7 @@
 //! Machine configuration — Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Superscalar-core parameters (defaults reproduce Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,

@@ -16,11 +16,10 @@ use crate::config::CpuConfig;
 use crate::fu::{op_latency, FuPool};
 use crate::mem::{DataMemory, InstrMemory};
 use icr_trace::{Inst, OpClass};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Aggregate results of a pipeline run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -203,8 +202,7 @@ impl Pipeline {
                             stats.stores += 1;
                             // The dL1 write (and any ICR replication)
                             // happens at retire.
-                            let lat =
-                                dmem.store(e.inst.mem_addr.expect("store has addr"), cycle);
+                            let lat = dmem.store(e.inst.mem_addr.expect("store has addr"), cycle);
                             if lat > 1 {
                                 commit_blocked_until = cycle + lat - 1;
                             }
@@ -305,10 +303,7 @@ impl Pipeline {
                     }
                     let Some(next) = trace.peek() else { break };
                     if next.op.is_mem() {
-                        let mem_in_flight = ruu
-                            .iter()
-                            .filter(|e| e.inst.op.is_mem())
-                            .count();
+                        let mem_in_flight = ruu.iter().filter(|e| e.inst.op.is_mem()).count();
                         if mem_in_flight >= cfg.lsq_size {
                             break;
                         }
@@ -503,8 +498,7 @@ mod tests {
             stats.cycles
         );
         assert_eq!(
-            stats.load_latency_sum,
-            51,
+            stats.load_latency_sum, 51,
             "first load pays 50, forwarded load pays 1"
         );
     }
@@ -513,14 +507,7 @@ mod tests {
     fn dependent_chain_serialises() {
         // A chain of dependent adds cannot exceed 1 IPC.
         let insts: Vec<_> = (0..1000)
-            .map(|i| {
-                Inst::alu(
-                    0x100 + i * 4,
-                    OpClass::IntAlu,
-                    Reg(1),
-                    [Some(Reg(1)), None],
-                )
-            })
+            .map(|i| Inst::alu(0x100 + i * 4, OpClass::IntAlu, Reg(1), [Some(Reg(1)), None]))
             .collect();
         let mut cpu = Pipeline::new(CpuConfig::default());
         let stats = cpu.run(insts, &mut PerfectMemory, &mut PerfectMemory);

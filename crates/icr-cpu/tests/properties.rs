@@ -2,8 +2,8 @@
 //! instruction stream, the pipeline must commit everything exactly once,
 //! respect its structural limits, and never wedge.
 
-use icr_cpu::{CpuConfig, DirPredictor, FixedLatencyMemory, PerfectMemory, Pipeline};
 use icr_cpu::{Bimodal, Btb, Combined, TwoLevel};
+use icr_cpu::{CpuConfig, DirPredictor, FixedLatencyMemory, PerfectMemory, Pipeline};
 use icr_trace::{Inst, OpClass, Reg};
 use proptest::prelude::*;
 
@@ -18,29 +18,29 @@ fn arb_trace() -> impl Strategy<Value = Vec<Inst>> {
         OpClass::Store,
         OpClass::Branch,
     ]);
-    prop::collection::vec(
-        (op, 0u8..64, 0u8..64, 0u64..256, any::<bool>()),
-        1..200,
+    prop::collection::vec((op, 0u8..64, 0u8..64, 0u64..256, any::<bool>()), 1..200).prop_map(
+        |raw| {
+            let mut pc = 0x1000u64;
+            raw.into_iter()
+                .map(|(op, d, s, blk, taken)| {
+                    let inst = match op {
+                        OpClass::Load => Inst::load(pc, 0x8000 + blk * 8, Reg(d), Some(Reg(s))),
+                        OpClass::Store => Inst::store(pc, 0x8000 + blk * 8, Reg(s), None),
+                        OpClass::Branch => {
+                            Inst::branch(pc, 0x1000 + (blk % 64) * 4, taken, Some(Reg(s)))
+                        }
+                        other => Inst::alu(pc, other, Reg(d), [Some(Reg(s)), None]),
+                    };
+                    pc = if op == OpClass::Branch && taken {
+                        inst.target
+                    } else {
+                        pc + 4
+                    };
+                    inst
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        let mut pc = 0x1000u64;
-        raw.into_iter()
-            .map(|(op, d, s, blk, taken)| {
-                let inst = match op {
-                    OpClass::Load => Inst::load(pc, 0x8000 + blk * 8, Reg(d), Some(Reg(s))),
-                    OpClass::Store => Inst::store(pc, 0x8000 + blk * 8, Reg(s), None),
-                    OpClass::Branch => Inst::branch(pc, 0x1000 + (blk % 64) * 4, taken, Some(Reg(s))),
-                    other => Inst::alu(pc, other, Reg(d), [Some(Reg(s)), None]),
-                };
-                pc = if op == OpClass::Branch && taken {
-                    inst.target
-                } else {
-                    pc + 4
-                };
-                inst
-            })
-            .collect()
-    })
 }
 
 proptest! {

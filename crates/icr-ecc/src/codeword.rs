@@ -7,7 +7,6 @@
 
 use crate::parity::ByteParity;
 use crate::secded::{Decode, SecDed};
-use serde::{Deserialize, Serialize};
 
 /// Which code protects a stored word.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// [`Protection::Parity`], `*-ECC-*` unreplicated lines use
 /// [`Protection::SecDed`]. Replicated lines are always parity-protected
 /// (paper §3.1, "How do we protect replicated cache blocks?").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Protection {
     /// Per-byte even parity: detects single-bit errors, corrects nothing.
     #[default]
@@ -149,9 +148,7 @@ impl ProtectedWord {
                     self.code = StoredCode::SecDed(SecDed::encode(self.data));
                     CheckOutcome::CorrectedSingle
                 }
-                Decode::DoubleError | Decode::MultiError => {
-                    CheckOutcome::DetectedUncorrectable
-                }
+                Decode::DoubleError | Decode::MultiError => CheckOutcome::DetectedUncorrectable,
             },
         }
     }

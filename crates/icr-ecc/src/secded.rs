@@ -240,7 +240,10 @@ mod tests {
             for bit in 0..64 {
                 let corrupted = data ^ (1u64 << bit);
                 match code.decode(corrupted) {
-                    Decode::CorrectedData { bit: b, data: fixed } => {
+                    Decode::CorrectedData {
+                        bit: b,
+                        data: fixed,
+                    } => {
                         assert_eq!(b, bit);
                         assert_eq!(fixed, data);
                     }
@@ -271,11 +274,7 @@ mod tests {
         for a in 0..64 {
             for b in (a + 1)..64 {
                 let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
-                assert_eq!(
-                    code.decode(corrupted),
-                    Decode::DoubleError,
-                    "bits {a},{b}"
-                );
+                assert_eq!(code.decode(corrupted), Decode::DoubleError, "bits {a},{b}");
             }
         }
     }

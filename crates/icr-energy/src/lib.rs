@@ -9,13 +9,11 @@
 //! configurable. Absolute joules are irrelevant — only ratios are reported,
 //! exactly as in the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-access energy coefficients, in arbitrary consistent units.
 ///
 /// Defaults are CACTI-ballpark for the paper's geometries: a 256KB L2
 /// access costs several times a 16KB L1 access.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One L1 line read.
     pub l1_read: f64,
@@ -87,7 +85,7 @@ impl Default for EnergyModel {
 }
 
 /// Raw access counts for one run (the simulator fills this in).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessCounts {
     /// dL1 line reads.
     pub l1_reads: u64,
@@ -103,7 +101,7 @@ pub struct AccessCounts {
 }
 
 /// Energy of one run, decomposed by source.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Energy spent in dL1 array accesses.
     pub l1: f64,
@@ -184,7 +182,10 @@ mod tests {
             ..Default::default()
         });
         assert!(ecc.total() > parity.total());
-        assert!((ecc.total() / parity.total() - 2.0).abs() < 1e-9, "30% vs 15%");
+        assert!(
+            (ecc.total() / parity.total() - 2.0).abs() < 1e-9,
+            "30% vs 15%"
+        );
     }
 
     #[test]

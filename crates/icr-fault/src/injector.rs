@@ -4,10 +4,9 @@ use crate::model::ErrorModel;
 use icr_core::DataL1;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Record of one injected fault (for logging and tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectedFault {
     /// Cycle at which the fault struck.
     pub cycle: u64,
@@ -46,6 +45,7 @@ pub struct FaultInjector {
     p_per_cycle: f64,
     rng: SmallRng,
     injected: u64,
+    max_faults: Option<u64>,
     log: Vec<InjectedFault>,
     keep_log: bool,
 }
@@ -67,9 +67,20 @@ impl FaultInjector {
             p_per_cycle,
             rng: SmallRng::seed_from_u64(seed),
             injected: 0,
+            max_faults: None,
             log: Vec::new(),
             keep_log: false,
         }
+    }
+
+    /// Caps the total number of faults this injector will ever deliver.
+    /// `with_max_faults(1)` is the single-event-upset mode Monte-Carlo
+    /// campaigns use: the first Bernoulli arrival strikes, then the
+    /// injector goes quiet, so every counted outcome is attributable to
+    /// exactly one fault.
+    pub fn with_max_faults(mut self, max: u64) -> Self {
+        self.max_faults = Some(max);
+        self
     }
 
     /// Enables recording of every injected fault (off by default to keep
@@ -98,18 +109,25 @@ impl FaultInjector {
     /// (inclusive), flipping bits per the per-cycle probability. Returns
     /// the number of faults injected.
     pub fn advance(&mut self, dl1: &mut DataL1, from_cycle: u64, to_cycle: u64) -> u64 {
-        if self.p_per_cycle == 0.0 || to_cycle <= from_cycle {
+        if self.p_per_cycle == 0.0 || to_cycle <= from_cycle || self.quiesced() {
             return 0;
         }
         let mut n = 0;
         for cycle in from_cycle..to_cycle {
-            if self.rng.gen::<f64>() < self.p_per_cycle
-                && self.inject_one(dl1, cycle + 1) {
-                    n += 1;
+            if self.rng.gen::<f64>() < self.p_per_cycle && self.inject_one(dl1, cycle + 1) {
+                n += 1;
+                if self.quiesced() {
+                    break;
                 }
+            }
         }
-        self.injected += n;
         n
+    }
+
+    /// `true` once the [`with_max_faults`](Self::with_max_faults) budget
+    /// is exhausted.
+    pub fn quiesced(&self) -> bool {
+        self.max_faults.is_some_and(|m| self.injected >= m)
     }
 
     /// Injects exactly one fault event right now (used by tests and by
@@ -154,6 +172,7 @@ impl FaultInjector {
                 }
             }
         }
+        self.injected += 1;
         true
     }
 
@@ -284,7 +303,10 @@ mod tests {
         let w2 = (f.word + 1) % words;
         // Both struck words differ from the architecturally-correct data.
         let golden = backend.golden_block(view.addr);
-        assert_ne!(dl1.word_data(f.set, f.way, f.word), Some(golden.word(f.word)));
+        assert_ne!(
+            dl1.word_data(f.set, f.way, f.word),
+            Some(golden.word(f.word))
+        );
         assert_ne!(dl1.word_data(f.set, f.way, w2), Some(golden.word(w2)));
         // The first load detects its word's error; the clean-line refetch
         // from L2 heals the *entire* line, including the second word.

@@ -9,6 +9,8 @@
 
 pub mod injector;
 pub mod model;
+pub mod seed;
 
 pub use injector::{FaultInjector, InjectedFault};
 pub use model::ErrorModel;
+pub use seed::trial_seed;

@@ -1,10 +1,8 @@
 //! The four transient-error models of Kim & Somani that the paper
 //! evaluates (§5.5).
 
-use serde::{Deserialize, Serialize};
-
 /// How one fault event manifests in the SRAM array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorModel {
     /// One particle strike flips a single data bit of a random word.
     Direct,

@@ -1,0 +1,64 @@
+//! SplitMix64 per-trial seed derivation for Monte-Carlo campaigns.
+//!
+//! A campaign wants N *independent* trials whose RNG streams are fully
+//! determined by one master seed and the trial's index — never by which
+//! worker thread ran the trial or in what order. SplitMix64 gives exactly
+//! that: the `i`-th output of the stream seeded with `master` is
+//! `mix64(master + (i + 1) · γ)`, a pure function of `(master, i)` with
+//! good avalanche behaviour, so adjacent indices yield statistically
+//! unrelated seeds. The same construction (and constants) back the
+//! workload generator's internal `icr_splitmix`.
+
+/// Weyl-sequence increment γ used by SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64's 64-bit finalizer (Stafford's Mix13 variant).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed for trial `trial_index` of the campaign with `master_seed`.
+///
+/// Bit-identical for a given `(master_seed, trial_index)` pair on every
+/// platform, thread count and execution order — the foundation of the
+/// campaign engine's reproducibility guarantee.
+#[inline]
+pub fn trial_seed(master_seed: u64, trial_index: u64) -> u64 {
+    mix64(master_seed.wrapping_add(trial_index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_function_of_master_and_index() {
+        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
+        assert_ne!(trial_seed(42, 7), trial_seed(42, 8));
+        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+    }
+
+    #[test]
+    fn no_collisions_in_a_large_campaign() {
+        let mut seen: Vec<u64> = (0..100_000).map(|i| trial_seed(42, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100_000, "trial seeds collided");
+    }
+
+    #[test]
+    fn adjacent_indices_decorrelate() {
+        // Avalanche sanity: consecutive trial seeds should differ in
+        // roughly half their bits on average.
+        let mut total = 0u32;
+        const N: u64 = 1_000;
+        for i in 0..N {
+            total += (trial_seed(1, i) ^ trial_seed(1, i + 1)).count_ones();
+        }
+        let avg = total as f64 / N as f64;
+        assert!((24.0..40.0).contains(&avg), "avg bit flips {avg}");
+    }
+}

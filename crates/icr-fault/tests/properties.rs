@@ -1,0 +1,192 @@
+//! Property tests for the fault-injection layer: single-bit strikes must
+//! end the way the paper's §5.3 recovery taxonomy says they do, and the
+//! injector itself must be deterministic enough to anchor the Monte-Carlo
+//! campaign engine.
+
+use icr_core::{DataL1, DataL1Config, Scheme};
+use icr_fault::{trial_seed, ErrorModel, FaultInjector};
+use icr_mem::{Addr, HierarchyConfig, MemoryBackend};
+use proptest::prelude::*;
+
+/// A short mixed load/store workload: (block index, word index, is_store).
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
+    prop::collection::vec((0u8..32, 0u8..8, proptest::any::<bool>()), 8..80)
+}
+
+/// Replays `ops` against a fresh cache of `scheme` and returns it with
+/// its backend.
+fn warmed(scheme: Scheme, ops: &[(u8, u8, bool)]) -> (DataL1, MemoryBackend) {
+    let mut cfg = DataL1Config::paper_default(scheme);
+    cfg.oracle = true;
+    let mut dl1 = DataL1::new(cfg);
+    let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+    for (i, &(block, word, is_store)) in ops.iter().enumerate() {
+        let addr = Addr(0x1000_0000 + block as u64 * 64 + word as u64 * 8);
+        if is_store {
+            dl1.store(addr, i as u64 * 3, &mut backend);
+        } else {
+            dl1.load(addr, i as u64 * 3, &mut backend);
+        }
+    }
+    (dl1, backend)
+}
+
+proptest! {
+    /// A single-bit flip in a *replicated, dirty primary* line is always
+    /// healed from the replica — never consumed silently, never lost.
+    /// This is ICR's headline claim: parity detects, the replica repairs.
+    #[test]
+    fn flip_in_replicated_dirty_primary_recovers_via_replica(
+        ops in arb_ops(),
+        pick in proptest::any::<usize>(),
+        word in 0usize..8,
+        bit in 0u32..64,
+    ) {
+        let (mut dl1, mut backend) = warmed(Scheme::icr_p_ps_s(), &ops);
+        let candidates: Vec<(usize, usize)> = dl1
+            .valid_lines()
+            .into_iter()
+            .filter(|&(s, w)| {
+                dl1.line_view(s, w).is_some_and(|v| {
+                    !v.is_replica && v.dirty && dl1.has_replica(v.addr)
+                })
+            })
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let (s, w) = candidates[pick % candidates.len()];
+        let view = dl1.line_view(s, w).expect("candidate is valid");
+
+        dl1.flip_data_bit(s, w, word, bit);
+        dl1.load(Addr(view.addr.raw() + word as u64 * 8), 10_000_000, &mut backend);
+
+        let st = dl1.stats();
+        prop_assert_eq!(st.silent_corruptions, 0,
+            "replica recovery must never consume corrupt data");
+        prop_assert_eq!(st.unrecoverable_loads, 0,
+            "a replicated line is never the paper's unrecoverable case");
+        prop_assert_eq!(st.errors_detected, 1,
+            "byte parity always flags a single-bit flip");
+        prop_assert_eq!(st.errors_recovered_replica, 1,
+            "dirty data can only come back from the replica");
+    }
+
+    /// A single-bit flip under BaseECC is corrected in place by SEC-DED,
+    /// whatever the line's state.
+    #[test]
+    fn flip_under_base_ecc_is_corrected_in_place(
+        ops in arb_ops(),
+        pick in proptest::any::<usize>(),
+        word in 0usize..8,
+        bit in 0u32..64,
+    ) {
+        let (mut dl1, mut backend) =
+            warmed(Scheme::BaseEcc { speculative: false }, &ops);
+        let lines = dl1.valid_lines();
+        prop_assume!(!lines.is_empty());
+        let (s, w) = lines[pick % lines.len()];
+        let view = dl1.line_view(s, w).expect("valid");
+
+        dl1.flip_data_bit(s, w, word, bit);
+        dl1.load(Addr(view.addr.raw() + word as u64 * 8), 10_000_000, &mut backend);
+
+        let st = dl1.stats();
+        prop_assert_eq!(st.errors_corrected_ecc, 1,
+            "SEC-DED corrects any single-bit data flip");
+        prop_assert_eq!(st.unrecoverable_loads, 0);
+        prop_assert_eq!(st.silent_corruptions, 0);
+    }
+
+    /// A single-bit flip under BaseP (byte parity only) is always
+    /// *detected*; whether it is survivable depends exactly on dirtiness —
+    /// clean lines refetch from L2, dirty lines are the paper's
+    /// unrecoverable case. Either way the corruption is never silent.
+    #[test]
+    fn flip_under_base_parity_is_detected_never_silent(
+        ops in arb_ops(),
+        pick in proptest::any::<usize>(),
+        word in 0usize..8,
+        bit in 0u32..64,
+    ) {
+        let (mut dl1, mut backend) = warmed(Scheme::BaseP, &ops);
+        let lines = dl1.valid_lines();
+        prop_assume!(!lines.is_empty());
+        let (s, w) = lines[pick % lines.len()];
+        let view = dl1.line_view(s, w).expect("valid");
+
+        dl1.flip_data_bit(s, w, word, bit);
+        dl1.load(Addr(view.addr.raw() + word as u64 * 8), 10_000_000, &mut backend);
+
+        let st = dl1.stats();
+        prop_assert_eq!(st.errors_detected, 1,
+            "byte parity always flags a single-bit flip");
+        prop_assert_eq!(st.silent_corruptions, 0);
+        if view.dirty {
+            prop_assert_eq!(st.unrecoverable_loads, 1,
+                "dirty + parity-only + no replica is unrecoverable");
+        } else {
+            prop_assert_eq!(st.errors_recovered_l2, 1,
+                "clean lines refetch from L2");
+            prop_assert_eq!(st.unrecoverable_loads, 0);
+        }
+    }
+
+    /// Splitting `advance` into arbitrary chunks never changes what gets
+    /// injected: the fault stream is a pure function of (seed, cycles,
+    /// cache state), not of how the simulator slices time. The campaign
+    /// engine's determinism rests on this.
+    #[test]
+    fn advance_is_chunking_invariant(
+        ops in arb_ops(),
+        seed in proptest::any::<u64>(),
+        split in 1u64..99,
+    ) {
+        let cycles = 100u64;
+        let (mut a, _) = warmed(Scheme::BaseP, &ops);
+        let (mut b, _) = warmed(Scheme::BaseP, &ops);
+
+        let mut inj_a = FaultInjector::new(ErrorModel::Random, 0.3, seed).with_log();
+        inj_a.advance(&mut a, 0, cycles);
+
+        let mut inj_b = FaultInjector::new(ErrorModel::Random, 0.3, seed).with_log();
+        inj_b.advance(&mut b, 0, split);
+        inj_b.advance(&mut b, split, cycles);
+
+        prop_assert_eq!(inj_a.injected(), inj_b.injected());
+        prop_assert_eq!(inj_a.log(), inj_b.log());
+    }
+
+    /// `with_max_faults` is a hard budget: the injector quiesces exactly
+    /// at the cap, even at probability 1.
+    #[test]
+    fn max_faults_budget_is_respected(
+        ops in arb_ops(),
+        seed in proptest::any::<u64>(),
+        cap in 1u64..5,
+    ) {
+        let (mut dl1, _) = warmed(Scheme::BaseP, &ops);
+        let mut inj = FaultInjector::new(ErrorModel::Direct, 1.0, seed)
+            .with_max_faults(cap);
+        let n = inj.advance(&mut dl1, 0, 1000);
+        prop_assert_eq!(n, cap);
+        prop_assert_eq!(inj.injected(), cap);
+        prop_assert!(inj.quiesced());
+        // Further advances are no-ops.
+        prop_assert_eq!(inj.advance(&mut dl1, 1000, 2000), 0);
+        prop_assert_eq!(inj.injected(), cap);
+    }
+
+    /// Per-trial seed derivation is collision-free in practice: distinct
+    /// trial indices under the same master seed give distinct seeds, and
+    /// the same index always gives the same seed.
+    #[test]
+    fn trial_seeds_are_stable_and_distinct(
+        master in proptest::any::<u64>(),
+        i in 0u64..1_000_000,
+        j in 0u64..1_000_000,
+    ) {
+        prop_assert_eq!(trial_seed(master, i), trial_seed(master, i));
+        if i != j {
+            prop_assert_ne!(trial_seed(master, i), trial_seed(master, j));
+        }
+    }
+}

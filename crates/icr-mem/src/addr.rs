@@ -1,7 +1,6 @@
 //! Addresses and cache geometry: how a byte address splits into
 //! tag / set-index / block-offset for a given cache shape.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte address in the simulated machine.
@@ -9,9 +8,7 @@ use std::fmt;
 /// A newtype keeps byte addresses, block addresses and set indices from
 /// being mixed up in the replication logic, where "set (m+10) mod N"
 /// arithmetic is easy to get wrong.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -35,9 +32,7 @@ impl From<u64> for Addr {
 
 /// The address of a cache *block* (the byte address with the offset bits
 /// cleared). All cache bookkeeping is done at block granularity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {
@@ -54,9 +49,7 @@ impl fmt::Display for BlockAddr {
 }
 
 /// Index of a set within a cache.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SetIndex(pub usize);
 
 /// Shape of a set-associative cache: total size, associativity, block size.
@@ -69,7 +62,7 @@ pub struct SetIndex(pub usize);
 /// assert_eq!(g.num_sets(), 64);
 /// assert_eq!(g.words_per_block(), 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_bytes: usize,
     associativity: usize,

@@ -109,9 +109,7 @@ impl Cache {
     fn find_way(&self, addr: BlockAddr) -> Option<usize> {
         let tag = self.geometry.tag(addr);
         let set = &self.sets[self.set_of(addr).0];
-        set.lines
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
+        set.lines.iter().position(|l| l.valid && l.tag == tag)
     }
 
     /// `true` when the block is resident (no state change, no stats).
@@ -257,7 +255,10 @@ impl Cache {
         line.valid = false;
         Some(Evicted {
             addr: geometry.block_addr_from_parts(line.tag, SetIndex(set_idx)),
-            data: std::mem::replace(&mut line.data, DataBlock::zeroed(geometry.words_per_block())),
+            data: std::mem::replace(
+                &mut line.data,
+                DataBlock::zeroed(geometry.words_per_block()),
+            ),
             dirty: std::mem::take(&mut line.dirty),
         })
     }

@@ -10,10 +10,9 @@ use crate::block::DataBlock;
 use crate::cache::{AccessKind, Cache};
 use crate::memory::MainMemory;
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Shapes and latencies of the memory system (Table 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 instruction cache shape (paper: 16KB, direct-mapped, 32B blocks).
     pub l1i_geometry: CacheGeometry,
@@ -53,10 +52,8 @@ pub struct MemoryBackend {
 impl MemoryBackend {
     /// Builds the backend from a config.
     pub fn new(config: &HierarchyConfig) -> Self {
-        let mut memory = MainMemory::new(
-            config.l2_geometry.words_per_block(),
-            config.memory_latency,
-        );
+        let mut memory =
+            MainMemory::new(config.l2_geometry.words_per_block(), config.memory_latency);
         if let Some(rb) = config.memory_row_buffer {
             memory = memory.with_row_buffer(rb);
         }
@@ -250,7 +247,7 @@ mod tests {
         let mut d = DataBlock::zeroed(8);
         d.set_word(0, 0xCC);
         b.write_block(a, d.clone()); // dirty in L2
-        // Conflict: same set (stride = 128 bytes), evicts `a` to memory.
+                                     // Conflict: same set (stride = 128 bytes), evicts `a` to memory.
         let (_, _) = b.read_block(BlockAddr(128));
         assert_eq!(b.memory_writes(), 1);
         assert_eq!(b.golden_block(a), d);

@@ -14,11 +14,10 @@
 
 use crate::addr::BlockAddr;
 use crate::block::DataBlock;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Open-page DRAM timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowBufferConfig {
     /// Number of banks (power of two).
     pub banks: usize,
@@ -228,7 +227,11 @@ mod tests {
         let mut m = MainMemory::new(8, 100).with_row_buffer(RowBufferConfig::default_2003());
         m.read_block(BlockAddr(0x0000)); // bank 0, row 0
         m.read_block(BlockAddr(0x1000)); // bank 1
-        assert_eq!(m.read_block(BlockAddr(0x0040)).1, 40, "bank 0 row still open");
+        assert_eq!(
+            m.read_block(BlockAddr(0x0040)).1,
+            40,
+            "bank 0 row still open"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Access counters shared by every cache-like component.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss/traffic counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read (load / fetch) lookups.
     pub read_accesses: u64,

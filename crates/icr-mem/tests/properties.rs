@@ -3,8 +3,8 @@
 //! must hold for arbitrary access streams.
 
 use icr_mem::{
-    Addr, AccessKind, BlockAddr, Cache, CacheGeometry, DataBlock, LruQueue, MainMemory,
-    SetIndex, WriteBuffer,
+    AccessKind, Addr, BlockAddr, Cache, CacheGeometry, DataBlock, LruQueue, MainMemory, SetIndex,
+    WriteBuffer,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,278 @@
+//! `icr-campaign` — deterministic parallel Monte-Carlo fault-injection
+//! campaign over a (scheme × app) matrix.
+//!
+//! ```text
+//! icr-campaign [options]
+//!
+//! options:
+//!   --schemes a,b,c   comma-separated schemes       (default basep,baseecc,icr-p-ps-s,icr-ecc-ps-s)
+//!   --apps a,b,c      comma-separated workloads     (default gzip,gcc,mcf)
+//!   --trials N        trials per (scheme × app) cell (default 100)
+//!   --batch N         early-stop check granularity  (default 50)
+//!   --seed S          master seed                   (default 42)
+//!   --insts N         instructions per trial        (default 20000)
+//!   --model M         direct|adjacent|column|random (default random)
+//!   --fault P         per-cycle fault probability   (default auto: 8/insts)
+//!   --ci-width W      stop a cell once its Wilson 95% interval is narrower
+//!   --threads N       worker threads                (default all cores)
+//!   --no-oracle       disable the silent-corruption oracle shadow
+//!   --json FILE       write the JSON report to FILE (default stdout)
+//!   --quiet           suppress progress output
+//! ```
+//!
+//! The JSON report is a pure function of the options: no timestamps, no
+//! host data, bit-identical across runs and thread counts. Progress and
+//! timing go to stderr only.
+
+use icr_core::Scheme;
+use icr_fault::ErrorModel;
+use icr_sim::{run_campaign_observed, CampaignSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    Some(match name {
+        "basep" => Scheme::BaseP,
+        "baseecc" => Scheme::BaseEcc { speculative: false },
+        "baseecc-spec" => Scheme::BaseEcc { speculative: true },
+        "icr-p-ps-s" => Scheme::icr_p_ps_s(),
+        "icr-p-ps-ls" => Scheme::icr_p_ps_ls(),
+        "icr-p-pp-s" => Scheme::icr_p_pp_s(),
+        "icr-p-pp-ls" => Scheme::icr_p_pp_ls(),
+        "icr-ecc-ps-s" => Scheme::icr_ecc_ps_s(),
+        "icr-ecc-ps-ls" => Scheme::icr_ecc_ps_ls(),
+        "icr-ecc-pp-s" => Scheme::icr_ecc_pp_s(),
+        "icr-ecc-pp-ls" => Scheme::icr_ecc_pp_ls(),
+        _ => return None,
+    })
+}
+
+fn parse_model(name: &str) -> Option<ErrorModel> {
+    Some(match name {
+        "direct" => ErrorModel::Direct,
+        "adjacent" => ErrorModel::Adjacent,
+        "column" => ErrorModel::Column,
+        "random" => ErrorModel::Random,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: icr-campaign [--schemes a,b,c] [--apps a,b,c] [--trials N]\n\
+         \x20                   [--batch N] [--seed S] [--insts N] [--model M]\n\
+         \x20                   [--fault P] [--ci-width W] [--threads N]\n\
+         \x20                   [--no-oracle] [--json FILE] [--quiet]\n\
+         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}\n\
+         models:  direct adjacent column random\n\
+         apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut spec = CampaignSpec::new(
+        vec![
+            Scheme::BaseP,
+            Scheme::BaseEcc { speculative: false },
+            Scheme::icr_p_ps_s(),
+            Scheme::icr_ecc_ps_s(),
+        ],
+        vec!["gzip".into(), "gcc".into(), "mcf".into()],
+        100,
+        42,
+    );
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--schemes" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let mut schemes = Vec::new();
+                for name in v.split(',') {
+                    let Some(s) = parse_scheme(name.trim()) else {
+                        eprintln!("unknown scheme {name:?}");
+                        return usage();
+                    };
+                    schemes.push(s);
+                }
+                spec.schemes = schemes;
+            }
+            "--apps" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                spec.apps = v.split(',').map(|a| a.trim().to_string()).collect();
+            }
+            "--trials" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(n) = v.parse() else { return usage() };
+                spec.trials_per_cell = n;
+            }
+            "--batch" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(n) = v.parse() else { return usage() };
+                spec.batch = n;
+            }
+            "--seed" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(n) = v.parse() else { return usage() };
+                spec.master_seed = n;
+            }
+            "--insts" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(n) = v.parse() else { return usage() };
+                spec.instructions = n;
+            }
+            "--model" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Some(m) = parse_model(&v) else {
+                    eprintln!("unknown model {v:?}");
+                    return usage();
+                };
+                spec.model = m;
+            }
+            "--fault" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(p) = v.parse() else { return usage() };
+                spec.p_per_cycle = p;
+            }
+            "--ci-width" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(w) = v.parse() else { return usage() };
+                spec.target_ci_width = Some(w);
+            }
+            "--threads" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                let Ok(n) = v.parse() else { return usage() };
+                spec.threads = n;
+            }
+            "--no-oracle" => spec.oracle = false,
+            "--json" => {
+                let Some(v) = take(&mut i) else {
+                    return usage();
+                };
+                json_path = Some(v);
+            }
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown option {other:?}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    if spec.schemes.is_empty() || spec.apps.is_empty() || spec.trials_per_cell == 0 {
+        return usage();
+    }
+    for app in &spec.apps {
+        if !icr_trace::apps::APP_NAMES.contains(&app.as_str())
+            && !icr_trace::apps::EXTENDED_APP_NAMES.contains(&app.as_str())
+        {
+            eprintln!("unknown app {app:?}");
+            return usage();
+        }
+    }
+
+    let total_trials_max =
+        spec.trials_per_cell * spec.schemes.len() as u64 * spec.apps.len() as u64;
+    if !quiet {
+        eprintln!(
+            "campaign: {} schemes × {} apps × {} trials (≤ {} total), model {}, seed {}, p/cycle {:.2e}",
+            spec.schemes.len(),
+            spec.apps.len(),
+            spec.trials_per_cell,
+            total_trials_max,
+            spec.model.name(),
+            spec.master_seed,
+            spec.effective_p(),
+        );
+    }
+
+    let started = Instant::now();
+    let mut per_cell: std::collections::HashMap<(String, String), u64> = Default::default();
+    let report = run_campaign_observed(&spec, |p| {
+        per_cell.insert((p.scheme.to_string(), p.app.to_string()), p.trials_done);
+        if quiet {
+            return;
+        }
+        let trials_done: u64 = per_cell.values().sum();
+        let secs = started.elapsed().as_secs_f64();
+        eprintln!(
+            "  {:<16} {:<8} {:>5}/{:<5} survived {:.4} [{:.4}, {:.4}]{}  ({:.0} trials/s)",
+            p.scheme,
+            p.app,
+            p.trials_done,
+            p.trials_target,
+            p.survived,
+            p.ci95.0,
+            p.ci95.1,
+            if p.done {
+                if p.stopped_early {
+                    "  ✓ early"
+                } else {
+                    "  ✓"
+                }
+            } else {
+                ""
+            },
+            if secs > 0.0 {
+                trials_done as f64 / secs
+            } else {
+                0.0
+            },
+        );
+    });
+
+    let executed: u64 = report.cells.iter().map(|c| c.trials).sum();
+    let secs = started.elapsed().as_secs_f64();
+    if !quiet {
+        eprintln!(
+            "done: {executed} trials in {secs:.2}s ({:.0} trials/s)\n",
+            executed as f64 / secs.max(1e-9)
+        );
+        eprint!("{}", report.summary_table());
+    }
+
+    let json = report.to_json();
+    match json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !quiet {
+                eprintln!("\nJSON report written to {path}");
+            }
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -81,7 +81,9 @@ fn main() -> ExitCode {
     let mut i = 2;
     macro_rules! val {
         () => {{
-            let Some(v) = args.get(i + 1) else { return usage() };
+            let Some(v) = args.get(i + 1) else {
+                return usage();
+            };
             i += 2;
             v
         }};
@@ -89,19 +91,27 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--insts" => {
-                let Ok(n) = val!().parse() else { return usage() };
+                let Ok(n) = val!().parse() else {
+                    return usage();
+                };
                 instructions = n;
             }
             "--seed" => {
-                let Ok(s) = val!().parse() else { return usage() };
+                let Ok(s) = val!().parse() else {
+                    return usage();
+                };
                 seed = s;
             }
             "--window" => {
-                let Ok(w) = val!().parse() else { return usage() };
+                let Ok(w) = val!().parse() else {
+                    return usage();
+                };
                 dl1.decay = DecayConfig { window: w };
             }
             "--victim" => {
-                let Some(p) = parse_victim(val!()) else { return usage() };
+                let Some(p) = parse_victim(val!()) else {
+                    return usage();
+                };
                 dl1.victim = p;
             }
             "--keep" => {
@@ -109,19 +119,26 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--write-through" => {
-                let Ok(n) = val!().parse() else { return usage() };
+                let Ok(n) = val!().parse() else {
+                    return usage();
+                };
                 dl1.write_policy = WritePolicy::WriteThrough { buffer_entries: n };
             }
             "--fault" => {
-                let Ok(p) = val!().parse() else { return usage() };
+                let Ok(p) = val!().parse() else {
+                    return usage();
+                };
                 fault = Some(FaultConfig {
                     model: ErrorModel::Random,
                     p_per_cycle: p,
                     seed: seed.wrapping_add(1),
+                    max_faults: None,
                 });
             }
             "--scrub" => {
-                let Ok(interval) = val!().parse() else { return usage() };
+                let Ok(interval) = val!().parse() else {
+                    return usage();
+                };
                 scrub = Some(ScrubConfig {
                     interval,
                     lines_per_step: 16,
@@ -136,26 +153,47 @@ fn main() -> ExitCode {
     cfg.scrub = scrub;
     let r = run_sim(&cfg);
 
-    println!("== {} on {} ({} instructions, seed {seed}) ==", r.scheme, r.app, instructions);
+    println!(
+        "== {} on {} ({} instructions, seed {seed}) ==",
+        r.scheme, r.app, instructions
+    );
     println!();
     println!("-- core --");
     println!("cycles               : {}", r.pipeline.cycles);
     println!("IPC                  : {:.3}", r.pipeline.ipc());
-    println!("branch mispredicts   : {} ({:.2}%)", r.pipeline.mispredicts, 100.0 * r.pipeline.mispredict_rate());
-    println!("mean load latency    : {:.2} cycles", r.pipeline.mean_load_latency());
+    println!(
+        "branch mispredicts   : {} ({:.2}%)",
+        r.pipeline.mispredicts,
+        100.0 * r.pipeline.mispredict_rate()
+    );
+    println!(
+        "mean load latency    : {:.2} cycles",
+        r.pipeline.mean_load_latency()
+    );
     println!();
     println!("-- dL1 --");
-    println!("accesses             : {} ({} loads, {} stores)", r.icr.cache.accesses(), r.icr.cache.read_accesses, r.icr.cache.write_accesses);
+    println!(
+        "accesses             : {} ({} loads, {} stores)",
+        r.icr.cache.accesses(),
+        r.icr.cache.read_accesses,
+        r.icr.cache.write_accesses
+    );
     println!("miss rate            : {:.2}%", 100.0 * r.icr.miss_rate());
     println!("writebacks           : {}", r.icr.writebacks);
     println!();
     println!("-- replication --");
     println!("attempts             : {}", r.icr.replication_attempts);
-    println!("ability              : {:.2}%", 100.0 * r.icr.replication_ability());
+    println!(
+        "ability              : {:.2}%",
+        100.0 * r.icr.replication_ability()
+    );
     println!("replicas created     : {}", r.icr.replicas_created);
     println!("replica updates      : {}", r.icr.replica_updates);
     println!("replica evictions    : {}", r.icr.replica_evictions);
-    println!("loads with replica   : {:.2}%", 100.0 * r.icr.loads_with_replica());
+    println!(
+        "loads with replica   : {:.2}%",
+        100.0 * r.icr.loads_with_replica()
+    );
     println!("misses served by repl: {}", r.icr.misses_served_by_replica);
     println!();
     println!("-- reliability --");
@@ -165,17 +203,37 @@ fn main() -> ExitCode {
     println!("healed from replica  : {}", r.icr.errors_recovered_replica);
     println!("refetched from L2    : {}", r.icr.errors_recovered_l2);
     println!("scrub heals          : {}", r.icr.scrub_heals);
-    println!("unrecoverable loads  : {} ({:.4}% of loads)", r.icr.unrecoverable_loads, 100.0 * r.icr.unrecoverable_load_fraction());
-    println!("avg vulnerable words : {:.1} / 2048", r.avg_vulnerable_words);
+    println!(
+        "unrecoverable loads  : {} ({:.4}% of loads)",
+        r.icr.unrecoverable_loads,
+        100.0 * r.icr.unrecoverable_load_fraction()
+    );
+    println!(
+        "avg vulnerable words : {:.1} / 2048",
+        r.avg_vulnerable_words
+    );
     println!();
     println!("-- memory system --");
-    println!("L2 accesses          : {} (miss rate {:.2}%)", r.l2.accesses(), 100.0 * r.l2.miss_rate());
+    println!(
+        "L2 accesses          : {} (miss rate {:.2}%)",
+        r.l2.accesses(),
+        100.0 * r.l2.miss_rate()
+    );
     println!("L1I miss rate        : {:.2}%", 100.0 * r.l1i.miss_rate());
-    println!("memory reads/writes  : {} / {}", r.memory_reads, r.memory_writes);
+    println!(
+        "memory reads/writes  : {} / {}",
+        r.memory_reads, r.memory_writes
+    );
     println!();
     println!("-- energy inputs --");
-    println!("L1 reads/writes      : {} / {}", r.energy_counts.l1_reads, r.energy_counts.l1_writes);
-    println!("parity / ECC ops     : {} / {}", r.energy_counts.parity_ops, r.energy_counts.ecc_ops);
+    println!(
+        "L1 reads/writes      : {} / {}",
+        r.energy_counts.l1_reads, r.energy_counts.l1_writes
+    );
+    println!(
+        "parity / ECC ops     : {} / {}",
+        r.energy_counts.parity_ops, r.energy_counts.ecc_ops
+    );
     println!("L2 accesses (energy) : {}", r.energy_counts.l2_accesses);
     ExitCode::SUCCESS
 }

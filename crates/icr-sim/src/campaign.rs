@@ -1,0 +1,557 @@
+//! Monte-Carlo fault-injection campaign engine (§5.3 recovery analysis at
+//! statistical scale).
+//!
+//! A campaign runs N independent single-event-upset trials for every
+//! (scheme × app) cell: each trial simulates the full machine with the
+//! fault injector capped at one fault, classifies how that fault ended
+//! ([`ErrorOutcome`]) and tallies the outcomes per cell with Wilson 95%
+//! confidence intervals over the survived fraction.
+//!
+//! **Determinism.** Trial `i` of cell `c` draws its injector seed as
+//! `icr_fault::trial_seed(master_seed, c·trials_per_cell + i)` — a pure
+//! SplitMix64 function of the campaign's master seed and the trial's
+//! coordinates. Trials are pure functions of their seed, tallies are
+//! commutative integer sums, and early stopping is only evaluated at
+//! fixed batch boundaries, so a campaign's results are bit-identical
+//! across repeated runs, thread counts and work interleavings.
+//!
+//! **Early stopping.** With a `target_ci_width`, a cell stops as soon as
+//! a completed batch leaves its Wilson interval narrower than the target,
+//! instead of burning the full trial budget. Because the check happens
+//! only between whole batches, the set of executed trials — and hence the
+//! report — is still thread-count independent.
+
+use crate::experiment::parallel_map_with_threads;
+use crate::simulator::{run_sim, FaultConfig, SimConfig};
+use crate::stats::wilson_ci95;
+use icr_core::{DataL1Config, ErrorOutcome, OutcomeTally, Scheme};
+use icr_fault::{trial_seed, ErrorModel};
+
+/// Everything that defines a campaign. The spec is echoed into the JSON
+/// report so a result file is self-describing and replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Cache schemes under test (rows of the matrix).
+    pub schemes: Vec<Scheme>,
+    /// Workloads (columns of the matrix).
+    pub apps: Vec<String>,
+    /// Trial budget per (scheme × app) cell.
+    pub trials_per_cell: u64,
+    /// Trials per early-stopping batch; stopping decisions happen only at
+    /// multiples of this, which keeps them thread-count independent.
+    pub batch: u64,
+    /// Master seed; every trial seed derives from it via SplitMix64.
+    pub master_seed: u64,
+    /// Dynamic instructions per trial.
+    pub instructions: u64,
+    /// Error model for the injected fault.
+    pub model: ErrorModel,
+    /// Per-cycle fault probability; `0.0` selects an automatic rate that
+    /// makes the single fault arrive early in the run with near
+    /// certainty (`8 / instructions`).
+    pub p_per_cycle: f64,
+    /// Stop a cell once the Wilson 95% interval of its survived fraction
+    /// is narrower than this (`None` = always run the full budget).
+    pub target_ci_width: Option<f64>,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Enable the oracle shadow so silent corruption is observable.
+    pub oracle: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over `schemes × apps` with sensible defaults:
+    /// 20k-instruction trials, random error model, auto fault rate,
+    /// batches of 50, no early stopping, all cores, oracle on.
+    pub fn new(
+        schemes: Vec<Scheme>,
+        apps: Vec<String>,
+        trials_per_cell: u64,
+        master_seed: u64,
+    ) -> Self {
+        CampaignSpec {
+            schemes,
+            apps,
+            trials_per_cell,
+            batch: 50,
+            master_seed,
+            instructions: 20_000,
+            model: ErrorModel::Random,
+            p_per_cycle: 0.0,
+            target_ci_width: None,
+            threads: 0,
+            oracle: true,
+        }
+    }
+
+    /// The per-cycle probability actually used.
+    pub fn effective_p(&self) -> f64 {
+        if self.p_per_cycle > 0.0 {
+            self.p_per_cycle
+        } else {
+            (8.0 / self.instructions.max(1) as f64).min(1.0)
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.schemes.is_empty(),
+            "campaign needs at least one scheme"
+        );
+        assert!(!self.apps.is_empty(), "campaign needs at least one app");
+        assert!(
+            self.trials_per_cell > 0,
+            "campaign needs at least one trial"
+        );
+        assert!(self.batch > 0, "batch size must be positive");
+        assert!(self.instructions > 0, "trials need instructions to run");
+    }
+}
+
+/// Final tallies for one (scheme × app) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub app: String,
+    /// Trials actually executed (≤ the budget when stopped early).
+    pub trials: u64,
+    /// `true` when the CI target was reached before the trial budget.
+    pub stopped_early: bool,
+    /// Outcome counts.
+    pub tally: OutcomeTally,
+}
+
+impl CellReport {
+    /// Wilson 95% interval of the survived fraction (recovered or
+    /// harmlessly masked, over delivered faults).
+    pub fn wilson95(&self) -> (f64, f64) {
+        let injected = self.tally.injected();
+        let lost = self.tally.count(ErrorOutcome::DetectedUnrecoverable)
+            + self.tally.count(ErrorOutcome::SilentCorruption);
+        wilson_ci95(injected - lost, injected)
+    }
+}
+
+/// A finished campaign: the spec echo plus one report per cell, in
+/// `schemes × apps` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The spec that produced this report.
+    pub spec: CampaignSpec,
+    /// Per-cell tallies, row-major over (scheme, app).
+    pub cells: Vec<CellReport>,
+}
+
+/// Progress snapshot handed to the observer after every completed batch
+/// round of a cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellProgress<'a> {
+    /// Scheme name of the cell.
+    pub scheme: &'a str,
+    /// App name of the cell.
+    pub app: &'a str,
+    /// Trials completed so far.
+    pub trials_done: u64,
+    /// The cell's trial budget.
+    pub trials_target: u64,
+    /// Survived fraction so far.
+    pub survived: f64,
+    /// Wilson 95% interval of the survived fraction so far.
+    pub ci95: (f64, f64),
+    /// `true` on the cell's final snapshot.
+    pub done: bool,
+    /// `true` when the cell finished before its budget.
+    pub stopped_early: bool,
+}
+
+/// Runs a campaign silently; see [`run_campaign_observed`] for progress.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_observed(spec, |_| {})
+}
+
+/// Runs a campaign, reporting per-cell progress through `observer` after
+/// every batch round. The observer is called from the coordinating
+/// thread, never concurrently.
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    mut observer: impl FnMut(&CellProgress<'_>),
+) -> CampaignReport {
+    spec.validate();
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        spec.threads
+    };
+
+    struct CellState {
+        scheme: Scheme,
+        scheme_name: String,
+        app: String,
+        tally: OutcomeTally,
+        trials_done: u64,
+        stopped_early: bool,
+        active: bool,
+    }
+
+    let mut cells: Vec<CellState> = spec
+        .schemes
+        .iter()
+        .flat_map(|&scheme| {
+            spec.apps.iter().map(move |app| CellState {
+                scheme,
+                scheme_name: scheme.name(),
+                app: app.clone(),
+                tally: OutcomeTally::default(),
+                trials_done: 0,
+                stopped_early: false,
+                active: true,
+            })
+        })
+        .collect();
+
+    // Round loop: every active cell contributes its next batch of trial
+    // indices; the whole round fans out over the worker pool at once so
+    // slow cells cannot starve the machine.
+    while cells.iter().any(|c| c.active) {
+        let mut jobs: Vec<(usize, u64)> = Vec::new();
+        for (ci, cell) in cells.iter().enumerate() {
+            if !cell.active {
+                continue;
+            }
+            let remaining = spec.trials_per_cell - cell.trials_done;
+            for t in 0..spec.batch.min(remaining) {
+                jobs.push((ci, cell.trials_done + t));
+            }
+        }
+
+        let outcomes = parallel_map_with_threads(jobs.clone(), threads, |(ci, trial)| {
+            run_trial(spec, cells[ci].scheme, &cells[ci].app, ci, trial)
+        });
+
+        for ((ci, _), outcome) in jobs.into_iter().zip(outcomes) {
+            cells[ci].tally.record(outcome);
+            cells[ci].trials_done += 1;
+        }
+
+        for cell in cells.iter_mut().filter(|c| c.active) {
+            let injected = cell.tally.injected();
+            let lost = cell.tally.count(ErrorOutcome::DetectedUnrecoverable)
+                + cell.tally.count(ErrorOutcome::SilentCorruption);
+            let ci95 = wilson_ci95(injected - lost, injected);
+            let budget_spent = cell.trials_done >= spec.trials_per_cell;
+            let ci_reached = spec
+                .target_ci_width
+                .is_some_and(|w| injected > 0 && ci95.1 - ci95.0 <= w);
+            if budget_spent || ci_reached {
+                cell.active = false;
+                cell.stopped_early = !budget_spent;
+            }
+            observer(&CellProgress {
+                scheme: &cell.scheme_name,
+                app: &cell.app,
+                trials_done: cell.trials_done,
+                trials_target: spec.trials_per_cell,
+                survived: cell.tally.survived_fraction(),
+                ci95,
+                done: !cell.active,
+                stopped_early: cell.stopped_early,
+            });
+        }
+    }
+
+    CampaignReport {
+        spec: spec.clone(),
+        cells: cells
+            .into_iter()
+            .map(|c| CellReport {
+                scheme: c.scheme,
+                app: c.app,
+                trials: c.trials_done,
+                stopped_early: c.stopped_early,
+                tally: c.tally,
+            })
+            .collect(),
+    }
+}
+
+/// One trial: simulate the machine with a single randomly-timed,
+/// randomly-placed fault and classify the consequence. A pure function
+/// of `(spec, scheme, app, cell_index, trial_index)`.
+fn run_trial(
+    spec: &CampaignSpec,
+    scheme: Scheme,
+    app: &str,
+    cell_index: usize,
+    trial: u64,
+) -> ErrorOutcome {
+    let global_index = cell_index as u64 * spec.trials_per_cell + trial;
+    let fault_seed = trial_seed(spec.master_seed, global_index);
+    let mut dl1 = DataL1Config::paper_default(scheme);
+    dl1.oracle = spec.oracle;
+    let cfg = SimConfig::paper(app, dl1, spec.instructions, spec.master_seed).with_fault(
+        FaultConfig::one_shot(spec.model, spec.effective_p(), fault_seed),
+    );
+    let r = run_sim(&cfg);
+    ErrorOutcome::classify_single_fault(r.faults_injected, &r.icr)
+}
+
+impl CampaignReport {
+    /// The cell for `(scheme, app)`, if the spec contained it.
+    pub fn cell(&self, scheme: Scheme, app: &str) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.app == app)
+    }
+
+    /// Per-scheme tallies merged over all apps, in spec order.
+    pub fn scheme_totals(&self) -> Vec<(Scheme, OutcomeTally)> {
+        self.spec
+            .schemes
+            .iter()
+            .map(|&s| {
+                let mut total = OutcomeTally::default();
+                for c in self.cells.iter().filter(|c| c.scheme == s) {
+                    total.merge(&c.tally);
+                }
+                (s, total)
+            })
+            .collect()
+    }
+
+    /// A human-readable per-scheme summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10} {:>17}\n",
+            "scheme",
+            "trials",
+            "injected",
+            "replica",
+            "ecc",
+            "l2",
+            "lost",
+            "silent",
+            "survived",
+            "wilson95"
+        ));
+        for (scheme, tally) in self.scheme_totals() {
+            let injected = tally.injected();
+            let lost = tally.count(ErrorOutcome::DetectedUnrecoverable)
+                + tally.count(ErrorOutcome::SilentCorruption);
+            let (lo, hi) = wilson_ci95(injected - lost, injected);
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10.4} [{:.4}, {:.4}]\n",
+                scheme.name(),
+                tally.total(),
+                injected,
+                tally.count(ErrorOutcome::CorrectedByReplica),
+                tally.count(ErrorOutcome::CorrectedByEcc),
+                tally.count(ErrorOutcome::RefetchedFromL2),
+                tally.count(ErrorOutcome::DetectedUnrecoverable),
+                tally.count(ErrorOutcome::SilentCorruption),
+                tally.survived_fraction(),
+                lo,
+                hi,
+            ));
+        }
+        out
+    }
+
+    /// The report as JSON. Hand-rolled like `FigureResult::to_json` (the
+    /// workspace deliberately carries no JSON dependency) and free of
+    /// timing or host information, so two runs of the same spec produce
+    /// byte-identical files.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let spec = &self.spec;
+        let schemes = spec
+            .schemes
+            .iter()
+            .map(|s| esc(&s.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let apps = spec
+            .apps
+            .iter()
+            .map(|a| esc(a))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut out = String::new();
+        out.push_str("{\n  \"campaign\": {\n");
+        out.push_str(&format!("    \"master_seed\": {},\n", spec.master_seed));
+        out.push_str(&format!("    \"instructions\": {},\n", spec.instructions));
+        out.push_str(&format!("    \"model\": {},\n", esc(spec.model.name())));
+        out.push_str(&format!(
+            "    \"p_per_cycle\": {},\n",
+            num(spec.effective_p())
+        ));
+        out.push_str(&format!(
+            "    \"trials_per_cell\": {},\n",
+            spec.trials_per_cell
+        ));
+        out.push_str(&format!("    \"batch\": {},\n", spec.batch));
+        out.push_str(&format!(
+            "    \"target_ci_width\": {},\n",
+            spec.target_ci_width.map_or("null".into(), num)
+        ));
+        out.push_str(&format!("    \"oracle\": {},\n", spec.oracle));
+        out.push_str(&format!("    \"schemes\": [{schemes}],\n"));
+        out.push_str(&format!("    \"apps\": [{apps}]\n"));
+        out.push_str("  },\n  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let (lo, hi) = cell.wilson95();
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"scheme\": {},\n",
+                esc(&cell.scheme.name())
+            ));
+            out.push_str(&format!("      \"app\": {},\n", esc(&cell.app)));
+            out.push_str(&format!("      \"trials\": {},\n", cell.trials));
+            out.push_str(&format!(
+                "      \"stopped_early\": {},\n",
+                cell.stopped_early
+            ));
+            out.push_str(&format!("      \"injected\": {},\n", cell.tally.injected()));
+            out.push_str(&format!(
+                "      \"recovered\": {},\n",
+                cell.tally.recovered()
+            ));
+            out.push_str("      \"outcomes\": {");
+            let outcomes = ErrorOutcome::ALL
+                .iter()
+                .map(|&o| format!("\"{}\": {}", o.name(), cell.tally.count(o)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&outcomes);
+            out.push_str("},\n");
+            out.push_str(&format!(
+                "      \"survived_fraction\": {},\n",
+                num(cell.tally.survived_fraction())
+            ));
+            out.push_str(&format!(
+                "      \"recovered_fraction\": {},\n",
+                num(cell.tally.recovered_fraction())
+            ));
+            out.push_str(&format!("      \"wilson95\": [{}, {}]\n", num(lo), num(hi)));
+            out.push_str(if i + 1 < self.cells.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new(
+            vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+            vec!["gzip".into(), "gcc".into()],
+            6,
+            42,
+        );
+        spec.instructions = 3_000;
+        spec.batch = 3;
+        spec
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let spec = tiny_spec();
+        let mut s1 = spec.clone();
+        s1.threads = 1;
+        let mut s4 = spec.clone();
+        s4.threads = 4;
+        let a = run_campaign(&s1);
+        let b = run_campaign(&s4);
+        let c = run_campaign(&s4);
+        assert_eq!(a.cells, b.cells, "1 vs 4 threads diverged");
+        assert_eq!(b.to_json(), c.to_json(), "repeat run diverged");
+    }
+
+    #[test]
+    fn every_cell_runs_its_budget_without_early_stopping() {
+        let report = run_campaign(&tiny_spec());
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 6);
+            assert_eq!(cell.tally.total(), 6);
+            assert!(!cell.stopped_early);
+        }
+    }
+
+    #[test]
+    fn early_stopping_truncates_at_batch_boundaries() {
+        let mut spec = tiny_spec();
+        spec.trials_per_cell = 12;
+        // A huge target width stops every cell at its first batch check.
+        spec.target_ci_width = Some(1.0);
+        let report = run_campaign(&spec);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, spec.batch, "stopped at first batch");
+            assert!(cell.stopped_early);
+        }
+    }
+
+    #[test]
+    fn json_echoes_spec_and_is_parseable_shape() {
+        let mut spec = tiny_spec();
+        spec.trials_per_cell = 2;
+        spec.batch = 2;
+        let json = run_campaign(&spec).to_json();
+        assert!(json.contains("\"master_seed\": 42"));
+        assert!(json.contains("\"corrected_by_replica\""));
+        assert!(json.contains("\"wilson95\""));
+        assert_eq!(
+            json.matches("\"scheme\":").count(),
+            4,
+            "one scheme key per cell"
+        );
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress() {
+        let mut last: std::collections::HashMap<(String, String), u64> = Default::default();
+        let mut calls = 0;
+        run_campaign_observed(&tiny_spec(), |p| {
+            calls += 1;
+            let key = (p.scheme.to_string(), p.app.to_string());
+            let prev = last.insert(key, p.trials_done).unwrap_or(0);
+            assert!(p.trials_done > prev, "progress must advance");
+            assert!(p.trials_done <= p.trials_target);
+        });
+        assert!(calls >= 4, "at least one progress event per cell");
+    }
+}

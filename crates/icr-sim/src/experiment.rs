@@ -12,7 +12,6 @@ use icr_energy::EnergyModel;
 use icr_fault::ErrorModel;
 use icr_mem::CacheGeometry;
 use icr_trace::apps::APP_NAMES;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Common experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -39,31 +38,86 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    let slots: Vec<_> = items.into_iter().map(|t| Some(t)).collect();
-    let slots = std::sync::Mutex::new(slots);
-    let results: Vec<_> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        .unwrap_or(4);
+    parallel_map_with_threads(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (1 = sequential).
+///
+/// Each worker owns a deque seeded with a contiguous chunk of item
+/// indices and pops from its front; a worker whose deque runs dry steals
+/// from the *back* of the fullest remaining deque, so a straggler item
+/// (e.g. one slow scheme × app cell) cannot serialize the tail of the
+/// run. Results are written by item index, which makes the output — and
+/// everything built on top of it — independent of the worker count and
+/// of which thread executed which item.
+pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+        .collect();
+
+    // Pop from the worker's own deque, else steal; `None` only once every
+    // deque is empty (claimed items live outside the deques, so empty
+    // deques mean no work is left to hand out).
+    let next_index = |w: usize| -> Option<usize> {
+        if let Some(i) = queues[w].lock().expect("not poisoned").pop_front() {
+            return Some(i);
+        }
+        loop {
+            let mut victim = None;
+            let mut victim_len = 0;
+            for (v, q) in queues.iter().enumerate() {
+                let len = q.lock().expect("not poisoned").len();
+                if v != w && len > victim_len {
+                    victim_len = len;
+                    victim = Some(v);
                 }
-                let item = slots.lock().expect("not poisoned")[i]
-                    .take()
-                    .expect("each slot taken once");
-                let r = f(item);
-                *results[i].lock().expect("not poisoned") = Some(r);
+            }
+            match victim {
+                None => return None,
+                Some(v) => {
+                    if let Some(i) = queues[v].lock().expect("not poisoned").pop_back() {
+                        return Some(i);
+                    }
+                    // Raced with another thief; rescan.
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, results, f, next_index) = (&slots, &results, &f, &next_index);
+            s.spawn(move || {
+                while let Some(i) = next_index(w) {
+                    let item = slots[i]
+                        .lock()
+                        .expect("not poisoned")
+                        .take()
+                        .expect("each item taken once");
+                    let r = f(item);
+                    *results[i].lock().expect("not poisoned") = Some(r);
+                }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_iter()
         .map(|m| m.into_inner().expect("not poisoned").expect("filled"))
@@ -406,7 +460,10 @@ pub fn fig10(opts: &ExpOptions) -> FigureResult {
         series: vec![
             Series {
                 label: "replication ability".into(),
-                values: results.iter().map(|r| r.icr.replication_ability()).collect(),
+                values: results
+                    .iter()
+                    .map(|r| r.icr.replication_ability())
+                    .collect(),
             },
             Series {
                 label: "loads w/ replica".into(),
@@ -520,10 +577,7 @@ pub fn fig13(opts: &ExpOptions) -> FigureResult {
     xs.push("AVG".into());
     let mut series = Vec::new();
     for (vi, label) in ["window 0", "window 1000"].iter().enumerate() {
-        for (metric_name, f) in [
-            ("ability", true),
-            ("loads w/ replica", false),
-        ] {
+        for (metric_name, f) in [("ability", true), ("loads w/ replica", false)] {
             let mut vals: Vec<f64> = matrix[vi]
                 .iter()
                 .map(|r| {
@@ -580,17 +634,13 @@ pub fn fig14(opts: &ExpOptions) -> FigureResult {
         .flat_map(|s| (0..FIG14_PROBS.len()).map(move |p| (s, p)))
         .collect();
     let results = parallel_map(jobs, |(s, p)| {
-        let cfg = SimConfig::paper(
-            "vortex",
-            schemes[s].1.clone(),
-            opts.instructions,
-            opts.seed,
-        )
-        .with_fault(FaultConfig {
-            model: ErrorModel::Random,
-            p_per_cycle: FIG14_PROBS[p],
-            seed: opts.seed.wrapping_add(p as u64),
-        });
+        let cfg = SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed)
+            .with_fault(FaultConfig {
+                model: ErrorModel::Random,
+                p_per_cycle: FIG14_PROBS[p],
+                seed: opts.seed.wrapping_add(p as u64),
+                max_faults: None,
+            });
         ((s, p), run_sim(&cfg))
     });
     let series = schemes
@@ -616,8 +666,9 @@ pub fn fig14(opts: &ExpOptions) -> FigureResult {
         unit: "% of loads".into(),
         xs: FIG14_PROBS.iter().map(|p| format!("{p:e}")).collect(),
         series,
-        notes: "paper shape: BaseP >> ICR-P-PS(S) > ICR-ECC-PS(S); BaseECC corrects all 1-bit errors"
-            .into(),
+        notes:
+            "paper shape: BaseP >> ICR-P-PS(S) > ICR-ECC-PS(S); BaseECC corrects all 1-bit errors"
+                .into(),
     }
 }
 
@@ -676,7 +727,15 @@ pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
         // Dead-only makes replication ability a direct read-out of how
         // many replication sites each shape offers (§5.7's claim).
         dl1.victim = VictimPolicy::DeadOnly;
-        ((s, a), run_sim(&SimConfig::paper(apps[a], dl1, opts.instructions, opts.seed)))
+        (
+            (s, a),
+            run_sim(&SimConfig::paper(
+                apps[a],
+                dl1,
+                opts.instructions,
+                opts.seed,
+            )),
+        )
     });
     let mut series = Vec::new();
     for (ai, app) in apps.iter().enumerate() {
@@ -721,7 +780,11 @@ pub fn fig16(opts: &ExpOptions) -> FigureResult {
     let mut wt = DataL1Config::paper_default(Scheme::BaseP);
     wt.write_policy = icr_core::WritePolicy::WriteThrough { buffer_entries: 8 };
     let icr = DataL1Config::paper_default(Scheme::icr_p_ps_s());
-    let matrix = run_matrix(&APP_NAMES, &[v("ICR-P-PS (S) wb", icr), v("BaseP wt", wt)], opts);
+    let matrix = run_matrix(
+        &APP_NAMES,
+        &[v("ICR-P-PS (S) wb", icr), v("BaseP wt", wt)],
+        opts,
+    );
     let energy_model = EnergyModel::default();
     let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
     xs.push("AVG".into());
@@ -895,6 +958,7 @@ pub fn error_models(opts: &ExpOptions) -> FigureResult {
                 model: models[m],
                 p_per_cycle: 1e-2,
                 seed: opts.seed,
+                max_faults: None,
             });
         ((s, m), run_sim(&cfg))
     });
@@ -937,9 +1001,8 @@ pub fn error_models(opts: &ExpOptions) -> FigureResult {
 pub fn hints_ablation(opts: &ExpOptions) -> FigureResult {
     use icr_core::ReplicationHints;
     let unhinted = DataL1Config::paper_default(Scheme::icr_p_ps_s());
-    let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
-        v("no hints", unhinted.clone()),
-        {
+    let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> =
+        vec![v("no hints", unhinted.clone()), {
             // Hot-region blocks live at the front of each app's data
             // segment; deny everything past the first 16KB so replication
             // effort focuses on the data that is actually hot.
@@ -948,8 +1011,7 @@ pub fn hints_ablation(opts: &ExpOptions) -> FigureResult {
                 .deny(0x1000_4000..u64::MAX)
                 .replicas(0x1000_0000..0x1000_4000, 1);
             v("hot-only hints", cfg)
-        },
-    ];
+        }];
     let matrix = run_matrix(&APP_NAMES, &variants, opts);
     let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
     xs.push("AVG".into());
@@ -1000,6 +1062,7 @@ pub fn dupcache(opts: &ExpOptions) -> FigureResult {
         model: ErrorModel::Random,
         p_per_cycle: 1e-2,
         seed: opts.seed,
+        max_faults: None,
     };
     let mut variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
         (
@@ -1047,12 +1110,14 @@ pub fn stability(opts: &ExpOptions) -> FigureResult {
     ];
     // (scheme index incl. BaseP at 0, app, seed) jobs.
     let jobs: Vec<(usize, usize, u64)> = (0..=schemes.len())
-        .flat_map(|s| {
-            (0..APP_NAMES.len()).flat_map(move |a| (0..SEEDS).map(move |k| (s, a, k)))
-        })
+        .flat_map(|s| (0..APP_NAMES.len()).flat_map(move |a| (0..SEEDS).map(move |k| (s, a, k))))
         .collect();
     let results = parallel_map(jobs, |(s, a, k)| {
-        let scheme = if s == 0 { Scheme::BaseP } else { schemes[s - 1].1 };
+        let scheme = if s == 0 {
+            Scheme::BaseP
+        } else {
+            schemes[s - 1].1
+        };
         let cfg = SimConfig::paper(
             APP_NAMES[a],
             DataL1Config::paper_default(scheme),
@@ -1112,6 +1177,7 @@ pub fn scrub(opts: &ExpOptions) -> FigureResult {
         model: ErrorModel::Random,
         p_per_cycle: 2e-2,
         seed: opts.seed,
+        max_faults: None,
     };
     let intervals: [Option<u64>; 4] = [None, Some(20_000), Some(4_000), Some(500)];
     let schemes = [
@@ -1248,9 +1314,7 @@ pub fn dram(opts: &ExpOptions) -> FigureResult {
         ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
     ];
     let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
-        .flat_map(|a| {
-            (0..schemes.len()).flat_map(move |s| [false, true].map(move |rb| (a, s, rb)))
-        })
+        .flat_map(|a| (0..schemes.len()).flat_map(move |s| [false, true].map(move |rb| (a, s, rb))))
         .collect();
     let results = parallel_map(jobs, |(a, s, rb)| {
         let mut cfg = SimConfig::paper(
@@ -1284,8 +1348,7 @@ pub fn dram(opts: &ExpOptions) -> FigureResult {
             label: (*label).into(),
             values: (0..apps.len())
                 .flat_map(|a| {
-                    [false, true]
-                        .map(|rb| cycles(a, si, rb) as f64 / cycles(a, 0, rb) as f64)
+                    [false, true].map(|rb| cycles(a, si, rb) as f64 / cycles(a, 0, rb) as f64)
                 })
                 .collect(),
         })
@@ -1348,6 +1411,7 @@ pub fn sdc(opts: &ExpOptions) -> FigureResult {
         model: ErrorModel::Adjacent,
         p_per_cycle: 1e-2,
         seed: opts.seed,
+        max_faults: None,
     };
     let mk = |scheme: Scheme| {
         let mut cfg = DataL1Config::paper_default(scheme);

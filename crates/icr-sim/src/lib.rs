@@ -10,6 +10,9 @@
 //! * [`simulator`] — [`SimConfig`] → [`run_sim`] → [`SimResult`];
 //! * [`experiment`] — `table1`, `fig1` … `fig17`, `sensitivity`,
 //!   `victim_ablation`;
+//! * [`campaign`] — deterministic parallel Monte-Carlo fault-injection
+//!   campaigns ([`CampaignSpec`] → [`run_campaign`] → [`CampaignReport`]),
+//!   exposed by the `icr-campaign` binary;
 //! * [`report`] — [`FigureResult`], a printable series-per-scheme table.
 //!
 //! The `icr-exp` binary exposes all of it from the command line:
@@ -32,12 +35,16 @@
 //! assert_eq!(result.pipeline.committed, 10_000);
 //! ```
 
+pub mod campaign;
 pub mod experiment;
 pub mod report;
 pub mod simulator;
 pub mod stats;
 
+pub use campaign::{
+    run_campaign, run_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
+};
 pub use experiment::ExpOptions;
 pub use report::{FigureResult, Series};
 pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimResult};
-pub use stats::Summary;
+pub use stats::{wilson_ci95, Summary};

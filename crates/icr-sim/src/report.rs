@@ -1,11 +1,10 @@
 //! Structured experiment output: each paper figure/table becomes a
 //! [`FigureResult`] that can be rendered as an aligned text table.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One plotted series: a label and a value per x-position.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label (e.g. a scheme name).
     pub label: String,
@@ -14,7 +13,7 @@ pub struct Series {
 }
 
 /// The regenerated data behind one figure or table of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureResult {
     /// Identifier, e.g. `"fig9"`.
     pub id: String,
@@ -96,17 +95,17 @@ impl FigureResult {
                 "null".into()
             }
         }
-        let xs = self
-            .xs
-            .iter()
-            .map(|x| esc(x))
-            .collect::<Vec<_>>()
-            .join(",");
+        let xs = self.xs.iter().map(|x| esc(x)).collect::<Vec<_>>().join(",");
         let series = self
             .series
             .iter()
             .map(|s| {
-                let vals = s.values.iter().map(|&v| num(v)).collect::<Vec<_>>().join(",");
+                let vals = s
+                    .values
+                    .iter()
+                    .map(|&v| num(v))
+                    .collect::<Vec<_>>()
+                    .join(",");
                 format!("{{\"label\":{},\"values\":[{vals}]}}", esc(&s.label))
             })
             .collect::<Vec<_>>()
@@ -133,9 +132,11 @@ impl FigureResult {
             .flat_map(|s| s.values.iter().copied())
             .filter(|v| v.is_finite())
             .collect();
-        let (min, max) = all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         let span = (max - min).max(f64::MIN_POSITIVE);
         let width = self.series.iter().map(|s| s.label.len()).max().unwrap_or(0);
         let mut out = String::new();
@@ -169,11 +170,7 @@ impl fmt::Display for FigureResult {
             .chain(std::iter::once(4))
             .max()
             .unwrap_or(4);
-        let sw: Vec<usize> = self
-            .series
-            .iter()
-            .map(|s| s.label.len().max(10))
-            .collect();
+        let sw: Vec<usize> = self.series.iter().map(|s| s.label.len().max(10)).collect();
         write!(f, "{:<xw$}", "x")?;
         for (s, w) in self.series.iter().zip(&sw) {
             write!(f, "  {:>w$}", s.label, w = w)?;

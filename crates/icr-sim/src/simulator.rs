@@ -7,12 +7,11 @@ use icr_energy::AccessCounts;
 use icr_fault::{ErrorModel, FaultInjector};
 use icr_mem::{Addr, CacheStats, HierarchyConfig, InstrCache, MemoryBackend};
 use icr_trace::{apps, TraceGenerator};
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Fault-injection settings for a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Which of the four error models strikes.
     pub model: ErrorModel,
@@ -20,11 +19,28 @@ pub struct FaultConfig {
     pub p_per_cycle: f64,
     /// Injector seed.
     pub seed: u64,
+    /// Cap on total faults delivered (`None` = unlimited). Campaigns use
+    /// `Some(1)` so each trial observes exactly one event.
+    pub max_faults: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A single-event-upset configuration: at most one fault, arriving
+    /// per-cycle with probability `p_per_cycle`. This is the trial shape
+    /// the Monte-Carlo campaign engine uses.
+    pub fn one_shot(model: ErrorModel, p_per_cycle: f64, seed: u64) -> Self {
+        FaultConfig {
+            model,
+            p_per_cycle,
+            seed,
+            max_faults: Some(1),
+        }
+    }
 }
 
 /// Background-scrubber settings for a run (extension; see
 /// `DataL1::scrub_step`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScrubConfig {
     /// Cycles between scrub steps.
     pub interval: u64,
@@ -33,7 +49,7 @@ pub struct ScrubConfig {
 }
 
 /// A complete simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Core parameters (Table 1 defaults).
     pub cpu: CpuConfig,
@@ -195,9 +211,13 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         dl1: DataL1::new(config.dl1.clone()),
         icache: InstrCache::new(&config.hierarchy),
         backend: MemoryBackend::new(&config.hierarchy),
-        injector: config
-            .fault
-            .map(|f| FaultInjector::new(f.model, f.p_per_cycle, f.seed)),
+        injector: config.fault.map(|f| {
+            let inj = FaultInjector::new(f.model, f.p_per_cycle, f.seed);
+            match f.max_faults {
+                Some(max) => inj.with_max_faults(max),
+                None => inj,
+            }
+        }),
         fault_horizon: 0,
         scrub: config.scrub,
         next_scrub: config.scrub.map(|s| s.interval).unwrap_or(0),
@@ -329,6 +349,7 @@ mod tests {
             model: ErrorModel::Random,
             p_per_cycle: 0.01,
             seed: 9,
+            max_faults: None,
         });
         let r = run_sim(&cfg);
         assert!(r.faults_injected > 0);
@@ -345,7 +366,10 @@ mod tests {
         assert!(r.energy_counts.l1_reads > 0);
         assert!(r.energy_counts.l1_writes > 0);
         assert!(r.energy_counts.ecc_ops > 0, "unreplicated lines use ECC");
-        assert!(r.energy_counts.parity_ops > 0, "replicated lines use parity");
+        assert!(
+            r.energy_counts.parity_ops > 0,
+            "replicated lines use parity"
+        );
         assert!(r.energy_counts.l2_accesses > 0);
     }
 }

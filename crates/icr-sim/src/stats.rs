@@ -3,10 +3,8 @@
 //! here can be reported as mean ± 95% confidence interval over independent
 //! workload seeds.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean and spread of one metric over independent runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample mean.
     pub mean: f64,
@@ -60,13 +58,41 @@ impl std::fmt::Display for Summary {
     }
 }
 
+/// Wilson score interval for a binomial proportion at 95% confidence.
+///
+/// Unlike the normal (Wald) interval it never leaves `[0, 1]` and stays
+/// honest near 0 and 1 — exactly where fault-injection campaigns live
+/// (recovery fractions close to 1, silent-corruption rates close to 0).
+/// `(0, 1)` for zero trials.
+pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
+    wilson_interval(successes, trials, 1.96)
+}
+
+/// Wilson score interval at critical value `z`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(
+        successes <= trials,
+        "successes {successes} > trials {trials}"
+    );
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 /// Two-sided 95% critical values of Student's t (common small dfs, then
 /// the normal approximation).
 fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY

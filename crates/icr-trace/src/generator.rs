@@ -130,7 +130,12 @@ impl TraceGenerator {
             // branch fraction is 1/(len+1), which is convex in len, so wide
             // jitter would systematically inflate the branch rate (Jensen).
             let lo = mean_len.floor().max(1.0);
-            let len = (lo + if rng.gen::<f64>() < mean_len - lo { 1.0 } else { 0.0 }) as usize;
+            let len = (lo
+                + if rng.gen::<f64>() < mean_len - lo {
+                    1.0
+                } else {
+                    0.0
+                }) as usize;
             // Biased sites are near-deterministic; the rest flip coins near
             // the global taken rate.
             let taken_bias = if rng.gen::<f64>() < profile.branch.predictability {
@@ -198,8 +203,7 @@ impl TraceGenerator {
         // The revisit distance spans the whole FIFO, so some rereads
         // arrive long after the block's primary copy was evicted — the
         // pattern §5.6's surviving replicas turn into cheap fills.
-        if !is_store && !self.recent_stores.is_empty() && self.rng.gen::<f64>() < loc.store_reuse
-        {
+        if !is_store && !self.recent_stores.is_empty() && self.rng.gen::<f64>() < loc.store_reuse {
             // Prefer middle-aged entries: recent enough that a replica
             // created at store time may survive, old enough that the
             // primary has often been evicted already.
@@ -235,8 +239,7 @@ impl TraceGenerator {
                 // surviving replicas act as extra associativity (§5.6).
                 let quarter = (loc.hot_blocks as u64 / 4).max(1);
                 let folded = (i % quarter) + (i / quarter) * 64;
-                let addr = self.profile.data_base + folded * 64
-                    + self.rng.gen_range(0..8u64) * 8;
+                let addr = self.profile.data_base + folded * 64 + self.rng.gen_range(0..8u64) * 8;
                 if is_store {
                     self.push_recent_store(addr & !63);
                 }

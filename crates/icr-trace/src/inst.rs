@@ -1,10 +1,8 @@
 //! The dynamic-instruction record that flows from a workload generator into
 //! the out-of-order timing model.
 
-use serde::{Deserialize, Serialize};
-
 /// Operation class, mirroring the functional-unit classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer ALU operation (1-cycle, 4 units in the paper's machine).
     IntAlu,
@@ -31,7 +29,7 @@ impl OpClass {
 
 /// An architectural register name. The machine has 32 integer + 32 FP
 /// registers; the generator hands out indices `0..64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Reg(pub u8);
 
 /// One dynamic instruction.
@@ -41,7 +39,7 @@ pub struct Reg(pub u8);
 /// model), and its branch outcome (for the predictor) — everything
 /// `sim-outorder` would extract from a real instruction, minus the
 /// semantics the reliability study doesn't need.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Inst {
     /// Fetch address of this instruction.
     pub pc: u64,

@@ -8,12 +8,10 @@
 //! [`crate::generator`] turns a profile plus a seed into a deterministic
 //! instruction stream.
 
-use serde::{Deserialize, Serialize};
-
 /// Fractions of each op class in the dynamic instruction stream.
 ///
 /// Must sum to 1 (checked by [`OpMix::validate`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Loads.
     pub load: f64,
@@ -90,7 +88,7 @@ impl OpMix {
 /// most references, a *warm* region of moderate reuse, and a large *cold*
 /// region that is either streamed (strided) or pointer-chased. Sizes are in
 /// 64-byte blocks; the paper's dL1 holds 256 of them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityProfile {
     /// Hot-region size in blocks.
     pub hot_blocks: usize,
@@ -170,7 +168,7 @@ impl LocalityProfile {
 }
 
 /// Branch behaviour of the synthetic program.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchProfile {
     /// Number of static branch sites (basic blocks) in the program.
     pub sites: usize,
@@ -199,7 +197,7 @@ impl BranchProfile {
 }
 
 /// A complete synthetic-application profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Application name (the SPEC2000 program this profile stands in for).
     pub name: String,

@@ -4,11 +4,10 @@
 //! examples.
 
 use crate::inst::{Inst, OpClass};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Aggregate statistics of a finite instruction stream.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Instructions observed.
     pub instructions: u64,
@@ -137,9 +136,7 @@ mod tests {
     fn footprints_are_ordered_sensibly() {
         let mut footprints = std::collections::HashMap::new();
         for name in APP_NAMES {
-            let s = TraceStats::collect(
-                TraceGenerator::new(apps::profile(name), 1).take(100_000),
-            );
+            let s = TraceStats::collect(TraceGenerator::new(apps::profile(name), 1).take(100_000));
             footprints.insert(name, s.unique_data_blocks);
         }
         let mcf = footprints["mcf"];

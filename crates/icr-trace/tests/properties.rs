@@ -30,7 +30,11 @@ fn arb_profile() -> impl Strategy<Value = AppProfile> {
         ),
     )
         .prop_map(
-            |((load, store, branch), (hot, warm, p_hot, stride, chase, confined, dwell), (sites, taken, pred))| {
+            |(
+                (load, store, branch),
+                (hot, warm, p_hot, stride, chase, confined, dwell),
+                (sites, taken, pred),
+            )| {
                 let rest = 1.0 - load - store - branch;
                 AppProfile {
                     name: "synthetic".into(),

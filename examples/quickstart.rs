@@ -15,7 +15,10 @@ fn main() {
     let seed = 42;
 
     println!("machine: Table 1 of the paper; workload: synthetic {app}");
-    println!("{:<16} {:>10} {:>8} {:>10} {:>14} {:>12}", "scheme", "cycles", "IPC", "miss rate", "loads w/ repl", "norm cycles");
+    println!(
+        "{:<16} {:>10} {:>8} {:>10} {:>14} {:>12}",
+        "scheme", "cycles", "IPC", "miss rate", "loads w/ repl", "norm cycles"
+    );
 
     let schemes = [
         Scheme::BaseP,
@@ -26,12 +29,7 @@ fn main() {
 
     let mut base_cycles = None;
     for scheme in schemes {
-        let cfg = SimConfig::paper(
-            app,
-            DataL1Config::paper_default(scheme),
-            instructions,
-            seed,
-        );
+        let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, seed);
         let r = run_sim(&cfg);
         let base = *base_cycles.get_or_insert(r.pipeline.cycles);
         println!(

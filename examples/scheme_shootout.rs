@@ -23,12 +23,7 @@ fn main() {
         .flat_map(|&s| APP_NAMES.iter().map(move |&a| (s, a)))
         .collect();
     let results = parallel_map(jobs, |(scheme, app)| {
-        let cfg = SimConfig::paper(
-            app,
-            DataL1Config::paper_default(scheme),
-            instructions,
-            42,
-        );
+        let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, 42);
         ((scheme.name(), app), run_sim(&cfg).pipeline.cycles)
     });
     let cycles = |scheme: &str, app: &str| -> u64 {

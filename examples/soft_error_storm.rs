@@ -16,7 +16,10 @@ fn main() {
     let instructions = 100_000;
     let p = 1e-3; // one fault every ~1000 cycles: a storm, deliberately
 
-    println!("workload: {app}; random single-bit fault every ~{:.0} cycles", 1.0 / p);
+    println!(
+        "workload: {app}; random single-bit fault every ~{:.0} cycles",
+        1.0 / p
+    );
     println!();
 
     for scheme in [
@@ -31,17 +34,13 @@ fn main() {
             "model", "injected", "detected", "ECC-fix", "replica", "L2-fetch", "lost loads"
         );
         for model in ErrorModel::all() {
-            let cfg = SimConfig::paper(
-                app,
-                DataL1Config::paper_default(scheme),
-                instructions,
-                7,
-            )
-            .with_fault(FaultConfig {
-                model,
-                p_per_cycle: p,
-                seed: 99,
-            });
+            let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, 7)
+                .with_fault(FaultConfig {
+                    model,
+                    p_per_cycle: p,
+                    seed: 99,
+                    max_faults: None,
+                });
             let r = run_sim(&cfg);
             println!(
                 "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",

@@ -14,7 +14,7 @@
 //! | [`core`] | **the paper's contribution**: the replica-aware data L1 |
 //! | [`fault`] | transient-fault injection (direct/adjacent/column/random) |
 //! | [`energy`] | CACTI-style dynamic-energy accounting |
-//! | [`sim`] | the assembled machine + one runner per table/figure |
+//! | [`sim`] | the assembled machine, one runner per table/figure, and the Monte-Carlo fault-injection campaign engine |
 //!
 //! # Quickstart
 //!

@@ -65,7 +65,11 @@ fn clean_lines_match_golden_state() {
             }
             checked += 1;
         }
-        assert!(checked > 10, "{}: too few clean lines audited", scheme.name());
+        assert!(
+            checked > 10,
+            "{}: too few clean lines audited",
+            scheme.name()
+        );
     }
 }
 
@@ -128,7 +132,9 @@ fn secded_storm_leaves_no_silent_corruption_on_clean_lines() {
     let lines = dl1.valid_lines();
     let mut now = 1_000_000;
     for (s, w) in lines {
-        let Some(view) = dl1.line_view(s, w) else { continue };
+        let Some(view) = dl1.line_view(s, w) else {
+            continue;
+        };
         if view.is_replica {
             continue;
         }
@@ -171,7 +177,8 @@ fn write_through_storm_is_fully_recoverable() {
     drive(&mut dl1, &mut backend, Some(&mut injector), 30_000, 19);
     assert!(dl1.stats().errors_detected > 0, "storm must be noticed");
     assert_eq!(
-        dl1.stats().unrecoverable_loads, 0,
+        dl1.stats().unrecoverable_loads,
+        0,
         "write-through keeps L2 current: nothing is ever lost"
     );
 }

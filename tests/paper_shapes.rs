@@ -10,7 +10,9 @@ const N: u64 = 60_000;
 const SEED: u64 = 42;
 
 fn cycles(app: &str, dl1: DataL1Config) -> u64 {
-    run_sim(&SimConfig::paper(app, dl1, N, SEED)).pipeline.cycles
+    run_sim(&SimConfig::paper(app, dl1, N, SEED))
+        .pipeline
+        .cycles
 }
 
 /// §3.2/§5.2: the latency ordering of the four headline schemes.
@@ -53,8 +55,14 @@ fn ls_trigger_covers_more_loads_than_s() {
             ls.icr.loads_with_replica(),
             s.icr.loads_with_replica()
         );
-        assert!(ls.icr.loads_with_replica() > 0.8, "{app}: LS covers most hits");
-        assert!(s.icr.loads_with_replica() > 0.5, "{app}: S covers most hits");
+        assert!(
+            ls.icr.loads_with_replica() > 0.8,
+            "{app}: LS covers most hits"
+        );
+        assert!(
+            s.icr.loads_with_replica() > 0.5,
+            "{app}: S covers most hits"
+        );
         assert!(
             ls.icr.replication_ability() > s.icr.replication_ability(),
             "{app}: Figure 6 ordering"
@@ -87,6 +95,7 @@ fn error_recovery_ordering_matches_figure_14() {
         model: ErrorModel::Random,
         p_per_cycle: 1e-2,
         seed: 9,
+        max_faults: None,
     };
     let run = |scheme: Scheme| {
         run_sim(
@@ -97,7 +106,10 @@ fn error_recovery_ordering_matches_figure_14() {
     let base_p = run(Scheme::BaseP);
     let icr_p = run(Scheme::icr_p_ps_s());
     let icr_ecc = run(Scheme::icr_ecc_ps_s());
-    assert!(base_p.icr.unrecoverable_loads > 0, "the storm must hurt BaseP");
+    assert!(
+        base_p.icr.unrecoverable_loads > 0,
+        "the storm must hurt BaseP"
+    );
     assert!(
         base_p.icr.unrecoverable_load_fraction() > 3.0 * icr_p.icr.unrecoverable_load_fraction(),
         "replicas must recover most of what BaseP loses ({} vs {})",
@@ -108,7 +120,10 @@ fn error_recovery_ordering_matches_figure_14() {
         icr_ecc.icr.unrecoverable_load_fraction() <= icr_p.icr.unrecoverable_load_fraction(),
         "ECC on unreplicated lines can only help"
     );
-    assert!(icr_p.icr.errors_recovered_replica > 0, "replicas actually used");
+    assert!(
+        icr_p.icr.errors_recovered_replica > 0,
+        "replicas actually used"
+    );
     assert!(icr_ecc.icr.errors_corrected_ecc > 0, "ECC actually used");
 }
 
@@ -149,7 +164,10 @@ fn keep_replicas_mode_helps() {
         keep.keep_replicas_on_evict = true;
         let r_drop = run_sim(&SimConfig::paper(app, drop, N, SEED));
         let r_keep = run_sim(&SimConfig::paper(app, keep, N, SEED));
-        assert!(r_keep.icr.misses_served_by_replica > 0, "{app}: serves happen");
+        assert!(
+            r_keep.icr.misses_served_by_replica > 0,
+            "{app}: serves happen"
+        );
         assert!(
             r_keep.pipeline.cycles <= r_drop.pipeline.cycles,
             "{app}: keeping replicas must not cost cycles ({} vs {})",
@@ -214,6 +232,7 @@ fn runs_are_deterministic() {
         model: ErrorModel::Adjacent,
         p_per_cycle: 1e-3,
         seed: 5,
+        max_faults: None,
     });
     let a = run_sim(&cfg);
     let b = run_sim(&cfg);

@@ -1,0 +1,211 @@
+//! The `proptest!` macro of the vendored proptest stand-in.
+//!
+//! Parses blocks of the form
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+//!
+//!     /// docs…
+//!     #[test]
+//!     fn name(a: u64, b in 0u32..64, c in arb_thing()) { …body… }
+//!     …more fns…
+//! }
+//! ```
+//!
+//! and expands each function into a plain `#[test]` that draws its
+//! arguments from the named strategies (`a: T` is sugar for
+//! `a in any::<T>()`), runs the body for N deterministic cases, and
+//! panics with the generated inputs on the first failure. No shrinking is
+//! performed — the failing inputs are printed verbatim instead.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`): the build
+//! environment is fully offline, so this crate cannot pull dependencies.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro]
+pub fn proptest(input: TokenStream) -> TokenStream {
+    let mut it = input.into_iter().peekable();
+    let mut out = String::new();
+    let mut config: Option<String> = None;
+
+    loop {
+        let mut attrs = String::new();
+        // Gather `#[…]` outer attributes and the optional `#![…]` inner
+        // config attribute.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    let inner =
+                        matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!');
+                    if inner {
+                        it.next();
+                    }
+                    let group = match it.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        other => panic!("proptest!: expected [...] after #, got {other:?}"),
+                    };
+                    if inner {
+                        let text = group.stream().to_string();
+                        let rest = text
+                            .trim()
+                            .strip_prefix("proptest_config")
+                            .unwrap_or_else(|| {
+                                panic!("proptest!: unsupported inner attribute {text:?}")
+                            })
+                            .trim()
+                            .to_string();
+                        // `rest` is the parenthesised config expression.
+                        config = Some(rest);
+                    } else {
+                        attrs.push_str(&format!("#{group}\n"));
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        match it.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "fn" => {
+                it.next();
+            }
+            other => panic!("proptest!: expected `fn`, got {other:?}"),
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("proptest!: expected function name, got {other:?}"),
+        };
+        let params = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("proptest!: expected (params) in `{name}`, got {other:?}"),
+        };
+        let body = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.to_string(),
+            other => panic!("proptest!: expected {{body}} in `{name}`, got {other:?}"),
+        };
+
+        out.push_str(&expand_one(&attrs, config.as_deref(), &name, params, &body));
+    }
+
+    out.parse()
+        .expect("proptest!: generated code failed to parse")
+}
+
+/// One parsed parameter: its binding name and the strategy expression it
+/// draws from.
+struct Param {
+    name: String,
+    strategy: String,
+}
+
+fn parse_params(stream: TokenStream) -> Vec<Param> {
+    // Split on top-level commas (commas inside groups are part of the
+    // strategy expression).
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    params.push(parse_one_param(std::mem::take(&mut current)));
+                }
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        params.push(parse_one_param(current));
+    }
+    params
+}
+
+fn parse_one_param(tokens: Vec<TokenTree>) -> Param {
+    let mut it = tokens.into_iter().peekable();
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("proptest!: expected parameter name, got {other:?}"),
+    };
+    match it.next() {
+        // `name in strategy-expression`
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "in" => Param {
+            name,
+            strategy: join_tokens(it),
+        },
+        // `name: Type` — sugar for `any::<Type>()`
+        Some(TokenTree::Punct(p)) if p.as_char() == ':' => Param {
+            name,
+            strategy: format!("::proptest::any::<{}>()", join_tokens(it)),
+        },
+        other => panic!("proptest!: expected `:` or `in` after parameter name, got {other:?}"),
+    }
+}
+
+fn join_tokens(it: impl Iterator<Item = TokenTree>) -> String {
+    // Round-trip through a TokenStream so multi-char punctuation (`..`,
+    // `::`, `..=`) keeps its joint spacing; a naive space-join would split
+    // `0u64..256` into `0u64 . . 256`.
+    it.collect::<TokenStream>().to_string()
+}
+
+fn expand_one(
+    attrs: &str,
+    config: Option<&str>,
+    name: &str,
+    params: TokenStream,
+    body: &str,
+) -> String {
+    let params = parse_params(params);
+    let mut draws = String::new();
+    let mut inputs_fmt = Vec::new();
+    let mut inputs_args = Vec::new();
+    let mut binds = String::new();
+    for (i, p) in params.iter().enumerate() {
+        draws.push_str(&format!(
+            "let __pt_v{i} = match ::proptest::Strategy::generate(&({strat}), __pt_rng) {{\n\
+             \x20   ::core::option::Option::Some(v) => v,\n\
+             \x20   ::core::option::Option::None => return ::proptest::test_runner::CaseOutcome::Reject,\n\
+             }};\n",
+            strat = p.strategy,
+        ));
+        inputs_fmt.push(format!("{} = {{:?}}", p.name));
+        inputs_args.push(format!("&__pt_v{i}"));
+        binds.push_str(&format!("let {} = __pt_v{i};\n", p.name));
+    }
+    let inputs = if params.is_empty() {
+        "let __pt_inputs = ::std::string::String::from(\"(no inputs)\");\n".to_string()
+    } else {
+        format!(
+            "let __pt_inputs = ::std::format!({:?}, {});\n",
+            inputs_fmt.join(", "),
+            inputs_args.join(", "),
+        )
+    };
+    let config = match config {
+        Some(expr) => format!("::core::option::Option::Some{expr}"),
+        None => "::core::option::Option::None".to_string(),
+    };
+    format!(
+        "{attrs}fn {name}() {{\n\
+         ::proptest::test_runner::run_cases(\n\
+         \x20   concat!(module_path!(), \"::\", stringify!({name})),\n\
+         \x20   {config},\n\
+         \x20   |__pt_rng| {{\n\
+         {draws}{inputs}{binds}\
+         \x20       let __pt_res: ::proptest::TestCaseResult =\n\
+         \x20           (|| -> ::proptest::TestCaseResult {{ {body} ::core::result::Result::Ok(()) }})();\n\
+         \x20       match __pt_res {{\n\
+         \x20           ::core::result::Result::Ok(()) => ::proptest::test_runner::CaseOutcome::Pass,\n\
+         \x20           ::core::result::Result::Err(::proptest::TestCaseError::Reject) =>\n\
+         \x20               ::proptest::test_runner::CaseOutcome::Reject,\n\
+         \x20           ::core::result::Result::Err(::proptest::TestCaseError::Fail(__pt_m)) =>\n\
+         \x20               ::proptest::test_runner::CaseOutcome::Fail(\n\
+         \x20                   ::std::format!(\"{{}}\\n  inputs: {{}}\", __pt_m, __pt_inputs)),\n\
+         \x20       }}\n\
+         \x20   }},\n\
+         );\n\
+         }}\n",
+    )
+}

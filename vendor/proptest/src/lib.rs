@@ -1,0 +1,518 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the real `proptest` cannot be fetched. This vendored
+//! crate re-implements the subset the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (via the companion `proptest-macros` crate),
+//!   including `#![proptest_config(ProptestConfig::with_cases(N))]`,
+//!   `name: Type` and `name in strategy` parameters;
+//! - [`Strategy`] with `prop_map` / `prop_filter` / `prop_filter_map`,
+//!   implemented for integer and `f64` ranges (`a..b`, `a..=b`), tuples up
+//!   to eight elements, [`any`], [`sample::select`] and
+//!   [`collection::vec`];
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` and the [`TestCaseError`] plumbing behind them.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** On failure the generated inputs are printed
+//!   verbatim; re-running is deterministic, so the case is reproducible.
+//! - **Deterministic seeding.** Each test's RNG seed is a hash of its
+//!   fully-qualified name, so runs are bit-identical across machines and
+//!   invocations. `PROPTEST_CASES` still overrides the case count.
+//! - Default case count is 64 (upstream defaults to 256); the simulations
+//!   under test here are heavyweight.
+
+// Let the `::proptest::` paths the macro emits resolve inside this
+// crate's own tests too.
+extern crate self as proptest;
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use proptest_macros::proptest;
+
+/// RNG handed to strategies; deterministic per test.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; draw fresh inputs.
+    Reject,
+    /// A property assertion failed.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only the case count is tunable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs. `generate` returns `None` when the drawn
+/// value fails a filter, which the runner counts as a rejected case.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Always yields the same (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform over a type's whole domain (the `name: Type` parameter form).
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::sample(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rand::Rng::gen_range(rng, self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rand::Rng::gen_range(rng, self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let unit: f64 = rand::Standard::sample(rng);
+        Some(self.start + unit * (self.end - self.start))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        let unit: f64 = rand::Standard::sample(rng);
+        Some(lo + unit * (hi - lo))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone, I: Into<Vec<T>>>(items: I) -> Select<T> {
+        let items = items.into();
+        assert!(!items.is_empty(), "select: empty choice list");
+        Select(items)
+    }
+
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let idx = rand::Rng::gen_range(rng, 0..self.0.len());
+            Some(self.0[idx].clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-min, exclusive-max length bound for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "vec: empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rand::Rng::gen_range(rng, self.size.min..self.size.max_excl);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prop` re-exports
+/// (`prop::sample::select`, `prop::collection::vec`).
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+pub mod test_runner {
+    use super::ProptestConfig;
+    use rand::SeedableRng;
+
+    /// Result of one generated case.
+    pub enum CaseOutcome {
+        Pass,
+        Reject,
+        Fail(String),
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive a property until `cases` draws pass, a draw fails, or the
+    /// reject budget is exhausted. The RNG seed is a hash of the test
+    /// name, so every run of a given test sees the same input sequence.
+    pub fn run_cases(
+        name: &str,
+        config: Option<ProptestConfig>,
+        mut case: impl FnMut(&mut super::TestRng) -> CaseOutcome,
+    ) {
+        let config = config.unwrap_or_default();
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases);
+        let mut rng = super::TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let reject_budget = cases as u64 * 100 + 1_000;
+        while passed < cases {
+            match case(&mut rng) {
+                CaseOutcome::Pass => passed += 1,
+                CaseOutcome::Reject => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        panic!(
+                            "{name}: gave up after {rejected} rejected cases \
+                             ({passed}/{cases} passed)"
+                        );
+                    }
+                }
+                CaseOutcome::Fail(msg) => {
+                    panic!("{name}: property failed after {passed} passing case(s)\n{msg}")
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}\n  both: {:?}",
+                ::std::format!($($fmt)*),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        sample, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let strat = (0u32..10, 5i64..=9, 0.0f64..1.0);
+        for _ in 0..1_000 {
+            let (a, b, c) = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!(a < 10);
+            assert!((5..=9).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_via_none() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let strat = (0u32..10).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v));
+        let mut seen_none = false;
+        for _ in 0..100 {
+            match Strategy::generate(&strat, &mut rng) {
+                Some(v) => assert!(v % 2 == 0),
+                None => seen_none = true,
+            }
+        }
+        assert!(seen_none, "filter never rejected in 100 draws");
+    }
+
+    #[test]
+    fn vec_and_select_compose() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let strat = collection::vec(sample::select(vec!["a", "b", "c"]), 1..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|s| ["a", "b", "c"].contains(s)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a: u8, b in 0u16..100, v in collection::vec(0u8..4, 0..8)) {
+            prop_assert!(b < 100);
+            prop_assert!(v.len() < 8, "len was {}", v.len());
+            prop_assert_eq!(a as u16 + b, b + a as u16);
+            prop_assert_ne!(b, 100, "upper bound is exclusive");
+        }
+
+        #[test]
+        fn macro_assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}
