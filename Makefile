@@ -3,10 +3,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy bench campaign clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench campaign clean
 
-## Full verification: build + all tests + formatting + lints.
-verify: build test fmt-check clippy
+## Full verification: build + all tests + formatting + lints + docs.
+verify: build test fmt-check clippy doc
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -28,6 +28,10 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## API docs must build warnings-clean (broken intra-doc links, etc.).
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
 
 ## Criterion benchmarks (confined to the bench crate).
 bench:

@@ -43,6 +43,7 @@ use crate::stats::IcrStats;
 use crate::victim::{CandidateLine, VictimPolicy};
 use icr_ecc::{CheckOutcome, ProtectedWord, Protection};
 use icr_mem::{Addr, BlockAddr, CacheGeometry, DataBlock, LruQueue, MemoryBackend, WriteBuffer};
+use icr_vuln::{Arrival, ExposureLedger, ExposureWindows, LaunderKind, ProtState, VulnClass};
 
 /// Write policy of the dL1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +222,10 @@ pub struct DataL1 {
     /// are single-cycle and fully pipelined. Buffered stores bypass the
     /// load port.
     port_free_at: u64,
+    /// Analytic vulnerability accounting: per-line protection-state
+    /// residency and per-word consumed (ACE) windows, driven inline
+    /// from every fill/store/replicate/evict/scrub transition.
+    exposure: ExposureLedger,
 }
 
 impl DataL1 {
@@ -260,6 +265,7 @@ impl DataL1 {
             shadow: std::collections::HashMap::new(),
             scrub_cursor: 0,
             port_free_at: 0,
+            exposure: ExposureLedger::new(g.num_sets() * g.associativity(), g.words_per_block()),
         }
     }
 
@@ -286,6 +292,84 @@ impl DataL1 {
     /// The attached Kim–Somani duplication cache, if configured.
     pub fn duplication_cache(&self) -> Option<&DuplicationCache> {
         self.duplication.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Vulnerability-window accounting (icr-vuln)
+    // ------------------------------------------------------------------
+
+    /// The exposure ledger accumulating per-state residency and per-word
+    /// consumed windows for this cache.
+    pub fn exposure(&self) -> &ExposureLedger {
+        &self.exposure
+    }
+
+    /// A snapshot of the accumulated exposure windows extended to `now`
+    /// (typically the end-of-run cycle count).
+    pub fn exposure_windows(&self, now: u64) -> ExposureWindows {
+        self.exposure.windows(now)
+    }
+
+    /// Selects the fault-arrival model the weighted exposure windows
+    /// integrate against (see [`Arrival`]). Must be called before any
+    /// access has been issued.
+    pub fn set_exposure_arrival(&mut self, arrival: Arrival) {
+        self.exposure.set_arrival(arrival);
+    }
+
+    /// The ledger slot of the line at (`set`, `way`).
+    fn line_slot(&self, set: usize, way: usize) -> usize {
+        set * self.config.geometry.associativity() + way
+    }
+
+    /// The [`ProtState`] the valid line at (`set`, `way`) is in.
+    fn exposure_state(&self, set: usize, way: usize) -> ProtState {
+        let l = &self.sets[set].lines[way];
+        debug_assert!(l.valid, "exposure_state of an invalid line");
+        if l.is_replica {
+            ProtState::Replica
+        } else if l.words[0].protection() == Protection::SecDed {
+            ProtState::Ecc
+        } else if self.has_replica(l.addr) {
+            ProtState::Replicated
+        } else if l.dirty {
+            ProtState::DirtyParity
+        } else {
+            ProtState::CleanParity
+        }
+    }
+
+    /// Re-synchronizes the ledger after a dirty/protection/replication
+    /// change on the (valid) line at (`set`, `way`).
+    fn sync_exposure(&mut self, set: usize, way: usize, now: u64) {
+        if self.sets[set].lines[way].valid {
+            let state = self.exposure_state(set, way);
+            let slot = self.line_slot(set, way);
+            self.exposure.set_state(slot, state, now);
+        }
+    }
+
+    /// The class a strike consumed by a load of the primary at (`set`,
+    /// `way`) resolves to — the first rung of the recovery ladder
+    /// available right now (SEC-DED corrects in place; then replica,
+    /// duplication cache and clean-block L2 refetch; a dirty
+    /// unreplicated parity line is lost).
+    fn load_consume_class(&self, set: usize, way: usize) -> VulnClass {
+        let l = &self.sets[set].lines[way];
+        if l.words[0].protection() == Protection::SecDed {
+            VulnClass::ByEcc
+        } else if self.has_replica(l.addr) {
+            VulnClass::ByReplica
+        } else if !l.dirty
+            || self
+                .duplication
+                .as_ref()
+                .is_some_and(|d| d.contains(l.addr))
+        {
+            VulnClass::ByRefetch
+        } else {
+            VulnClass::Unrecoverable
+        }
     }
 
     // ------------------------------------------------------------------
@@ -360,11 +444,18 @@ impl DataL1 {
     /// Number of data words currently *vulnerable* to a single-bit
     /// strike: words in dirty, parity-protected primary lines that have
     /// no replica (and no duplication-cache copy). A fault there is
-    /// detected but unrecoverable — the paper's §3.1 worst case. Sampled
-    /// over time this yields an AVF-style exposure measure: SEC-DED lines
-    /// contribute nothing (single-bit strikes are corrected), replicated
-    /// lines contribute nothing (the replica heals them), clean lines
-    /// contribute nothing (L2 refetch).
+    /// detected but unrecoverable — the paper's §3.1 worst case. SEC-DED
+    /// lines contribute nothing (single-bit strikes are corrected),
+    /// replicated lines contribute nothing (the replica heals them),
+    /// clean lines contribute nothing (L2 refetch).
+    ///
+    /// **Snapshot-only semantics:** this is a point-in-time count; it
+    /// says nothing about how *long* words stay vulnerable. For
+    /// residency-weighted exposure (cycle-integrated, the AVF-style
+    /// measure), use [`DataL1::exposure_windows`] — e.g.
+    /// `exposure_windows(now).avg_words_in(ProtState::DirtyParity)` is
+    /// the exact time average of this count for caches without a
+    /// duplication cache.
     pub fn vulnerable_word_count(&self) -> usize {
         let words = self.config.geometry.words_per_block();
         let mut count = 0;
@@ -449,15 +540,26 @@ impl DataL1 {
 
     /// Re-encodes a primary line under `protection` (on replication-status
     /// change). One code op is charged.
-    fn reprotect_primary(&mut self, set: usize, way: usize, protection: Protection) {
-        if self.sets[set].lines[way].words[0].protection() == protection {
-            return;
+    ///
+    /// The re-encode trusts the stored data bits, so any latent strike
+    /// present now is sealed in place under clean check bits: the next
+    /// load of such a word consumes wrong data undetected. The ledger
+    /// marks an in-place laundering boundary on the open word windows
+    /// ([`LaunderKind::InPlace`]). The ledger's state is re-synced even
+    /// when the code is unchanged, because the caller's
+    /// replication-status change alone moves the line between
+    /// `Replicated` and the unreplicated states.
+    fn reprotect_primary(&mut self, set: usize, way: usize, protection: Protection, now: u64) {
+        if self.sets[set].lines[way].words[0].protection() != protection {
+            let slot = self.line_slot(set, way);
+            self.exposure.launder_line(slot, now, LaunderKind::InPlace);
+            for w in &mut self.sets[set].lines[way].words {
+                w.reprotect(protection);
+            }
+            self.stats.l1_write_ops += 1;
+            self.count_code_op(protection);
         }
-        for w in &mut self.sets[set].lines[way].words {
-            w.reprotect(protection);
-        }
-        self.stats.l1_write_ops += 1;
-        self.count_code_op(protection);
+        self.sync_exposure(set, way, now);
     }
 
     // ------------------------------------------------------------------
@@ -466,7 +568,7 @@ impl DataL1 {
 
     /// Evicts the line at (`set`, `way`) if valid: writes back dirty
     /// primaries, and handles that primary's replicas per config.
-    fn evict_line(&mut self, set: usize, way: usize, backend: &mut MemoryBackend) {
+    fn evict_line(&mut self, set: usize, way: usize, now: u64, backend: &mut MemoryBackend) {
         let (valid, is_replica, dirty, addr, data) = {
             let l = &self.sets[set].lines[way];
             (l.valid, l.is_replica, l.dirty, l.addr, l.plain_data())
@@ -475,6 +577,8 @@ impl DataL1 {
             return;
         }
         self.sets[set].lines[way].valid = false;
+        let slot = self.line_slot(set, way);
+        self.exposure.end_line(slot, now);
         if is_replica {
             self.stats.replica_evictions += 1;
             // If that was the block's last replica and its primary is
@@ -482,7 +586,7 @@ impl DataL1 {
             if !self.has_replica(addr) {
                 if let Some((ps, pw)) = self.find_primary(addr) {
                     let prot = self.unreplicated_protection();
-                    self.reprotect_primary(ps, pw, prot);
+                    self.reprotect_primary(ps, pw, prot, now);
                 }
             }
         } else {
@@ -496,6 +600,8 @@ impl DataL1 {
             if !self.config.keep_replicas_on_evict {
                 for (rs, rw) in self.find_replicas(addr) {
                     self.sets[rs].lines[rw].valid = false;
+                    let rslot = self.line_slot(rs, rw);
+                    self.exposure.end_line(rslot, now);
                     self.stats.replica_evictions += 1;
                 }
             }
@@ -523,7 +629,7 @@ impl DataL1 {
             Some(w) => w,
             None => self.sets[s].lru.victim(),
         };
-        self.evict_line(s, way, backend);
+        self.evict_line(s, way, now, backend);
         // Protection depends on whether replicas survived a previous
         // eviction (keep-replicas mode).
         let protection = if self.has_replica(block) {
@@ -543,6 +649,9 @@ impl DataL1 {
             }
         }
         self.sets[s].lru.touch(way);
+        let state = self.exposure_state(s, way);
+        let slot = self.line_slot(s, way);
+        self.exposure.begin_line(slot, state, now);
         self.stats.cache.fills += 1;
         self.stats.l1_write_ops += 1;
         self.count_code_op(protection);
@@ -624,7 +733,7 @@ impl DataL1 {
                 continue;
             }
             if let Some(way) = self.choose_replica_victim(target.0, block, now) {
-                self.evict_line(target.0, way, backend);
+                self.evict_line(target.0, way, now, backend);
                 let data = self.sets[ps].lines[pw].plain_data();
                 {
                     let line = &mut self.sets[target.0].lines[way];
@@ -638,6 +747,8 @@ impl DataL1 {
                     }
                 }
                 self.sets[target.0].lru.touch(way);
+                let rslot = self.line_slot(target.0, way);
+                self.exposure.begin_line(rslot, ProtState::Replica, now);
                 self.stats.replicas_created += 1;
                 self.stats.l1_write_ops += 1;
                 self.stats.parity_ops += 1;
@@ -645,8 +756,16 @@ impl DataL1 {
             }
         }
         // A block that just gained its first replica switches to parity.
+        // Its stored data was trusted when *copied* into the replica: a
+        // latent strike is still detected at the next load (the primary
+        // keeps its stale check bits) but recovery returns the laundered
+        // copy — mark a copy-laundering boundary on the primary's open
+        // word windows. For ECC-unreplicated schemes the reprotect that
+        // follows re-encodes in place and upgrades the mark.
         if had_none && count > 0 {
-            self.reprotect_primary(ps, pw, Protection::Parity);
+            let pslot = self.line_slot(ps, pw);
+            self.exposure.launder_line(pslot, now, LaunderKind::Copy);
+            self.reprotect_primary(ps, pw, Protection::Parity, now);
         }
         self.stats.replication_attempts += 1;
         let created_now = count - count_before;
@@ -670,8 +789,10 @@ impl DataL1 {
         way: usize,
         word: usize,
         block: BlockAddr,
+        now: u64,
         backend: &mut MemoryBackend,
     ) -> u64 {
+        let slot = self.line_slot(set, way);
         let sequential = matches!(
             self.config.scheme,
             Scheme::Icr {
@@ -693,6 +814,7 @@ impl DataL1 {
                 let value = replica_word.data();
                 let protection = self.sets[set].lines[way].words[word].protection();
                 self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
+                self.exposure.refresh_word(slot, word, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 self.stats.errors_recovered_replica += 1;
@@ -707,6 +829,7 @@ impl DataL1 {
             if let Some(value) = dup.recover(block, word) {
                 let protection = self.sets[set].lines[way].words[word].protection();
                 self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
+                self.exposure.refresh_word(slot, word, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 self.stats.errors_recovered_duplicate += 1;
@@ -720,6 +843,7 @@ impl DataL1 {
             for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
                 *w = ProtectedWord::encode(data.word(i), protection);
             }
+            self.exposure.refresh_line(slot, now);
             self.stats.l1_write_ops += 1;
             self.count_code_op(protection);
             self.stats.errors_recovered_l2 += 1;
@@ -733,6 +857,7 @@ impl DataL1 {
         let protection = self.sets[set].lines[way].words[word].protection();
         let bad = self.sets[set].lines[way].words[word].data();
         self.sets[set].lines[way].words[word] = ProtectedWord::encode(bad, protection);
+        self.exposure.refresh_word(slot, word, now);
         // The corruption has been *acknowledged*; fold it into the oracle
         // so later loads of this word are not double-counted as silent.
         if self.config.oracle {
@@ -753,20 +878,25 @@ impl DataL1 {
         way: usize,
         word: usize,
         block: BlockAddr,
+        now: u64,
         backend: &mut MemoryBackend,
     ) -> u64 {
+        let slot = self.line_slot(set, way);
         if !self.sets[set].lines[way].dirty {
             let (data, l2_lat) = backend.read_block(block);
             let protection = self.sets[set].lines[way].words[0].protection();
             for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
                 *w = ProtectedWord::encode(data.word(i), protection);
             }
+            self.exposure.refresh_line(slot, now);
             // Refresh the replica from the restored primary too.
             for (rs, rw) in self.find_replicas(block) {
                 for i in 0..data.len() {
                     self.sets[rs].lines[rw].words[i] =
                         ProtectedWord::encode(data.word(i), Protection::Parity);
                 }
+                let rslot = self.line_slot(rs, rw);
+                self.exposure.refresh_line(rslot, now);
             }
             self.stats.l1_write_ops += 1;
             self.count_code_op(protection);
@@ -777,8 +907,11 @@ impl DataL1 {
         // the primary so the mismatch is not re-detected forever.
         self.stats.unrecoverable_loads += 1;
         let bad = self.sets[set].lines[way].words[word].data();
+        self.exposure.refresh_word(slot, word, now);
         for (rs, rw) in self.find_replicas(block) {
             self.sets[rs].lines[rw].words[word] = ProtectedWord::encode(bad, Protection::Parity);
+            let rslot = self.line_slot(rs, rw);
+            self.exposure.refresh_word(rslot, word, now);
         }
         if self.config.oracle {
             if let Some(sh) = self.shadow.get_mut(&block) {
@@ -801,7 +934,12 @@ impl DataL1 {
     /// strikes can accumulate into an uncorrectable double-bit error —
     /// the classic memory-scrubbing argument (Saleh et al.), offered here
     /// as an extension experiment (`icr-exp scrub`).
-    pub fn scrub_step(&mut self, lines: usize, backend: &mut MemoryBackend) -> (u64, u64) {
+    pub fn scrub_step(
+        &mut self,
+        lines: usize,
+        now: u64,
+        backend: &mut MemoryBackend,
+    ) -> (u64, u64) {
         let g = self.config.geometry;
         let total = g.num_sets() * g.associativity();
         let words = g.words_per_block();
@@ -815,10 +953,30 @@ impl DataL1 {
                 continue;
             }
             self.stats.l1_read_ops += 1;
+            let slot = self.line_slot(set, way);
+            let (scrub_is_replica, scrub_dirty) = {
+                let l = &self.sets[set].lines[way];
+                (l.is_replica, l.dirty)
+            };
             for word in 0..words {
                 checked += 1;
                 let protection = self.sets[set].lines[way].words[word].protection();
                 self.count_code_op(protection);
+                // Exposure: the scrubber observes this word. A strike in
+                // the open window would be corrected (SEC-DED), healed
+                // from L2 (clean primary — scrub refetches rather than
+                // consulting replicas), or dropped with the replica
+                // (masked). Dirty parity primaries stay open: scrub
+                // cannot heal them, so the next load still decides.
+                if scrub_is_replica {
+                    self.exposure.refresh_word(slot, word, now);
+                } else if protection == Protection::SecDed {
+                    self.exposure
+                        .consume_word(slot, word, VulnClass::ByEcc, now);
+                } else if !scrub_dirty {
+                    self.exposure
+                        .consume_word(slot, word, VulnClass::ByRefetch, now);
+                }
                 match self.sets[set].lines[way].words[word].check_and_correct() {
                     CheckOutcome::Clean => {}
                     CheckOutcome::CorrectedSingle => {
@@ -839,6 +997,7 @@ impl DataL1 {
                             for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
                                 *w = ProtectedWord::encode(data.word(i), prot);
                             }
+                            self.exposure.refresh_line(slot, now);
                             self.stats.l1_write_ops += 1;
                             self.count_code_op(prot);
                             self.stats.errors_recovered_l2 += 1;
@@ -848,12 +1007,13 @@ impl DataL1 {
                             // A corrupt replica is simply dropped; the
                             // primary is the copy of record.
                             self.sets[set].lines[way].valid = false;
+                            self.exposure.end_line(slot, now);
                             self.stats.replica_evictions += 1;
                             let addr = block;
                             if !self.has_replica(addr) {
                                 if let Some((ps, pw)) = self.find_primary(addr) {
                                     let p = self.unreplicated_protection();
-                                    self.reprotect_primary(ps, pw, p);
+                                    self.reprotect_primary(ps, pw, p, now);
                                 }
                             }
                             self.stats.scrub_heals += 1;
@@ -893,9 +1053,14 @@ impl DataL1 {
             }
             self.sets[s].lru.touch(w);
             self.sets[s].lines[w].decay.touch(now);
-            // The check performed on the accessed word.
+            // The check performed on the accessed word: it consumes the
+            // word's open exposure window. A strike anywhere in it would
+            // resolve via the recovery ladder available right now.
             let line_protection = self.sets[s].lines[w].words[word].protection();
             self.count_code_op(line_protection);
+            let class = self.load_consume_class(s, w);
+            let slot = self.line_slot(s, w);
+            self.exposure.consume_word(slot, word, class, now);
             // Parallel lookup reads the replica on every access.
             if has_replica
                 && matches!(
@@ -908,6 +1073,17 @@ impl DataL1 {
             {
                 self.stats.l1_read_ops += 1;
                 self.stats.parity_ops += 1;
+                // The compare observes the replica word too. A strike on
+                // it trips the compare, and with only two copies the
+                // line refetches when clean and is lost when dirty.
+                let (rs, rw) = self.find_replicas(block)[0];
+                let rclass = if self.sets[s].lines[w].dirty {
+                    VulnClass::Unrecoverable
+                } else {
+                    VulnClass::ByRefetch
+                };
+                let rslot = self.line_slot(rs, rw);
+                self.exposure.consume_word(rslot, word, rclass, now);
             }
             let base = self.config.scheme.load_hit_latency(has_replica);
             let mut error_handled = false;
@@ -933,7 +1109,7 @@ impl DataL1 {
                             self.stats.errors_detected += 1;
                             self.stats.errors_caught_by_compare += 1;
                             error_handled = true;
-                            base + self.resolve_compare_mismatch(s, w, word, block, backend)
+                            base + self.resolve_compare_mismatch(s, w, word, block, now, backend)
                         } else {
                             base
                         }
@@ -950,7 +1126,7 @@ impl DataL1 {
                 CheckOutcome::DetectedUncorrectable => {
                     self.stats.errors_detected += 1;
                     error_handled = true;
-                    base + self.recover_load_error(s, w, word, block, backend)
+                    base + self.recover_load_error(s, w, word, block, now, backend)
                 }
             };
             // Oracle: a load that passed every check but returns data
@@ -980,6 +1156,11 @@ impl DataL1 {
                     self.sets[rs].lru.touch(rw);
                     self.sets[rs].lines[rw].decay.touch(now);
                     let data = self.sets[rs].lines[rw].plain_data();
+                    // The replica's stored bits are trusted into the new
+                    // primary (and the oracle's shadow), so its open word
+                    // windows end here unconsumed.
+                    let rslot = self.line_slot(rs, rw);
+                    self.exposure.refresh_line(rslot, now);
                     self.fill_primary(block, &data, false, now, backend);
                     let trigger_on_miss = self
                         .config
@@ -1045,6 +1226,9 @@ impl DataL1 {
                 self.sets[s].lines[w].dirty = !write_through;
                 self.sets[s].lines[w].decay.touch(now);
                 self.sets[s].lru.touch(w);
+                let slot = self.line_slot(s, w);
+                self.exposure.refresh_word(slot, word, now);
+                self.sync_exposure(s, w, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 if self.config.oracle {
@@ -1068,6 +1252,9 @@ impl DataL1 {
                 let protection = self.sets[s].lines[w].words[word].protection();
                 self.sets[s].lines[w].words[word] = ProtectedWord::encode(value, protection);
                 self.sets[s].lines[w].dirty = true;
+                let slot = self.line_slot(s, w);
+                self.exposure.refresh_word(slot, word, now);
+                self.sync_exposure(s, w, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
                 if self.config.oracle {
@@ -1095,6 +1282,8 @@ impl DataL1 {
                     ProtectedWord::encode(value, Protection::Parity);
                 self.sets[rs].lines[rw].decay.touch(now);
                 self.sets[rs].lru.touch(rw);
+                let rslot = self.line_slot(rs, rw);
+                self.exposure.refresh_word(rslot, word, now);
                 self.stats.replica_updates += 1;
                 self.stats.l1_write_ops += 1;
                 self.stats.parity_ops += 1;
@@ -1673,7 +1862,7 @@ mod tests {
         c.flip_data_bit(ps, pw, 3, 11);
         // A full sweep visits every line.
         let lines = g.num_sets() * g.associativity();
-        let (checked, healed) = c.scrub_step(lines, &mut b);
+        let (checked, healed) = c.scrub_step(lines, 0, &mut b);
         assert!(checked > 0);
         assert_eq!(healed, 1);
         assert_eq!(c.stats().scrub_heals, 1);
@@ -1701,7 +1890,7 @@ mod tests {
         let (rs, rw) = reps[0];
         c.flip_data_bit(rs, rw, 0, 9);
         let lines = g.num_sets() * g.associativity();
-        let (_, healed) = c.scrub_step(lines, &mut b);
+        let (_, healed) = c.scrub_step(lines, 0, &mut b);
         assert_eq!(healed, 2);
         assert_eq!(c.stats().errors_recovered_l2, 1);
         assert!(!c.has_replica(g.block_addr(st)), "bad replica dropped");

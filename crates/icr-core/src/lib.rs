@@ -54,3 +54,8 @@ pub use scheme::{ReplicaLookup, Scheme, Trigger};
 pub use side_cache::DuplicationCache;
 pub use stats::{ErrorOutcome, IcrStats, OutcomeTally};
 pub use victim::{CandidateLine, VictimPolicy};
+// Vulnerability-window accounting vocabulary (the ledger lives in
+// `icr-vuln`; the dL1 drives it inline).
+pub use icr_vuln::{
+    Arrival, ExposureLedger, ExposureWindows, LaunderKind, ProtState, VulnClass, VulnModel,
+};

@@ -166,6 +166,26 @@ impl ErrorOutcome {
         }
     }
 
+    /// Maps an analytic consumed-window class (`icr-vuln`) onto this
+    /// Monte-Carlo outcome taxonomy, so the single-pass vulnerability
+    /// model and the campaign engine report in the same vocabulary.
+    ///
+    /// `CaughtByCompare` has no analytic counterpart: under the
+    /// single-bit model every strike trips a parity or SEC-DED check
+    /// before the PP compare can be the *first* observer, so its
+    /// windows resolve to refetch/unrecoverable instead. Laundered
+    /// windows (a latent strike baked into a clean codeword by a
+    /// re-encode or replica seeding) surface as silent corruption.
+    pub fn from_vuln_class(class: icr_vuln::VulnClass) -> ErrorOutcome {
+        match class {
+            icr_vuln::VulnClass::ByReplica => ErrorOutcome::CorrectedByReplica,
+            icr_vuln::VulnClass::ByEcc => ErrorOutcome::CorrectedByEcc,
+            icr_vuln::VulnClass::ByRefetch => ErrorOutcome::RefetchedFromL2,
+            icr_vuln::VulnClass::Unrecoverable => ErrorOutcome::DetectedUnrecoverable,
+            icr_vuln::VulnClass::Laundered => ErrorOutcome::SilentCorruption,
+        }
+    }
+
     /// `true` for outcomes where the consumer got correct data back
     /// despite the fault (the campaign's "recovered" numerator).
     pub fn is_recovered(self) -> bool {

@@ -1,0 +1,102 @@
+//! Property tests for the dL1-driven exposure ledger: arbitrary
+//! load/store/scrub traffic against a real [`DataL1`] must keep the
+//! per-state residency windows an exact partition of total valid
+//! residency, and the ledger's instantaneous view must agree with the
+//! cache's own structural snapshot.
+
+use icr_core::{DataL1, DataL1Config, ProtState, Scheme};
+use icr_mem::{Addr, HierarchyConfig, MemoryBackend};
+use proptest::prelude::*;
+
+/// One memory operation: `(is_store, addr_sel, dt)`. Addresses map into
+/// a small working set so lines collide, evict and re-fill; `dt`
+/// advances time irregularly.
+type Op = (bool, u16, u8);
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::BaseP,
+        Scheme::BaseEcc { speculative: false },
+        Scheme::icr_p_ps_s(),
+        Scheme::icr_p_pp_s(),
+        Scheme::icr_ecc_ps_s(),
+        Scheme::icr_p_ps_ls(),
+    ]
+}
+
+fn addr_of(sel: u16) -> Addr {
+    // 64 distinct blocks over a few set-conflicting regions, word
+    // aligned, so replication and eviction both happen.
+    let block = u64::from(sel % 64);
+    let word = u64::from(sel / 64 % 8);
+    Addr(0x1000_0000 + block * 0x200 + word * 8)
+}
+
+fn replay(dl1: &mut DataL1, backend: &mut MemoryBackend, ops: &[Op], scrub_every: usize) -> u64 {
+    let mut now = 0u64;
+    for (i, &(is_store, sel, dt)) in ops.iter().enumerate() {
+        now += u64::from(dt);
+        if is_store {
+            dl1.store(addr_of(sel), now, backend);
+        } else {
+            dl1.load(addr_of(sel), now, backend);
+        }
+        if scrub_every > 0 && i % scrub_every == scrub_every - 1 {
+            dl1.scrub_step(4, now, backend);
+        }
+    }
+    now
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((any::<bool>(), 0u16..512, 0u8..20), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-state residency partitions total valid word-cycles exactly,
+    /// for every scheme, under mixed traffic with scrubbing.
+    #[test]
+    fn dl1_residency_partitions_exactly(
+        ops in ops_strategy(),
+        scheme_sel in 0usize..6,
+        scrub_every in 0usize..8,
+        tail in 0u64..500,
+    ) {
+        let scheme = schemes()[scheme_sel];
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(scheme));
+        let end = replay(&mut dl1, &mut backend, &ops, scrub_every) + tail;
+        let w = dl1.exposure_windows(end);
+        let total: u128 = w.residency.iter().sum();
+        prop_assert_eq!(total, w.total_word_cycles);
+        let consumed: u128 = w.consumed.iter().sum();
+        prop_assert!(consumed <= w.total_word_cycles);
+    }
+
+    /// The ledger's instantaneous dirty-unreplicated-parity word count
+    /// agrees with the cache's own structural `vulnerable_word_count`
+    /// (no duplication cache configured, so the two definitions
+    /// coincide), and total tracked words match the valid-line count.
+    #[test]
+    fn ledger_snapshot_matches_cache_structure(
+        ops in ops_strategy(),
+        scheme_sel in 0usize..6,
+    ) {
+        let scheme = schemes()[scheme_sel];
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(scheme));
+        replay(&mut dl1, &mut backend, &ops, 0);
+        prop_assert_eq!(
+            dl1.exposure().words_in(ProtState::DirtyParity),
+            dl1.vulnerable_word_count()
+        );
+        let tracked: usize = ProtState::ALL
+            .iter()
+            .map(|&s| dl1.exposure().words_in(s))
+            .sum();
+        let valid = dl1.valid_lines().len() * dl1.geometry().words_per_block();
+        prop_assert_eq!(tracked, valid);
+    }
+}

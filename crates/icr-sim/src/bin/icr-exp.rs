@@ -5,17 +5,24 @@
 //! ```text
 //! icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]
 //!
-//! experiments: table1, fig1..fig17, sens, victim, extensions, all
+//! experiments: table1, fig1..fig17, sens, victim, extensions, vuln, all
 //! ```
+//!
+//! `vuln` prints the full analytic vulnerability profile (per-scheme
+//! one-shot outcome probabilities, FIT and MTTF from the `icr-vuln`
+//! ledger) rather than a figure; with `--json` it emits the
+//! machine-readable `VulnReport`. `all --json` emits one JSON array
+//! holding every figure object.
 
 use icr_sim::experiment::{self, ExpOptions};
+use icr_sim::vuln::{run_vuln, VulnSpec};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]\n\
          experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure sdc all"
+         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln sdc all"
     );
     ExitCode::FAILURE
 }
@@ -96,16 +103,45 @@ fn main() -> ExitCode {
         "window" => emit(experiment::window(&opts)),
         "dram" => emit(experiment::dram(&opts)),
         "exposure" => emit(experiment::exposure(&opts)),
-        "sdc" => emit(experiment::sdc(&opts)),
+        "vuln" => {
+            let spec = VulnSpec::new(
+                icr_core::Scheme::all_paper_schemes(),
+                icr_trace::apps::APP_NAMES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                opts.instructions,
+                opts.seed,
+            );
+            let report = run_vuln(&spec);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!(
+                    "Analytic vulnerability profile ({} insts/app, seed {})",
+                    spec.instructions, spec.seed
+                );
+                print!("{}", report.summary_table());
+            }
+        }
         "all" => {
             if !json {
                 print!("{}", experiment::table1());
             }
-            for fig in experiment::all_figures(&opts) {
-                if !json {
+            let figs = experiment::all_figures(&opts);
+            if json {
+                // One well-formed JSON document, not one object per figure.
+                let body = figs
+                    .iter()
+                    .map(|f| f.to_json())
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                println!("[\n{body}\n]");
+            } else {
+                for fig in figs {
                     println!();
+                    emit(fig);
                 }
-                emit(fig);
             }
         }
         _ => return usage(),

@@ -1398,6 +1398,45 @@ pub fn exposure(opts: &ExpOptions) -> FigureResult {
 }
 
 // ---------------------------------------------------------------------
+// Extension: analytic one-shot survival (the icr-vuln model)
+// ---------------------------------------------------------------------
+
+/// Analytic probability that a uniformly-arriving single-bit strike is
+/// survived (recovered or masked, i.e. not lost), per scheme — the
+/// campaign's headline number computed from the exposure ledger of one
+/// fault-free run per cell, with no injection trials at all. See the
+/// `icr-vuln` crate docs for the model and its approximations.
+pub fn vuln(opts: &ExpOptions) -> FigureResult {
+    figure_over_apps(
+        "vuln",
+        "Extension: analytic one-shot survival probability (icr-vuln)",
+        "P(survived | strike on a valid word)",
+        "single-pass AVF accounting; cross-validated against the           Monte-Carlo campaign in icr-sim/tests/vuln_validation.rs",
+        &[
+            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v(
+                "BaseECC",
+                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+            ),
+            v(
+                "ICR-P-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            ),
+            v(
+                "ICR-P-PP (S)",
+                DataL1Config::paper_default(Scheme::icr_p_pp_s()),
+            ),
+            v(
+                "ICR-ECC-PS (S)",
+                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+            ),
+        ],
+        opts,
+        |r, _| r.exposure.one_shot_survived(),
+    )
+}
+
+// ---------------------------------------------------------------------
 // Extension: silent data corruption under the adjacent-bit model
 // ---------------------------------------------------------------------
 
@@ -1494,6 +1533,7 @@ pub fn all_figures(opts: &ExpOptions) -> Vec<FigureResult> {
         window(opts),
         dram(opts),
         exposure(opts),
+        vuln(opts),
         sdc(opts),
     ]
 }

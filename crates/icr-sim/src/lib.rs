@@ -13,6 +13,9 @@
 //! * [`campaign`] — deterministic parallel Monte-Carlo fault-injection
 //!   campaigns ([`CampaignSpec`] → [`run_campaign`] → [`CampaignReport`]),
 //!   exposed by the `icr-campaign` binary;
+//! * [`vuln`] — analytic vulnerability profiles ([`VulnSpec`] →
+//!   [`run_vuln`] → [`VulnReport`]): the same outcome distribution the
+//!   campaign estimates, from one fault-free pass per cell;
 //! * [`report`] — [`FigureResult`], a printable series-per-scheme table.
 //!
 //! The `icr-exp` binary exposes all of it from the command line:
@@ -40,6 +43,7 @@ pub mod experiment;
 pub mod report;
 pub mod simulator;
 pub mod stats;
+pub mod vuln;
 
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
@@ -48,3 +52,4 @@ pub use experiment::ExpOptions;
 pub use report::{FigureResult, Series};
 pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimResult};
 pub use stats::{wilson_ci95, Summary};
+pub use vuln::{run_vuln, VulnCell, VulnReport, VulnSpec};

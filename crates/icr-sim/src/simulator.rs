@@ -67,6 +67,11 @@ pub struct SimConfig {
     pub fault: Option<FaultConfig>,
     /// Optional background scrubbing.
     pub scrub: Option<ScrubConfig>,
+    /// Per-cycle arrival probability for the analytic vulnerability
+    /// model's weighting (`None` = uniform arrival). Set this to the
+    /// campaign's `p_per_cycle` when cross-validating against
+    /// Monte-Carlo one-shot trials.
+    pub vuln_arrival_p: Option<f64>,
 }
 
 impl SimConfig {
@@ -82,6 +87,7 @@ impl SimConfig {
             seed,
             fault: None,
             scrub: None,
+            vuln_arrival_p: None,
         }
     }
 
@@ -94,6 +100,13 @@ impl SimConfig {
     /// Adds background scrubbing.
     pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
         self.scrub = Some(scrub);
+        self
+    }
+
+    /// Weights the analytic exposure windows against a geometric
+    /// (per-cycle Bernoulli `p`) fault arrival instead of a uniform one.
+    pub fn with_vuln_arrival(mut self, p_per_cycle: f64) -> Self {
+        self.vuln_arrival_p = Some(p_per_cycle);
         self
     }
 }
@@ -123,8 +136,13 @@ pub struct SimResult {
     /// already coalesced through the write buffer).
     pub energy_counts: AccessCounts,
     /// Time-weighted average number of words vulnerable to single-bit
-    /// loss (AVF-style exposure; see `DataL1::vulnerable_word_count`).
+    /// loss (AVF-style exposure). Computed exactly from the exposure
+    /// ledger's dirty-unreplicated-parity residency, not by sampling.
     pub avg_vulnerable_words: f64,
+    /// The analytic vulnerability-window accounting accumulated over the
+    /// run: per-state residency and per-class consumed windows (see
+    /// `icr-vuln`).
+    pub exposure: icr_core::ExposureWindows,
 }
 
 /// The machine state shared between the pipeline's two memory ports.
@@ -138,11 +156,6 @@ struct Machine {
     scrub: Option<ScrubConfig>,
     /// Next cycle at which the scrubber fires.
     next_scrub: u64,
-    /// Time-weighted exposure sampling: (sum of vulnerable-word samples,
-    /// sample count, next sample cycle).
-    vuln_sum: u128,
-    vuln_samples: u64,
-    next_vuln_sample: u64,
 }
 
 impl Machine {
@@ -156,15 +169,11 @@ impl Machine {
         }
         if let Some(scrub) = self.scrub {
             while now >= self.next_scrub {
-                self.dl1.scrub_step(scrub.lines_per_step, &mut self.backend);
+                let at = self.next_scrub;
+                self.dl1
+                    .scrub_step(scrub.lines_per_step, at, &mut self.backend);
                 self.next_scrub += scrub.interval.max(1);
             }
-        }
-        // Exposure sampling every ~1000 cycles (cheap, time-weighted).
-        while now >= self.next_vuln_sample {
-            self.vuln_sum += self.dl1.vulnerable_word_count() as u128;
-            self.vuln_samples += 1;
-            self.next_vuln_sample += 1000;
         }
     }
 }
@@ -207,8 +216,12 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
     let trace = TraceGenerator::new(profile, config.seed).take(config.instructions as usize);
     let mut pipeline = Pipeline::new(config.cpu);
 
+    let mut dl1 = DataL1::new(config.dl1.clone());
+    if let Some(p) = config.vuln_arrival_p {
+        dl1.set_exposure_arrival(icr_core::Arrival::Geometric { p });
+    }
     let machine = Rc::new(RefCell::new(Machine {
-        dl1: DataL1::new(config.dl1.clone()),
+        dl1,
         icache: InstrCache::new(&config.hierarchy),
         backend: MemoryBackend::new(&config.hierarchy),
         injector: config.fault.map(|f| {
@@ -221,9 +234,6 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         fault_horizon: 0,
         scrub: config.scrub,
         next_scrub: config.scrub.map(|s| s.interval).unwrap_or(0),
-        vuln_sum: 0,
-        vuln_samples: 0,
-        next_vuln_sample: 1000,
     }));
 
     let stats = pipeline.run(
@@ -258,6 +268,7 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         l2_accesses,
     };
 
+    let exposure = m.dl1.exposure_windows(stats.cycles);
     SimResult {
         app: config.app.clone(),
         scheme: config.dl1.scheme.name(),
@@ -269,11 +280,8 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         memory_writes: m.backend.memory_writes(),
         faults_injected: m.injector.as_ref().map(|i| i.injected()).unwrap_or(0),
         energy_counts,
-        avg_vulnerable_words: if m.vuln_samples == 0 {
-            0.0
-        } else {
-            m.vuln_sum as f64 / m.vuln_samples as f64
-        },
+        avg_vulnerable_words: exposure.avg_words_in(icr_core::ProtState::DirtyParity),
+        exposure,
     }
 }
 

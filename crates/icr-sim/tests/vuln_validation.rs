@@ -1,0 +1,127 @@
+//! Cross-validation: the analytic vulnerability model (`icr-vuln`, one
+//! fault-free pass per cell) against the Monte-Carlo fault-injection
+//! campaign (hundreds of injected trials per cell).
+//!
+//! For every (scheme × app) cell, every analytic outcome probability
+//! must land inside the campaign's per-outcome Wilson 95% interval
+//! (plus a small allowance for the model's documented check-bit
+//! approximation — see the `icr-vuln` crate docs). Seeds are fixed, so
+//! the test is deterministic: both sides replay the exact same
+//! workload.
+
+use icr_core::{DataL1Config, ErrorOutcome, Scheme};
+use icr_sim::vuln::VulnCell;
+use icr_sim::{run_campaign, run_sim, wilson_ci95, CampaignSpec, SimConfig};
+
+/// Extra slack on top of the Wilson interval. Covers the analytic
+/// model's data-bit/check-bit approximations (~8/72 of strikes land in
+/// check bits, which laundering and the PP compare treat differently
+/// than the injector does).
+const EPS: f64 = 0.02;
+
+fn campaign_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(
+        vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+        vec!["gzip".into(), "vpr".into()],
+        240,
+        20_260_803,
+    );
+    spec.instructions = 6_000;
+    spec
+}
+
+/// The analytic side of one cell: same app, seed, instruction count and
+/// dL1 construction as `campaign::run_trial`, with the ledger's arrival
+/// weighting matched to the injector's geometric per-cycle rate.
+fn analytic_cell(spec: &CampaignSpec, scheme: Scheme, app: &str) -> VulnCell {
+    let mut dl1 = DataL1Config::paper_default(scheme);
+    dl1.oracle = spec.oracle;
+    let mut cfg = SimConfig::paper(app, dl1, spec.instructions, spec.master_seed);
+    cfg.vuln_arrival_p = Some(spec.effective_p());
+    let r = run_sim(&cfg);
+    VulnCell {
+        scheme,
+        app: app.to_string(),
+        cycles: r.pipeline.cycles,
+        windows: r.exposure,
+    }
+}
+
+#[test]
+fn analytic_probabilities_sit_inside_campaign_wilson_intervals() {
+    let spec = campaign_spec();
+    let report = run_campaign(&spec);
+
+    // The mapped vocabulary. CaughtByCompare has no analytic
+    // counterpart and must not occur under the single-bit model for
+    // these (sequential-lookup) schemes.
+    let outcomes = [
+        ErrorOutcome::CorrectedByReplica,
+        ErrorOutcome::CorrectedByEcc,
+        ErrorOutcome::RefetchedFromL2,
+        ErrorOutcome::DetectedUnrecoverable,
+        ErrorOutcome::SilentCorruption,
+        ErrorOutcome::Masked,
+    ];
+
+    for cell in &report.cells {
+        let analytic = analytic_cell(&spec, cell.scheme, &cell.app);
+        let injected = cell.tally.injected();
+        assert!(
+            injected >= spec.trials_per_cell / 2,
+            "{} × {}: too few injected trials ({injected}) to validate against",
+            cell.scheme.name(),
+            cell.app
+        );
+        assert_eq!(
+            cell.tally.count(ErrorOutcome::CaughtByCompare),
+            0,
+            "single-bit faults must not reach the PS compare path"
+        );
+        for outcome in outcomes {
+            let observed = cell.tally.count(outcome);
+            let (lo, hi) = wilson_ci95(observed, injected);
+            let p = if outcome == ErrorOutcome::Masked {
+                analytic.windows.one_shot_masked()
+            } else {
+                analytic.outcome_probability(outcome)
+            };
+            assert!(
+                p >= lo - EPS && p <= hi + EPS,
+                "{} × {} / {}: analytic {p:.4} outside Wilson 95% \
+                 [{lo:.4}, {hi:.4}] (observed {observed}/{injected})",
+                cell.scheme.name(),
+                cell.app,
+                outcome.name(),
+            );
+        }
+        // And the headline number: analytic survived fraction inside
+        // the campaign's survived-fraction interval.
+        let (lo, hi) = cell.wilson95();
+        let survived = analytic.survived_fraction();
+        assert!(
+            survived >= lo - EPS && survived <= hi + EPS,
+            "{} × {}: analytic survived {survived:.4} outside [{lo:.4}, {hi:.4}]",
+            cell.scheme.name(),
+            cell.app,
+        );
+    }
+}
+
+#[test]
+fn analytic_model_reproduces_the_campaign_scheme_ordering() {
+    // Cheaper smoke check on top of the interval test: the analytic
+    // model must rank ICR above BaseP on survival, per app, exactly as
+    // every campaign in the repo does.
+    let spec = campaign_spec();
+    for app in &spec.apps {
+        let base = analytic_cell(&spec, Scheme::BaseP, app);
+        let icr = analytic_cell(&spec, Scheme::icr_p_ps_s(), app);
+        assert!(
+            icr.survived_fraction() > base.survived_fraction(),
+            "{app}: ICR-P-PS(S) {:.4} must beat BaseP {:.4}",
+            icr.survived_fraction(),
+            base.survived_fraction()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Analytic vulnerability-window accounting for the ICR data cache —
+//! a single-pass alternative to Monte-Carlo fault injection.
+//!
+//! # The model
+//!
+//! The paper's reliability argument is about *exposure time*: how long
+//! each cache word sits in a given protection state determines whether a
+//! transient single-bit strike there is recoverable. The Monte-Carlo
+//! campaign engine (`icr-sim::campaign`) measures this by running
+//! hundreds of full simulations per (scheme × app) cell, one injected
+//! fault each. This crate computes the same outcome distribution from
+//! **one** fault-free simulation, by doing ACE/AVF-style lifetime
+//! analysis inline while the cache runs:
+//!
+//! 1. **Residency windows.** Every valid line is, at each instant, in
+//!    exactly one [`ProtState`]: `Replicated` (parity primary with a live
+//!    replica), `CleanParity` / `DirtyParity` (unreplicated parity),
+//!    `Ecc` (unreplicated SEC-DED), or `Replica` (a replica line
+//!    itself). The [`ExposureLedger`] accumulates word-cycles of
+//!    residency per state; the per-state windows *partition* total valid
+//!    residency exactly (enforced by property tests).
+//!
+//! 2. **Consumed (ACE) windows.** A strike only matters if the struck
+//!    word's check ever *observes* it. A load of word `w` consumes the
+//!    interval since `w` was last written, filled or checked; the
+//!    interval is attributed to a [`VulnClass`] — the recovery outcome a
+//!    single-bit strike anywhere in that interval would have had,
+//!    decided by the line's state **at consumption time** (replica
+//!    available ⇒ `ByReplica`; SEC-DED ⇒ `ByEcc`; clean ⇒ `ByRefetch`;
+//!    dirty unreplicated parity ⇒ `Unrecoverable`). Stores, fills,
+//!    evictions and scrub heals *refresh* a word without consuming:
+//!    strikes in those windows are masked. Special case — *laundering*:
+//!    when a block gains its first replica or its primary is re-encoded
+//!    under a new code, the stored bits are trusted, so a latent strike
+//!    survives into a clean codeword. The ledger marks a pending
+//!    [`LaunderKind`] boundary and resolves it at the next observation,
+//!    mirroring the machine: an **in-place** re-encode seals the strike
+//!    under clean check bits, so the next load consumes the laundered
+//!    prefix as [`VulnClass::Laundered`]; a **copy** into a fresh
+//!    replica leaves the primary's stale check bits intact, so the next
+//!    load still detects the strike, "recovers" the laundered copy and
+//!    is counted `ByReplica` — only a *second* observation before any
+//!    refresh exposes the wrong data (the oracle's
+//!    `SilentCorruption`), upgrading the held segment to `Laundered`.
+//!    Boundaries never observed stay masked.
+//!
+//! 3. **Arrival weighting.** The Monte-Carlo injector delivers one fault
+//!    at a geometrically-distributed arrival time (per-cycle Bernoulli,
+//!    probability `p`), striking a word chosen uniformly among the words
+//!    valid *at that instant*. To predict its outcome distribution the
+//!    ledger also integrates every window against that arrival density:
+//!    a word-interval `[a, b)` carries weight `∫ f(t)/V(t) dt`, with
+//!    `f(t) = p(1-p)^t` (deferred while the cache is empty, as the
+//!    injector retries) and `V(t)` the number of valid words. With
+//!    [`Arrival::Uniform`] (the default) `f ≡ 1`: the strike lands at a
+//!    uniformly random instant instead. `P(class c | injected)` is then
+//!    `weighted_consumed[c] / total_weight`, and the remainder is the
+//!    masked fraction.
+//!
+//! 4. **Rate summaries.** Under a uniform raw flip rate (a Poisson
+//!    process per bit-cycle) expected outcome counts are proportional to
+//!    the *raw* consumed word-cycles; [`VulnModel`] turns the
+//!    unrecoverable + laundered share into failures-in-time (FIT) and
+//!    MTTF summaries.
+//!
+//! # Known approximations
+//!
+//! * Outcomes are attributed at consumption time. A strike that lands
+//!   while a line is clean but is read after the line turns dirty is
+//!   correctly charged as unrecoverable; the rare converse paths
+//!   (e.g. a corrupt word copied into a *new* replica and only read
+//!   once) can differ from a Monte-Carlo trial's label by one class.
+//! * The PP schemes' primary/replica comparison catches parity-blind
+//!   multi-bit patterns; under this crate's single-bit model every
+//!   strike trips a parity or SEC-DED check first, so no window maps to
+//!   `CaughtByCompare` — replica reads consumed by the parallel compare
+//!   resolve to `ByRefetch` (clean) or `Unrecoverable` (dirty) instead.
+//! * A Kim–Somani duplication cache changes consumption classes (probed
+//!   during recovery) but not residency states.
+//!
+//! Cross-validation against the campaign engine (analytic probabilities
+//! inside the campaign's Wilson 95% intervals) lives in
+//! `icr-sim/tests/vuln_validation.rs`.
+//!
+//! This crate is dependency-free; `icr-core` drives the ledger from the
+//! dL1's fill/store/replicate/evict/scrub transitions and `icr-sim`
+//! reports the profiles.
+
+pub mod ledger;
+pub mod model;
+
+pub use ledger::{Arrival, ExposureLedger, ExposureWindows, LaunderKind, ProtState, VulnClass};
+pub use model::VulnModel;

@@ -1,0 +1,148 @@
+//! Rate summaries: turning raw consumed windows into expected outcome
+//! counts, FIT and MTTF under a uniform raw bit-flip rate.
+
+use crate::ledger::{ExposureWindows, VulnClass};
+
+/// Seconds per hour, for FIT/MTTF conversions.
+const SECONDS_PER_HOUR: f64 = 3_600.0;
+
+/// A uniform raw soft-error process: independent single-bit flips as a
+/// Poisson process with a fixed per-bit-cycle rate. Applied to an
+/// [`ExposureWindows`] snapshot it yields expected outcome counts and
+/// the usual reliability summaries (failure rate, MTTF, FIT).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VulnModel {
+    /// Expected raw flips per bit per cycle.
+    pub flips_per_bit_cycle: f64,
+    /// Bits per cache word exposed to strikes (64 data + 8 check bits
+    /// in the paper's layout; a check-bit strike trips the same checks
+    /// as a data-bit strike, so the classes are unchanged).
+    pub bits_per_word: u32,
+    /// Core clock, for converting cycle-denominated rates to wall time.
+    pub clock_hz: f64,
+}
+
+impl VulnModel {
+    /// The rate used throughout the repo's examples: a 1e-3 FIT/bit
+    /// raw cell rate at the paper's 2 GHz clock.
+    pub fn paper_default() -> Self {
+        // 1e-3 FIT/bit = 1e-12 flips/bit/hour.
+        let clock_hz = 2.0e9;
+        VulnModel {
+            flips_per_bit_cycle: 1.0e-12 / SECONDS_PER_HOUR / clock_hz,
+            bits_per_word: 72,
+            clock_hz,
+        }
+    }
+
+    /// Expected raw flips per word per cycle.
+    pub fn flips_per_word_cycle(&self) -> f64 {
+        self.flips_per_bit_cycle * f64::from(self.bits_per_word)
+    }
+
+    /// Expected number of strikes consumed as `class` over the run:
+    /// rate × raw consumed word-cycles.
+    pub fn expected_count(&self, w: &ExposureWindows, class: VulnClass) -> f64 {
+        self.flips_per_word_cycle() * w.consumed_of(class) as f64
+    }
+
+    /// Expected failures (unrecoverable + laundered strikes) over the
+    /// run.
+    pub fn expected_failures(&self, w: &ExposureWindows) -> f64 {
+        self.expected_count(w, VulnClass::Unrecoverable)
+            + self.expected_count(w, VulnClass::Laundered)
+    }
+
+    /// Failure rate per cycle: expected failures divided by the run's
+    /// cycle count (`0` for an empty run).
+    pub fn failure_rate_per_cycle(&self, w: &ExposureWindows) -> f64 {
+        if w.cycles == 0 {
+            0.0
+        } else {
+            self.expected_failures(w) / w.cycles as f64
+        }
+    }
+
+    /// Mean time to failure, in cycles (`f64::INFINITY` when no failure
+    /// window was consumed).
+    pub fn mttf_cycles(&self, w: &ExposureWindows) -> f64 {
+        let rate = self.failure_rate_per_cycle(w);
+        if rate > 0.0 {
+            1.0 / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean time to failure, in hours at [`VulnModel::clock_hz`].
+    pub fn mttf_hours(&self, w: &ExposureWindows) -> f64 {
+        self.mttf_cycles(w) / self.clock_hz / SECONDS_PER_HOUR
+    }
+
+    /// Failures in time: expected failures per 10⁹ device-hours.
+    pub fn fit(&self, w: &ExposureWindows) -> f64 {
+        let mttf = self.mttf_hours(w);
+        if mttf.is_finite() {
+            1.0e9 / mttf
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{ExposureLedger, ProtState};
+
+    fn windows_with_unrecoverable(cycles: u64, consumed: u64) -> ExposureWindows {
+        let mut l = ExposureLedger::new(1, 1);
+        l.begin_line(0, ProtState::DirtyParity, 0);
+        l.consume_word(0, 0, VulnClass::Unrecoverable, consumed);
+        l.windows(cycles)
+    }
+
+    #[test]
+    fn expected_counts_scale_with_consumed_windows() {
+        let m = VulnModel::paper_default();
+        let w1 = windows_with_unrecoverable(1_000, 100);
+        let w2 = windows_with_unrecoverable(1_000, 200);
+        assert!(m.expected_count(&w1, VulnClass::Unrecoverable) > 0.0);
+        assert!(
+            (m.expected_count(&w2, VulnClass::Unrecoverable)
+                / m.expected_count(&w1, VulnClass::Unrecoverable)
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(m.expected_count(&w1, VulnClass::ByEcc), 0.0);
+    }
+
+    #[test]
+    fn mttf_and_fit_are_consistent() {
+        let m = VulnModel::paper_default();
+        let w = windows_with_unrecoverable(1_000, 500);
+        let mttf_h = m.mttf_hours(&w);
+        assert!(mttf_h.is_finite() && mttf_h > 0.0);
+        assert!((m.fit(&w) * mttf_h - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_failure_windows_means_infinite_mttf_zero_fit() {
+        let m = VulnModel::paper_default();
+        let mut l = ExposureLedger::new(1, 1);
+        l.begin_line(0, ProtState::Ecc, 0);
+        l.consume_word(0, 0, VulnClass::ByEcc, 400);
+        let w = l.windows(1_000);
+        assert_eq!(m.mttf_cycles(&w), f64::INFINITY);
+        assert_eq!(m.fit(&w), 0.0);
+    }
+
+    #[test]
+    fn paper_default_matches_stated_raw_rate() {
+        let m = VulnModel::paper_default();
+        // 1e-3 FIT/bit: flips/bit/hour = 1e-12 ⇒ per cycle at 2 GHz.
+        let per_hour = m.flips_per_bit_cycle * m.clock_hz * 3_600.0;
+        assert!((per_hour - 1.0e-12).abs() < 1e-24);
+    }
+}

@@ -10,6 +10,7 @@
 use icr::core::{DataL1Config, Scheme};
 use icr::fault::ErrorModel;
 use icr::sim::{run_sim, FaultConfig, SimConfig};
+use icr::vuln::{ProtState, VulnClass};
 
 fn main() {
     let app = "vortex";
@@ -53,6 +54,25 @@ fn main() {
                 r.icr.unrecoverable_loads,
             );
         }
+
+        // Residency-weighted exposure from a fault-free run: how long
+        // words actually sat in each protection state, and the analytic
+        // one-shot survival the icr-vuln ledger predicts from it.
+        let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, 7);
+        let w = run_sim(&cfg).exposure;
+        let total = w.total_word_cycles.max(1) as f64;
+        let share = |s: ProtState| 100.0 * w.residency[s.index()] as f64 / total;
+        println!(
+            "exposure: replicated {:.1}% / dirty-parity {:.1}% / ecc {:.1}% of \
+             word-cycles; avg {:.0} unprotected words; one-shot survival {:.3} \
+             (unrecoverable {:.3})",
+            share(ProtState::Replicated),
+            share(ProtState::DirtyParity),
+            share(ProtState::Ecc),
+            w.avg_words_in(ProtState::DirtyParity),
+            w.one_shot_survived(),
+            w.one_shot_probability(VulnClass::Unrecoverable),
+        );
         println!();
     }
 

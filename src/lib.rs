@@ -13,8 +13,9 @@
 //! | [`cpu`] | cycle-level out-of-order superscalar core (Table 1) |
 //! | [`core`] | **the paper's contribution**: the replica-aware data L1 |
 //! | [`fault`] | transient-fault injection (direct/adjacent/column/random) |
+//! | [`vuln`] | analytic vulnerability-window (AVF) accounting: single-pass exposure ledger, arrival weighting, FIT/MTTF model |
 //! | [`energy`] | CACTI-style dynamic-energy accounting |
-//! | [`sim`] | the assembled machine, one runner per table/figure, and the Monte-Carlo fault-injection campaign engine |
+//! | [`sim`] | the assembled machine, one runner per table/figure, the Monte-Carlo fault-injection campaign engine, and the analytic vulnerability profiler |
 //!
 //! # Quickstart
 //!
@@ -52,3 +53,4 @@ pub use icr_fault as fault;
 pub use icr_mem as mem;
 pub use icr_sim as sim;
 pub use icr_trace as trace;
+pub use icr_vuln as vuln;

@@ -248,7 +248,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive-min, exclusive-max length bound for [`vec`].
+    /// Inclusive-min, exclusive-max length bound for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
