@@ -3,10 +3,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench campaign clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build campaign clean
 
-## Full verification: build + all tests + formatting + lints + docs.
-verify: build test fmt-check clippy doc
+## Full verification: build + all tests + formatting + lints + docs,
+## plus a build-only check of the bench targets.
+verify: build test fmt-check clippy doc bench-engine-build
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -36,6 +37,14 @@ doc:
 ## Criterion benchmarks (confined to the bench crate).
 bench:
 	$(CARGO) bench -p icr-bench
+
+## Engine smoke benchmark: cold vs warm fig9, writes BENCH_engine.json.
+bench-engine:
+	$(CARGO) bench -p icr-bench --bench engine
+
+## Compile the engine benchmark without running it (used by `verify`).
+bench-engine-build:
+	$(CARGO) bench -p icr-bench --bench engine --no-run
 
 ## A 1,200-trial deterministic fault-injection campaign.
 campaign:

@@ -1,0 +1,70 @@
+//! Engine smoke benchmark: regenerate Figure 9 cold (empty caches) and
+//! warm (same process, run cache and workload store populated), and
+//! record the wall-clock plus cache statistics to `BENCH_engine.json` at
+//! the repository root.
+//!
+//! ```text
+//! make bench-engine        # or: cargo bench -p icr-bench --bench engine
+//! ```
+//!
+//! Not a criterion target: the interesting quantity is the cold/warm
+//! asymmetry of a single pass, which repeated criterion iterations would
+//! erase (every iteration after the first is warm by construction).
+
+use icr_sim::engine::Engine;
+use icr_sim::exec::Pool;
+use icr_sim::experiment::{fig9, ExpOptions};
+use icr_sim::json::num;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOptions {
+        instructions: 50_000,
+        seed: 42,
+        threads: 0,
+    };
+
+    let t = Instant::now();
+    let cold = fig9(&opts);
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let warm = fig9(&opts);
+    let warm_s = t.elapsed().as_secs_f64();
+    let stats = Engine::global().stats();
+
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "warm regeneration must be byte-identical"
+    );
+    let trace_lookups = stats.trace_hits + stats.trace_misses;
+    let trace_hit_rate = stats.trace_hits as f64 / trace_lookups.max(1) as f64;
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"engine\",\"figure\":\"fig9\",",
+            "\"instructions\":{},\"threads\":{},",
+            "\"cold_s\":{},\"warm_s\":{},\"speedup\":{},",
+            "\"run_hits\":{},\"run_misses\":{},",
+            "\"trace_hits\":{},\"trace_misses\":{},\"trace_hit_rate\":{}}}"
+        ),
+        opts.instructions,
+        Pool::new(opts.threads).threads(),
+        num(cold_s),
+        num(warm_s),
+        num(cold_s / warm_s.max(1e-9)),
+        stats.run_hits,
+        stats.run_misses,
+        stats.trace_hits,
+        stats.trace_misses,
+        num(trace_hit_rate),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_engine.json");
+    println!(
+        "fig9 cold {cold_s:.3}s, warm {warm_s:.3}s ({:.0}x); trace store hit rate {:.1}% -> {path}",
+        cold_s / warm_s.max(1e-9),
+        100.0 * trace_hit_rate
+    );
+}

@@ -11,6 +11,7 @@ fn opts() -> ExpOptions {
     ExpOptions {
         instructions: 5_000,
         seed: 42,
+        threads: 0,
     }
 }
 

@@ -391,7 +391,7 @@ impl DataL1 {
         let g = self.config.geometry;
         let home = g.set_index(block);
         let mut out = Vec::new();
-        for set in self.config.placement.candidate_sets(g, home) {
+        for set in self.config.placement.candidate_sets_iter(g, home) {
             for (w, l) in self.sets[set.0].lines.iter().enumerate() {
                 if l.valid && l.is_replica && l.addr == block {
                     out.push((set.0, w));
@@ -403,7 +403,22 @@ impl DataL1 {
 
     /// `true` when `block` currently has at least one replica.
     pub fn has_replica(&self, block: BlockAddr) -> bool {
-        !self.find_replicas(block).is_empty()
+        // Replica lines exist only under replicating schemes, so the
+        // candidate-set walk is skipped entirely for the Base* schemes.
+        if !self.config.scheme.replicates() {
+            return false;
+        }
+        let g = self.config.geometry;
+        let home = g.set_index(block);
+        self.config
+            .placement
+            .candidate_sets_iter(g, home)
+            .any(|set| {
+                self.sets[set.0]
+                    .lines
+                    .iter()
+                    .any(|l| l.valid && l.is_replica && l.addr == block)
+            })
     }
 
     /// `true` when `block` has a resident primary copy.

@@ -97,10 +97,19 @@ impl PlacementPolicy {
     /// The candidate sets for the replicas of a block whose primary lives
     /// in `home`, in attempt order.
     pub fn candidate_sets(&self, geometry: CacheGeometry, home: SetIndex) -> Vec<SetIndex> {
+        self.candidate_sets_iter(geometry, home).collect()
+    }
+
+    /// [`Self::candidate_sets`] as an iterator, for per-access paths that
+    /// cannot afford an allocation.
+    pub fn candidate_sets_iter(
+        &self,
+        geometry: CacheGeometry,
+        home: SetIndex,
+    ) -> impl Iterator<Item = SetIndex> + '_ {
         self.attempts
             .iter()
-            .map(|&k| geometry.set_at_distance(home, k))
-            .collect()
+            .map(move |&k| geometry.set_at_distance(home, k))
     }
 
     /// Validates the policy.

@@ -152,6 +152,9 @@ impl Pipeline {
         let mut fetch_resume: u64 = 0;
         let mut fetch_halted_by: Option<u64> = None;
         let mut commit_blocked_until: u64 = 0;
+        // Memory ops resident in the RUU (the LSQ occupancy), maintained
+        // incrementally instead of rescanning the RUU per fetch.
+        let mut mem_in_flight: usize = 0;
 
         let entry_done = |ruu: &VecDeque<Entry>, head: u64, seq: u64| -> bool {
             if seq < head {
@@ -192,6 +195,9 @@ impl Pipeline {
                     let e = ruu.pop_front().expect("front exists");
                     head_seq = e.seq + 1;
                     stats.committed += 1;
+                    if e.inst.op.is_mem() {
+                        mem_in_flight -= 1;
+                    }
                     committed_now += 1;
                     match e.inst.op {
                         OpClass::Load => {
@@ -302,13 +308,13 @@ impl Pipeline {
                         break;
                     }
                     let Some(next) = trace.peek() else { break };
-                    if next.op.is_mem() {
-                        let mem_in_flight = ruu.iter().filter(|e| e.inst.op.is_mem()).count();
-                        if mem_in_flight >= cfg.lsq_size {
-                            break;
-                        }
+                    if next.op.is_mem() && mem_in_flight >= cfg.lsq_size {
+                        break;
                     }
                     let inst = trace.next().expect("peeked");
+                    if inst.op.is_mem() {
+                        mem_in_flight += 1;
+                    }
                     let flat = imem.fetch(inst.pc, cycle);
                     let mut ends_group = false;
                     if flat > 1 {

@@ -22,7 +22,7 @@ const HAMMING_LEN: u32 = 71;
 
 /// Positions `1..=71` that carry data bits (everything that is not a power
 /// of two), in increasing order. Index *i* of this table is data bit *i*.
-fn data_positions() -> [u32; 64] {
+const fn data_positions() -> [u32; 64] {
     let mut out = [0u32; 64];
     let mut i = 0;
     let mut pos = 1u32;
@@ -34,6 +34,41 @@ fn data_positions() -> [u32; 64] {
         pos += 1;
     }
     out
+}
+
+const DATA_POSITIONS: [u32; 64] = data_positions();
+
+/// `GROUP_MASKS[j]` selects the data bits whose codeword position has bit
+/// `j` set, so the parity of `data & GROUP_MASKS[j]` is bit `j` of the XOR
+/// of set data positions. This turns the per-bit position walk into seven
+/// mask-and-popcount steps with bit-identical results.
+const GROUP_MASKS: [u64; 7] = {
+    let mut masks = [0u64; 7];
+    let mut i = 0;
+    while i < 64 {
+        let mut j = 0;
+        while j < 7 {
+            if (DATA_POSITIONS[i] >> j) & 1 == 1 {
+                masks[j] |= 1 << i;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    masks
+};
+
+/// XOR of the codeword positions of the set bits in `data`, via the
+/// parity-group masks.
+#[inline]
+fn position_xor(data: u64) -> u32 {
+    let mut acc = 0u32;
+    let mut j = 0;
+    while j < 7 {
+        acc |= ((data & GROUP_MASKS[j]).count_ones() & 1) << j;
+        j += 1;
+    }
+    acc
 }
 
 /// Stored check bits for one 64-bit word under SEC-DED.
@@ -103,20 +138,11 @@ impl Decode {
 impl SecDed {
     /// Computes the eight check bits for `data`.
     pub fn encode(data: u64) -> Self {
-        let positions = data_positions();
-        let mut syndrome_acc = 0u32;
-        let mut ones = 0u32;
-        for (i, &pos) in positions.iter().enumerate() {
-            if (data >> i) & 1 == 1 {
-                syndrome_acc ^= pos;
-                ones += 1;
-            }
-        }
         // Check bit i makes parity group i even, so its value is the i-th
         // bit of the accumulated XOR of set data positions.
-        let mut check = (syndrome_acc & 0x7F) as u8;
+        let mut check = (position_xor(data) & 0x7F) as u8;
         // Overall parity bit makes the whole 72-bit codeword even.
-        let hamming_ones = ones + check.count_ones();
+        let hamming_ones = data.count_ones() + check.count_ones();
         if hamming_ones % 2 == 1 {
             check |= 0x80;
         }
@@ -146,22 +172,10 @@ impl SecDed {
     /// Computes the syndrome of (`data`, stored check bits) without acting
     /// on it. Exposed for tests and for energy accounting of "ECC checks".
     pub fn syndrome(self, data: u64) -> Syndrome {
-        let positions = data_positions();
-        let mut acc = 0u32;
-        let mut ones = 0u32;
-        for (i, &pos) in positions.iter().enumerate() {
-            if (data >> i) & 1 == 1 {
-                acc ^= pos;
-                ones += 1;
-            }
-        }
-        for i in 0..7 {
-            if (self.check >> i) & 1 == 1 {
-                acc ^= 1 << i;
-                ones += 1;
-            }
-        }
-        let overall_ones = ones + ((self.check >> 7) & 1) as u32;
+        // Each set stored check bit i < 7 toggles syndrome bit i; the
+        // overall parity covers all 72 stored bits.
+        let acc = position_xor(data) ^ (self.check & 0x7F) as u32;
+        let overall_ones = data.count_ones() + self.check.count_ones();
         Syndrome {
             position: acc,
             overall_odd: overall_ones % 2 == 1,

@@ -8,7 +8,7 @@
 //! ```
 
 use icr_core::{DataL1Config, Scheme};
-use icr_sim::experiment::parallel_map;
+use icr_sim::exec::parallel_map;
 use icr_sim::{run_sim, SimConfig};
 use icr_trace::apps::APP_NAMES;
 

@@ -16,7 +16,8 @@
 //!   --ci-width W      stop a cell once its Wilson 95% interval is narrower
 //!   --threads N       worker threads                (default all cores)
 //!   --no-oracle       disable the silent-corruption oracle shadow
-//!   --json FILE       write the JSON report to FILE (default stdout)
+//!   --json PATH       write the JSON report to PATH, '-' = stdout
+//!                     (default stdout — same convention as icr-run/icr-exp)
 //!   --quiet           suppress progress output
 //! ```
 //!
@@ -26,6 +27,7 @@
 
 use icr_core::Scheme;
 use icr_fault::ErrorModel;
+use icr_sim::json::write_output;
 use icr_sim::{run_campaign_observed, CampaignSpec};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -62,7 +64,7 @@ fn usage() -> ExitCode {
         "usage: icr-campaign [--schemes a,b,c] [--apps a,b,c] [--trials N]\n\
          \x20                   [--batch N] [--seed S] [--insts N] [--model M]\n\
          \x20                   [--fault P] [--ci-width W] [--threads N]\n\
-         \x20                   [--no-oracle] [--json FILE] [--quiet]\n\
+         \x20                   [--no-oracle] [--json PATH] [--quiet]\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}\n\
          models:  direct adjacent column random\n\
          apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)"
@@ -262,17 +264,16 @@ fn main() -> ExitCode {
     }
 
     let json = report.to_json();
-    match json_path {
-        Some(path) => {
-            if let Err(e) = std::fs::write(&path, &json) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            if !quiet {
-                eprintln!("\nJSON report written to {path}");
-            }
-        }
-        None => print!("{json}"),
+    // `to_json` already ends with a newline; trim it so the shared writer
+    // appends exactly one, keeping report bytes identical to earlier
+    // releases for both file and stdout destinations.
+    let path = json_path.as_deref().unwrap_or("-");
+    if let Err(e) = write_output(json.trim_end_matches('\n'), path) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !quiet && path != "-" {
+        eprintln!("\nJSON report written to {path}");
     }
     ExitCode::SUCCESS
 }

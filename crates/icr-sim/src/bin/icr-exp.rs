@@ -3,24 +3,34 @@
 //! Usage:
 //!
 //! ```text
-//! icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]
+//! icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark]
 //!
 //! experiments: table1, fig1..fig17, sens, victim, extensions, vuln, all
 //! ```
 //!
+//! `--json PATH` writes the machine-readable result to `PATH`, where `-`
+//! means stdout — the same convention `icr-run` and `icr-campaign` use.
 //! `vuln` prints the full analytic vulnerability profile (per-scheme
 //! one-shot outcome probabilities, FIT and MTTF from the `icr-vuln`
 //! ledger) rather than a figure; with `--json` it emits the
 //! machine-readable `VulnReport`. `all --json` emits one JSON array
 //! holding every figure object.
+//!
+//! Every cell is executed through the shared engine, so `all` computes
+//! each distinct configuration exactly once even though many figures
+//! name the same cells; `--stats` prints the cache counters to stderr
+//! afterwards.
 
+use icr_sim::engine::Engine;
 use icr_sim::experiment::{self, ExpOptions};
+use icr_sim::json::write_output;
 use icr_sim::vuln::{run_vuln, VulnSpec};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: icr-exp <experiment> [--insts N] [--seed S] [--json] [--spark]\n\
+        "usage: icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark] [--stats]\n\
+         \x20      --json PATH   write JSON to PATH ('-' = stdout)\n\
          experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln sdc all"
     );
@@ -33,17 +43,25 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut opts = ExpOptions::default();
-    let mut json = false;
+    let mut json: Option<String> = None;
     let mut spark = false;
+    let mut stats = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => {
-                json = true;
-                i += 1;
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                json = Some(path.clone());
+                i += 2;
             }
             "--spark" => {
                 spark = true;
+                i += 1;
+            }
+            "--stats" => {
+                stats = true;
                 i += 1;
             }
             "--insts" => {
@@ -60,13 +78,20 @@ fn main() -> ExitCode {
                 opts.seed = s;
                 i += 2;
             }
+            "--threads" => {
+                let Some(t) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts.threads = t;
+                i += 2;
+            }
             _ => return usage(),
         }
     }
 
     let emit = |fig: icr_sim::FigureResult| {
-        if json {
-            println!("{}", fig.to_json());
+        if let Some(path) = &json {
+            write_output(&fig.to_json(), path).expect("json output writable");
         } else {
             print!("{fig}");
             if spark {
@@ -104,7 +129,7 @@ fn main() -> ExitCode {
         "dram" => emit(experiment::dram(&opts)),
         "exposure" => emit(experiment::exposure(&opts)),
         "vuln" => {
-            let spec = VulnSpec::new(
+            let mut spec = VulnSpec::new(
                 icr_core::Scheme::all_paper_schemes(),
                 icr_trace::apps::APP_NAMES
                     .iter()
@@ -113,9 +138,13 @@ fn main() -> ExitCode {
                 opts.instructions,
                 opts.seed,
             );
+            spec.threads = opts.threads;
             let report = run_vuln(&spec);
-            if json {
-                println!("{}", report.to_json());
+            if let Some(path) = &json {
+                // `to_json` already ends with a newline; trim it so the
+                // shared writer appends exactly one.
+                write_output(report.to_json().trim_end_matches('\n'), path)
+                    .expect("json output writable");
             } else {
                 println!(
                     "Analytic vulnerability profile ({} insts/app, seed {})",
@@ -125,18 +154,18 @@ fn main() -> ExitCode {
             }
         }
         "all" => {
-            if !json {
+            if json.is_none() {
                 print!("{}", experiment::table1());
             }
             let figs = experiment::all_figures(&opts);
-            if json {
+            if let Some(path) = &json {
                 // One well-formed JSON document, not one object per figure.
                 let body = figs
                     .iter()
                     .map(|f| f.to_json())
                     .collect::<Vec<_>>()
                     .join(",\n");
-                println!("[\n{body}\n]");
+                write_output(&format!("[\n{body}\n]"), path).expect("json output writable");
             } else {
                 for fig in figs {
                     println!();
@@ -145,6 +174,9 @@ fn main() -> ExitCode {
             }
         }
         _ => return usage(),
+    }
+    if stats {
+        eprintln!("engine: {:?}", Engine::global().stats());
     }
     ExitCode::SUCCESS
 }

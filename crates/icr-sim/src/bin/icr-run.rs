@@ -16,10 +16,12 @@
 //!   --write-through N  write-through dL1 with an N-entry buffer (§5.8)
 //!   --fault P          random-model fault probability per cycle
 //!   --scrub I          scrub 16 lines every I cycles
+//!   --json PATH        emit the result as JSON to PATH ('-' = stdout)
 //! ```
 
 use icr_core::{DataL1Config, DecayConfig, Scheme, VictimPolicy, WritePolicy};
 use icr_fault::ErrorModel;
+use icr_sim::json::write_output;
 use icr_sim::{run_sim, FaultConfig, ScrubConfig, SimConfig};
 use std::process::ExitCode;
 
@@ -54,7 +56,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: icr-run <app> <scheme> [--insts N] [--seed S] [--window W]\n\
          \x20                [--victim P] [--keep] [--write-through N]\n\
-         \x20                [--fault P] [--scrub I]\n\
+         \x20                [--fault P] [--scrub I] [--json PATH]\n\
          apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}"
     );
@@ -77,6 +79,7 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut fault: Option<FaultConfig> = None;
     let mut scrub: Option<ScrubConfig> = None;
+    let mut json: Option<String> = None;
 
     let mut i = 2;
     macro_rules! val {
@@ -144,14 +147,28 @@ fn main() -> ExitCode {
                     lines_per_step: 16,
                 });
             }
+            "--json" => {
+                json = Some(val!().clone());
+            }
             _ => return usage(),
         }
     }
 
-    let mut cfg = SimConfig::paper(&app, dl1, instructions, seed);
-    cfg.fault = fault;
-    cfg.scrub = scrub;
-    let r = run_sim(&cfg);
+    let mut builder = SimConfig::builder(&app, dl1)
+        .instructions(instructions)
+        .seed(seed);
+    if let Some(fault) = fault {
+        builder = builder.fault(fault);
+    }
+    if let Some(scrub) = scrub {
+        builder = builder.scrub(scrub);
+    }
+    let r = run_sim(&builder.build());
+
+    if let Some(path) = &json {
+        write_output(&r.to_json(), path).expect("json output writable");
+        return ExitCode::SUCCESS;
+    }
 
     println!(
         "== {} on {} ({} instructions, seed {seed}) ==",

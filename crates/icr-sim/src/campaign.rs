@@ -21,8 +21,9 @@
 //! only between whole batches, the set of executed trials — and hence the
 //! report — is still thread-count independent.
 
-use crate::experiment::parallel_map_with_threads;
-use crate::simulator::{run_sim, FaultConfig, SimConfig};
+use crate::engine::Engine;
+use crate::exec::Pool;
+use crate::simulator::{FaultConfig, SimConfig};
 use crate::stats::wilson_ci95;
 use icr_core::{DataL1Config, ErrorOutcome, OutcomeTally, Scheme};
 use icr_fault::{trial_seed, ErrorModel};
@@ -179,13 +180,7 @@ pub fn run_campaign_observed(
     mut observer: impl FnMut(&CellProgress<'_>),
 ) -> CampaignReport {
     spec.validate();
-    let threads = if spec.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        spec.threads
-    };
+    let pool = Pool::new(spec.threads);
 
     struct CellState {
         scheme: Scheme,
@@ -228,7 +223,7 @@ pub fn run_campaign_observed(
             }
         }
 
-        let outcomes = parallel_map_with_threads(jobs.clone(), threads, |(ci, trial)| {
+        let outcomes = pool.run(jobs.clone(), |(ci, trial)| {
             run_trial(spec, cells[ci].scheme, &cells[ci].app, ci, trial)
         });
 
@@ -292,10 +287,16 @@ fn run_trial(
     let fault_seed = trial_seed(spec.master_seed, global_index);
     let mut dl1 = DataL1Config::paper_default(scheme);
     dl1.oracle = spec.oracle;
-    let cfg = SimConfig::paper(app, dl1, spec.instructions, spec.master_seed).with_fault(
-        FaultConfig::one_shot(spec.model, spec.effective_p(), fault_seed),
-    );
-    let r = run_sim(&cfg);
+    let cfg = SimConfig::builder(app, dl1)
+        .instructions(spec.instructions)
+        .seed(spec.master_seed)
+        .fault(FaultConfig::one_shot(
+            spec.model,
+            spec.effective_p(),
+            fault_seed,
+        ))
+        .build();
+    let r = Engine::global().run(&cfg);
     ErrorOutcome::classify_single_fault(r.faults_injected, &r.icr)
 }
 
@@ -361,35 +362,12 @@ impl CampaignReport {
         out
     }
 
-    /// The report as JSON. Hand-rolled like `FigureResult::to_json` (the
+    /// The report as JSON, via the shared [`crate::json`] primitives (the
     /// workspace deliberately carries no JSON dependency) and free of
     /// timing or host information, so two runs of the same spec produce
     /// byte-identical files.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            }
-        }
+        use crate::json::{esc, num};
         let spec = &self.spec;
         let schemes = spec
             .schemes

@@ -1,0 +1,262 @@
+//! The unified job layer: one work-stealing pool behind every figure
+//! runner, Monte-Carlo campaign and vulnerability sweep.
+//!
+//! [`parallel_map_with_threads`] is the order-preserving work-stealing
+//! primitive (formerly private to `experiment`); [`Pool`] wraps it with a
+//! resolved worker count, an observed variant with per-job timing, and a
+//! progress callback. Results are always written by item index, so the
+//! output of every entry point is independent of the worker count and of
+//! which thread executed which item — the invariant all determinism
+//! guarantees in this workspace rest on.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    parallel_map_with_threads(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (1 = sequential).
+///
+/// Each worker owns a deque seeded with a contiguous chunk of item
+/// indices and pops from its front; a worker whose deque runs dry steals
+/// from the *back* of the fullest remaining deque, so a straggler item
+/// (e.g. one slow scheme × app cell) cannot serialize the tail of the
+/// run. Results are written by item index, which makes the output — and
+/// everything built on top of it — independent of the worker count and
+/// of which thread executed which item.
+pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+        .collect();
+
+    // Pop from the worker's own deque, else steal; `None` only once every
+    // deque is empty (claimed items live outside the deques, so empty
+    // deques mean no work is left to hand out).
+    let next_index = |w: usize| -> Option<usize> {
+        if let Some(i) = queues[w].lock().expect("not poisoned").pop_front() {
+            return Some(i);
+        }
+        loop {
+            let mut victim = None;
+            let mut victim_len = 0;
+            for (v, q) in queues.iter().enumerate() {
+                let len = q.lock().expect("not poisoned").len();
+                if v != w && len > victim_len {
+                    victim_len = len;
+                    victim = Some(v);
+                }
+            }
+            match victim {
+                None => return None,
+                Some(v) => {
+                    if let Some(i) = queues[v].lock().expect("not poisoned").pop_back() {
+                        return Some(i);
+                    }
+                    // Raced with another thief; rescan.
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, results, f, next_index) = (&slots, &results, &f, &next_index);
+            s.spawn(move || {
+                while let Some(i) = next_index(w) {
+                    let item = slots[i]
+                        .lock()
+                        .expect("not poisoned")
+                        .take()
+                        .expect("each item taken once");
+                    let r = f(item);
+                    *results[i].lock().expect("not poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("not poisoned").expect("filled"))
+        .collect()
+}
+
+/// Progress snapshot handed to a [`Pool::run_observed`] observer after
+/// each completed job, from the coordinating thread only.
+#[derive(Debug, Clone, Copy)]
+pub struct JobProgress {
+    /// Index of the job that just finished (its position in the input).
+    pub index: usize,
+    /// Jobs finished so far, including this one.
+    pub done: usize,
+    /// Total jobs submitted.
+    pub total: usize,
+    /// Wall-clock time this job spent executing.
+    pub elapsed: Duration,
+}
+
+/// A work-stealing worker pool with a resolved thread count.
+///
+/// `Pool` is deliberately stateless between calls — it records how many
+/// workers to use and hands each batch to the same order-preserving
+/// scheduler, so two pools with equal thread counts are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with `threads` workers; `0` resolves to all available
+    /// cores.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        Pool { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over `items`, preserving order.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map_with_threads(items, self.threads, f)
+    }
+
+    /// Runs `f` over `items`, preserving order and reporting each job's
+    /// completion (with per-job wall-clock timing) to `observer` from the
+    /// coordinating thread.
+    pub fn run_observed<T, R, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        mut observer: impl FnMut(&JobProgress),
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let total = items.len();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Duration)>();
+        let timed = |(i, item): (usize, T)| {
+            let started = Instant::now();
+            let r = f(item);
+            // The pool owns the receiver for the whole scope, so the send
+            // cannot fail while jobs are running.
+            let _ = tx.send((i, started.elapsed()));
+            r
+        };
+        let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+
+        let results = std::thread::scope(|s| {
+            let worker = s.spawn(|| parallel_map_with_threads(indexed, self.threads, timed));
+            for done in 1..=total {
+                let (index, elapsed) = rx.recv().expect("one event per job");
+                observer(&JobProgress {
+                    index,
+                    done,
+                    total,
+                    elapsed,
+                });
+            }
+            worker.join().expect("pool workers do not panic")
+        });
+        results
+    }
+}
+
+impl Default for Pool {
+    /// All available cores.
+    fn default() -> Self {
+        Pool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_resolves_zero_to_all_cores() {
+        assert!(Pool::new(0).threads() >= 1);
+        assert_eq!(Pool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn pool_run_matches_parallel_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37) ^ 11).collect();
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).run(items.clone(), |x| x.wrapping_mul(0x9E37) ^ 11);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_observed_reports_every_job_once() {
+        let mut seen = [false; 64];
+        let mut last_done = 0;
+        let out = Pool::new(4).run_observed(
+            (0..64u64).collect(),
+            |x| x + 1,
+            |p| {
+                assert_eq!(p.total, 64);
+                assert_eq!(p.done, last_done + 1, "done counts up");
+                last_done = p.done;
+                assert!(!seen[p.index], "job {} reported twice", p.index);
+                seen[p.index] = true;
+            },
+        );
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = Pool::new(2).run(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+        let out: Vec<u64> = Pool::new(2).run_observed(Vec::new(), |x| x, |_| {});
+        assert!(out.is_empty());
+    }
+}

@@ -4,14 +4,23 @@
 //! lines of the original figure. Instruction budgets are scaled down from
 //! the paper's 500M (see `EXPERIMENTS.md`); seeds are fixed, so every
 //! number is reproducible.
+//!
+//! All runners submit their cells to the process-wide
+//! [`Engine`] over an [`exec::Pool`](crate::exec::Pool):
+//! cells named by more than one figure execute once, and every
+//! workload trace is materialised once — without changing a single emitted
+//! number relative to the serial path.
 
+use crate::engine::Engine;
+use crate::exec::Pool;
 use crate::report::{FigureResult, Series};
-use crate::simulator::{run_sim, FaultConfig, SimConfig, SimResult};
+use crate::simulator::{FaultConfig, SimConfig, SimResult};
 use icr_core::{DataL1Config, DecayConfig, PlacementPolicy, Scheme, VictimPolicy};
 use icr_energy::EnergyModel;
 use icr_fault::ErrorModel;
 use icr_mem::CacheGeometry;
 use icr_trace::apps::APP_NAMES;
+use std::sync::Arc;
 
 /// Common experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +29,8 @@ pub struct ExpOptions {
     pub instructions: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads per runner (`0` = all available cores).
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -27,128 +38,45 @@ impl Default for ExpOptions {
         ExpOptions {
             instructions: 200_000,
             seed: 42,
+            threads: 0,
         }
     }
 }
 
-/// Runs `f` over `items` on all available cores, preserving order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    parallel_map_with_threads(items, workers, f)
-}
-
-/// [`parallel_map`] with an explicit worker count (1 = sequential).
-///
-/// Each worker owns a deque seeded with a contiguous chunk of item
-/// indices and pops from its front; a worker whose deque runs dry steals
-/// from the *back* of the fullest remaining deque, so a straggler item
-/// (e.g. one slow scheme × app cell) cannot serialize the tail of the
-/// run. Results are written by item index, which makes the output — and
-/// everything built on top of it — independent of the worker count and
-/// of which thread executed which item.
-pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    use std::collections::VecDeque;
-    use std::sync::Mutex;
-
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
+impl ExpOptions {
+    /// The worker pool these options describe.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.threads)
     }
-    let workers = workers.clamp(1, n);
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
-        .collect();
-
-    // Pop from the worker's own deque, else steal; `None` only once every
-    // deque is empty (claimed items live outside the deques, so empty
-    // deques mean no work is left to hand out).
-    let next_index = |w: usize| -> Option<usize> {
-        if let Some(i) = queues[w].lock().expect("not poisoned").pop_front() {
-            return Some(i);
-        }
-        loop {
-            let mut victim = None;
-            let mut victim_len = 0;
-            for (v, q) in queues.iter().enumerate() {
-                let len = q.lock().expect("not poisoned").len();
-                if v != w && len > victim_len {
-                    victim_len = len;
-                    victim = Some(v);
-                }
-            }
-            match victim {
-                None => return None,
-                Some(v) => {
-                    if let Some(i) = queues[v].lock().expect("not poisoned").pop_back() {
-                        return Some(i);
-                    }
-                    // Raced with another thief; rescan.
-                }
-            }
-        }
-    };
-
-    std::thread::scope(|s| {
-        for w in 0..workers {
-            let (slots, results, f, next_index) = (&slots, &results, &f, &next_index);
-            s.spawn(move || {
-                while let Some(i) = next_index(w) {
-                    let item = slots[i]
-                        .lock()
-                        .expect("not poisoned")
-                        .take()
-                        .expect("each item taken once");
-                    let r = f(item);
-                    *results[i].lock().expect("not poisoned") = Some(r);
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("not poisoned").expect("filled"))
-        .collect()
 }
 
-/// Runs the full (variant × app) matrix in parallel.
+/// Runs the full (variant × app) matrix through the process-wide engine.
 /// Returns `matrix[variant][app]`.
 fn run_matrix(
     apps: &[&str],
     variants: &[(String, DataL1Config, Option<FaultConfig>)],
     opts: &ExpOptions,
-) -> Vec<Vec<SimResult>> {
-    let jobs: Vec<(usize, usize)> = (0..variants.len())
-        .flat_map(|v| (0..apps.len()).map(move |a| (v, a)))
+) -> Vec<Vec<Arc<SimResult>>> {
+    let configs: Vec<SimConfig> = variants
+        .iter()
+        .flat_map(|(_, dl1, fault)| {
+            apps.iter().map(move |app| {
+                let mut cfg = SimConfig::paper(app, dl1.clone(), opts.instructions, opts.seed);
+                cfg.fault = *fault;
+                cfg
+            })
+        })
         .collect();
-    let results = parallel_map(jobs, |(v, a)| {
-        let (_, dl1, fault) = &variants[v];
-        let mut cfg = SimConfig::paper(apps[a], dl1.clone(), opts.instructions, opts.seed);
-        cfg.fault = *fault;
-        ((v, a), run_sim(&cfg))
-    });
-    let mut matrix: Vec<Vec<Option<SimResult>>> = (0..variants.len())
-        .map(|_| (0..apps.len()).map(|_| None).collect())
-        .collect();
-    for ((v, a), r) in results {
-        matrix[v][a] = Some(r);
-    }
-    matrix
-        .into_iter()
-        .map(|row| row.into_iter().map(|r| r.expect("job ran")).collect())
+    let mut results = Engine::global()
+        .run_batch(configs, &opts.pool())
+        .into_iter();
+    variants
+        .iter()
+        .map(|_| {
+            apps.iter()
+                .map(|_| results.next().expect("job ran"))
+                .collect()
+        })
         .collect()
 }
 
@@ -168,7 +96,7 @@ fn figure_over_apps(
     let mut series = Vec::new();
     for (vi, (label, _, _)) in variants.iter().enumerate() {
         let mut values: Vec<f64> = (0..APP_NAMES.len())
-            .map(|a| metric(&matrix[vi][a], &baseline[a]))
+            .map(|a| metric(matrix[vi][a].as_ref(), baseline[a].as_ref()))
             .collect();
         let avg = values.iter().sum::<f64>() / values.len() as f64;
         values.push(avg);
@@ -442,16 +370,19 @@ const WINDOWS: [u64; 5] = [0, 500, 1000, 5000, 10000];
 /// Figure 10: replication ability and loads-with-replica vs decay window
 /// (vpr, `ICR-P-PS (S)`).
 pub fn fig10(opts: &ExpOptions) -> FigureResult {
-    let jobs: Vec<u64> = WINDOWS.to_vec();
-    let results = parallel_map(jobs, |w| {
-        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
-        dl1.decay = DecayConfig { window: w };
-        // §5.3 runs before the paper switches to dead-first, and its
-        // falling-ability trend requires dead-only victims: a longer
-        // window shrinks the pool of dead lines replicas may take.
-        dl1.victim = VictimPolicy::DeadOnly;
-        run_sim(&SimConfig::paper("vpr", dl1, opts.instructions, opts.seed))
-    });
+    let configs: Vec<SimConfig> = WINDOWS
+        .iter()
+        .map(|&w| {
+            let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+            dl1.decay = DecayConfig { window: w };
+            // §5.3 runs before the paper switches to dead-first, and its
+            // falling-ability trend requires dead-only victims: a longer
+            // window shrinks the pool of dead lines replicas may take.
+            dl1.victim = VictimPolicy::DeadOnly;
+            SimConfig::paper("vpr", dl1, opts.instructions, opts.seed)
+        })
+        .collect();
+    let results = Engine::global().run_batch(configs, &opts.pool());
     FigureResult {
         id: "fig10".into(),
         title: "Replication ability and loads with replica vs decay window (vpr)".into(),
@@ -476,7 +407,7 @@ pub fn fig10(opts: &ExpOptions) -> FigureResult {
 
 /// Figure 11: normalized execution cycles vs decay window (vpr).
 pub fn fig11(opts: &ExpOptions) -> FigureResult {
-    let base = run_sim(&SimConfig::paper(
+    let base = Engine::global().run(&SimConfig::paper(
         "vpr",
         DataL1Config::paper_default(Scheme::BaseP),
         opts.instructions,
@@ -490,13 +421,13 @@ pub fn fig11(opts: &ExpOptions) -> FigureResult {
                 .map(move |s| (w, s))
         })
         .collect();
-    let results = parallel_map(jobs, |(w, s)| {
+    let results = opts.pool().run(jobs, |(w, s)| {
         let mut dl1 = DataL1Config::paper_default(s);
         dl1.decay = DecayConfig { window: w };
         dl1.victim = VictimPolicy::DeadOnly;
         (
             (w, s.name()),
-            run_sim(&SimConfig::paper("vpr", dl1, opts.instructions, opts.seed)),
+            Engine::global().run(&SimConfig::paper("vpr", dl1, opts.instructions, opts.seed)),
         )
     });
     let series_for = |name: &str| -> Vec<f64> {
@@ -633,15 +564,16 @@ pub fn fig14(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize)> = (0..schemes.len())
         .flat_map(|s| (0..FIG14_PROBS.len()).map(move |p| (s, p)))
         .collect();
-    let results = parallel_map(jobs, |(s, p)| {
-        let cfg = SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed)
-            .with_fault(FaultConfig {
-                model: ErrorModel::Random,
-                p_per_cycle: FIG14_PROBS[p],
-                seed: opts.seed.wrapping_add(p as u64),
-                max_faults: None,
-            });
-        ((s, p), run_sim(&cfg))
+    let results = opts.pool().run(jobs, |(s, p)| {
+        let mut cfg =
+            SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed);
+        cfg.fault = Some(FaultConfig {
+            model: ErrorModel::Random,
+            p_per_cycle: FIG14_PROBS[p],
+            seed: opts.seed.wrapping_add(p as u64),
+            max_faults: None,
+        });
+        ((s, p), Engine::global().run(&cfg))
     });
     let series = schemes
         .iter()
@@ -720,7 +652,7 @@ pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize)> = (0..shapes.len())
         .flat_map(|s| (0..apps.len()).map(move |a| (s, a)))
         .collect();
-    let results = parallel_map(jobs, |(s, a)| {
+    let results = opts.pool().run(jobs, |(s, a)| {
         let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
         dl1.geometry = shapes[s].1;
         dl1.placement = PlacementPolicy::vertical(shapes[s].1);
@@ -729,7 +661,7 @@ pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
         dl1.victim = VictimPolicy::DeadOnly;
         (
             (s, a),
-            run_sim(&SimConfig::paper(
+            Engine::global().run(&SimConfig::paper(
                 apps[a],
                 dl1,
                 opts.instructions,
@@ -952,15 +884,16 @@ pub fn error_models(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize)> = (0..schemes.len())
         .flat_map(|s| (0..models.len()).map(move |m| (s, m)))
         .collect();
-    let results = parallel_map(jobs, |(s, m)| {
-        let cfg = SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed)
-            .with_fault(FaultConfig {
-                model: models[m],
-                p_per_cycle: 1e-2,
-                seed: opts.seed,
-                max_faults: None,
-            });
-        ((s, m), run_sim(&cfg))
+    let results = opts.pool().run(jobs, |(s, m)| {
+        let mut cfg =
+            SimConfig::paper("vortex", schemes[s].1.clone(), opts.instructions, opts.seed);
+        cfg.fault = Some(FaultConfig {
+            model: models[m],
+            p_per_cycle: 1e-2,
+            seed: opts.seed,
+            max_faults: None,
+        });
+        ((s, m), Engine::global().run(&cfg))
     });
     let series = schemes
         .iter()
@@ -1112,7 +1045,7 @@ pub fn stability(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize, u64)> = (0..=schemes.len())
         .flat_map(|s| (0..APP_NAMES.len()).flat_map(move |a| (0..SEEDS).map(move |k| (s, a, k))))
         .collect();
-    let results = parallel_map(jobs, |(s, a, k)| {
+    let results = opts.pool().run(jobs, |(s, a, k)| {
         let scheme = if s == 0 {
             Scheme::BaseP
         } else {
@@ -1124,7 +1057,7 @@ pub fn stability(opts: &ExpOptions) -> FigureResult {
             opts.instructions,
             opts.seed.wrapping_add(k.wrapping_mul(7919)),
         );
-        ((s, a, k), run_sim(&cfg).pipeline.cycles)
+        ((s, a, k), Engine::global().run(&cfg).pipeline.cycles)
     });
     let cycles = |s: usize, a: usize, k: u64| -> u64 {
         results
@@ -1187,21 +1120,21 @@ pub fn scrub(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize)> = (0..schemes.len())
         .flat_map(|s| (0..intervals.len()).map(move |i| (s, i)))
         .collect();
-    let results = parallel_map(jobs, |(s, i)| {
+    let results = opts.pool().run(jobs, |(s, i)| {
         let mut cfg = SimConfig::paper(
             "vortex",
             DataL1Config::paper_default(schemes[s].1),
             opts.instructions,
             opts.seed,
-        )
-        .with_fault(fault);
+        );
+        cfg.fault = Some(fault);
         if let Some(interval) = intervals[i] {
-            cfg = cfg.with_scrub(ScrubConfig {
+            cfg.scrub = Some(ScrubConfig {
                 interval,
                 lines_per_step: 64,
             });
         }
-        ((s, i), run_sim(&cfg))
+        ((s, i), Engine::global().run(&cfg))
     });
     let series = schemes
         .iter()
@@ -1256,7 +1189,7 @@ pub fn window(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize)> = (0..ruu_sizes.len())
         .flat_map(|r| (0..schemes.len()).map(move |s| (r, s)))
         .collect();
-    let results = parallel_map(jobs, |(r, s)| {
+    let results = opts.pool().run(jobs, |(r, s)| {
         let mut cfg = SimConfig::paper(
             "gzip",
             DataL1Config::paper_default(schemes[s].1),
@@ -1265,7 +1198,7 @@ pub fn window(opts: &ExpOptions) -> FigureResult {
         );
         cfg.cpu.ruu_size = ruu_sizes[r];
         cfg.cpu.lsq_size = (ruu_sizes[r] / 2).max(4);
-        ((r, s), run_sim(&cfg).pipeline.cycles)
+        ((r, s), Engine::global().run(&cfg).pipeline.cycles)
     });
     let cycles = |r: usize, s: usize| -> u64 {
         results
@@ -1316,7 +1249,7 @@ pub fn dram(opts: &ExpOptions) -> FigureResult {
     let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
         .flat_map(|a| (0..schemes.len()).flat_map(move |s| [false, true].map(move |rb| (a, s, rb))))
         .collect();
-    let results = parallel_map(jobs, |(a, s, rb)| {
+    let results = opts.pool().run(jobs, |(a, s, rb)| {
         let mut cfg = SimConfig::paper(
             apps[a],
             DataL1Config::paper_default(schemes[s].1),
@@ -1326,7 +1259,7 @@ pub fn dram(opts: &ExpOptions) -> FigureResult {
         if rb {
             cfg.hierarchy.memory_row_buffer = Some(RowBufferConfig::default_2003());
         }
-        ((a, s, rb), run_sim(&cfg).pipeline.cycles)
+        ((a, s, rb), Engine::global().run(&cfg).pipeline.cycles)
     });
     let cycles = |a: usize, s: usize, rb: bool| -> u64 {
         results
@@ -1546,13 +1479,8 @@ mod tests {
         ExpOptions {
             instructions: 8_000,
             seed: 7,
+            threads: 0,
         }
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
@@ -1588,6 +1516,7 @@ mod tests {
         let opts = ExpOptions {
             instructions: 5_000,
             seed: 3,
+            threads: 0,
         };
         let r = fig14(&opts);
         r.validate().unwrap();

@@ -1,0 +1,86 @@
+//! The one JSON emission path shared by every report type and binary.
+//!
+//! The workspace deliberately carries no JSON dependency, so serialisation
+//! is hand-rolled — but in exactly one place. [`esc`] and [`num`] are the
+//! primitives every `to_json` builds on (strings escaped per RFC 8259,
+//! non-finite numbers mapped to `null`), and [`write_output`] is the one
+//! `--json <path>` convention the three binaries converge on: a path
+//! writes a file, `-` writes stdout, and both receive identical bytes.
+
+use std::io::Write;
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number; non-finite values become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Writes `json` (plus a trailing newline) to `path`, where `-` means
+/// stdout. This is the `--json <path>` convention shared by `icr-run`,
+/// `icr-exp` and `icr-campaign`; both destinations receive identical
+/// bytes.
+///
+/// # Errors
+///
+/// Returns any I/O error from the destination.
+pub fn write_output(json: &str, path: &str) -> std::io::Result<()> {
+    if path == "-" {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        out.write_all(json.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()
+    } else {
+        std::fs::write(path, format!("{json}\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esc_quotes_and_escapes() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a \"q\"\nb\\c"), r#""a \"q\"\nb\\c""#);
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn num_maps_non_finite_to_null() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn write_output_appends_one_newline_to_files() {
+        let path = std::env::temp_dir().join("icr_json_write_test.json");
+        let path = path.to_str().unwrap();
+        write_output("{}", path).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{}\n");
+        std::fs::remove_file(path).ok();
+    }
+}

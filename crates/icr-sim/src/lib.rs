@@ -8,6 +8,12 @@
 //! evaluation.
 //!
 //! * [`simulator`] — [`SimConfig`] → [`run_sim`] → [`SimResult`];
+//! * [`engine`] — the memoizing execution engine every runner funnels
+//!   through: each distinct cell executes once per process and is shared
+//!   behind `Arc`s, workload traces are materialised once in the
+//!   process-wide `icr_trace::store`;
+//! * [`exec`] — the unified job layer: an order-preserving work-stealing
+//!   [`Pool`] with per-job timing and progress callbacks;
 //! * [`experiment`] — `table1`, `fig1` … `fig17`, `sensitivity`,
 //!   `victim_ablation`;
 //! * [`campaign`] — deterministic parallel Monte-Carlo fault-injection
@@ -39,7 +45,10 @@
 //! ```
 
 pub mod campaign;
+pub mod engine;
+pub mod exec;
 pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod simulator;
 pub mod stats;
@@ -48,8 +57,10 @@ pub mod vuln;
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
 };
+pub use engine::{Engine, EngineStats};
+pub use exec::{JobProgress, Pool};
 pub use experiment::ExpOptions;
 pub use report::{FigureResult, Series};
-pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimResult};
+pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimConfigBuilder, SimResult};
 pub use stats::{wilson_ci95, Summary};
 pub use vuln::{run_vuln, VulnCell, VulnReport, VulnSpec};

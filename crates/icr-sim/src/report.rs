@@ -67,34 +67,12 @@ impl FigureResult {
 }
 
 impl FigureResult {
-    /// Serialises the figure as a compact JSON object (hand-rolled — the
-    /// workspace deliberately carries no JSON dependency). Strings are
-    /// escaped per RFC 8259; non-finite values become `null`.
+    /// Serialises the figure as a compact JSON object via the shared
+    /// [`crate::json`] primitives (the workspace deliberately carries no
+    /// JSON dependency). Strings are escaped per RFC 8259; non-finite
+    /// values become `null`.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            }
-        }
+        use crate::json::{esc, num};
         let xs = self.xs.iter().map(|x| esc(x)).collect::<Vec<_>>().join(",");
         let series = self
             .series

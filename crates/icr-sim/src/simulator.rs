@@ -6,7 +6,6 @@ use icr_cpu::{CpuConfig, DataMemory, InstrMemory, Pipeline, PipelineStats};
 use icr_energy::AccessCounts;
 use icr_fault::{ErrorModel, FaultInjector};
 use icr_mem::{Addr, CacheStats, HierarchyConfig, InstrCache, MemoryBackend};
-use icr_trace::{apps, TraceGenerator};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -49,7 +48,13 @@ pub struct ScrubConfig {
 }
 
 /// A complete simulation configuration.
+///
+/// Construct one with [`SimConfig::paper`] (the paper's machine, the
+/// common case) or [`SimConfig::builder`] (every knob). The struct is
+/// `#[non_exhaustive]`: fields stay readable and assignable, but new
+/// configuration axes can be added without breaking downstream literals.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Core parameters (Table 1 defaults).
     pub cpu: CpuConfig,
@@ -78,41 +83,90 @@ impl SimConfig {
     /// The paper's machine running `app` for `instructions` instructions
     /// with the given dL1.
     pub fn paper(app: &str, dl1: DataL1Config, instructions: u64, seed: u64) -> Self {
-        SimConfig {
-            cpu: CpuConfig::default(),
-            hierarchy: HierarchyConfig::default(),
-            dl1,
-            app: app.to_owned(),
-            instructions,
-            seed,
-            fault: None,
-            scrub: None,
-            vuln_arrival_p: None,
+        SimConfig::builder(app, dl1)
+            .instructions(instructions)
+            .seed(seed)
+            .build()
+    }
+
+    /// A builder over every configuration knob, starting from the
+    /// paper's machine running `app` with the given dL1 for the repo's
+    /// default budget (200k instructions, seed 42).
+    pub fn builder(app: &str, dl1: DataL1Config) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                cpu: CpuConfig::default(),
+                hierarchy: HierarchyConfig::default(),
+                dl1,
+                app: app.to_owned(),
+                instructions: 200_000,
+                seed: 42,
+                fault: None,
+                scrub: None,
+                vuln_arrival_p: None,
+            },
         }
+    }
+}
+
+/// Builds a [`SimConfig`]; obtained from [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Core parameters (defaults to the paper's Table 1 machine).
+    pub fn cpu(mut self, cpu: CpuConfig) -> Self {
+        self.config.cpu = cpu;
+        self
+    }
+
+    /// iL1/L2/memory parameters (defaults to the paper's Table 1).
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.config.hierarchy = hierarchy;
+        self
+    }
+
+    /// Dynamic instructions to simulate.
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.config.instructions = instructions;
+        self
+    }
+
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
     }
 
     /// Adds fault injection.
-    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
-        self.fault = Some(fault);
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = Some(fault);
         self
     }
 
     /// Adds background scrubbing.
-    pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
-        self.scrub = Some(scrub);
+    pub fn scrub(mut self, scrub: ScrubConfig) -> Self {
+        self.config.scrub = Some(scrub);
         self
     }
 
     /// Weights the analytic exposure windows against a geometric
     /// (per-cycle Bernoulli `p`) fault arrival instead of a uniform one.
-    pub fn with_vuln_arrival(mut self, p_per_cycle: f64) -> Self {
-        self.vuln_arrival_p = Some(p_per_cycle);
+    pub fn vuln_arrival(mut self, p_per_cycle: f64) -> Self {
+        self.config.vuln_arrival_p = Some(p_per_cycle);
         self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> SimConfig {
+        self.config
     }
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Workload name.
     pub app: String,
@@ -143,6 +197,84 @@ pub struct SimResult {
     /// run: per-state residency and per-class consumed windows (see
     /// `icr-vuln`).
     pub exposure: icr_core::ExposureWindows,
+}
+
+impl SimResult {
+    /// Serialises the run as one JSON object — the `icr-run --json`
+    /// payload, mirroring the sections of the text report.
+    pub fn to_json(&self) -> String {
+        use crate::json::{esc, num};
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"app\": {},\n", esc(&self.app)));
+        s.push_str(&format!("  \"scheme\": {},\n", esc(&self.scheme)));
+        s.push_str(&format!(
+            "  \"core\": {{\"cycles\": {}, \"committed\": {}, \"ipc\": {}, \
+             \"mispredicts\": {}, \"mispredict_rate\": {}, \"mean_load_latency\": {}}},\n",
+            self.pipeline.cycles,
+            self.pipeline.committed,
+            num(self.pipeline.ipc()),
+            self.pipeline.mispredicts,
+            num(self.pipeline.mispredict_rate()),
+            num(self.pipeline.mean_load_latency()),
+        ));
+        s.push_str(&format!(
+            "  \"dl1\": {{\"accesses\": {}, \"loads\": {}, \"stores\": {}, \
+             \"miss_rate\": {}, \"writebacks\": {}}},\n",
+            self.icr.cache.accesses(),
+            self.icr.cache.read_accesses,
+            self.icr.cache.write_accesses,
+            num(self.icr.miss_rate()),
+            self.icr.writebacks,
+        ));
+        s.push_str(&format!(
+            "  \"replication\": {{\"attempts\": {}, \"ability\": {}, \
+             \"replicas_created\": {}, \"replica_updates\": {}, \"replica_evictions\": {}, \
+             \"loads_with_replica\": {}, \"misses_served_by_replica\": {}}},\n",
+            self.icr.replication_attempts,
+            num(self.icr.replication_ability()),
+            self.icr.replicas_created,
+            self.icr.replica_updates,
+            self.icr.replica_evictions,
+            num(self.icr.loads_with_replica()),
+            self.icr.misses_served_by_replica,
+        ));
+        s.push_str(&format!(
+            "  \"reliability\": {{\"faults_injected\": {}, \"errors_detected\": {}, \
+             \"corrected_ecc\": {}, \"recovered_replica\": {}, \"recovered_l2\": {}, \
+             \"scrub_heals\": {}, \"unrecoverable_loads\": {}, \
+             \"unrecoverable_load_fraction\": {}, \"avg_vulnerable_words\": {}}},\n",
+            self.faults_injected,
+            self.icr.errors_detected,
+            self.icr.errors_corrected_ecc,
+            self.icr.errors_recovered_replica,
+            self.icr.errors_recovered_l2,
+            self.icr.scrub_heals,
+            self.icr.unrecoverable_loads,
+            num(self.icr.unrecoverable_load_fraction()),
+            num(self.avg_vulnerable_words),
+        ));
+        s.push_str(&format!(
+            "  \"memory\": {{\"l2_accesses\": {}, \"l2_miss_rate\": {}, \
+             \"l1i_miss_rate\": {}, \"memory_reads\": {}, \"memory_writes\": {}}},\n",
+            self.l2.accesses(),
+            num(self.l2.miss_rate()),
+            num(self.l1i.miss_rate()),
+            self.memory_reads,
+            self.memory_writes,
+        ));
+        s.push_str(&format!(
+            "  \"energy\": {{\"l1_reads\": {}, \"l1_writes\": {}, \"parity_ops\": {}, \
+             \"ecc_ops\": {}, \"l2_accesses\": {}}}\n",
+            self.energy_counts.l1_reads,
+            self.energy_counts.l1_writes,
+            self.energy_counts.parity_ops,
+            self.energy_counts.ecc_ops,
+            self.energy_counts.l2_accesses,
+        ));
+        s.push('}');
+        s
+    }
 }
 
 /// The machine state shared between the pipeline's two memory ports.
@@ -212,8 +344,10 @@ impl InstrMemory for ImemPort {
 ///
 /// Panics on an invalid configuration or unknown application name.
 pub fn run_sim(config: &SimConfig) -> SimResult {
-    let profile = apps::profile(&config.app);
-    let trace = TraceGenerator::new(profile, config.seed).take(config.instructions as usize);
+    // Traces are pure functions of (app, seed, instructions); the
+    // process-wide store materialises each one once and shares it across
+    // schemes, figures, trials and worker threads.
+    let trace = icr_trace::store::global().get(&config.app, config.seed, config.instructions);
     let mut pipeline = Pipeline::new(config.cpu);
 
     let mut dl1 = DataL1::new(config.dl1.clone());
@@ -237,7 +371,7 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
     }));
 
     let stats = pipeline.run(
-        trace,
+        trace.iter().copied(),
         &mut ImemPort(machine.clone()),
         &mut DmemPort(machine.clone()),
     );
@@ -347,18 +481,16 @@ mod tests {
 
     #[test]
     fn fault_injection_produces_detections() {
-        let cfg = SimConfig::paper(
-            "vortex",
-            DataL1Config::paper_default(Scheme::BaseP),
-            20_000,
-            1,
-        )
-        .with_fault(FaultConfig {
-            model: ErrorModel::Random,
-            p_per_cycle: 0.01,
-            seed: 9,
-            max_faults: None,
-        });
+        let cfg = SimConfig::builder("vortex", DataL1Config::paper_default(Scheme::BaseP))
+            .instructions(20_000)
+            .seed(1)
+            .fault(FaultConfig {
+                model: ErrorModel::Random,
+                p_per_cycle: 0.01,
+                seed: 9,
+                max_faults: None,
+            })
+            .build();
         let r = run_sim(&cfg);
         assert!(r.faults_injected > 0);
         assert!(

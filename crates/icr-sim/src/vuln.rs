@@ -10,8 +10,9 @@
 //! roughly two orders of magnitude cheaper than the campaign it
 //! cross-validates against (see `icr-sim/tests/vuln_validation.rs`).
 
-use crate::experiment::parallel_map_with_threads;
-use crate::simulator::{run_sim, SimConfig};
+use crate::engine::Engine;
+use crate::exec::Pool;
+use crate::simulator::SimConfig;
 use icr_core::{
     DataL1Config, ErrorOutcome, ExposureWindows, ProtState, Scheme, VulnClass, VulnModel,
 };
@@ -115,28 +116,24 @@ pub struct VulnReport {
 /// Panics on an empty spec or an unknown application name.
 pub fn run_vuln(spec: &VulnSpec) -> VulnReport {
     spec.validate();
-    let threads = if spec.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        spec.threads
-    };
+    let pool = Pool::new(spec.threads);
     let jobs: Vec<(Scheme, String)> = spec
         .schemes
         .iter()
         .flat_map(|&s| spec.apps.iter().map(move |a| (s, a.clone())))
         .collect();
-    let cells = parallel_map_with_threads(jobs, threads, |(scheme, app)| {
+    // The engine memoizes each cell: one a figure runner already
+    // produced (or a repeated sweep) costs one cache hit.
+    let cells = pool.run(jobs, |(scheme, app)| {
         let dl1 = DataL1Config::paper_default(scheme);
         let mut cfg = SimConfig::paper(&app, dl1, spec.instructions, spec.seed);
         cfg.vuln_arrival_p = spec.arrival_p;
-        let r = run_sim(&cfg);
+        let r = Engine::global().run(&cfg);
         VulnCell {
             scheme,
             app,
             cycles: r.pipeline.cycles,
-            windows: r.exposure,
+            windows: r.exposure.clone(),
         }
     });
     VulnReport {
@@ -205,35 +202,12 @@ impl VulnReport {
         out
     }
 
-    /// The report as JSON. Hand-rolled like `CampaignReport::to_json`
+    /// The report as JSON, via the shared [`crate::json`] primitives
     /// (the workspace deliberately carries no JSON dependency) and free
     /// of timing or host information, so two runs of the same spec
     /// produce byte-identical files.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            }
-        }
+        use crate::json::{esc, num};
         let spec = &self.spec;
         let schemes = spec
             .schemes

@@ -1,0 +1,44 @@
+//! The memoizing engine must be invisible in the numbers: a warm,
+//! multi-threaded regeneration of every figure serialises to exactly the
+//! bytes the cold single-threaded pass produced, and the warm pass
+//! re-simulates no fault-free cell.
+
+use icr_sim::engine::Engine;
+use icr_sim::experiment::{all_figures, ExpOptions};
+
+#[test]
+fn warm_figures_are_byte_identical_to_cold_run() {
+    let cold_opts = ExpOptions {
+        instructions: 4_000,
+        seed: 42,
+        threads: 1,
+    };
+    let cold: Vec<String> = all_figures(&cold_opts)
+        .iter()
+        .map(|f| f.to_json())
+        .collect();
+    let after_cold = Engine::global().stats();
+
+    let warm_opts = ExpOptions {
+        threads: 0,
+        ..cold_opts
+    };
+    let warm: Vec<String> = all_figures(&warm_opts)
+        .iter()
+        .map(|f| f.to_json())
+        .collect();
+    let after_warm = Engine::global().stats();
+
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c, w, "cached figure JSON must be byte-identical");
+    }
+    assert_eq!(
+        after_warm.run_misses, after_cold.run_misses,
+        "the warm pass must not simulate any fault-free cell again"
+    );
+    assert!(
+        after_warm.run_hits > after_cold.run_hits,
+        "the warm pass is served from the run cache"
+    );
+}

@@ -33,8 +33,10 @@ pub mod generator;
 pub mod inst;
 pub mod profile;
 pub mod stats;
+pub mod store;
 
 pub use generator::{TraceGenerator, INST_BYTES};
 pub use inst::{Inst, OpClass, Reg};
 pub use profile::{AppProfile, BranchProfile, LocalityProfile, OpMix};
 pub use stats::TraceStats;
+pub use store::{TraceKey, WorkloadStore};

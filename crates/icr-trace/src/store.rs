@@ -1,0 +1,200 @@
+//! A process-wide, content-keyed store of materialised workload traces.
+//!
+//! Every simulation used to expand its `(app, seed, instructions)` trace
+//! from the generator on the spot — once per scheme, per figure, per
+//! campaign trial and per worker thread, even though the expansion is a
+//! pure function of the key. The [`WorkloadStore`] materialises each
+//! distinct trace exactly once behind an `Arc<[Inst]>` and hands the same
+//! allocation to every caller, across threads:
+//!
+//! * equal keys return pointer-equal traces (`Arc::ptr_eq`);
+//! * distinct keys return distinct traces;
+//! * concurrent first requests for one key generate it once — late
+//!   arrivals block on the winner instead of duplicating the work.
+//!
+//! ```
+//! use icr_trace::store;
+//!
+//! let a = store::global().get("gzip", 42, 1_000);
+//! let b = store::global().get("gzip", 42, 1_000);
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! assert_eq!(a.len(), 1_000);
+//! ```
+
+use crate::apps;
+use crate::generator::TraceGenerator;
+use crate::inst::Inst;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The identity of a materialised trace. Two keys are equal exactly when
+/// the traces they name are equal, because generation is a pure function
+/// of `(app profile, seed)` truncated to `instructions`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Application name (one of [`crate::apps::APP_NAMES`] or
+    /// [`crate::apps::EXTENDED_APP_NAMES`]).
+    pub app: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Dynamic instructions materialised.
+    pub instructions: u64,
+}
+
+/// Thread-safe store of materialised traces; see the module docs.
+///
+/// The store is unbounded: every distinct key stays resident for the
+/// lifetime of the store. At the repo's experiment scale this is tens of
+/// traces (a few hundred MB at the default 200k-instruction budget),
+/// traded deliberately for never generating a trace twice.
+/// A shared once-initialised slot for one trace: cloned out of the map so
+/// materialisation runs without holding the map lock.
+type TraceSlot = Arc<OnceLock<Arc<[Inst]>>>;
+
+#[derive(Debug, Default)]
+pub struct WorkloadStore {
+    traces: Mutex<HashMap<TraceKey, TraceSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorkloadStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        WorkloadStore::default()
+    }
+
+    /// The trace for `(app, seed, instructions)`, materialising it on
+    /// first request and returning the shared allocation afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown application name (like
+    /// [`apps::profile`]).
+    pub fn get(&self, app: &str, seed: u64, instructions: u64) -> Arc<[Inst]> {
+        let key = TraceKey {
+            app: app.to_owned(),
+            seed,
+            instructions,
+        };
+        let slot = {
+            let mut traces = self.traces.lock().expect("not poisoned");
+            if let Some(slot) = traces.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.clone()
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot = Arc::new(OnceLock::new());
+                traces.insert(key.clone(), slot.clone());
+                slot
+            }
+        };
+        // Materialise outside the map lock so one slow expansion cannot
+        // serialise unrelated keys; concurrent requests for *this* key
+        // block here until the winner finishes.
+        slot.get_or_init(|| {
+            TraceGenerator::new(apps::profile(&key.app), key.seed)
+                .take(key.instructions as usize)
+                .collect()
+        })
+        .clone()
+    }
+
+    /// Lookups that found an already-requested key.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to materialise a new trace.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct traces resident.
+    pub fn len(&self) -> usize {
+        self.traces.lock().expect("not poisoned").len()
+    }
+
+    /// `true` when no trace has been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes held by resident traces (instruction payload only).
+    pub fn resident_bytes(&self) -> usize {
+        self.traces
+            .lock()
+            .expect("not poisoned")
+            .values()
+            .filter_map(|slot| slot.get())
+            .map(|t| t.len() * std::mem::size_of::<Inst>())
+            .sum()
+    }
+}
+
+/// The process-wide store every simulation shares.
+pub fn global() -> &'static WorkloadStore {
+    static STORE: OnceLock<WorkloadStore> = OnceLock::new();
+    STORE.get_or_init(WorkloadStore::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_share_one_allocation() {
+        let store = WorkloadStore::new();
+        let a = store.get("gzip", 1, 500);
+        let b = store.get("gzip", 1, 500);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_traces() {
+        let store = WorkloadStore::new();
+        let base = store.get("gzip", 1, 500);
+        for (app, seed, n) in [("gzip", 2, 500), ("vpr", 1, 500), ("gzip", 1, 400)] {
+            let other = store.get(app, seed, n);
+            assert!(!Arc::ptr_eq(&base, &other), "{app}/{seed}/{n}");
+        }
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn store_matches_direct_generation() {
+        let store = WorkloadStore::new();
+        let stored = store.get("mcf", 7, 2_000);
+        let direct: Vec<Inst> = TraceGenerator::new(apps::profile("mcf"), 7)
+            .take(2_000)
+            .collect();
+        assert_eq!(&stored[..], &direct[..]);
+    }
+
+    #[test]
+    fn concurrent_first_requests_materialise_once() {
+        let store = WorkloadStore::new();
+        let traces: Vec<Arc<[Inst]>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.get("parser", 3, 1_000)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits() + store.misses(), 8);
+    }
+
+    #[test]
+    fn resident_bytes_counts_payload() {
+        let store = WorkloadStore::new();
+        store.get("art", 1, 100);
+        assert_eq!(store.resident_bytes(), 100 * std::mem::size_of::<Inst>());
+    }
+}

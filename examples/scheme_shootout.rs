@@ -6,7 +6,7 @@
 //! ```
 
 use icr::core::{DataL1Config, Scheme};
-use icr::sim::experiment::parallel_map;
+use icr::sim::exec::parallel_map;
 use icr::sim::{run_sim, SimConfig};
 use icr::trace::apps::APP_NAMES;
 

@@ -35,13 +35,16 @@ fn main() {
             "model", "injected", "detected", "ECC-fix", "replica", "L2-fetch", "lost loads"
         );
         for model in ErrorModel::all() {
-            let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, 7)
-                .with_fault(FaultConfig {
+            let cfg = SimConfig::builder(app, DataL1Config::paper_default(scheme))
+                .instructions(instructions)
+                .seed(7)
+                .fault(FaultConfig {
                     model,
                     p_per_cycle: p,
                     seed: 99,
                     max_faults: None,
-                });
+                })
+                .build();
             let r = run_sim(&cfg);
             println!(
                 "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",

@@ -15,7 +15,7 @@
 //! | [`fault`] | transient-fault injection (direct/adjacent/column/random) |
 //! | [`vuln`] | analytic vulnerability-window (AVF) accounting: single-pass exposure ledger, arrival weighting, FIT/MTTF model |
 //! | [`energy`] | CACTI-style dynamic-energy accounting |
-//! | [`sim`] | the assembled machine, one runner per table/figure, the Monte-Carlo fault-injection campaign engine, and the analytic vulnerability profiler |
+//! | [`sim`] | the assembled machine, one runner per table/figure, the memoizing execution engine + job pool behind them, the Monte-Carlo fault-injection campaign engine, and the analytic vulnerability profiler |
 //!
 //! # Quickstart
 //!

@@ -6,24 +6,22 @@
 use icr::core::{DataL1Config, Scheme};
 use icr::fault::ErrorModel;
 use icr::sim::campaign::{run_campaign, CampaignSpec};
-use icr::sim::experiment::parallel_map_with_threads;
+use icr::sim::exec::parallel_map_with_threads;
 use icr::sim::{run_sim, FaultConfig, SimConfig};
 
 /// A faulty ICR run, debug-formatted: `SimResult` carries every counter
 /// the simulator produces, so equal strings mean equal runs.
 fn faulty_run(seed: u64) -> String {
-    let cfg = SimConfig::paper(
-        "gcc",
-        DataL1Config::paper_default(Scheme::icr_p_ps_s()),
-        20_000,
-        seed,
-    )
-    .with_fault(FaultConfig {
-        model: ErrorModel::Random,
-        p_per_cycle: 1e-4,
-        seed: seed ^ 0xD1CE,
-        max_faults: None,
-    });
+    let cfg = SimConfig::builder("gcc", DataL1Config::paper_default(Scheme::icr_p_ps_s()))
+        .instructions(20_000)
+        .seed(seed)
+        .fault(FaultConfig {
+            model: ErrorModel::Random,
+            p_per_cycle: 1e-4,
+            seed: seed ^ 0xD1CE,
+            max_faults: None,
+        })
+        .build();
     format!("{:?}", run_sim(&cfg))
 }
 

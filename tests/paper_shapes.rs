@@ -99,8 +99,11 @@ fn error_recovery_ordering_matches_figure_14() {
     };
     let run = |scheme: Scheme| {
         run_sim(
-            &SimConfig::paper("vortex", DataL1Config::paper_default(scheme), N, SEED)
-                .with_fault(fault),
+            &SimConfig::builder("vortex", DataL1Config::paper_default(scheme))
+                .instructions(N)
+                .seed(SEED)
+                .fault(fault)
+                .build(),
         )
     };
     let base_p = run(Scheme::BaseP);
@@ -222,18 +225,19 @@ fn power2_fallback_never_hurts_coverage() {
 /// Full-machine determinism: identical config ⇒ identical results.
 #[test]
 fn runs_are_deterministic() {
-    let cfg = SimConfig::paper(
+    let cfg = SimConfig::builder(
         "parser",
         DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
-        30_000,
-        123,
     )
-    .with_fault(FaultConfig {
+    .instructions(30_000)
+    .seed(123)
+    .fault(FaultConfig {
         model: ErrorModel::Adjacent,
         p_per_cycle: 1e-3,
         seed: 5,
         max_faults: None,
-    });
+    })
+    .build();
     let a = run_sim(&cfg);
     let b = run_sim(&cfg);
     assert_eq!(a.pipeline, b.pipeline);
