@@ -3,11 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build campaign clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build campaign audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
-## plus a build-only check of the bench targets.
-verify: build test fmt-check clippy doc bench-engine-build
+## plus a build-only check of the bench targets and a lockstep audit of
+## the full scheme × app matrix against the icr-check reference model.
+verify: build test fmt-check clippy doc bench-engine-build audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -49,6 +50,11 @@ bench-engine-build:
 ## A 1,200-trial deterministic fault-injection campaign.
 campaign:
 	$(CARGO) run --release -p icr-sim --bin icr-campaign -- --trials 100
+
+## Lockstep reference-model audit: every dL1 access of the full paper
+## scheme × app matrix diffed against the naive icr-check model.
+audit:
+	$(CARGO) run --release -p icr-sim --bin icr-exp -- audit --insts 5000
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,909 @@
+//! The naive reference dL1: §3 semantics in the most literal form
+//! possible, diffed against the real cache's exported state.
+
+use crate::write_buffer::{RealWriteBuffer, RefWriteBuffer};
+use std::collections::HashMap;
+
+/// Protection state of a line, as a plain enum ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefProtection {
+    /// Parity (replicated blocks, and the parity-base schemes).
+    Parity,
+    /// SEC-DED (unreplicated blocks under the ECC schemes).
+    SecDed,
+}
+
+/// Replica victim-selection policy (§3.1): which resident lines may be
+/// displaced to make room for a replica. Primaries that are alive are
+/// never displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefVictim {
+    /// Only dead primaries, one pass.
+    DeadOnly,
+    /// Dead primaries first, then replicas.
+    DeadFirst,
+    /// Replicas first, then dead primaries.
+    ReplicaFirst,
+    /// Only replicas, one pass.
+    ReplicaOnly,
+}
+
+/// Configuration of the write-through coalescing buffer (§5.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefWriteBufferConfig {
+    /// Buffer entries.
+    pub capacity: usize,
+    /// Cycles of L2 time per retiring entry.
+    pub service_latency: u64,
+}
+
+/// Everything the reference model needs to know about the cache under
+/// audit, in plain types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Block size in bytes (a power of two).
+    pub block_bytes: u64,
+    /// Whether the scheme replicates at all (ICR vs the Base* schemes).
+    pub replicates: bool,
+    /// Whether load misses also trigger replication (the `LS` trigger).
+    pub replicate_on_load_miss: bool,
+    /// Protection of unreplicated blocks (replicated blocks always use
+    /// parity).
+    pub unreplicated: RefProtection,
+    /// Dead-block decay window in cycles (`0` = dead immediately).
+    pub decay_window: u64,
+    /// Replica victim policy.
+    pub victim: RefVictim,
+    /// Placement attempt list: signed set distances from the home set,
+    /// tried in order.
+    pub distances: Vec<i64>,
+    /// Replica count ceiling per block.
+    pub max_replicas: usize,
+    /// §5.6 mode: replicas survive their primary's eviction and may
+    /// serve later misses.
+    pub keep_replicas_on_evict: bool,
+    /// `Some` exactly when the dL1 is write-through (with its buffer).
+    pub write_buffer: Option<RefWriteBufferConfig>,
+}
+
+impl RefConfig {
+    fn block_of(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        ((block / self.block_bytes) as usize) & (self.sets - 1)
+    }
+
+    fn candidate_sets(&self, home: usize) -> Vec<usize> {
+        let n = self.sets as i64;
+        self.distances
+            .iter()
+            .map(|&k| (home as i64 + k).rem_euclid(n) as usize)
+            .collect()
+    }
+}
+
+/// The 2-bit decay counter value, recomputed from scratch: one tick per
+/// `window / 4` cycles for the first three ticks, saturation (3) exactly
+/// at the full window. `window == 0` is always saturated.
+pub fn ref_decay_counter(window: u64, last_access: u64, now: u64) -> u8 {
+    if window == 0 {
+        return 3;
+    }
+    let elapsed = now.saturating_sub(last_access);
+    if elapsed >= window {
+        3
+    } else {
+        let tick = (window / 4).max(1);
+        ((elapsed / tick) as u8).min(2)
+    }
+}
+
+/// Dead exactly when the counter has saturated.
+pub fn ref_is_dead(window: u64, last_access: u64, now: u64) -> bool {
+    ref_decay_counter(window, last_access, now) == 3
+}
+
+/// One valid line of the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefLine {
+    /// Block address.
+    pub addr: u64,
+    /// Modified since fill.
+    pub dirty: bool,
+    /// Replica (vs primary).
+    pub replica: bool,
+    /// Current protection code.
+    pub prot: RefProtection,
+    /// Cycle of the last access (decay state).
+    pub last_access: u64,
+}
+
+/// The statistics both sides must agree on, counter for counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Loads issued.
+    pub read_accesses: u64,
+    /// Loads that hit a resident primary.
+    pub read_hits: u64,
+    /// Stores issued.
+    pub write_accesses: u64,
+    /// Stores that hit a resident primary.
+    pub write_hits: u64,
+    /// Primary lines installed.
+    pub fills: u64,
+    /// Valid primaries displaced.
+    pub evictions: u64,
+    /// Dirty primaries written back.
+    pub writebacks: u64,
+    /// Replica lines installed.
+    pub replicas_created: u64,
+    /// Replica lines displaced or dropped.
+    pub replica_evictions: u64,
+    /// In-place replica updates on stores.
+    pub replica_updates: u64,
+    /// Replication attempts (triggering events with a nonzero target).
+    pub replication_attempts: u64,
+    /// Attempts that created at least one new replica.
+    pub replication_with_one: u64,
+    /// Attempts that left the block with two or more replicas.
+    pub replication_with_two: u64,
+    /// Load hits whose block had a replica at access time.
+    pub read_hits_with_replica: u64,
+    /// §5.6: load misses served by a surviving replica.
+    pub misses_served_by_replica: u64,
+}
+
+impl Counters {
+    /// The counters as (name, value) pairs, for diffing with names.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
+        [
+            ("read_accesses", self.read_accesses),
+            ("read_hits", self.read_hits),
+            ("write_accesses", self.write_accesses),
+            ("write_hits", self.write_hits),
+            ("fills", self.fills),
+            ("evictions", self.evictions),
+            ("writebacks", self.writebacks),
+            ("replicas_created", self.replicas_created),
+            ("replica_evictions", self.replica_evictions),
+            ("replica_updates", self.replica_updates),
+            ("replication_attempts", self.replication_attempts),
+            ("replication_with_one", self.replication_with_one),
+            ("replication_with_two", self.replication_with_two),
+            ("read_hits_with_replica", self.read_hits_with_replica),
+            ("misses_served_by_replica", self.misses_served_by_replica),
+        ]
+    }
+}
+
+/// One valid line of the real cache, as exported for the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealLine {
+    /// Set index.
+    pub set: usize,
+    /// Way index.
+    pub way: usize,
+    /// Block address.
+    pub addr: u64,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Replica flag.
+    pub replica: bool,
+    /// Protection code on the stored words.
+    pub prot: RefProtection,
+    /// Decay state: cycle of the last access.
+    pub last_access: u64,
+    /// The 2-bit decay counter *as the real implementation computes it*.
+    pub counter: u8,
+    /// Deadness *as the real implementation computes it*.
+    pub dead: bool,
+}
+
+/// A full observable-state snapshot of the real cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealState {
+    /// Every valid line, in any order.
+    pub lines: Vec<RealLine>,
+    /// Per-set recency order, most-recently-used way first.
+    pub recency: Vec<Vec<usize>>,
+    /// The statistics counters.
+    pub counters: Counters,
+    /// Write-buffer state (write-through configurations only).
+    pub write_buffer: Option<RealWriteBuffer>,
+}
+
+/// The naive reference dL1. Drive it with the same [`load`] / [`store`]
+/// stream as the real cache, then [`check`] the real cache's exported
+/// state after every access.
+///
+/// [`load`]: RefModel::load
+/// [`store`]: RefModel::store
+/// [`check`]: RefModel::check
+#[derive(Debug, Clone)]
+pub struct RefModel {
+    cfg: RefConfig,
+    /// `lines[set][way]`.
+    lines: Vec<Vec<Option<RefLine>>>,
+    /// Per-set way order, most-recently-used first.
+    recency: Vec<Vec<usize>>,
+    /// The replica ledger: block address → sets currently holding a
+    /// replica of it. Redundant with the lines (and cross-checked
+    /// against a scan on every diff) — that redundancy is the point.
+    replica_map: HashMap<u64, Vec<usize>>,
+    /// The model's own statistics.
+    pub counters: Counters,
+    wb: Option<RefWriteBuffer>,
+    /// Counters seen at the previous check, for the monotonicity
+    /// invariant.
+    prev_counters: Option<Counters>,
+}
+
+impl RefModel {
+    /// An empty reference cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is degenerate (zero sets/ways, non-power-of-2
+    /// sets or block size).
+    pub fn new(cfg: RefConfig) -> Self {
+        assert!(cfg.sets > 0 && cfg.sets.is_power_of_two(), "sets");
+        assert!(cfg.ways > 0, "ways");
+        assert!(
+            cfg.block_bytes > 0 && cfg.block_bytes.is_power_of_two(),
+            "block bytes"
+        );
+        RefModel {
+            lines: vec![vec![None; cfg.ways]; cfg.sets],
+            recency: vec![(0..cfg.ways).collect(); cfg.sets],
+            replica_map: HashMap::new(),
+            counters: Counters::default(),
+            wb: cfg
+                .write_buffer
+                .map(|w| RefWriteBuffer::new(w.capacity, w.service_latency)),
+            cfg,
+            prev_counters: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RefConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Naive lookups: always a linear scan.
+    // ------------------------------------------------------------------
+
+    fn find_primary(&self, block: u64) -> Option<(usize, usize)> {
+        let s = self.cfg.set_of(block);
+        self.lines[s]
+            .iter()
+            .position(|l| matches!(l, Some(l) if !l.replica && l.addr == block))
+            .map(|w| (s, w))
+    }
+
+    /// Replica locations by scanning the candidate sets, in placement
+    /// order — the ground truth the [`replica_map`] ledger is checked
+    /// against.
+    ///
+    /// [`replica_map`]: RefModel::check
+    fn find_replicas(&self, block: u64) -> Vec<(usize, usize)> {
+        let home = self.cfg.set_of(block);
+        let mut out = Vec::new();
+        for set in self.cfg.candidate_sets(home) {
+            for (w, l) in self.lines[set].iter().enumerate() {
+                if matches!(l, Some(l) if l.replica && l.addr == block) {
+                    out.push((set, w));
+                }
+            }
+        }
+        out
+    }
+
+    fn has_replica(&self, block: u64) -> bool {
+        if !self.cfg.replicates {
+            return false;
+        }
+        self.replica_map.get(&block).is_some_and(|s| !s.is_empty())
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        let order = &mut self.recency[set];
+        let pos = order.iter().position(|&w| w == way).expect("way tracked");
+        let w = order.remove(pos);
+        order.insert(0, w);
+    }
+
+    // ------------------------------------------------------------------
+    // State transitions, mirrored one for one from §3.
+    // ------------------------------------------------------------------
+
+    fn evict_line(&mut self, set: usize, way: usize) {
+        let Some(line) = self.lines[set][way].take() else {
+            return;
+        };
+        if line.replica {
+            self.counters.replica_evictions += 1;
+            if let Some(sets) = self.replica_map.get_mut(&line.addr) {
+                sets.retain(|&s| s != set);
+                if sets.is_empty() {
+                    self.replica_map.remove(&line.addr);
+                }
+            }
+            // Last replica gone: a resident primary reverts to the
+            // unreplicated code.
+            if !self.has_replica(line.addr) {
+                if let Some((ps, pw)) = self.find_primary(line.addr) {
+                    let prot = self.cfg.unreplicated;
+                    self.lines[ps][pw].as_mut().expect("primary found").prot = prot;
+                }
+            }
+        } else {
+            self.counters.evictions += 1;
+            if line.dirty {
+                self.counters.writebacks += 1;
+            }
+            if !self.cfg.keep_replicas_on_evict {
+                for (rs, rw) in self.find_replicas(line.addr) {
+                    self.lines[rs][rw] = None;
+                    self.counters.replica_evictions += 1;
+                }
+                self.replica_map.remove(&line.addr);
+            }
+        }
+    }
+
+    fn fill_primary(&mut self, block: u64, dirty: bool, now: u64) -> (usize, usize) {
+        let s = self.cfg.set_of(block);
+        let way = match self.lines[s].iter().position(|l| l.is_none()) {
+            Some(w) => w,
+            None => *self.recency[s].last().expect("ways > 0"),
+        };
+        self.evict_line(s, way);
+        let prot = if self.has_replica(block) {
+            RefProtection::Parity
+        } else {
+            self.cfg.unreplicated
+        };
+        self.lines[s][way] = Some(RefLine {
+            addr: block,
+            dirty,
+            replica: false,
+            prot,
+            last_access: now,
+        });
+        self.touch(s, way);
+        self.counters.fills += 1;
+        (s, way)
+    }
+
+    fn choose_replica_victim(&self, set: usize, block: u64, now: u64) -> Option<usize> {
+        if let Some(w) = self.lines[set].iter().position(|l| l.is_none()) {
+            return Some(w);
+        }
+        let dead_primary = |l: &RefLine| {
+            l.addr != block && !l.replica && ref_is_dead(self.cfg.decay_window, l.last_access, now)
+        };
+        let replica = |l: &RefLine| l.addr != block && l.replica;
+        let passes: [&dyn Fn(&RefLine) -> bool; 2] = match self.cfg.victim {
+            RefVictim::DeadOnly => [&dead_primary, &|_: &RefLine| false],
+            RefVictim::DeadFirst => [&dead_primary, &replica],
+            RefVictim::ReplicaFirst => [&replica, &dead_primary],
+            RefVictim::ReplicaOnly => [&replica, &|_: &RefLine| false],
+        };
+        for pass in passes {
+            // LRU-first scan, restricted to the lines this pass allows.
+            for &w in self.recency[set].iter().rev() {
+                if self.lines[set][w].as_ref().is_some_and(pass) {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+
+    fn attempt_replication(&mut self, block: u64, now: u64) {
+        let Some((ps, pw)) = self.find_primary(block) else {
+            return;
+        };
+        let home = self.cfg.set_of(block);
+        let candidates = self.cfg.candidate_sets(home);
+        let max = self.cfg.max_replicas.min(candidates.len());
+        if max == 0 {
+            return;
+        }
+        let mut count = self.find_replicas(block).len();
+        let had_none = count == 0;
+        let count_before = count;
+        for target in candidates {
+            if count >= max {
+                break;
+            }
+            // One replica per set.
+            let already_here = self.lines[target]
+                .iter()
+                .any(|l| matches!(l, Some(l) if l.replica && l.addr == block));
+            if already_here {
+                continue;
+            }
+            if let Some(way) = self.choose_replica_victim(target, block, now) {
+                self.evict_line(target, way);
+                self.lines[target][way] = Some(RefLine {
+                    addr: block,
+                    dirty: false,
+                    replica: true,
+                    prot: RefProtection::Parity,
+                    last_access: now,
+                });
+                self.replica_map.entry(block).or_default().push(target);
+                self.touch(target, way);
+                self.counters.replicas_created += 1;
+                count += 1;
+            }
+        }
+        // First replica: the primary switches to parity.
+        if had_none && count > 0 {
+            self.lines[ps][pw].as_mut().expect("primary resident").prot = RefProtection::Parity;
+        }
+        self.counters.replication_attempts += 1;
+        if count - count_before >= 1 {
+            self.counters.replication_with_one += 1;
+            if count >= 2 {
+                self.counters.replication_with_two += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two access operations (fault-free paths of the real cache).
+    // ------------------------------------------------------------------
+
+    /// Mirrors a load of `addr` at cycle `now`.
+    pub fn load(&mut self, addr: u64, now: u64) {
+        let block = self.cfg.block_of(addr);
+        self.counters.read_accesses += 1;
+        if let Some((s, w)) = self.find_primary(block) {
+            self.counters.read_hits += 1;
+            if self.has_replica(block) {
+                self.counters.read_hits_with_replica += 1;
+            }
+            self.touch(s, w);
+            self.lines[s][w].as_mut().expect("hit").last_access = now;
+            return;
+        }
+        // Miss. In §5.6 mode a surviving replica can serve it.
+        if self.cfg.keep_replicas_on_evict {
+            if let Some(&(rs, rw)) = self.find_replicas(block).first() {
+                self.counters.misses_served_by_replica += 1;
+                self.touch(rs, rw);
+                self.lines[rs][rw].as_mut().expect("replica").last_access = now;
+                self.fill_primary(block, false, now);
+                if self.cfg.replicate_on_load_miss {
+                    self.attempt_replication(block, now);
+                }
+                return;
+            }
+        }
+        self.fill_primary(block, false, now);
+        if self.cfg.replicate_on_load_miss {
+            self.attempt_replication(block, now);
+        }
+    }
+
+    /// Mirrors a store to `addr` at cycle `now`.
+    pub fn store(&mut self, addr: u64, now: u64) {
+        let block = self.cfg.block_of(addr);
+        let write_through = self.cfg.write_buffer.is_some();
+        self.counters.write_accesses += 1;
+        match self.find_primary(block) {
+            Some((s, w)) => {
+                self.counters.write_hits += 1;
+                let line = self.lines[s][w].as_mut().expect("hit");
+                line.dirty = !write_through;
+                line.last_access = now;
+                self.touch(s, w);
+            }
+            None if !write_through => {
+                // Write-allocate: fill clean, then dirty the line.
+                let (s, w) = self.fill_primary(block, false, now);
+                self.lines[s][w].as_mut().expect("filled").dirty = true;
+            }
+            None => {
+                // Write-through no-allocate: nothing installed.
+            }
+        }
+        if self.cfg.replicates && self.find_primary(block).is_some() {
+            for (rs, rw) in self.find_replicas(block) {
+                let line = self.lines[rs][rw].as_mut().expect("replica");
+                line.last_access = now;
+                self.touch(rs, rw);
+                self.counters.replica_updates += 1;
+            }
+            // Stores always trigger a replication attempt.
+            self.attempt_replication(block, now);
+        }
+        if let Some(wb) = &mut self.wb {
+            wb.push(now, block);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The diff.
+    // ------------------------------------------------------------------
+
+    /// Diffs the real cache's exported state against the model and
+    /// asserts the conservation invariants. Call after every access,
+    /// with the access's cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence or violated
+    /// invariant.
+    pub fn check(&mut self, now: u64, real: &RealState) -> Result<(), String> {
+        self.check_counters(real)?;
+        self.check_lines(now, real)?;
+        self.check_recency(real)?;
+        self.check_replica_invariants(real)?;
+        match (&self.wb, &real.write_buffer) {
+            (Some(model_wb), Some(real_wb)) => model_wb.check(real_wb)?,
+            (Some(_), None) => {
+                return Err("model has a write buffer, real cache exports none".into())
+            }
+            (None, Some(_)) => {
+                return Err("real cache exports a write buffer, model has none".into())
+            }
+            (None, None) => {}
+        }
+        self.prev_counters = Some(real.counters);
+        Ok(())
+    }
+
+    fn check_counters(&self, real: &RealState) -> Result<(), String> {
+        // Monotonicity: statistics never decrease between checks.
+        if let Some(prev) = &self.prev_counters {
+            for ((name, cur), (_, before)) in real.counters.fields().iter().zip(prev.fields()) {
+                if *cur < before {
+                    return Err(format!("counter {name} went backwards: {before} -> {cur}"));
+                }
+            }
+        }
+        // Conservation: hits never exceed accesses (misses = accesses -
+        // hits stays meaningful).
+        let c = &real.counters;
+        if c.read_hits > c.read_accesses {
+            return Err(format!(
+                "read_hits {} > read_accesses {}",
+                c.read_hits, c.read_accesses
+            ));
+        }
+        if c.write_hits > c.write_accesses {
+            return Err(format!(
+                "write_hits {} > write_accesses {}",
+                c.write_hits, c.write_accesses
+            ));
+        }
+        // Exact agreement with the model, counter for counter — this is
+        // where a real hit the model predicts as a miss (or vice versa)
+        // surfaces.
+        for ((name, real_v), (_, model_v)) in
+            real.counters.fields().iter().zip(self.counters.fields())
+        {
+            if *real_v != model_v {
+                return Err(format!(
+                    "counter {name} diverged: real {real_v}, reference {model_v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_lines(&self, now: u64, real: &RealState) -> Result<(), String> {
+        let mut seen = vec![vec![false; self.cfg.ways]; self.cfg.sets];
+        for rl in &real.lines {
+            if rl.set >= self.cfg.sets || rl.way >= self.cfg.ways {
+                return Err(format!("exported line out of range: {rl:?}"));
+            }
+            if std::mem::replace(&mut seen[rl.set][rl.way], true) {
+                return Err(format!("line ({}, {}) exported twice", rl.set, rl.way));
+            }
+            let Some(ml) = &self.lines[rl.set][rl.way] else {
+                return Err(format!(
+                    "real line ({}, {}) addr {:#x} has no reference counterpart",
+                    rl.set, rl.way, rl.addr
+                ));
+            };
+            if (ml.addr, ml.dirty, ml.replica, ml.prot, ml.last_access)
+                != (rl.addr, rl.dirty, rl.replica, rl.prot, rl.last_access)
+            {
+                return Err(format!(
+                    "line ({}, {}) diverged:\n  real      {rl:?}\n  reference {ml:?}",
+                    rl.set, rl.way
+                ));
+            }
+            // Decay cross-check: the real counter/deadness must match the
+            // from-scratch computation, and agree with each other.
+            let want = ref_decay_counter(self.cfg.decay_window, ml.last_access, now);
+            if rl.counter != want {
+                return Err(format!(
+                    "line ({}, {}) decay counter diverged at cycle {now}: real {}, \
+                     reference {want} (window {}, last access {})",
+                    rl.set, rl.way, rl.counter, self.cfg.decay_window, ml.last_access
+                ));
+            }
+            if rl.dead != (rl.counter == 3) {
+                return Err(format!(
+                    "line ({}, {}): dead={} but counter={} — saturation and deadness disagree",
+                    rl.set, rl.way, rl.dead, rl.counter
+                ));
+            }
+        }
+        // Any model line the real cache did not export is a divergence.
+        for (s, set) in self.lines.iter().enumerate() {
+            for (w, l) in set.iter().enumerate() {
+                if l.is_some() && !seen[s][w] {
+                    return Err(format!(
+                        "reference line ({s}, {w}) {l:?} missing from the real cache"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_recency(&self, real: &RealState) -> Result<(), String> {
+        if real.recency.len() != self.cfg.sets {
+            return Err(format!(
+                "recency exported for {} sets, expected {}",
+                real.recency.len(),
+                self.cfg.sets
+            ));
+        }
+        for (s, (real_order, model_order)) in
+            real.recency.iter().zip(self.recency.iter()).enumerate()
+        {
+            if real_order != model_order {
+                return Err(format!(
+                    "set {s} recency diverged: real {real_order:?}, reference {model_order:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replica pairing: every replica sits in a candidate set a legal
+    /// `distance-k` from its home set, is parity-protected, has at most
+    /// one copy per set, and (unless `keep_replicas_on_evict`) a live
+    /// resident primary whose protection reflects the pairing. The
+    /// `HashMap` ledger must agree with a fresh scan.
+    fn check_replica_invariants(&self, real: &RealState) -> Result<(), String> {
+        let mut scanned: HashMap<u64, Vec<usize>> = HashMap::new();
+        for rl in &real.lines {
+            if !rl.replica {
+                continue;
+            }
+            let home = self.cfg.set_of(rl.addr);
+            let candidates = self.cfg.candidate_sets(home);
+            if !candidates.contains(&rl.set) {
+                return Err(format!(
+                    "replica of {:#x} (home set {home}) found in set {}, \
+                     not a legal distance-k candidate ({candidates:?})",
+                    rl.addr, rl.set
+                ));
+            }
+            if rl.prot != RefProtection::Parity {
+                return Err(format!(
+                    "replica of {:#x} in set {} is not parity-protected",
+                    rl.addr, rl.set
+                ));
+            }
+            if rl.dirty {
+                return Err(format!(
+                    "replica of {:#x} in set {} is dirty",
+                    rl.addr, rl.set
+                ));
+            }
+            let sets = scanned.entry(rl.addr).or_default();
+            if sets.contains(&rl.set) {
+                return Err(format!(
+                    "block {:#x} holds two replicas in set {}",
+                    rl.addr, rl.set
+                ));
+            }
+            sets.push(rl.set);
+        }
+        for (block, sets) in &scanned {
+            if !self.cfg.keep_replicas_on_evict {
+                let home = self.cfg.set_of(*block);
+                let primary = real
+                    .lines
+                    .iter()
+                    .find(|l| l.set == home && !l.replica && l.addr == *block);
+                let Some(primary) = primary else {
+                    return Err(format!(
+                        "replicas of {block:#x} in sets {sets:?} have no live primary"
+                    ));
+                };
+                if primary.prot != RefProtection::Parity {
+                    return Err(format!(
+                        "replicated primary {block:#x} is not parity-protected"
+                    ));
+                }
+            }
+        }
+        // Unreplicated primaries carry the scheme's code.
+        for rl in &real.lines {
+            if !rl.replica && !scanned.contains_key(&rl.addr) && rl.prot != self.cfg.unreplicated {
+                return Err(format!(
+                    "unreplicated primary {:#x} has protection {:?}, expected {:?}",
+                    rl.addr, rl.prot, self.cfg.unreplicated
+                ));
+            }
+        }
+        // The ledger agrees with the scan (order-insensitive).
+        let mut ledger: Vec<(u64, Vec<usize>)> = self
+            .replica_map
+            .iter()
+            .map(|(&b, s)| {
+                let mut s = s.clone();
+                s.sort_unstable();
+                (b, s)
+            })
+            .collect();
+        ledger.sort_unstable();
+        let mut scan: Vec<(u64, Vec<usize>)> = scanned
+            .into_iter()
+            .map(|(b, mut s)| {
+                s.sort_unstable();
+                (b, s)
+            })
+            .collect();
+        scan.sort_unstable();
+        if ledger != scan {
+            return Err(format!(
+                "replica ledger diverged from scan:\n  ledger {ledger:?}\n  scan   {scan:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RefConfig {
+        RefConfig {
+            sets: 8,
+            ways: 2,
+            block_bytes: 64,
+            replicates: true,
+            replicate_on_load_miss: false,
+            unreplicated: RefProtection::Parity,
+            decay_window: 0,
+            victim: RefVictim::DeadOnly,
+            distances: vec![4],
+            max_replicas: 1,
+            keep_replicas_on_evict: false,
+            write_buffer: None,
+        }
+    }
+
+    /// A RealState assembled from the model itself: the trivially
+    /// matching snapshot, as a harness for invariant tests.
+    fn snapshot(m: &RefModel, now: u64) -> RealState {
+        let mut lines = Vec::new();
+        for (s, set) in m.lines.iter().enumerate() {
+            for (w, l) in set.iter().enumerate() {
+                if let Some(l) = l {
+                    let counter = ref_decay_counter(m.cfg.decay_window, l.last_access, now);
+                    lines.push(RealLine {
+                        set: s,
+                        way: w,
+                        addr: l.addr,
+                        dirty: l.dirty,
+                        replica: l.replica,
+                        prot: l.prot,
+                        last_access: l.last_access,
+                        counter,
+                        dead: counter == 3,
+                    });
+                }
+            }
+        }
+        RealState {
+            lines,
+            recency: m.recency.clone(),
+            counters: m.counters,
+            write_buffer: None,
+        }
+    }
+
+    #[test]
+    fn store_creates_a_distance_k_replica() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0); // block in set 1
+        assert_eq!(m.counters.write_accesses, 1);
+        assert_eq!(m.counters.fills, 1);
+        assert_eq!(m.counters.replicas_created, 1);
+        assert_eq!(m.counters.replication_with_one, 1);
+        // Home set 1, distance 4 → replica in set 5.
+        assert!(m.lines[5].iter().flatten().any(|l| l.replica));
+        let snap = snapshot(&m, 0);
+        assert!(m.clone().check(0, &snap).is_ok());
+    }
+
+    #[test]
+    fn check_flags_a_doctored_dirty_bit() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut snap = snapshot(&m, 0);
+        let primary = snap.lines.iter_mut().find(|l| !l.replica).unwrap();
+        primary.dirty = false;
+        let err = m.check(0, &snap).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_an_illegal_replica_placement() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut snap = snapshot(&m, 0);
+        // Teleport the replica to a non-candidate set in both the export
+        // and the model, so the pairing invariant (not the line diff)
+        // fires.
+        let r = snap.lines.iter().position(|l| l.replica).unwrap();
+        snap.lines[r].set = 6;
+        let line = m.lines[5][snap.lines[r].way].take();
+        m.lines[6][snap.lines[r].way] = line;
+        snap.recency = m.recency.clone();
+        let err = m.check(0, &snap).unwrap_err();
+        assert!(err.contains("distance-k"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_counter_divergence() {
+        let mut m = RefModel::new(cfg());
+        m.load(0x80, 0);
+        let mut snap = snapshot(&m, 0);
+        snap.counters.read_hits += 1; // a phantom hit
+        let err = m.check(0, &snap).unwrap_err();
+        assert!(err.contains("read_hits"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_backwards_stats() {
+        let mut m = RefModel::new(cfg());
+        m.load(0x80, 0);
+        let snap = snapshot(&m, 0);
+        m.check(0, &snap).unwrap();
+        m.load(0x80, 1);
+        let mut snap2 = snapshot(&m, 1);
+        snap2.counters.read_accesses = 0; // went backwards
+        let err = m.check(1, &snap2).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn dead_only_victims_never_displace_live_primaries() {
+        let mut m = RefModel::new(RefConfig {
+            decay_window: 1000,
+            ..cfg()
+        });
+        // Fill both ways of set 5 with live primaries, then try to
+        // replicate into it: no victim exists.
+        m.store(0x40 * 5, 0);
+        m.store(0x40 * (5 + 8), 1);
+        let replicas_before = m.counters.replicas_created;
+        m.store(0x40, 2); // home set 1, candidate set 5 is all live
+        assert_eq!(m.counters.replicas_created, replicas_before);
+        assert_eq!(m.counters.replication_attempts, 3);
+        let snap = snapshot(&m, 2);
+        assert!(m.check(2, &snap).is_ok());
+    }
+}

@@ -1,0 +1,192 @@
+//! Reference model of the §5.8 coalescing write buffer.
+//!
+//! Mirrors the real buffer's push semantics with `Vec` scans instead of a
+//! deque, and additionally tracks `drained_to` — the latest cycle up to
+//! which a stall has forced the queue to drain. The invariant that no
+//! pending entry is due at or before `drained_to` is exactly what the
+//! drain-before-insert fix establishes: a buffer that stalls the
+//! processor to cycle `now + stall` but leaves an already-due entry
+//! queued would later coalesce new writes into data that has logically
+//! reached L2.
+
+/// The real write buffer's observable state, exported for the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealWriteBuffer {
+    /// Entries currently pending.
+    pub occupancy: usize,
+    /// Writes absorbed (including coalesced).
+    pub pushes: u64,
+    /// Pushes that merged into a pending entry.
+    pub coalesced: u64,
+    /// Entries retired to L2.
+    pub retired: u64,
+    /// Total stall cycles charged.
+    pub stall_cycles: u64,
+    /// Retire cycle of every pending entry, in queue order.
+    pub pending_ready: Vec<u64>,
+}
+
+/// Naive reference model of the coalescing write buffer.
+#[derive(Debug, Clone)]
+pub struct RefWriteBuffer {
+    capacity: usize,
+    service: u64,
+    /// Pending `(block, ready)` pairs, oldest first.
+    entries: Vec<(u64, u64)>,
+    port_free_at: u64,
+    pushes: u64,
+    coalesced: u64,
+    retired: u64,
+    stall_cycles: u64,
+    /// Latest cycle the queue has been forced to drain through — no
+    /// pending entry may ever be due at or before this.
+    drained_to: u64,
+}
+
+impl RefWriteBuffer {
+    /// An empty buffer of `capacity` entries with the given per-entry L2
+    /// service latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, service: u64) -> Self {
+        assert!(capacity > 0, "capacity");
+        RefWriteBuffer {
+            capacity,
+            service,
+            entries: Vec::new(),
+            port_free_at: 0,
+            pushes: 0,
+            coalesced: 0,
+            retired: 0,
+            stall_cycles: 0,
+            drained_to: 0,
+        }
+    }
+
+    fn drain(&mut self, now: u64) {
+        while let Some(&(_, ready)) = self.entries.first() {
+            if ready <= now {
+                self.entries.remove(0);
+                self.retired += 1;
+            } else {
+                break;
+            }
+        }
+        self.drained_to = self.drained_to.max(now);
+    }
+
+    /// Mirrors a block write at cycle `now`; returns the stall charged.
+    pub fn push(&mut self, now: u64, block: u64) -> u64 {
+        self.pushes += 1;
+        self.drain(now);
+        if self.entries.iter().any(|&(a, _)| a == block) {
+            self.coalesced += 1;
+            return 0;
+        }
+        let mut stall = 0;
+        if self.entries.len() == self.capacity {
+            let (_, ready) = *self.entries.first().expect("capacity > 0");
+            stall = ready.saturating_sub(now);
+            self.stall_cycles += stall;
+            // The processor resumes at `now + stall`: everything due by
+            // then has reached L2 and must leave the queue first.
+            self.drain(now + stall);
+        }
+        let start = self.port_free_at.max(now + stall);
+        let ready = start + self.service;
+        self.port_free_at = ready;
+        self.entries.push((block, ready));
+        stall
+    }
+
+    /// Diffs the real buffer's exported state against the model and
+    /// asserts the drain invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn check(&self, real: &RealWriteBuffer) -> Result<(), String> {
+        // The drain invariant first: an entry still pending although it
+        // was due inside an already-charged stall window is precisely the
+        // pre-fix buffer state, whatever the counters say.
+        if let Some(&due) = real.pending_ready.iter().find(|&&r| r <= self.drained_to) {
+            return Err(format!(
+                "write buffer holds an entry due at cycle {due} although the queue \
+                 drained through cycle {} — a charged stall window left retired \
+                 data queued",
+                self.drained_to
+            ));
+        }
+        let model = RealWriteBuffer {
+            occupancy: self.entries.len(),
+            pushes: self.pushes,
+            coalesced: self.coalesced,
+            retired: self.retired,
+            stall_cycles: self.stall_cycles,
+            pending_ready: self.entries.iter().map(|&(_, r)| r).collect(),
+        };
+        if *real != model {
+            return Err(format!(
+                "write buffer diverged:\n  real      {real:?}\n  reference {model:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn export(wb: &RefWriteBuffer) -> RealWriteBuffer {
+        RealWriteBuffer {
+            occupancy: wb.entries.len(),
+            pushes: wb.pushes,
+            coalesced: wb.coalesced,
+            retired: wb.retired,
+            stall_cycles: wb.stall_cycles,
+            pending_ready: wb.entries.iter().map(|&(_, r)| r).collect(),
+        }
+    }
+
+    #[test]
+    fn mirrors_the_documented_stall_schedule() {
+        let mut wb = RefWriteBuffer::new(2, 6);
+        assert_eq!(wb.push(0, 0), 0); // ready 6
+        assert_eq!(wb.push(0, 64), 0); // ready 12
+        assert_eq!(wb.push(0, 128), 6); // full: head due at 6
+        assert_eq!(wb.retired, 1);
+        assert_eq!(wb.entries.len(), 2);
+        assert_eq!(wb.push(8, 0), 4); // full again: head due at 12
+        assert_eq!(wb.coalesced, 0);
+        assert_eq!(wb.retired, 2);
+        wb.check(&export(&wb)).unwrap();
+    }
+
+    #[test]
+    fn check_flags_an_entry_due_inside_a_charged_stall() {
+        let mut wb = RefWriteBuffer::new(2, 6);
+        wb.push(0, 0);
+        wb.push(0, 64);
+        wb.push(0, 128); // drains through cycle 6
+        let mut real = export(&wb);
+        // The pre-fix buffer shape: the head (due at 6) never left.
+        real.pending_ready.insert(0, 6);
+        real.occupancy += 1;
+        real.retired -= 1;
+        let err = wb.check(&real).unwrap_err();
+        assert!(err.contains("drained through cycle 6"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_counter_divergence() {
+        let mut wb = RefWriteBuffer::new(2, 6);
+        wb.push(0, 0);
+        let mut real = export(&wb);
+        real.coalesced += 1;
+        let err = wb.check(&real).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+}

@@ -65,21 +65,34 @@ impl DecayState {
     }
 
     /// The value the line's 2-bit counter would hold at `now` (0–3).
+    ///
+    /// The counter reaches its saturated value of 3 exactly when a full
+    /// decay window has elapsed, so `counter == 3` ⇔ [`is_dead`]: the
+    /// first three timer ticks advance it 0 → 1 → 2, and the fourth —
+    /// which lands on the window boundary for any window ≥ 4 — saturates
+    /// it. (Windows of 1–3 cycles tick every cycle, so the boundary is
+    /// enforced explicitly rather than by tick arithmetic.)
+    ///
+    /// [`is_dead`]: DecayState::is_dead
     pub fn counter(&self, config: DecayConfig, now: u64) -> u8 {
         if config.window == 0 {
             return 3;
         }
         let elapsed = now.saturating_sub(self.last_access);
-        (elapsed / config.tick_interval()).min(3) as u8
+        if elapsed >= config.window {
+            3
+        } else {
+            (elapsed / config.tick_interval()).min(2) as u8
+        }
     }
 
     /// `true` when the line has decayed: a full window has elapsed since
-    /// the last access (always, for window 0).
+    /// the last access (always, for window 0), i.e. exactly when the
+    /// 2-bit [`counter`] has saturated.
+    ///
+    /// [`counter`]: DecayState::counter
     pub fn is_dead(&self, config: DecayConfig, now: u64) -> bool {
-        if config.window == 0 {
-            return true;
-        }
-        now.saturating_sub(self.last_access) >= config.window
+        self.counter(config, now) == 3
     }
 }
 
@@ -117,13 +130,16 @@ mod tests {
     }
 
     #[test]
-    fn counter_saturates_at_three() {
+    fn counter_saturates_at_three_only_at_the_window() {
         let cfg = DecayConfig { window: 1000 };
         let s = DecayState::touched_at(0);
         assert_eq!(s.counter(cfg, 0), 0);
         assert_eq!(s.counter(cfg, 250), 1);
         assert_eq!(s.counter(cfg, 500), 2);
-        assert_eq!(s.counter(cfg, 750), 3);
+        // Three ticks elapsed but the window has not: still 2, not dead.
+        assert_eq!(s.counter(cfg, 750), 2);
+        assert_eq!(s.counter(cfg, 999), 2);
+        assert_eq!(s.counter(cfg, 1000), 3);
         assert_eq!(s.counter(cfg, 1_000_000), 3);
     }
 
@@ -132,9 +148,28 @@ mod tests {
         // is_dead and the counter agree at the window boundary.
         let cfg = DecayConfig { window: 2000 };
         let s = DecayState::touched_at(500);
-        assert_eq!(s.counter(cfg, 2499), 3);
-        assert!(!s.is_dead(cfg, 2499)); // 1999 elapsed < 2000
+        assert_eq!(s.counter(cfg, 2499), 2); // 1999 elapsed < 2000: not saturated
+        assert!(!s.is_dead(cfg, 2499));
+        assert_eq!(s.counter(cfg, 2500), 3);
         assert!(s.is_dead(cfg, 2500));
+    }
+
+    #[test]
+    fn counter_saturation_and_deadness_agree_everywhere() {
+        // The Kaxiras model: "counter saturated" ⇔ "dead", at every cycle
+        // and for every window, including windows too short to tick four
+        // times.
+        for window in [0, 1, 2, 3, 4, 7, 100, 1000, 2000] {
+            let cfg = DecayConfig { window };
+            let s = DecayState::touched_at(17);
+            for now in 0..(17 + 4 * window.max(1) + 8) {
+                assert_eq!(
+                    s.counter(cfg, now) == 3,
+                    s.is_dead(cfg, now),
+                    "window {window} now {now}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -186,6 +186,32 @@ pub struct LineView {
     pub protection: Protection,
 }
 
+/// Full export of one valid line for lockstep auditing: every observable
+/// field, including the decay counter *as this implementation computes
+/// it* at the export cycle — a reference model recomputing the counter
+/// from `last_access` can then catch any drift between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineExport {
+    /// Set index.
+    pub set: usize,
+    /// Way index.
+    pub way: usize,
+    /// The block's address.
+    pub addr: BlockAddr,
+    /// Dirty (modified since fill).
+    pub dirty: bool,
+    /// Replica (vs primary copy).
+    pub is_replica: bool,
+    /// Protection code currently on the line's words.
+    pub protection: Protection,
+    /// Cycle of the line's last access.
+    pub last_access: u64,
+    /// The 2-bit decay counter at the export cycle (0–3).
+    pub counter: u8,
+    /// Deadness at the export cycle.
+    pub dead: bool,
+}
+
 /// The ICR data L1.
 ///
 /// The cache is purely reactive: [`DataL1::load`] and [`DataL1::store`]
@@ -454,6 +480,44 @@ impl DataL1 {
             is_replica: l.is_replica,
             protection: l.words[0].protection(),
         })
+    }
+
+    /// Exports every valid line with its full observable state at cycle
+    /// `now`, for lockstep auditing against a reference model. The decay
+    /// counter and deadness come from the real [`DecayState`] code path,
+    /// so a bug there shows up as a divergence from the auditor's
+    /// from-scratch recomputation.
+    pub fn export_lines(&self, now: u64) -> Vec<LineExport> {
+        let mut out = Vec::new();
+        for (s, set) in self.sets.iter().enumerate() {
+            for (w, l) in set.lines.iter().enumerate() {
+                if !l.valid {
+                    continue;
+                }
+                out.push(LineExport {
+                    set: s,
+                    way: w,
+                    addr: l.addr,
+                    dirty: l.dirty,
+                    is_replica: l.is_replica,
+                    protection: l.words[0].protection(),
+                    last_access: l.decay.last_access(),
+                    counter: l.decay.counter(self.config.decay, now),
+                    dead: l.decay.is_dead(self.config.decay, now),
+                });
+            }
+        }
+        out
+    }
+
+    /// The recency order of `set`'s ways, most-recently-used first —
+    /// exported for lockstep auditing of victim selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn lru_order(&self, set: usize) -> &[usize] {
+        self.sets[set].lru.mru_to_lru()
     }
 
     /// Number of data words currently *vulnerable* to a single-bit

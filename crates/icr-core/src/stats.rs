@@ -276,14 +276,40 @@ impl OutcomeTally {
             .sum()
     }
 
+    /// Delivered trials that ended in data loss: detected-unrecoverable
+    /// plus silent corruption.
+    pub fn lost(&self) -> u64 {
+        self.count(ErrorOutcome::DetectedUnrecoverable) + self.count(ErrorOutcome::SilentCorruption)
+    }
+
+    /// Delivered trials the scheme survived — [`injected`] minus
+    /// [`lost`], as a checked count.
+    ///
+    /// Every outcome contributing to `lost` also counts as injected, so
+    /// `lost <= injected` holds for any tally built through [`record`] /
+    /// [`merge`]; the debug assertion catches hand-built or corrupted
+    /// tallies before the subtraction can wrap, and release builds
+    /// saturate instead of panicking deep inside a Wilson interval.
+    ///
+    /// [`injected`]: OutcomeTally::injected
+    /// [`lost`]: OutcomeTally::lost
+    /// [`record`]: OutcomeTally::record
+    /// [`merge`]: OutcomeTally::merge
+    pub fn survived_count(&self) -> u64 {
+        let injected = self.injected();
+        let lost = self.lost();
+        debug_assert!(
+            lost <= injected,
+            "OutcomeTally conservation violated: lost {lost} > injected {injected}"
+        );
+        injected.saturating_sub(lost)
+    }
+
     /// Fraction of delivered faults the scheme survived (recovered or
     /// harmlessly masked — i.e. everything except data loss and silent
     /// corruption), the campaign's headline per-scheme number.
     pub fn survived_fraction(&self) -> f64 {
-        let injected = self.injected();
-        let lost = self.count(ErrorOutcome::DetectedUnrecoverable)
-            + self.count(ErrorOutcome::SilentCorruption);
-        ratio(injected - lost, injected)
+        ratio(self.survived_count(), self.injected())
     }
 
     /// Fraction of delivered faults recovered by an active mechanism
@@ -391,5 +417,32 @@ mod tests {
         assert_eq!(ab.recovered(), 2);
         assert!((ab.recovered_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert!((ab.survived_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survived_count_is_injected_minus_lost() {
+        let mut t = OutcomeTally::default();
+        assert_eq!(t.survived_count(), 0); // empty tally: no underflow
+        t.record(ErrorOutcome::CorrectedByReplica);
+        t.record(ErrorOutcome::Masked);
+        t.record(ErrorOutcome::DetectedUnrecoverable);
+        t.record(ErrorOutcome::SilentCorruption);
+        t.record(ErrorOutcome::NotInjected);
+        assert_eq!(t.injected(), 4);
+        assert_eq!(t.lost(), 2);
+        assert_eq!(t.survived_count(), 2);
+        assert!((t.survived_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survived_count_saturates_worst_case() {
+        // Every loss outcome also counts as injected, so for any tally
+        // built through record/merge, survived_count = injected - lost
+        // can never wrap; the all-lost tally bottoms out at exactly 0.
+        let mut t = OutcomeTally::default();
+        t.record(ErrorOutcome::DetectedUnrecoverable);
+        t.record(ErrorOutcome::SilentCorruption);
+        assert_eq!(t.survived_count(), 0);
+        assert_eq!(t.survived_fraction(), 0.0);
     }
 }

@@ -85,11 +85,16 @@ impl WriteBuffer {
         }
         let mut stall = 0;
         if self.entries.len() == self.capacity {
-            // Wait for the head entry to retire.
-            let (_, ready) = self.entries.pop_front().expect("capacity > 0");
-            self.retired += 1;
+            // Wait for the head entry to retire, then drain everything
+            // whose service completes inside the stall window — by the
+            // time the processor resumes at `now + stall`, all of it has
+            // logically reached L2, and leaving it queued would inflate
+            // occupancy and let a later push coalesce into a write that
+            // already retired.
+            let (_, ready) = *self.entries.front().expect("capacity > 0");
             stall = ready.saturating_sub(now);
             self.stall_cycles += stall;
+            self.drain(now + stall);
         }
         let start = self.port_free_at.max(now + stall);
         let ready = start + self.service_latency;
@@ -101,6 +106,23 @@ impl WriteBuffer {
     /// Entries currently pending.
     pub fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The configured entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured per-entry L2 service latency.
+    pub fn service_latency(&self) -> u64 {
+        self.service_latency
+    }
+
+    /// The retire cycle of every pending entry, in queue order — exported
+    /// so a reference model can audit that nothing already due is still
+    /// queued.
+    pub fn pending_ready(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(_, ready)| ready).collect()
     }
 
     /// Writes absorbed (including coalesced ones).
@@ -181,6 +203,28 @@ mod tests {
         let stall = wb.push(0, BlockAddr(256)); // head ready at 6
         assert_eq!(stall, 6);
         assert_eq!(wb.occupancy(), 4);
+    }
+
+    #[test]
+    fn stall_window_drains_before_inserting() {
+        // A full-buffer push charges a stall to `now + stall`; everything
+        // due by then has logically reached L2 and must leave the queue
+        // before the new write is inserted.
+        let mut wb = WriteBuffer::new(2, 6);
+        wb.push(0, BlockAddr(0)); // ready at 6
+        wb.push(0, BlockAddr(64)); // ready at 12
+        let stall = wb.push(0, BlockAddr(128)); // full: head due at 6
+        assert_eq!(stall, 6);
+        assert_eq!(wb.retired(), 1);
+        assert_eq!(wb.occupancy(), 2);
+        // Nothing still pending is due inside the charged stall window.
+        assert!(wb.pending_ready().iter().all(|&r| r > 6));
+        // The head write retired during that stall; a later push of the
+        // same block must not coalesce into it.
+        assert_eq!(wb.push(8, BlockAddr(0)), 4); // full again: head due at 12
+        assert_eq!(wb.coalesced(), 0);
+        assert_eq!(wb.retired(), 2);
+        assert!(wb.pending_ready().iter().all(|&r| r > 12));
     }
 
     #[test]

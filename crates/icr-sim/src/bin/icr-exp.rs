@@ -13,14 +13,18 @@
 //! `vuln` prints the full analytic vulnerability profile (per-scheme
 //! one-shot outcome probabilities, FIT and MTTF from the `icr-vuln`
 //! ledger) rather than a figure; with `--json` it emits the
-//! machine-readable `VulnReport`. `all --json` emits one JSON array
-//! holding every figure object.
+//! machine-readable `VulnReport`. `audit` runs the full scheme × app
+//! matrix under the lockstep reference-model checker (`icr-check`),
+//! diffing the dL1's complete observable state after every access, and
+//! exits non-zero (panic) on the first divergence. `all --json` emits
+//! one JSON array holding every figure object.
 //!
 //! Every cell is executed through the shared engine, so `all` computes
 //! each distinct configuration exactly once even though many figures
 //! name the same cells; `--stats` prints the cache counters to stderr
 //! afterwards.
 
+use icr_sim::audit::{run_audit, AuditSpec};
 use icr_sim::engine::Engine;
 use icr_sim::experiment::{self, ExpOptions};
 use icr_sim::json::write_output;
@@ -32,7 +36,7 @@ fn usage() -> ExitCode {
         "usage: icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark] [--stats]\n\
          \x20      --json PATH   write JSON to PATH ('-' = stdout)\n\
          experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln sdc all"
+         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln audit sdc all"
     );
     ExitCode::FAILURE
 }
@@ -148,6 +152,29 @@ fn main() -> ExitCode {
             } else {
                 println!(
                     "Analytic vulnerability profile ({} insts/app, seed {})",
+                    spec.instructions, spec.seed
+                );
+                print!("{}", report.summary_table());
+            }
+        }
+        "audit" => {
+            let mut spec = AuditSpec::new(
+                icr_core::Scheme::all_paper_schemes(),
+                icr_trace::apps::APP_NAMES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                opts.instructions,
+                opts.seed,
+            );
+            spec.threads = opts.threads;
+            // Panics with a labelled divergence report on any mismatch.
+            let report = run_audit(&spec);
+            if let Some(path) = &json {
+                write_output(&report.to_json(), path).expect("json output writable");
+            } else {
+                println!(
+                    "Lockstep reference-model audit ({} insts/app, seed {})",
                     spec.instructions, spec.seed
                 );
                 print!("{}", report.summary_table());

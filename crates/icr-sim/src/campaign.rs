@@ -128,10 +128,7 @@ impl CellReport {
     /// Wilson 95% interval of the survived fraction (recovered or
     /// harmlessly masked, over delivered faults).
     pub fn wilson95(&self) -> (f64, f64) {
-        let injected = self.tally.injected();
-        let lost = self.tally.count(ErrorOutcome::DetectedUnrecoverable)
-            + self.tally.count(ErrorOutcome::SilentCorruption);
-        wilson_ci95(injected - lost, injected)
+        wilson_ci95(self.tally.survived_count(), self.tally.injected())
     }
 }
 
@@ -234,9 +231,7 @@ pub fn run_campaign_observed(
 
         for cell in cells.iter_mut().filter(|c| c.active) {
             let injected = cell.tally.injected();
-            let lost = cell.tally.count(ErrorOutcome::DetectedUnrecoverable)
-                + cell.tally.count(ErrorOutcome::SilentCorruption);
-            let ci95 = wilson_ci95(injected - lost, injected);
+            let ci95 = wilson_ci95(cell.tally.survived_count(), injected);
             let budget_spent = cell.trials_done >= spec.trials_per_cell;
             let ci_reached = spec
                 .target_ci_width
@@ -256,6 +251,25 @@ pub fn run_campaign_observed(
                 stopped_early: cell.stopped_early,
             });
         }
+    }
+
+    // Outcome conservation, checked by the dependency-free auditor:
+    // every delivered fault must land in exactly one terminal class.
+    for c in &cells {
+        icr_check::tally_conserved(
+            c.trials_done,
+            c.tally.count(ErrorOutcome::NotInjected),
+            c.tally.recovered(),
+            c.tally.count(ErrorOutcome::Masked),
+            c.tally.count(ErrorOutcome::DetectedUnrecoverable),
+            c.tally.count(ErrorOutcome::SilentCorruption),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "campaign tally violates conservation: scheme {}, app {}: {e}",
+                c.scheme_name, c.app
+            )
+        });
     }
 
     CampaignReport {
@@ -341,9 +355,7 @@ impl CampaignReport {
         ));
         for (scheme, tally) in self.scheme_totals() {
             let injected = tally.injected();
-            let lost = tally.count(ErrorOutcome::DetectedUnrecoverable)
-                + tally.count(ErrorOutcome::SilentCorruption);
-            let (lo, hi) = wilson_ci95(injected - lost, injected);
+            let (lo, hi) = wilson_ci95(tally.survived_count(), injected);
             out.push_str(&format!(
                 "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10.4} [{:.4}, {:.4}]\n",
                 scheme.name(),

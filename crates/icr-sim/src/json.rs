@@ -42,9 +42,15 @@ pub fn num(v: f64) -> String {
 /// `icr-exp` and `icr-campaign`; both destinations receive identical
 /// bytes.
 ///
+/// File writes are atomic: the bytes land in a sibling temporary file
+/// that is renamed into place, so a crash mid-campaign leaves either the
+/// previous report or the new one — never a truncated,
+/// parseable-looking prefix.
+///
 /// # Errors
 ///
-/// Returns any I/O error from the destination.
+/// Returns any I/O error from the destination; on error the temporary
+/// file is removed and `path` is left untouched.
 pub fn write_output(json: &str, path: &str) -> std::io::Result<()> {
     if path == "-" {
         let stdout = std::io::stdout();
@@ -53,7 +59,15 @@ pub fn write_output(json: &str, path: &str) -> std::io::Result<()> {
         out.write_all(b"\n")?;
         out.flush()
     } else {
-        std::fs::write(path, format!("{json}\n"))
+        // The temp file must live in the same directory for the rename
+        // to stay a single-filesystem (hence atomic) operation.
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        let result =
+            std::fs::write(&tmp, format!("{json}\n")).and_then(|()| std::fs::rename(&tmp, path));
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 }
 
@@ -82,5 +96,33 @@ mod tests {
         write_output("{}", path).unwrap();
         assert_eq!(std::fs::read_to_string(path).unwrap(), "{}\n");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_output_replaces_atomically_and_cleans_up() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("icr_json_atomic_test.json");
+        let path = path.to_str().unwrap();
+        write_output("{\"v\": 1}", path).unwrap();
+        // Overwriting goes through a sibling temp file that must not
+        // survive the rename.
+        write_output("{\"v\": 2}", path).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"v\": 2}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("icr_json_atomic_test.json.tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(path).ok();
+
+        // A failed write (the destination directory does not exist) must
+        // leave nothing behind and report the error.
+        let missing = dir.join("icr_json_no_such_dir").join("out.json");
+        assert!(write_output("{}", missing.to_str().unwrap()).is_err());
     }
 }

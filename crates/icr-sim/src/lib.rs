@@ -22,6 +22,9 @@
 //! * [`vuln`] — analytic vulnerability profiles ([`VulnSpec`] →
 //!   [`run_vuln`] → [`VulnReport`]): the same outcome distribution the
 //!   campaign estimates, from one fault-free pass per cell;
+//! * [`audit`] — lockstep reference-model auditing ([`AuditSpec`] →
+//!   [`run_audit`] → [`AuditReport`]): every dL1 access diffed against
+//!   the naive `icr-check` model under [`CheckMode::Lockstep`];
 //! * [`report`] — [`FigureResult`], a printable series-per-scheme table.
 //!
 //! The `icr-exp` binary exposes all of it from the command line:
@@ -44,6 +47,7 @@
 //! assert_eq!(result.pipeline.committed, 10_000);
 //! ```
 
+pub mod audit;
 pub mod campaign;
 pub mod engine;
 pub mod exec;
@@ -54,6 +58,7 @@ pub mod simulator;
 pub mod stats;
 pub mod vuln;
 
+pub use audit::{run_audit, AuditCell, AuditReport, AuditSpec, LockstepChecker};
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
 };
@@ -61,6 +66,8 @@ pub use engine::{Engine, EngineStats};
 pub use exec::{JobProgress, Pool};
 pub use experiment::ExpOptions;
 pub use report::{FigureResult, Series};
-pub use simulator::{run_sim, FaultConfig, ScrubConfig, SimConfig, SimConfigBuilder, SimResult};
+pub use simulator::{
+    run_sim, CheckMode, FaultConfig, ScrubConfig, SimConfig, SimConfigBuilder, SimResult,
+};
 pub use stats::{wilson_ci95, Summary};
 pub use vuln::{run_vuln, VulnCell, VulnReport, VulnSpec};

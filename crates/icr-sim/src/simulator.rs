@@ -47,6 +47,21 @@ pub struct ScrubConfig {
     pub lines_per_step: usize,
 }
 
+/// Whether a run carries the lockstep reference-model auditor
+/// (`icr-check`) alongside the real dL1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Normal operation: no auditing.
+    #[default]
+    Off,
+    /// Drive a naive reference model in lockstep with the dL1 and diff
+    /// the full observable state after **every** access. Panics with a
+    /// labelled divergence report on the first mismatch. Fault injection
+    /// and scrubbing are rejected (the reference model covers the
+    /// fault-free semantics), and replication hints must be empty.
+    Lockstep,
+}
+
 /// A complete simulation configuration.
 ///
 /// Construct one with [`SimConfig::paper`] (the paper's machine, the
@@ -77,6 +92,8 @@ pub struct SimConfig {
     /// campaign's `p_per_cycle` when cross-validating against
     /// Monte-Carlo one-shot trials.
     pub vuln_arrival_p: Option<f64>,
+    /// Lockstep reference-model auditing (default [`CheckMode::Off`]).
+    pub check: CheckMode,
 }
 
 impl SimConfig {
@@ -104,6 +121,7 @@ impl SimConfig {
                 fault: None,
                 scrub: None,
                 vuln_arrival_p: None,
+                check: CheckMode::Off,
             },
         }
     }
@@ -156,6 +174,12 @@ impl SimConfigBuilder {
     /// (per-cycle Bernoulli `p`) fault arrival instead of a uniform one.
     pub fn vuln_arrival(mut self, p_per_cycle: f64) -> Self {
         self.config.vuln_arrival_p = Some(p_per_cycle);
+        self
+    }
+
+    /// Runs the simulation under the given audit mode.
+    pub fn check(mut self, mode: CheckMode) -> Self {
+        self.config.check = mode;
         self
     }
 
@@ -288,6 +312,8 @@ struct Machine {
     scrub: Option<ScrubConfig>,
     /// Next cycle at which the scrubber fires.
     next_scrub: u64,
+    /// The lockstep auditor ([`CheckMode::Lockstep`] runs only).
+    checker: Option<Box<crate::audit::LockstepChecker>>,
 }
 
 impl Machine {
@@ -318,14 +344,22 @@ impl DataMemory for DmemPort {
         let mut m = self.0.borrow_mut();
         m.advance_faults(now);
         let m = &mut *m;
-        m.dl1.load(Addr(addr), now, &mut m.backend)
+        let lat = m.dl1.load(Addr(addr), now, &mut m.backend);
+        if let Some(chk) = &mut m.checker {
+            chk.after_load(addr, now, &m.dl1);
+        }
+        lat
     }
 
     fn store(&mut self, addr: u64, now: u64) -> u64 {
         let mut m = self.0.borrow_mut();
         m.advance_faults(now);
         let m = &mut *m;
-        m.dl1.store(Addr(addr), now, &mut m.backend)
+        let lat = m.dl1.store(Addr(addr), now, &mut m.backend);
+        if let Some(chk) = &mut m.checker {
+            chk.after_store(addr, now, &m.dl1);
+        }
+        lat
     }
 }
 
@@ -354,6 +388,20 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
     if let Some(p) = config.vuln_arrival_p {
         dl1.set_exposure_arrival(icr_core::Arrival::Geometric { p });
     }
+    let checker = match config.check {
+        CheckMode::Off => None,
+        CheckMode::Lockstep => {
+            assert!(
+                config.fault.is_none() && config.scrub.is_none(),
+                "lockstep auditing covers the fault-free semantics: \
+                 disable fault injection and scrubbing"
+            );
+            Some(Box::new(crate::audit::LockstepChecker::new(
+                &config.dl1,
+                &config.app,
+            )))
+        }
+    };
     let machine = Rc::new(RefCell::new(Machine {
         dl1,
         icache: InstrCache::new(&config.hierarchy),
@@ -368,6 +416,7 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         fault_horizon: 0,
         scrub: config.scrub,
         next_scrub: config.scrub.map(|s| s.interval).unwrap_or(0),
+        checker,
     }));
 
     let stats = pipeline.run(

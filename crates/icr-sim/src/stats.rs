@@ -86,9 +86,15 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
-/// Two-sided 95% critical values of Student's t (common small dfs, then
-/// the normal approximation).
-fn t_critical_95(df: usize) -> f64 {
+/// Two-sided 95% critical values of Student's t: exact rows for df 1–30,
+/// then the standard printed-table rows at df 40, 60 and 120, and the
+/// normal approximation beyond.
+///
+/// Between tabulated rows the value for the next *smaller* tabulated df
+/// is used (df 31–39 → the df-30 row, df 40–59 → the df-40 row, …), so
+/// the interval is always at least as wide as the exact t value demands
+/// — conservative, never anti-conservative.
+pub fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
         2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
@@ -98,6 +104,14 @@ fn t_critical_95(df: usize) -> f64 {
         f64::INFINITY
     } else if df <= TABLE.len() {
         TABLE[df - 1]
+    } else if df < 40 {
+        TABLE[TABLE.len() - 1] // 2.042: the df-30 row, conservative for 31–39
+    } else if df < 60 {
+        2.021 // df-40 row
+    } else if df < 120 {
+        2.000 // df-60 row
+    } else if df < 1000 {
+        1.980 // df-120 row
     } else {
         1.96
     }
@@ -145,7 +159,30 @@ mod tests {
     fn t_table_decreases_toward_normal() {
         assert!(t_critical_95(1) > t_critical_95(5));
         assert!(t_critical_95(5) > t_critical_95(30));
+        // The large-df rows of the standard table, no longer a jump
+        // straight from 2.042 to 1.96 at df 31.
+        assert_eq!(t_critical_95(31), 2.042);
+        assert_eq!(t_critical_95(40), 2.021);
+        assert_eq!(t_critical_95(60), 2.000);
+        assert_eq!(t_critical_95(120), 1.980);
         assert_eq!(t_critical_95(1000), 1.96);
+    }
+
+    #[test]
+    fn t_table_is_monotone_and_bounded_over_the_full_range() {
+        // Property over the whole table: non-increasing in df, always at
+        // least the normal critical value, and exactly the textbook
+        // endpoints.
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert_eq!(t_critical_95(1), 12.706);
+        let mut prev = f64::INFINITY;
+        for df in 1..=2000 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t rose at df {df}: {t} > {prev}");
+            assert!(t >= 1.96, "t below the normal value at df {df}: {t}");
+            assert!(t.is_finite());
+            prev = t;
+        }
     }
 
     #[test]
