@@ -3,12 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build campaign audit clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate campaign audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
 ## plus a build-only check of the bench targets and a lockstep audit of
 ## the full scheme × app matrix against the icr-check reference model.
-verify: build test fmt-check clippy doc bench-engine-build audit
+verify: build test fmt-check clippy doc bench-engine-build bench-all-build audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -47,14 +47,29 @@ bench-engine:
 bench-engine-build:
 	$(CARGO) bench -p icr-bench --bench engine --no-run
 
+## Full-matrix cold benchmark: every figure through the pipelined
+## scheduler, per-figure seconds + trajectory to BENCH_all.json.
+bench-all:
+	$(CARGO) bench -p icr-bench --bench all
+
+## Compile the full-matrix benchmark without running it (used by `verify`).
+bench-all-build:
+	$(CARGO) bench -p icr-bench --bench all --no-run
+
+## CI regression gate: fail if the cold total regresses >20% over the
+## committed BENCH_all.json baseline.
+bench-all-gate:
+	ICR_BENCH_GATE=1 $(CARGO) bench -p icr-bench --bench all
+
 ## A 1,200-trial deterministic fault-injection campaign.
 campaign:
 	$(CARGO) run --release -p icr-sim --bin icr-campaign -- --trials 100
 
 ## Lockstep reference-model audit: every dL1 access of the full paper
-## scheme × app matrix diffed against the naive icr-check model.
+## scheme × app matrix diffed against the naive icr-check model. The
+## incremental touched-set diff makes this cheap enough to run deep.
 audit:
-	$(CARGO) run --release -p icr-sim --bin icr-exp -- audit --insts 5000
+	$(CARGO) run --release -p icr-sim --bin icr-exp -- audit --insts 20000
 
 clean:
 	$(CARGO) clean

@@ -34,8 +34,8 @@ mod model;
 mod write_buffer;
 
 pub use model::{
-    ref_decay_counter, ref_is_dead, Counters, RealLine, RealState, RefConfig, RefLine, RefModel,
-    RefProtection, RefVictim, RefWriteBufferConfig,
+    ref_decay_counter, ref_is_dead, Counters, RealLine, RealSetExport, RealSets, RealState,
+    RefConfig, RefLine, RefModel, RefProtection, RefVictim, RefWriteBufferConfig,
 };
 pub use write_buffer::{RealWriteBuffer, RefWriteBuffer};
 

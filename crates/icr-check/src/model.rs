@@ -218,6 +218,29 @@ pub struct RealState {
     pub write_buffer: Option<RealWriteBuffer>,
 }
 
+/// One set's worth of exported real state, for the incremental diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealSetExport {
+    /// The set index.
+    pub set: usize,
+    /// Every valid line of the set, in any order.
+    pub lines: Vec<RealLine>,
+    /// The set's recency order, most-recently-used way first.
+    pub recency: Vec<usize>,
+}
+
+/// A partial snapshot of the real cache: the named sets only, plus the
+/// global counters and write-buffer state (which every access can move).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealSets {
+    /// One export per diffed set.
+    pub sets: Vec<RealSetExport>,
+    /// The statistics counters.
+    pub counters: Counters,
+    /// Write-buffer state (write-through configurations only).
+    pub write_buffer: Option<RealWriteBuffer>,
+}
+
 /// The naive reference dL1. Drive it with the same [`load`] / [`store`]
 /// stream as the real cache, then [`check`] the real cache's exported
 /// state after every access.
@@ -242,6 +265,16 @@ pub struct RefModel {
     /// Counters seen at the previous check, for the monotonicity
     /// invariant.
     prev_counters: Option<Counters>,
+    /// Sets whose model state changed since the last
+    /// [`take_touched_sets`], in mutation order, duplicates included.
+    /// The model performs the same transitions as the real cache, so
+    /// this log names every set an in-sync real cache can have changed;
+    /// a real-side change to a set the model never touched is caught by
+    /// the periodic full [`check`].
+    ///
+    /// [`take_touched_sets`]: RefModel::take_touched_sets
+    /// [`check`]: RefModel::check
+    touched: Vec<usize>,
 }
 
 impl RefModel {
@@ -268,6 +301,7 @@ impl RefModel {
                 .map(|w| RefWriteBuffer::new(w.capacity, w.service_latency)),
             cfg,
             prev_counters: None,
+            touched: Vec::new(),
         }
     }
 
@@ -314,6 +348,7 @@ impl RefModel {
     }
 
     fn touch(&mut self, set: usize, way: usize) {
+        self.touched.push(set);
         let order = &mut self.recency[set];
         let pos = order.iter().position(|&w| w == way).expect("way tracked");
         let w = order.remove(pos);
@@ -328,6 +363,7 @@ impl RefModel {
         let Some(line) = self.lines[set][way].take() else {
             return;
         };
+        self.touched.push(set);
         if line.replica {
             self.counters.replica_evictions += 1;
             if let Some(sets) = self.replica_map.get_mut(&line.addr) {
@@ -342,6 +378,7 @@ impl RefModel {
                 if let Some((ps, pw)) = self.find_primary(line.addr) {
                     let prot = self.cfg.unreplicated;
                     self.lines[ps][pw].as_mut().expect("primary found").prot = prot;
+                    self.touched.push(ps);
                 }
             }
         } else {
@@ -353,6 +390,7 @@ impl RefModel {
                 for (rs, rw) in self.find_replicas(line.addr) {
                     self.lines[rs][rw] = None;
                     self.counters.replica_evictions += 1;
+                    self.touched.push(rs);
                 }
                 self.replica_map.remove(&line.addr);
             }
@@ -450,6 +488,7 @@ impl RefModel {
         // First replica: the primary switches to parity.
         if had_none && count > 0 {
             self.lines[ps][pw].as_mut().expect("primary resident").prot = RefProtection::Parity;
+            self.touched.push(ps);
         }
         self.counters.replication_attempts += 1;
         if count - count_before >= 1 {
@@ -546,28 +585,65 @@ impl RefModel {
     /// Returns a description of the first divergence or violated
     /// invariant.
     pub fn check(&mut self, now: u64, real: &RealState) -> Result<(), String> {
-        self.check_counters(real)?;
+        self.check_counters(&real.counters)?;
         self.check_lines(now, real)?;
         self.check_recency(real)?;
         self.check_replica_invariants(real)?;
-        match (&self.wb, &real.write_buffer) {
-            (Some(model_wb), Some(real_wb)) => model_wb.check(real_wb)?,
-            (Some(_), None) => {
-                return Err("model has a write buffer, real cache exports none".into())
-            }
-            (None, Some(_)) => {
-                return Err("real cache exports a write buffer, model has none".into())
-            }
-            (None, None) => {}
+        self.check_write_buffer(&real.write_buffer)?;
+        self.prev_counters = Some(real.counters);
+        // A clean full sweep covers every set: the incremental log is
+        // stale from here on.
+        self.touched.clear();
+        Ok(())
+    }
+
+    /// Drains the sets touched since the last call into `out`, sorted
+    /// and deduplicated. Pass the result to an exporter and then to
+    /// [`check_touched`](RefModel::check_touched).
+    pub fn take_touched_sets(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        out.append(&mut self.touched);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Incremental diff: checks the global counters and write-buffer
+    /// state (which every access can move), then diffs only the exported
+    /// sets — intended to be exactly the sets named by
+    /// [`take_touched_sets`](RefModel::take_touched_sets). The global
+    /// ledger-vs-scan and replica/primary pairing invariants need the
+    /// whole cache and are left to the periodic full
+    /// [`check`](RefModel::check); per-line replica invariants (legal
+    /// distance-k placement, parity, cleanliness) are still enforced
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence or violated
+    /// invariant.
+    pub fn check_touched(&mut self, now: u64, real: &RealSets) -> Result<(), String> {
+        self.check_counters(&real.counters)?;
+        for se in &real.sets {
+            self.check_set(now, se)?;
         }
+        self.check_write_buffer(&real.write_buffer)?;
         self.prev_counters = Some(real.counters);
         Ok(())
     }
 
-    fn check_counters(&self, real: &RealState) -> Result<(), String> {
+    fn check_write_buffer(&self, real: &Option<RealWriteBuffer>) -> Result<(), String> {
+        match (&self.wb, real) {
+            (Some(model_wb), Some(real_wb)) => model_wb.check(real_wb),
+            (Some(_), None) => Err("model has a write buffer, real cache exports none".into()),
+            (None, Some(_)) => Err("real cache exports a write buffer, model has none".into()),
+            (None, None) => Ok(()),
+        }
+    }
+
+    fn check_counters(&self, counters: &Counters) -> Result<(), String> {
         // Monotonicity: statistics never decrease between checks.
         if let Some(prev) = &self.prev_counters {
-            for ((name, cur), (_, before)) in real.counters.fields().iter().zip(prev.fields()) {
+            for ((name, cur), (_, before)) in counters.fields().iter().zip(prev.fields()) {
                 if *cur < before {
                     return Err(format!("counter {name} went backwards: {before} -> {cur}"));
                 }
@@ -575,30 +651,124 @@ impl RefModel {
         }
         // Conservation: hits never exceed accesses (misses = accesses -
         // hits stays meaningful).
-        let c = &real.counters;
-        if c.read_hits > c.read_accesses {
+        if counters.read_hits > counters.read_accesses {
             return Err(format!(
                 "read_hits {} > read_accesses {}",
-                c.read_hits, c.read_accesses
+                counters.read_hits, counters.read_accesses
             ));
         }
-        if c.write_hits > c.write_accesses {
+        if counters.write_hits > counters.write_accesses {
             return Err(format!(
                 "write_hits {} > write_accesses {}",
-                c.write_hits, c.write_accesses
+                counters.write_hits, counters.write_accesses
             ));
         }
         // Exact agreement with the model, counter for counter — this is
         // where a real hit the model predicts as a miss (or vice versa)
         // surfaces.
-        for ((name, real_v), (_, model_v)) in
-            real.counters.fields().iter().zip(self.counters.fields())
-        {
+        for ((name, real_v), (_, model_v)) in counters.fields().iter().zip(self.counters.fields()) {
             if *real_v != model_v {
                 return Err(format!(
                     "counter {name} diverged: real {real_v}, reference {model_v}"
                 ));
             }
+        }
+        Ok(())
+    }
+
+    /// The per-line diff shared by the full and incremental checks:
+    /// reference counterpart, field equality, and the decay cross-check.
+    fn check_line(&self, now: u64, rl: &RealLine) -> Result<(), String> {
+        let Some(ml) = &self.lines[rl.set][rl.way] else {
+            return Err(format!(
+                "real line ({}, {}) addr {:#x} has no reference counterpart",
+                rl.set, rl.way, rl.addr
+            ));
+        };
+        if (ml.addr, ml.dirty, ml.replica, ml.prot, ml.last_access)
+            != (rl.addr, rl.dirty, rl.replica, rl.prot, rl.last_access)
+        {
+            return Err(format!(
+                "line ({}, {}) diverged:\n  real      {rl:?}\n  reference {ml:?}",
+                rl.set, rl.way
+            ));
+        }
+        // Decay cross-check: the real counter/deadness must match the
+        // from-scratch computation, and agree with each other.
+        let want = ref_decay_counter(self.cfg.decay_window, ml.last_access, now);
+        if rl.counter != want {
+            return Err(format!(
+                "line ({}, {}) decay counter diverged at cycle {now}: real {}, \
+                 reference {want} (window {}, last access {})",
+                rl.set, rl.way, rl.counter, self.cfg.decay_window, ml.last_access
+            ));
+        }
+        if rl.dead != (rl.counter == 3) {
+            return Err(format!(
+                "line ({}, {}): dead={} but counter={} — saturation and deadness disagree",
+                rl.set, rl.way, rl.dead, rl.counter
+            ));
+        }
+        Ok(())
+    }
+
+    /// The incremental per-set diff: bidirectional line comparison,
+    /// recency order, and the local (single-line) replica invariants.
+    fn check_set(&self, now: u64, se: &RealSetExport) -> Result<(), String> {
+        if se.set >= self.cfg.sets {
+            return Err(format!("exported set {} out of range", se.set));
+        }
+        let mut seen = vec![false; self.cfg.ways];
+        for rl in &se.lines {
+            if rl.set != se.set {
+                return Err(format!("line {rl:?} exported under set {}", se.set));
+            }
+            if rl.way >= self.cfg.ways {
+                return Err(format!("exported line out of range: {rl:?}"));
+            }
+            if std::mem::replace(&mut seen[rl.way], true) {
+                return Err(format!("line ({}, {}) exported twice", rl.set, rl.way));
+            }
+            self.check_line(now, rl)?;
+            if rl.replica {
+                let home = self.cfg.set_of(rl.addr);
+                let candidates = self.cfg.candidate_sets(home);
+                if !candidates.contains(&rl.set) {
+                    return Err(format!(
+                        "replica of {:#x} (home set {home}) found in set {}, \
+                         not a legal distance-k candidate ({candidates:?})",
+                        rl.addr, rl.set
+                    ));
+                }
+                if rl.prot != RefProtection::Parity {
+                    return Err(format!(
+                        "replica of {:#x} in set {} is not parity-protected",
+                        rl.addr, rl.set
+                    ));
+                }
+                if rl.dirty {
+                    return Err(format!(
+                        "replica of {:#x} in set {} is dirty",
+                        rl.addr, rl.set
+                    ));
+                }
+            }
+        }
+        // Any model line of this set the real cache did not export is a
+        // divergence.
+        for (w, l) in self.lines[se.set].iter().enumerate() {
+            if l.is_some() && !seen[w] {
+                return Err(format!(
+                    "reference line ({}, {w}) {l:?} missing from the real cache",
+                    se.set
+                ));
+            }
+        }
+        if se.recency != self.recency[se.set] {
+            return Err(format!(
+                "set {} recency diverged: real {:?}, reference {:?}",
+                se.set, se.recency, self.recency[se.set]
+            ));
         }
         Ok(())
     }
@@ -612,36 +782,7 @@ impl RefModel {
             if std::mem::replace(&mut seen[rl.set][rl.way], true) {
                 return Err(format!("line ({}, {}) exported twice", rl.set, rl.way));
             }
-            let Some(ml) = &self.lines[rl.set][rl.way] else {
-                return Err(format!(
-                    "real line ({}, {}) addr {:#x} has no reference counterpart",
-                    rl.set, rl.way, rl.addr
-                ));
-            };
-            if (ml.addr, ml.dirty, ml.replica, ml.prot, ml.last_access)
-                != (rl.addr, rl.dirty, rl.replica, rl.prot, rl.last_access)
-            {
-                return Err(format!(
-                    "line ({}, {}) diverged:\n  real      {rl:?}\n  reference {ml:?}",
-                    rl.set, rl.way
-                ));
-            }
-            // Decay cross-check: the real counter/deadness must match the
-            // from-scratch computation, and agree with each other.
-            let want = ref_decay_counter(self.cfg.decay_window, ml.last_access, now);
-            if rl.counter != want {
-                return Err(format!(
-                    "line ({}, {}) decay counter diverged at cycle {now}: real {}, \
-                     reference {want} (window {}, last access {})",
-                    rl.set, rl.way, rl.counter, self.cfg.decay_window, ml.last_access
-                ));
-            }
-            if rl.dead != (rl.counter == 3) {
-                return Err(format!(
-                    "line ({}, {}): dead={} but counter={} — saturation and deadness disagree",
-                    rl.set, rl.way, rl.dead, rl.counter
-                ));
-            }
+            self.check_line(now, rl)?;
         }
         // Any model line the real cache did not export is a divergence.
         for (s, set) in self.lines.iter().enumerate() {
@@ -887,6 +1028,109 @@ mod tests {
         snap2.counters.read_accesses = 0; // went backwards
         let err = m.check(1, &snap2).unwrap_err();
         assert!(err.contains("backwards"), "{err}");
+    }
+
+    /// A RealSets assembled from the model itself for the named sets:
+    /// the trivially matching partial snapshot.
+    fn snapshot_sets(m: &RefModel, sets: &[usize], now: u64) -> RealSets {
+        let full = snapshot(m, now);
+        RealSets {
+            sets: sets
+                .iter()
+                .map(|&s| RealSetExport {
+                    set: s,
+                    lines: full.lines.iter().filter(|l| l.set == s).copied().collect(),
+                    recency: m.recency[s].clone(),
+                })
+                .collect(),
+            counters: m.counters,
+            write_buffer: None,
+        }
+    }
+
+    #[test]
+    fn touched_sets_cover_a_replicating_store() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0); // home set 1, replica in set 5
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        assert_eq!(touched, vec![1, 5]);
+        // Drained: a second take is empty until the next access.
+        m.take_touched_sets(&mut touched);
+        assert!(touched.is_empty());
+        m.load(0x40, 1);
+        m.take_touched_sets(&mut touched);
+        assert_eq!(touched, vec![1]); // a load hit touches only the home set
+        m.store(0x40, 2);
+        m.take_touched_sets(&mut touched);
+        assert_eq!(touched, vec![1, 5]); // store hit updates the replica too
+    }
+
+    #[test]
+    fn check_touched_accepts_a_matching_partial_snapshot() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        let snap = snapshot_sets(&m, &touched, 0);
+        m.check_touched(0, &snap).unwrap();
+    }
+
+    #[test]
+    fn check_touched_flags_a_doctored_line_in_a_touched_set() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        let mut snap = snapshot_sets(&m, &touched, 0);
+        let line = snap.sets[0]
+            .lines
+            .iter_mut()
+            .find(|l| !l.replica)
+            .expect("primary in home set");
+        line.dirty = false;
+        let err = m.check_touched(0, &snap).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn check_touched_flags_a_missing_line() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        let mut snap = snapshot_sets(&m, &touched, 0);
+        snap.sets[0].lines.clear();
+        let err = m.check_touched(0, &snap).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn check_touched_flags_a_dirty_replica() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        let mut snap = snapshot_sets(&m, &touched, 0);
+        // Doctor both sides identically so the line diff passes and the
+        // local replica invariant is what fires.
+        let se = snap.sets.iter_mut().find(|se| se.set == 5).unwrap();
+        let rl = se.lines.iter_mut().find(|l| l.replica).unwrap();
+        rl.dirty = true;
+        m.lines[5][rl.way].as_mut().unwrap().dirty = true;
+        let err = m.check_touched(0, &snap).unwrap_err();
+        assert!(err.contains("dirty"), "{err}");
+    }
+
+    #[test]
+    fn full_check_resets_the_touched_log() {
+        let mut m = RefModel::new(cfg());
+        m.store(0x40, 0);
+        let snap = snapshot(&m, 0);
+        m.check(0, &snap).unwrap();
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        assert!(touched.is_empty());
     }
 
     #[test]

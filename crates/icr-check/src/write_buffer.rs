@@ -31,8 +31,13 @@ pub struct RealWriteBuffer {
 pub struct RefWriteBuffer {
     capacity: usize,
     service: u64,
-    /// Pending `(block, ready)` pairs, oldest first.
+    /// `(block, ready)` pairs in push order; `entries[head..]` is the
+    /// pending queue, everything before `head` has retired.
     entries: Vec<(u64, u64)>,
+    /// Index of the oldest pending entry. Draining advances this cursor
+    /// instead of `remove(0)`-shifting the whole vector; the retired
+    /// prefix is reclaimed whenever the queue empties.
+    head: usize,
     port_free_at: u64,
     pushes: u64,
     coalesced: u64,
@@ -56,6 +61,7 @@ impl RefWriteBuffer {
             capacity,
             service,
             entries: Vec::new(),
+            head: 0,
             port_free_at: 0,
             pushes: 0,
             coalesced: 0,
@@ -65,14 +71,24 @@ impl RefWriteBuffer {
         }
     }
 
+    /// The pending queue, oldest first.
+    fn pending(&self) -> &[(u64, u64)] {
+        &self.entries[self.head..]
+    }
+
     fn drain(&mut self, now: u64) {
-        while let Some(&(_, ready)) = self.entries.first() {
+        while let Some(&(_, ready)) = self.entries.get(self.head) {
             if ready <= now {
-                self.entries.remove(0);
+                self.head += 1;
                 self.retired += 1;
             } else {
                 break;
             }
+        }
+        if self.head == self.entries.len() {
+            // Queue empty: reclaim the retired prefix.
+            self.entries.clear();
+            self.head = 0;
         }
         self.drained_to = self.drained_to.max(now);
     }
@@ -81,13 +97,13 @@ impl RefWriteBuffer {
     pub fn push(&mut self, now: u64, block: u64) -> u64 {
         self.pushes += 1;
         self.drain(now);
-        if self.entries.iter().any(|&(a, _)| a == block) {
+        if self.pending().iter().any(|&(a, _)| a == block) {
             self.coalesced += 1;
             return 0;
         }
         let mut stall = 0;
-        if self.entries.len() == self.capacity {
-            let (_, ready) = *self.entries.first().expect("capacity > 0");
+        if self.pending().len() == self.capacity {
+            let (_, ready) = *self.pending().first().expect("capacity > 0");
             stall = ready.saturating_sub(now);
             self.stall_cycles += stall;
             // The processor resumes at `now + stall`: everything due by
@@ -120,12 +136,12 @@ impl RefWriteBuffer {
             ));
         }
         let model = RealWriteBuffer {
-            occupancy: self.entries.len(),
+            occupancy: self.pending().len(),
             pushes: self.pushes,
             coalesced: self.coalesced,
             retired: self.retired,
             stall_cycles: self.stall_cycles,
-            pending_ready: self.entries.iter().map(|&(_, r)| r).collect(),
+            pending_ready: self.pending().iter().map(|&(_, r)| r).collect(),
         };
         if *real != model {
             return Err(format!(
@@ -142,12 +158,12 @@ mod tests {
 
     fn export(wb: &RefWriteBuffer) -> RealWriteBuffer {
         RealWriteBuffer {
-            occupancy: wb.entries.len(),
+            occupancy: wb.pending().len(),
             pushes: wb.pushes,
             coalesced: wb.coalesced,
             retired: wb.retired,
             stall_cycles: wb.stall_cycles,
-            pending_ready: wb.entries.iter().map(|&(_, r)| r).collect(),
+            pending_ready: wb.pending().iter().map(|&(_, r)| r).collect(),
         }
     }
 
@@ -158,7 +174,7 @@ mod tests {
         assert_eq!(wb.push(0, 64), 0); // ready 12
         assert_eq!(wb.push(0, 128), 6); // full: head due at 6
         assert_eq!(wb.retired, 1);
-        assert_eq!(wb.entries.len(), 2);
+        assert_eq!(wb.pending().len(), 2);
         assert_eq!(wb.push(8, 0), 4); // full again: head due at 12
         assert_eq!(wb.coalesced, 0);
         assert_eq!(wb.retired, 2);
@@ -188,5 +204,38 @@ mod tests {
         real.coalesced += 1;
         let err = wb.check(&real).unwrap_err();
         assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn drains_in_fifo_order_and_retired_entries_never_coalesce() {
+        let mut wb = RefWriteBuffer::new(4, 6);
+        wb.push(0, 0); // ready 6
+        wb.push(0, 64); // ready 12
+        wb.push(0, 128); // ready 18
+        assert_eq!(wb.pending().len(), 3);
+        // A push long after the last retire cycle drains the whole queue
+        // oldest-first, then re-queues block 0. The retired entry for
+        // block 0 is still physically in the vector behind the head
+        // cursor — it must count as gone: no coalesce, occupancy 1.
+        assert_eq!(wb.push(100, 0), 0);
+        assert_eq!(wb.retired, 3);
+        assert_eq!(wb.coalesced, 0);
+        assert_eq!(wb.pending(), &[(0, 106)]);
+        wb.check(&export(&wb)).unwrap();
+    }
+
+    #[test]
+    fn partial_drain_keeps_queue_order_behind_the_head_cursor() {
+        let mut wb = RefWriteBuffer::new(4, 6);
+        wb.push(0, 0); // ready 6
+        wb.push(0, 64); // ready 12
+        wb.push(0, 128); // ready 18
+        wb.push(7, 192); // drains only the head (due at 6); ready 24
+        assert_eq!(wb.retired, 1);
+        assert_eq!(wb.pending(), &[(64, 12), (128, 18), (192, 24)]);
+        // Block 64 is still pending: this push coalesces.
+        assert_eq!(wb.push(7, 64), 0);
+        assert_eq!(wb.coalesced, 1);
+        wb.check(&export(&wb)).unwrap();
     }
 }

@@ -34,6 +34,44 @@ impl DecayConfig {
     pub fn tick_interval(&self) -> u64 {
         (self.window / 4).max(1)
     }
+
+    /// The 2-bit counter value for a line last touched at `last_access`,
+    /// observed at `now` — the free-function form of
+    /// [`DecayState::counter`], written branch-free so the batch tick
+    /// over a whole last-access vector vectorises.
+    ///
+    /// `elapsed >= window` covers saturation for every window including
+    /// 0 (where it is always true), so the only data-dependent operation
+    /// is a mask select between the ticked value and 3.
+    #[inline]
+    pub fn counter_at(&self, last_access: u64, now: u64) -> u8 {
+        let elapsed = now.saturating_sub(last_access);
+        let ticked = (elapsed / self.tick_interval()).min(2) as u8;
+        // 0xFF when a full window has elapsed (saturated), else 0x00.
+        let saturated = 0u8.wrapping_sub(u8::from(elapsed >= self.window));
+        (3 & saturated) | (ticked & !saturated)
+    }
+
+    /// Deadness for a line last touched at `last_access`, observed at
+    /// `now`: exactly [`counter_at`](Self::counter_at)` == 3`, i.e. a
+    /// full window elapsed. One compare, no division.
+    #[inline]
+    pub fn dead_at(&self, last_access: u64, now: u64) -> bool {
+        now.saturating_sub(last_access) >= self.window
+    }
+
+    /// Batch decay tick: writes the counter of every slot of
+    /// `last_access` into `out`. One pass, branch-free per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn counters_into(&self, last_access: &[u64], now: u64, out: &mut [u8]) {
+        assert_eq!(last_access.len(), out.len(), "batch tick slice lengths");
+        for (o, &last) in out.iter_mut().zip(last_access) {
+            *o = self.counter_at(last, now);
+        }
+    }
 }
 
 impl Default for DecayConfig {

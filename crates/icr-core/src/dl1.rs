@@ -34,7 +34,7 @@
 //! * **Write-through mode** (§5.8): no-write-allocate, stores propagate
 //!   functionally to L2 and are timed through a coalescing write buffer.
 
-use crate::decay::{DecayConfig, DecayState};
+use crate::decay::DecayConfig;
 use crate::hints::ReplicationHints;
 use crate::placement::PlacementPolicy;
 use crate::scheme::{ReplicaLookup, Scheme};
@@ -140,37 +140,107 @@ impl DataL1Config {
     }
 }
 
+/// Structure-of-arrays line storage: every per-line attribute lives in
+/// its own parallel vector, indexed by the flat slot `set * assoc + way`
+/// (the same index the exposure ledger uses), and the stored words live
+/// in one flat array with `words_per_block` entries per slot. Hot scans —
+/// tag match, replica probes, victim candidate passes, and the batch
+/// decay tick in [`DataL1::export_lines`] — walk short contiguous runs
+/// of these vectors instead of striding over per-line structs.
 #[derive(Debug, Clone)]
-struct Line {
-    valid: bool,
-    dirty: bool,
-    is_replica: bool,
-    addr: BlockAddr,
+struct LineArrays {
+    assoc: usize,
+    words_per_block: usize,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    is_replica: Vec<bool>,
+    addr: Vec<BlockAddr>,
+    /// Cycle of each line's last access — the lazy decay-counter input.
+    /// Retained across invalidation, like the old per-line decay state.
+    last_access: Vec<u64>,
+    /// Protection code on each line's words. All words of a line always
+    /// carry the same code, so state classification and victim selection
+    /// never have to touch the word array.
+    prot: Vec<Protection>,
+    /// Flat word storage: word `i` of slot `sl` is `words[sl * words_per_block + i]`.
     words: Vec<ProtectedWord>,
-    decay: DecayState,
+    /// Per-set recency queues (most-recently-used first).
+    lru: Vec<LruQueue>,
 }
 
-impl Line {
-    fn invalid(words_per_block: usize) -> Self {
-        Line {
-            valid: false,
-            dirty: false,
-            is_replica: false,
-            addr: BlockAddr(0),
-            words: vec![ProtectedWord::default(); words_per_block],
-            decay: DecayState::default(),
+impl LineArrays {
+    fn new(g: CacheGeometry) -> Self {
+        let slots = g.num_sets() * g.associativity();
+        LineArrays {
+            assoc: g.associativity(),
+            words_per_block: g.words_per_block(),
+            valid: vec![false; slots],
+            dirty: vec![false; slots],
+            is_replica: vec![false; slots],
+            addr: vec![BlockAddr(0); slots],
+            last_access: vec![0; slots],
+            prot: vec![Protection::Parity; slots],
+            words: vec![ProtectedWord::default(); slots * g.words_per_block()],
+            lru: (0..g.num_sets())
+                .map(|_| LruQueue::new(g.associativity()))
+                .collect(),
         }
     }
 
-    fn plain_data(&self) -> DataBlock {
-        DataBlock::from_words(self.words.iter().map(|w| w.data()).collect())
+    /// Flat slot of (`set`, `way`) — also the exposure-ledger slot.
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        debug_assert!(way < self.assoc);
+        set * self.assoc + way
     }
-}
 
-#[derive(Debug, Clone)]
-struct SetState {
-    lines: Vec<Line>,
-    lru: LruQueue,
+    #[inline]
+    fn word(&self, slot: usize, word: usize) -> &ProtectedWord {
+        &self.words[slot * self.words_per_block + word]
+    }
+
+    #[inline]
+    fn word_mut(&mut self, slot: usize, word: usize) -> &mut ProtectedWord {
+        &mut self.words[slot * self.words_per_block + word]
+    }
+
+    #[inline]
+    fn words_mut(&mut self, slot: usize) -> &mut [ProtectedWord] {
+        &mut self.words[slot * self.words_per_block..][..self.words_per_block]
+    }
+
+    fn plain_data(&self, slot: usize) -> DataBlock {
+        let ws = &self.words[slot * self.words_per_block..][..self.words_per_block];
+        DataBlock::from_words(ws.iter().map(|w| w.data()).collect())
+    }
+
+    /// Way of `set` holding the primary of `block`, if resident — one
+    /// contiguous pass over the flag and tag vectors.
+    #[inline]
+    fn primary_way(&self, set: usize, block: BlockAddr) -> Option<usize> {
+        let base = set * self.assoc;
+        (0..self.assoc).find(|&w| {
+            let sl = base + w;
+            self.valid[sl] && !self.is_replica[sl] && self.addr[sl] == block
+        })
+    }
+
+    /// First way of `set` holding a replica of `block`.
+    #[inline]
+    fn replica_way(&self, set: usize, block: BlockAddr) -> Option<usize> {
+        let base = set * self.assoc;
+        (0..self.assoc).find(|&w| {
+            let sl = base + w;
+            self.valid[sl] && self.is_replica[sl] && self.addr[sl] == block
+        })
+    }
+
+    /// First invalid way of `set` (free space).
+    #[inline]
+    fn invalid_way(&self, set: usize) -> Option<usize> {
+        let base = set * self.assoc;
+        (0..self.assoc).find(|&w| !self.valid[base + w])
+    }
 }
 
 /// Read-only view of a line, for tests, fault injection and inspection.
@@ -232,7 +302,7 @@ pub struct LineExport {
 #[derive(Debug, Clone)]
 pub struct DataL1 {
     config: DataL1Config,
-    sets: Vec<SetState>,
+    lines: LineArrays,
     write_buffer: Option<WriteBuffer>,
     duplication: Option<DuplicationCache>,
     stats: IcrStats,
@@ -241,6 +311,11 @@ pub struct DataL1 {
     shadow: std::collections::HashMap<BlockAddr, Vec<u64>>,
     /// Round-robin position of the background scrubber.
     scrub_cursor: usize,
+    /// Reusable scratch for replica-victim selection (one set's worth of
+    /// candidates and an eligibility mask), so the per-store victim scan
+    /// never allocates.
+    victim_scratch: Vec<CandidateLine>,
+    mask_scratch: Vec<bool>,
     /// Cycle at which the load port is free again. A non-speculative
     /// SEC-DED check occupies the port for 2 cycles (the paper's §1
     /// bandwidth argument: ECC "may find it difficult to sustain" one
@@ -265,14 +340,7 @@ impl DataL1 {
             .validate()
             .unwrap_or_else(|e| panic!("invalid dL1 config: {e}"));
         let g = config.geometry;
-        let sets = (0..g.num_sets())
-            .map(|_| SetState {
-                lines: (0..g.associativity())
-                    .map(|_| Line::invalid(g.words_per_block()))
-                    .collect(),
-                lru: LruQueue::new(g.associativity()),
-            })
-            .collect();
+        let lines = LineArrays::new(g);
         let write_buffer = match config.write_policy {
             WritePolicy::WriteBack => None,
             WritePolicy::WriteThrough { buffer_entries } => {
@@ -284,12 +352,14 @@ impl DataL1 {
         let duplication = config.duplication_cache.map(DuplicationCache::new);
         DataL1 {
             config,
-            sets,
+            lines,
             write_buffer,
             duplication,
             stats: IcrStats::default(),
             shadow: std::collections::HashMap::new(),
             scrub_cursor: 0,
+            victim_scratch: Vec::new(),
+            mask_scratch: Vec::new(),
             port_free_at: 0,
             exposure: ExposureLedger::new(g.num_sets() * g.associativity(), g.words_per_block()),
         }
@@ -345,20 +415,20 @@ impl DataL1 {
 
     /// The ledger slot of the line at (`set`, `way`).
     fn line_slot(&self, set: usize, way: usize) -> usize {
-        set * self.config.geometry.associativity() + way
+        self.lines.slot(set, way)
     }
 
     /// The [`ProtState`] the valid line at (`set`, `way`) is in.
     fn exposure_state(&self, set: usize, way: usize) -> ProtState {
-        let l = &self.sets[set].lines[way];
-        debug_assert!(l.valid, "exposure_state of an invalid line");
-        if l.is_replica {
+        let sl = self.lines.slot(set, way);
+        debug_assert!(self.lines.valid[sl], "exposure_state of an invalid line");
+        if self.lines.is_replica[sl] {
             ProtState::Replica
-        } else if l.words[0].protection() == Protection::SecDed {
+        } else if self.lines.prot[sl] == Protection::SecDed {
             ProtState::Ecc
-        } else if self.has_replica(l.addr) {
+        } else if self.has_replica(self.lines.addr[sl]) {
             ProtState::Replicated
-        } else if l.dirty {
+        } else if self.lines.dirty[sl] {
             ProtState::DirtyParity
         } else {
             ProtState::CleanParity
@@ -368,33 +438,10 @@ impl DataL1 {
     /// Re-synchronizes the ledger after a dirty/protection/replication
     /// change on the (valid) line at (`set`, `way`).
     fn sync_exposure(&mut self, set: usize, way: usize, now: u64) {
-        if self.sets[set].lines[way].valid {
+        let slot = self.lines.slot(set, way);
+        if self.lines.valid[slot] {
             let state = self.exposure_state(set, way);
-            let slot = self.line_slot(set, way);
             self.exposure.set_state(slot, state, now);
-        }
-    }
-
-    /// The class a strike consumed by a load of the primary at (`set`,
-    /// `way`) resolves to — the first rung of the recovery ladder
-    /// available right now (SEC-DED corrects in place; then replica,
-    /// duplication cache and clean-block L2 refetch; a dirty
-    /// unreplicated parity line is lost).
-    fn load_consume_class(&self, set: usize, way: usize) -> VulnClass {
-        let l = &self.sets[set].lines[way];
-        if l.words[0].protection() == Protection::SecDed {
-            VulnClass::ByEcc
-        } else if self.has_replica(l.addr) {
-            VulnClass::ByReplica
-        } else if !l.dirty
-            || self
-                .duplication
-                .as_ref()
-                .is_some_and(|d| d.contains(l.addr))
-        {
-            VulnClass::ByRefetch
-        } else {
-            VulnClass::Unrecoverable
         }
     }
 
@@ -404,11 +451,7 @@ impl DataL1 {
 
     fn find_primary(&self, block: BlockAddr) -> Option<(usize, usize)> {
         let s = self.config.geometry.set_index(block).0;
-        self.sets[s]
-            .lines
-            .iter()
-            .position(|l| l.valid && !l.is_replica && l.addr == block)
-            .map(|w| (s, w))
+        self.lines.primary_way(s, block).map(|w| (s, w))
     }
 
     /// All replica locations of `block`, searched over the placement's
@@ -418,13 +461,31 @@ impl DataL1 {
         let home = g.set_index(block);
         let mut out = Vec::new();
         for set in self.config.placement.candidate_sets_iter(g, home) {
-            for (w, l) in self.sets[set.0].lines.iter().enumerate() {
-                if l.valid && l.is_replica && l.addr == block {
+            let base = set.0 * self.lines.assoc;
+            for w in 0..self.lines.assoc {
+                let sl = base + w;
+                if self.lines.valid[sl] && self.lines.is_replica[sl] && self.lines.addr[sl] == block
+                {
                     out.push((set.0, w));
                 }
             }
         }
         out
+    }
+
+    /// The first replica location of `block` in candidate-set order —
+    /// identical to `find_replicas(block).first()`, without the
+    /// allocation. This is the copy the parallel-lookup (`PP`) load path
+    /// reads on every replicated hit.
+    fn first_replica(&self, block: BlockAddr) -> Option<(usize, usize)> {
+        let g = self.config.geometry;
+        let home = g.set_index(block);
+        for set in self.config.placement.candidate_sets_iter(g, home) {
+            if let Some(w) = self.lines.replica_way(set.0, block) {
+                return Some((set.0, w));
+            }
+        }
+        None
     }
 
     /// `true` when `block` currently has at least one replica.
@@ -434,17 +495,7 @@ impl DataL1 {
         if !self.config.scheme.replicates() {
             return false;
         }
-        let g = self.config.geometry;
-        let home = g.set_index(block);
-        self.config
-            .placement
-            .candidate_sets_iter(g, home)
-            .any(|set| {
-                self.sets[set.0]
-                    .lines
-                    .iter()
-                    .any(|l| l.valid && l.is_replica && l.addr == block)
-            })
+        self.first_replica(block).is_some()
     }
 
     /// `true` when `block` has a resident primary copy.
@@ -455,59 +506,102 @@ impl DataL1 {
 
     /// Number of valid replica lines in the cache.
     pub fn replica_line_count(&self) -> usize {
-        self.sets
+        self.lines
+            .valid
             .iter()
-            .flat_map(|s| &s.lines)
-            .filter(|l| l.valid && l.is_replica)
+            .zip(&self.lines.is_replica)
+            .filter(|&(&v, &r)| v && r)
             .count()
     }
 
     /// Number of valid primary lines in the cache.
     pub fn primary_line_count(&self) -> usize {
-        self.sets
+        self.lines
+            .valid
             .iter()
-            .flat_map(|s| &s.lines)
-            .filter(|l| l.valid && !l.is_replica)
+            .zip(&self.lines.is_replica)
+            .filter(|&(&v, &r)| v && !r)
             .count()
     }
 
     /// A view of the line at (`set`, `way`), if valid.
     pub fn line_view(&self, set: usize, way: usize) -> Option<LineView> {
-        let l = self.sets.get(set)?.lines.get(way)?;
-        l.valid.then(|| LineView {
-            addr: l.addr,
-            dirty: l.dirty,
-            is_replica: l.is_replica,
-            protection: l.words[0].protection(),
+        if set >= self.config.geometry.num_sets() || way >= self.lines.assoc {
+            return None;
+        }
+        let sl = self.lines.slot(set, way);
+        self.lines.valid[sl].then(|| LineView {
+            addr: self.lines.addr[sl],
+            dirty: self.lines.dirty[sl],
+            is_replica: self.lines.is_replica[sl],
+            protection: self.lines.prot[sl],
         })
     }
 
     /// Exports every valid line with its full observable state at cycle
     /// `now`, for lockstep auditing against a reference model. The decay
-    /// counter and deadness come from the real [`DecayState`] code path,
-    /// so a bug there shows up as a divergence from the auditor's
-    /// from-scratch recomputation.
+    /// counters come from the real production path — one branchless batch
+    /// tick ([`DecayConfig::counters_into`]) over the whole last-access
+    /// vector — so a bug there shows up as a divergence from the
+    /// auditor's from-scratch recomputation.
     pub fn export_lines(&self, now: u64) -> Vec<LineExport> {
+        let assoc = self.lines.assoc;
+        let mut counters = vec![0u8; self.lines.valid.len()];
+        self.config
+            .decay
+            .counters_into(&self.lines.last_access, now, &mut counters);
         let mut out = Vec::new();
-        for (s, set) in self.sets.iter().enumerate() {
-            for (w, l) in set.lines.iter().enumerate() {
-                if !l.valid {
-                    continue;
-                }
-                out.push(LineExport {
-                    set: s,
-                    way: w,
-                    addr: l.addr,
-                    dirty: l.dirty,
-                    is_replica: l.is_replica,
-                    protection: l.words[0].protection(),
-                    last_access: l.decay.last_access(),
-                    counter: l.decay.counter(self.config.decay, now),
-                    dead: l.decay.is_dead(self.config.decay, now),
-                });
+        for (sl, &counter) in counters.iter().enumerate() {
+            if !self.lines.valid[sl] {
+                continue;
             }
+            out.push(LineExport {
+                set: sl / assoc,
+                way: sl % assoc,
+                addr: self.lines.addr[sl],
+                dirty: self.lines.dirty[sl],
+                is_replica: self.lines.is_replica[sl],
+                protection: self.lines.prot[sl],
+                last_access: self.lines.last_access[sl],
+                counter,
+                dead: counter == 3,
+            });
         }
         out
+    }
+
+    /// Exports the valid lines of one set at cycle `now`, appended to
+    /// `out` — the per-set slice of [`export_lines`](DataL1::export_lines)
+    /// for the incremental lockstep diff, which snapshots only the sets
+    /// an access touched. Decay counters use the same production
+    /// [`DecayConfig::counter_at`] path the hot victim scan uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn export_set_lines(&self, set: usize, now: u64, out: &mut Vec<LineExport>) {
+        let assoc = self.lines.assoc;
+        for way in 0..assoc {
+            let sl = set * assoc + way;
+            if !self.lines.valid[sl] {
+                continue;
+            }
+            let counter = self
+                .config
+                .decay
+                .counter_at(self.lines.last_access[sl], now);
+            out.push(LineExport {
+                set,
+                way,
+                addr: self.lines.addr[sl],
+                dirty: self.lines.dirty[sl],
+                is_replica: self.lines.is_replica[sl],
+                protection: self.lines.prot[sl],
+                last_access: self.lines.last_access[sl],
+                counter,
+                dead: counter == 3,
+            });
+        }
     }
 
     /// The recency order of `set`'s ways, most-recently-used first —
@@ -517,7 +611,7 @@ impl DataL1 {
     ///
     /// Panics if `set` is out of range.
     pub fn lru_order(&self, set: usize) -> &[usize] {
-        self.sets[set].lru.mru_to_lru()
+        self.lines.lru[set].mru_to_lru()
     }
 
     /// Number of data words currently *vulnerable* to a single-bit
@@ -538,24 +632,22 @@ impl DataL1 {
     pub fn vulnerable_word_count(&self) -> usize {
         let words = self.config.geometry.words_per_block();
         let mut count = 0;
-        for set in &self.sets {
-            for line in &set.lines {
-                if !line.valid || line.is_replica || !line.dirty {
-                    continue;
-                }
-                if line.words[0].protection() == Protection::SecDed {
-                    continue;
-                }
-                if self.has_replica(line.addr) {
-                    continue;
-                }
-                if let Some(dup) = &self.duplication {
-                    if dup.contains(line.addr) {
-                        continue;
-                    }
-                }
-                count += words;
+        for sl in 0..self.lines.valid.len() {
+            if !self.lines.valid[sl] || self.lines.is_replica[sl] || !self.lines.dirty[sl] {
+                continue;
             }
+            if self.lines.prot[sl] == Protection::SecDed {
+                continue;
+            }
+            if self.has_replica(self.lines.addr[sl]) {
+                continue;
+            }
+            if let Some(dup) = &self.duplication {
+                if dup.contains(self.lines.addr[sl]) {
+                    continue;
+                }
+            }
+            count += words;
         }
         count
     }
@@ -563,43 +655,39 @@ impl DataL1 {
     /// Locations of all valid lines, as (set, way) pairs — the fault
     /// injector's sample space.
     pub fn valid_lines(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (s, set) in self.sets.iter().enumerate() {
-            for (w, l) in set.lines.iter().enumerate() {
-                if l.valid {
-                    out.push((s, w));
-                }
-            }
-        }
-        out
+        let assoc = self.lines.assoc;
+        (0..self.lines.valid.len())
+            .filter(|&sl| self.lines.valid[sl])
+            .map(|sl| (sl / assoc, sl % assoc))
+            .collect()
     }
 
     /// Flips a data bit in a stored word (transient-fault injection).
     /// Returns `false` if the line is invalid.
     pub fn flip_data_bit(&mut self, set: usize, way: usize, word: usize, bit: u32) -> bool {
-        let l = &mut self.sets[set].lines[way];
-        if !l.valid {
+        let sl = self.lines.slot(set, way);
+        if !self.lines.valid[sl] {
             return false;
         }
-        l.words[word].flip_data_bit(bit);
+        self.lines.word_mut(sl, word).flip_data_bit(bit);
         true
     }
 
     /// Flips a check bit in a stored word (fault in the redundancy bits).
     /// Returns `false` if the line is invalid.
     pub fn flip_check_bit(&mut self, set: usize, way: usize, word: usize, bit: u32) -> bool {
-        let l = &mut self.sets[set].lines[way];
-        if !l.valid {
+        let sl = self.lines.slot(set, way);
+        if !self.lines.valid[sl] {
             return false;
         }
-        l.words[word].flip_check_bit(bit);
+        self.lines.word_mut(sl, word).flip_check_bit(bit);
         true
     }
 
     /// The stored data of a word (for verification in tests).
     pub fn word_data(&self, set: usize, way: usize, word: usize) -> Option<u64> {
-        let l = &self.sets[set].lines[way];
-        l.valid.then(|| l.words[word].data())
+        let sl = self.lines.slot(set, way);
+        self.lines.valid[sl].then(|| self.lines.word(sl, word).data())
     }
 
     // ------------------------------------------------------------------
@@ -629,12 +717,13 @@ impl DataL1 {
     /// replication-status change alone moves the line between
     /// `Replicated` and the unreplicated states.
     fn reprotect_primary(&mut self, set: usize, way: usize, protection: Protection, now: u64) {
-        if self.sets[set].lines[way].words[0].protection() != protection {
-            let slot = self.line_slot(set, way);
+        let slot = self.lines.slot(set, way);
+        if self.lines.prot[slot] != protection {
             self.exposure.launder_line(slot, now, LaunderKind::InPlace);
-            for w in &mut self.sets[set].lines[way].words {
+            for w in self.lines.words_mut(slot) {
                 w.reprotect(protection);
             }
+            self.lines.prot[slot] = protection;
             self.stats.l1_write_ops += 1;
             self.count_code_op(protection);
         }
@@ -648,15 +737,14 @@ impl DataL1 {
     /// Evicts the line at (`set`, `way`) if valid: writes back dirty
     /// primaries, and handles that primary's replicas per config.
     fn evict_line(&mut self, set: usize, way: usize, now: u64, backend: &mut MemoryBackend) {
-        let (valid, is_replica, dirty, addr, data) = {
-            let l = &self.sets[set].lines[way];
-            (l.valid, l.is_replica, l.dirty, l.addr, l.plain_data())
-        };
-        if !valid {
+        let slot = self.lines.slot(set, way);
+        if !self.lines.valid[slot] {
             return;
         }
-        self.sets[set].lines[way].valid = false;
-        let slot = self.line_slot(set, way);
+        let is_replica = self.lines.is_replica[slot];
+        let dirty = self.lines.dirty[slot];
+        let addr = self.lines.addr[slot];
+        self.lines.valid[slot] = false;
         self.exposure.end_line(slot, now);
         if is_replica {
             self.stats.replica_evictions += 1;
@@ -674,12 +762,12 @@ impl DataL1 {
             if dirty {
                 self.stats.writebacks += 1;
                 self.stats.cache.writebacks += 1;
-                backend.write_block(addr, data);
+                backend.write_block(addr, self.lines.plain_data(slot));
             }
             if !self.config.keep_replicas_on_evict {
                 for (rs, rw) in self.find_replicas(addr) {
-                    self.sets[rs].lines[rw].valid = false;
-                    let rslot = self.line_slot(rs, rw);
+                    let rslot = self.lines.slot(rs, rw);
+                    self.lines.valid[rslot] = false;
                     self.exposure.end_line(rslot, now);
                     self.stats.replica_evictions += 1;
                 }
@@ -704,9 +792,9 @@ impl DataL1 {
         debug_assert!(self.find_primary(block).is_none(), "double fill of {block}");
         let g = self.config.geometry;
         let s = g.set_index(block).0;
-        let way = match self.sets[s].lines.iter().position(|l| !l.valid) {
+        let way = match self.lines.invalid_way(s) {
             Some(w) => w,
-            None => self.sets[s].lru.victim(),
+            None => self.lines.lru[s].victim(),
         };
         self.evict_line(s, way, now, backend);
         // Protection depends on whether replicas survived a previous
@@ -716,20 +804,18 @@ impl DataL1 {
         } else {
             self.unreplicated_protection()
         };
-        {
-            let line = &mut self.sets[s].lines[way];
-            line.valid = true;
-            line.dirty = dirty;
-            line.is_replica = false;
-            line.addr = block;
-            line.decay = DecayState::touched_at(now);
-            for (i, w) in line.words.iter_mut().enumerate() {
-                *w = ProtectedWord::encode(data.word(i), protection);
-            }
+        let slot = self.lines.slot(s, way);
+        self.lines.valid[slot] = true;
+        self.lines.dirty[slot] = dirty;
+        self.lines.is_replica[slot] = false;
+        self.lines.addr[slot] = block;
+        self.lines.last_access[slot] = now;
+        self.lines.prot[slot] = protection;
+        for (i, w) in self.lines.words_mut(slot).iter_mut().enumerate() {
+            *w = ProtectedWord::encode(data.word(i), protection);
         }
-        self.sets[s].lru.touch(way);
+        self.lines.lru[s].touch(way);
         let state = self.exposure_state(s, way);
-        let slot = self.line_slot(s, way);
         self.exposure.begin_line(slot, state, now);
         self.stats.cache.fills += 1;
         self.stats.l1_write_ops += 1;
@@ -743,28 +829,36 @@ impl DataL1 {
     /// Selects a victim way for a replica in `set`, or `None` when the
     /// policy finds no eligible line. Never selects a copy of `block`
     /// itself.
-    fn choose_replica_victim(&self, set: usize, block: BlockAddr, now: u64) -> Option<usize> {
-        let s = &self.sets[set];
-        if let Some(w) = s.lines.iter().position(|l| !l.valid) {
+    fn choose_replica_victim(&mut self, set: usize, block: BlockAddr, now: u64) -> Option<usize> {
+        if let Some(w) = self.lines.invalid_way(set) {
             return Some(w);
         }
-        let candidates: Vec<CandidateLine> = s
-            .lines
-            .iter()
-            .map(|l| CandidateLine {
-                valid: l.valid,
-                is_replica: l.is_replica,
-                is_dead: l.decay.is_dead(self.config.decay, now),
-                excluded: l.addr == block,
-            })
-            .collect();
+        let base = set * self.lines.assoc;
+        let decay = self.config.decay;
+        let mut candidates = std::mem::take(&mut self.victim_scratch);
+        let mut mask = std::mem::take(&mut self.mask_scratch);
+        candidates.clear();
+        for w in 0..self.lines.assoc {
+            let sl = base + w;
+            candidates.push(CandidateLine {
+                valid: self.lines.valid[sl],
+                is_replica: self.lines.is_replica[sl],
+                is_dead: decay.dead_at(self.lines.last_access[sl], now),
+                excluded: self.lines.addr[sl] == block,
+            });
+        }
+        let mut chosen = None;
         for pass in self.config.victim.passes() {
-            let mask: Vec<bool> = candidates.iter().map(pass).collect();
-            if let Some(w) = s.lru.victim_among(&mask) {
-                return Some(w);
+            mask.clear();
+            mask.extend(candidates.iter().map(pass));
+            if let Some(w) = self.lines.lru[set].victim_among(&mask) {
+                chosen = Some(w);
+                break;
             }
         }
-        None
+        self.victim_scratch = candidates;
+        self.mask_scratch = mask;
+        chosen
     }
 
     /// Attempts to bring `block` up to the configured replica count.
@@ -784,49 +878,59 @@ impl DataL1 {
         };
         let g = self.config.geometry;
         let home = g.set_index(block);
-        let candidates = self.config.placement.candidate_sets(g, home);
+        // The candidate list maps 1:1 over the placement's attempts, so
+        // its length is known without materialising it.
+        let n_attempts = self.config.placement.attempts.len();
         // Software hints can deny replication or demand more copies; the
         // attempt list still bounds how many placements can be tried.
         let max = self
             .config
             .hints
             .replica_target(block.raw(), self.config.placement.max_replicas)
-            .min(candidates.len());
+            .min(n_attempts);
         if max == 0 {
             return; // software opted this range out: no attempt is made
         }
 
-        let mut count = self.find_replicas(block).len();
+        // Count existing replicas the same way find_replicas walks them —
+        // per candidate set (at most one replica of a block per set) —
+        // without collecting the locations.
+        let mut count = 0;
+        for target in self.config.placement.candidate_sets_iter(g, home) {
+            if self.lines.replica_way(target.0, block).is_some() {
+                count += 1;
+            }
+        }
         let had_none = count == 0;
         let count_before = count;
-        for target in candidates {
+        for attempt in 0..n_attempts {
             if count >= max {
                 break;
             }
+            let target = g.set_at_distance(home, self.config.placement.attempts[attempt]);
             // One replica per set: skip sets that already hold one.
-            let already_here = self.sets[target.0]
-                .lines
-                .iter()
-                .any(|l| l.valid && l.is_replica && l.addr == block);
-            if already_here {
+            if self.lines.replica_way(target.0, block).is_some() {
                 continue;
             }
             if let Some(way) = self.choose_replica_victim(target.0, block, now) {
                 self.evict_line(target.0, way, now, backend);
-                let data = self.sets[ps].lines[pw].plain_data();
-                {
-                    let line = &mut self.sets[target.0].lines[way];
-                    line.valid = true;
-                    line.dirty = false;
-                    line.is_replica = true;
-                    line.addr = block;
-                    line.decay = DecayState::touched_at(now);
-                    for (i, w) in line.words.iter_mut().enumerate() {
-                        *w = ProtectedWord::encode(data.word(i), Protection::Parity);
-                    }
+                let pslot = self.lines.slot(ps, pw);
+                let rslot = self.lines.slot(target.0, way);
+                self.lines.valid[rslot] = true;
+                self.lines.dirty[rslot] = false;
+                self.lines.is_replica[rslot] = true;
+                self.lines.addr[rslot] = block;
+                self.lines.last_access[rslot] = now;
+                self.lines.prot[rslot] = Protection::Parity;
+                // Copy the primary's words under parity, straight across
+                // the flat word array.
+                let wpb = self.lines.words_per_block;
+                for i in 0..wpb {
+                    let v = self.lines.words[pslot * wpb + i].data();
+                    self.lines.words[rslot * wpb + i] =
+                        ProtectedWord::encode(v, Protection::Parity);
                 }
-                self.sets[target.0].lru.touch(way);
-                let rslot = self.line_slot(target.0, way);
+                self.lines.lru[target.0].touch(way);
                 self.exposure.begin_line(rslot, ProtState::Replica, now);
                 self.stats.replicas_created += 1;
                 self.stats.l1_write_ops += 1;
@@ -871,7 +975,7 @@ impl DataL1 {
         now: u64,
         backend: &mut MemoryBackend,
     ) -> u64 {
-        let slot = self.line_slot(set, way);
+        let slot = self.lines.slot(set, way);
         let sequential = matches!(
             self.config.scheme,
             Scheme::Icr {
@@ -888,11 +992,12 @@ impl DataL1 {
                 self.stats.l1_read_ops += 1;
                 self.stats.parity_ops += 1;
             }
-            let mut replica_word = self.sets[rs].lines[rw].words[word];
+            let rslot = self.lines.slot(rs, rw);
+            let mut replica_word = *self.lines.word(rslot, word);
             if replica_word.check_and_correct().data_is_good() {
                 let value = replica_word.data();
-                let protection = self.sets[set].lines[way].words[word].protection();
-                self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
+                let protection = self.lines.prot[slot];
+                *self.lines.word_mut(slot, word) = ProtectedWord::encode(value, protection);
                 self.exposure.refresh_word(slot, word, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
@@ -906,8 +1011,8 @@ impl DataL1 {
             self.stats.l1_read_ops += 1;
             self.stats.parity_ops += 1;
             if let Some(value) = dup.recover(block, word) {
-                let protection = self.sets[set].lines[way].words[word].protection();
-                self.sets[set].lines[way].words[word] = ProtectedWord::encode(value, protection);
+                let protection = self.lines.prot[slot];
+                *self.lines.word_mut(slot, word) = ProtectedWord::encode(value, protection);
                 self.exposure.refresh_word(slot, word, now);
                 self.stats.l1_write_ops += 1;
                 self.count_code_op(protection);
@@ -916,10 +1021,10 @@ impl DataL1 {
             }
         }
         // 3. Clean blocks can be refetched from L2.
-        if !self.sets[set].lines[way].dirty {
+        if !self.lines.dirty[slot] {
             let (data, l2_lat) = backend.read_block(block);
-            let protection = self.sets[set].lines[way].words[0].protection();
-            for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
+            let protection = self.lines.prot[slot];
+            for (i, w) in self.lines.words_mut(slot).iter_mut().enumerate() {
                 *w = ProtectedWord::encode(data.word(i), protection);
             }
             self.exposure.refresh_line(slot, now);
@@ -933,9 +1038,9 @@ impl DataL1 {
         // Re-encode the corrupt word so one fault is not re-counted on
         // every subsequent load (software would have consumed bad data and
         // moved on).
-        let protection = self.sets[set].lines[way].words[word].protection();
-        let bad = self.sets[set].lines[way].words[word].data();
-        self.sets[set].lines[way].words[word] = ProtectedWord::encode(bad, protection);
+        let protection = self.lines.prot[slot];
+        let bad = self.lines.word(slot, word).data();
+        *self.lines.word_mut(slot, word) = ProtectedWord::encode(bad, protection);
         self.exposure.refresh_word(slot, word, now);
         // The corruption has been *acknowledged*; fold it into the oracle
         // so later loads of this word are not double-counted as silent.
@@ -960,21 +1065,21 @@ impl DataL1 {
         now: u64,
         backend: &mut MemoryBackend,
     ) -> u64 {
-        let slot = self.line_slot(set, way);
-        if !self.sets[set].lines[way].dirty {
+        let slot = self.lines.slot(set, way);
+        if !self.lines.dirty[slot] {
             let (data, l2_lat) = backend.read_block(block);
-            let protection = self.sets[set].lines[way].words[0].protection();
-            for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
+            let protection = self.lines.prot[slot];
+            for (i, w) in self.lines.words_mut(slot).iter_mut().enumerate() {
                 *w = ProtectedWord::encode(data.word(i), protection);
             }
             self.exposure.refresh_line(slot, now);
             // Refresh the replica from the restored primary too.
             for (rs, rw) in self.find_replicas(block) {
+                let rslot = self.lines.slot(rs, rw);
                 for i in 0..data.len() {
-                    self.sets[rs].lines[rw].words[i] =
+                    *self.lines.word_mut(rslot, i) =
                         ProtectedWord::encode(data.word(i), Protection::Parity);
                 }
-                let rslot = self.line_slot(rs, rw);
                 self.exposure.refresh_line(rslot, now);
             }
             self.stats.l1_write_ops += 1;
@@ -985,11 +1090,11 @@ impl DataL1 {
         // Dirty and ambiguous: lost. Acknowledge by syncing the replica to
         // the primary so the mismatch is not re-detected forever.
         self.stats.unrecoverable_loads += 1;
-        let bad = self.sets[set].lines[way].words[word].data();
+        let bad = self.lines.word(slot, word).data();
         self.exposure.refresh_word(slot, word, now);
         for (rs, rw) in self.find_replicas(block) {
-            self.sets[rs].lines[rw].words[word] = ProtectedWord::encode(bad, Protection::Parity);
-            let rslot = self.line_slot(rs, rw);
+            let rslot = self.lines.slot(rs, rw);
+            *self.lines.word_mut(rslot, word) = ProtectedWord::encode(bad, Protection::Parity);
             self.exposure.refresh_word(rslot, word, now);
         }
         if self.config.oracle {
@@ -1027,19 +1132,17 @@ impl DataL1 {
         for _ in 0..lines.min(total) {
             let pos = self.scrub_cursor;
             self.scrub_cursor = (self.scrub_cursor + 1) % total;
-            let (set, way) = (pos / g.associativity(), pos % g.associativity());
-            if !self.sets[set].lines[way].valid {
+            // The scrub cursor walks flat slots in order: `pos` IS the slot.
+            let slot = pos;
+            if !self.lines.valid[slot] {
                 continue;
             }
             self.stats.l1_read_ops += 1;
-            let slot = self.line_slot(set, way);
-            let (scrub_is_replica, scrub_dirty) = {
-                let l = &self.sets[set].lines[way];
-                (l.is_replica, l.dirty)
-            };
+            let scrub_is_replica = self.lines.is_replica[slot];
+            let scrub_dirty = self.lines.dirty[slot];
             for word in 0..words {
                 checked += 1;
-                let protection = self.sets[set].lines[way].words[word].protection();
+                let protection = self.lines.prot[slot];
                 self.count_code_op(protection);
                 // Exposure: the scrubber observes this word. A strike in
                 // the open window would be corrected (SEC-DED), healed
@@ -1056,7 +1159,7 @@ impl DataL1 {
                     self.exposure
                         .consume_word(slot, word, VulnClass::ByRefetch, now);
                 }
-                match self.sets[set].lines[way].words[word].check_and_correct() {
+                match self.lines.word_mut(slot, word).check_and_correct() {
                     CheckOutcome::Clean => {}
                     CheckOutcome::CorrectedSingle => {
                         self.stats.errors_detected += 1;
@@ -1066,14 +1169,13 @@ impl DataL1 {
                     }
                     CheckOutcome::DetectedUncorrectable => {
                         self.stats.errors_detected += 1;
-                        let (is_replica, dirty, block) = {
-                            let line = &self.sets[set].lines[way];
-                            (line.is_replica, line.dirty, line.addr)
-                        };
+                        let is_replica = self.lines.is_replica[slot];
+                        let dirty = self.lines.dirty[slot];
+                        let block = self.lines.addr[slot];
                         if !is_replica && !dirty {
                             let (data, _) = backend.read_block(block);
-                            let prot = self.sets[set].lines[way].words[0].protection();
-                            for (i, w) in self.sets[set].lines[way].words.iter_mut().enumerate() {
+                            let prot = self.lines.prot[slot];
+                            for (i, w) in self.lines.words_mut(slot).iter_mut().enumerate() {
                                 *w = ProtectedWord::encode(data.word(i), prot);
                             }
                             self.exposure.refresh_line(slot, now);
@@ -1085,7 +1187,7 @@ impl DataL1 {
                         } else if is_replica {
                             // A corrupt replica is simply dropped; the
                             // primary is the copy of record.
-                            self.sets[set].lines[way].valid = false;
+                            self.lines.valid[slot] = false;
                             self.exposure.end_line(slot, now);
                             self.stats.replica_evictions += 1;
                             let addr = block;
@@ -1130,60 +1232,68 @@ impl DataL1 {
             if has_replica {
                 self.stats.read_hits_with_replica += 1;
             }
-            self.sets[s].lru.touch(w);
-            self.sets[s].lines[w].decay.touch(now);
+            let slot = self.lines.slot(s, w);
+            self.lines.lru[s].touch(w);
+            self.lines.last_access[slot] = now;
             // The check performed on the accessed word: it consumes the
             // word's open exposure window. A strike anywhere in it would
             // resolve via the recovery ladder available right now.
-            let line_protection = self.sets[s].lines[w].words[word].protection();
+            let line_protection = self.lines.prot[slot];
             self.count_code_op(line_protection);
-            let class = self.load_consume_class(s, w);
-            let slot = self.line_slot(s, w);
-            self.exposure.consume_word(slot, word, class, now);
-            // Parallel lookup reads the replica on every access.
-            if has_replica
-                && matches!(
-                    self.config.scheme,
-                    Scheme::Icr {
-                        lookup: ReplicaLookup::Parallel,
-                        ..
-                    }
-                )
+            // The class a consumed strike resolves to: the first rung of
+            // the recovery ladder available right now (SEC-DED corrects
+            // in place; then replica, duplication cache and clean-block
+            // L2 refetch; a dirty unreplicated parity line is lost). The
+            // replica probe above is reused rather than repeated.
+            let class = if line_protection == Protection::SecDed {
+                VulnClass::ByEcc
+            } else if has_replica {
+                VulnClass::ByReplica
+            } else if !self.lines.dirty[slot]
+                || self.duplication.as_ref().is_some_and(|d| d.contains(block))
             {
+                VulnClass::ByRefetch
+            } else {
+                VulnClass::Unrecoverable
+            };
+            self.exposure.consume_word(slot, word, class, now);
+            let parallel = matches!(
+                self.config.scheme,
+                Scheme::Icr {
+                    lookup: ReplicaLookup::Parallel,
+                    ..
+                }
+            );
+            // Parallel lookup reads the replica on every access.
+            let replica_slot = if has_replica && parallel {
                 self.stats.l1_read_ops += 1;
                 self.stats.parity_ops += 1;
                 // The compare observes the replica word too. A strike on
                 // it trips the compare, and with only two copies the
                 // line refetches when clean and is lost when dirty.
-                let (rs, rw) = self.find_replicas(block)[0];
-                let rclass = if self.sets[s].lines[w].dirty {
+                let (rs, rw) = self.first_replica(block).unwrap();
+                let rclass = if self.lines.dirty[slot] {
                     VulnClass::Unrecoverable
                 } else {
                     VulnClass::ByRefetch
                 };
-                let rslot = self.line_slot(rs, rw);
+                let rslot = self.lines.slot(rs, rw);
                 self.exposure.consume_word(rslot, word, rclass, now);
-            }
+                Some(rslot)
+            } else {
+                None
+            };
             let base = self.config.scheme.load_hit_latency(has_replica);
             let mut error_handled = false;
-            let lat = match self.sets[s].lines[w].words[word].check_and_correct() {
+            let lat = match self.lines.word_mut(slot, word).check_and_correct() {
                 CheckOutcome::Clean => {
                     // The PP schemes read the replica in parallel and
                     // *compare*: a mismatch is detected even when every
                     // parity check passes — the NMR-style extra coverage
                     // the paper alludes to ("possibly achieve even higher
                     // reliability than ECC in certain error situations").
-                    let parallel = matches!(
-                        self.config.scheme,
-                        Scheme::Icr {
-                            lookup: ReplicaLookup::Parallel,
-                            ..
-                        }
-                    );
-                    if parallel && has_replica {
-                        let (rs, rw) = self.find_replicas(block)[0];
-                        if self.sets[rs].lines[rw].words[word].data()
-                            != self.sets[s].lines[w].words[word].data()
+                    if let Some(rslot) = replica_slot {
+                        if self.lines.word(rslot, word).data() != self.lines.word(slot, word).data()
                         {
                             self.stats.errors_detected += 1;
                             self.stats.errors_caught_by_compare += 1;
@@ -1211,7 +1321,7 @@ impl DataL1 {
             // Oracle: a load that passed every check but returns data
             // different from the architectural truth is silent corruption.
             if self.config.oracle && !error_handled {
-                let got = self.sets[s].lines[w].words[word].data();
+                let got = self.lines.word(slot, word).data();
                 if let Some(sh) = self.shadow.get_mut(&block) {
                     if sh[word] != got {
                         self.stats.silent_corruptions += 1;
@@ -1225,20 +1335,19 @@ impl DataL1 {
         } else {
             // Miss. In §5.6 mode a surviving replica can serve it.
             if self.config.keep_replicas_on_evict {
-                let replicas = self.find_replicas(block);
-                if let Some(&(rs, rw)) = replicas.first() {
+                if let Some((rs, rw)) = self.first_replica(block) {
                     self.stats.misses_served_by_replica += 1;
                     self.stats.l1_read_ops += 1;
                     self.stats.parity_ops += 1;
                     // The replica was just useful: refresh its recency so
                     // it keeps playing victim-cache for this block.
-                    self.sets[rs].lru.touch(rw);
-                    self.sets[rs].lines[rw].decay.touch(now);
-                    let data = self.sets[rs].lines[rw].plain_data();
+                    let rslot = self.lines.slot(rs, rw);
+                    self.lines.lru[rs].touch(rw);
+                    self.lines.last_access[rslot] = now;
+                    let data = self.lines.plain_data(rslot);
                     // The replica's stored bits are trusted into the new
                     // primary (and the oracle's shadow), so its open word
                     // windows end here unconsumed.
-                    let rslot = self.line_slot(rs, rw);
                     self.exposure.refresh_line(rslot, now);
                     self.fill_primary(block, &data, false, now, backend);
                     let trigger_on_miss = self
@@ -1297,15 +1406,20 @@ impl DataL1 {
         let write_through = matches!(self.config.write_policy, WritePolicy::WriteThrough { .. });
 
         let hit = self.find_primary(block);
+        // Where the primary sits after the match below — the one tag scan
+        // covers the later replica-update gate and write-through read.
+        // Nothing in between can displace it: replication never
+        // victimises a copy of the block being replicated.
+        let mut resident = hit;
         match hit {
             Some((s, w)) => {
                 self.stats.cache.write_hits += 1;
-                let protection = self.sets[s].lines[w].words[word].protection();
-                self.sets[s].lines[w].words[word] = ProtectedWord::encode(value, protection);
-                self.sets[s].lines[w].dirty = !write_through;
-                self.sets[s].lines[w].decay.touch(now);
-                self.sets[s].lru.touch(w);
-                let slot = self.line_slot(s, w);
+                let slot = self.lines.slot(s, w);
+                let protection = self.lines.prot[slot];
+                *self.lines.word_mut(slot, word) = ProtectedWord::encode(value, protection);
+                self.lines.dirty[slot] = !write_through;
+                self.lines.last_access[slot] = now;
+                self.lines.lru[s].touch(w);
                 self.exposure.refresh_word(slot, word, now);
                 self.sync_exposure(s, w, now);
                 self.stats.l1_write_ops += 1;
@@ -1317,7 +1431,7 @@ impl DataL1 {
                 }
                 if let Some(dup) = &mut self.duplication {
                     if !dup.update_word(block, word, value) {
-                        let data = self.sets[s].lines[w].plain_data();
+                        let data = self.lines.plain_data(slot);
                         dup.record(block, &data);
                         self.stats.l1_write_ops += 1;
                         self.stats.parity_ops += 1;
@@ -1328,10 +1442,11 @@ impl DataL1 {
                 // Write-allocate: fetch, fill, then write.
                 let (data, _lat) = backend.read_block(block);
                 let (s, w) = self.fill_primary(block, &data, false, now, backend);
-                let protection = self.sets[s].lines[w].words[word].protection();
-                self.sets[s].lines[w].words[word] = ProtectedWord::encode(value, protection);
-                self.sets[s].lines[w].dirty = true;
-                let slot = self.line_slot(s, w);
+                resident = Some((s, w));
+                let slot = self.lines.slot(s, w);
+                let protection = self.lines.prot[slot];
+                *self.lines.word_mut(slot, word) = ProtectedWord::encode(value, protection);
+                self.lines.dirty[slot] = true;
                 self.exposure.refresh_word(slot, word, now);
                 self.sync_exposure(s, w, now);
                 self.stats.l1_write_ops += 1;
@@ -1342,7 +1457,7 @@ impl DataL1 {
                     }
                 }
                 if let Some(dup) = &mut self.duplication {
-                    let data = self.sets[s].lines[w].plain_data();
+                    let data = self.lines.plain_data(slot);
                     dup.record(block, &data);
                     self.stats.l1_write_ops += 1;
                     self.stats.parity_ops += 1;
@@ -1354,14 +1469,22 @@ impl DataL1 {
             }
         }
 
-        // Keep every replica coherent with the store.
-        if self.config.scheme.replicates() && self.find_primary(block).is_some() {
-            for (rs, rw) in self.find_replicas(block) {
-                self.sets[rs].lines[rw].words[word] =
+        // Keep every replica coherent with the store — the same
+        // candidate-set walk as `find_replicas`, without collecting.
+        if self.config.scheme.replicates() && resident.is_some() {
+            let home = g.set_index(block);
+            for attempt in 0..self.config.placement.attempts.len() {
+                let rs = g
+                    .set_at_distance(home, self.config.placement.attempts[attempt])
+                    .0;
+                let Some(rw) = self.lines.replica_way(rs, block) else {
+                    continue;
+                };
+                let rslot = self.lines.slot(rs, rw);
+                *self.lines.word_mut(rslot, word) =
                     ProtectedWord::encode(value, Protection::Parity);
-                self.sets[rs].lines[rw].decay.touch(now);
-                self.sets[rs].lru.touch(rw);
-                let rslot = self.line_slot(rs, rw);
+                self.lines.last_access[rslot] = now;
+                self.lines.lru[rs].touch(rw);
                 self.exposure.refresh_word(rslot, word, now);
                 self.stats.replica_updates += 1;
                 self.stats.l1_write_ops += 1;
@@ -1374,8 +1497,8 @@ impl DataL1 {
         // Write-through: propagate functionally, time through the buffer.
         let mut stall = 0;
         if write_through {
-            let data = match self.find_primary(block) {
-                Some((s, w)) => self.sets[s].lines[w].plain_data(),
+            let data = match resident {
+                Some((s, w)) => self.lines.plain_data(self.lines.slot(s, w)),
                 None => {
                     // No-allocate miss: merge the word into the L2 copy.
                     let mut d = backend.golden_block(block);

@@ -155,6 +155,13 @@ impl Pipeline {
         // Memory ops resident in the RUU (the LSQ occupancy), maintained
         // incrementally instead of rescanning the RUU per fetch.
         let mut mem_in_flight: usize = 0;
+        // Incremental occupancy bookkeeping, so the writeback and issue
+        // scans run only on cycles where they can transition something:
+        // how many entries are Issued and the earliest cycle any of them
+        // completes (u64::MAX when none), and how many are Waiting.
+        let mut issued_cnt: usize = 0;
+        let mut next_done: u64 = u64::MAX;
+        let mut waiting_cnt: usize = 0;
 
         let entry_done = |ruu: &VecDeque<Entry>, head: u64, seq: u64| -> bool {
             if seq < head {
@@ -168,25 +175,37 @@ impl Pipeline {
 
         loop {
             // ---- Writeback: finish execution, resolve branches. ----
-            let mut resolved_halt: Option<u64> = None;
-            for e in ruu.iter_mut() {
-                if let EntryState::Issued { done_at } = e.state {
-                    if done_at <= cycle {
-                        e.state = EntryState::Done;
-                        if e.mispredicted && fetch_halted_by == Some(e.seq) {
-                            resolved_halt = Some(done_at + cfg.mispredict_penalty);
+            // The scan can only transition entries when some Issued op has
+            // reached its completion cycle; `next_done` tracks the
+            // earliest one, so most cycles skip the scan outright.
+            let mut wrote_back = 0usize;
+            if issued_cnt > 0 && next_done <= cycle {
+                let mut resolved_halt: Option<u64> = None;
+                let mut remaining_next = u64::MAX;
+                for e in ruu.iter_mut() {
+                    if let EntryState::Issued { done_at } = e.state {
+                        if done_at <= cycle {
+                            e.state = EntryState::Done;
+                            wrote_back += 1;
+                            issued_cnt -= 1;
+                            if e.mispredicted && fetch_halted_by == Some(e.seq) {
+                                resolved_halt = Some(done_at + cfg.mispredict_penalty);
+                            }
+                        } else {
+                            remaining_next = remaining_next.min(done_at);
                         }
                     }
                 }
-            }
-            if let Some(resume) = resolved_halt {
-                fetch_halted_by = None;
-                fetch_resume = fetch_resume.max(resume);
+                next_done = remaining_next;
+                if let Some(resume) = resolved_halt {
+                    fetch_halted_by = None;
+                    fetch_resume = fetch_resume.max(resume);
+                }
             }
 
             // ---- Commit: retire completed head entries in order. ----
+            let mut committed_now = 0;
             if cycle >= commit_blocked_until {
-                let mut committed_now = 0;
                 while committed_now < cfg.commit_width {
                     let Some(head) = ruu.front() else { break };
                     if head.state != EntryState::Done {
@@ -235,74 +254,84 @@ impl Pipeline {
             }
 
             // ---- Issue: start ready waiting entries, oldest first. ----
-            fu.new_cycle();
+            // Skipped when nothing is Waiting; the FU pool's per-cycle
+            // counters only matter to `try_claim`, so resetting them is
+            // deferred to cycles that can actually issue.
             let mut issued = 0;
-            for i in 0..ruu.len() {
-                if issued == cfg.issue_width {
-                    break;
-                }
-                if ruu[i].state != EntryState::Waiting {
-                    continue;
-                }
-                let deps_ready = ruu[i]
-                    .deps
-                    .iter()
-                    .flatten()
-                    .all(|&d| entry_done(&ruu, head_seq, d));
-                if !deps_ready {
-                    continue;
-                }
-                // Loads must respect older same-word stores (no
-                // speculation past unresolved conflicting stores; forward
-                // from completed ones).
-                let mut load_forwarded = false;
-                if ruu[i].inst.op == OpClass::Load {
-                    let my_word = ruu[i].inst.mem_addr.expect("load has addr") >> 3;
-                    let my_seq = ruu[i].seq;
-                    let mut blocked = false;
-                    for e in ruu.iter() {
-                        if e.seq >= my_seq {
-                            break;
-                        }
-                        if e.inst.op == OpClass::Store
-                            && e.inst.mem_addr.map(|a| a >> 3) == Some(my_word)
-                        {
-                            if e.state == EntryState::Done {
-                                load_forwarded = true; // will forward
-                            } else {
-                                blocked = true; // store not executed yet
-                                break;
-                            }
-                        }
+            let waiting_at_start = waiting_cnt;
+            if waiting_at_start > 0 {
+                fu.new_cycle();
+                let mut waiting_seen = 0;
+                for i in 0..ruu.len() {
+                    if issued == cfg.issue_width || waiting_seen == waiting_at_start {
+                        break;
                     }
-                    if blocked {
+                    if ruu[i].state != EntryState::Waiting {
                         continue;
                     }
-                }
-                if !fu.try_claim(ruu[i].inst.op) {
-                    continue;
-                }
-                let lat = match ruu[i].inst.op {
-                    OpClass::Load => {
-                        let lat = if load_forwarded {
-                            1
-                        } else {
-                            dmem.load(ruu[i].inst.mem_addr.expect("load has addr"), cycle)
-                        };
-                        ruu[i].load_latency = lat;
-                        lat
+                    waiting_seen += 1;
+                    let deps_ready = ruu[i]
+                        .deps
+                        .iter()
+                        .flatten()
+                        .all(|&d| entry_done(&ruu, head_seq, d));
+                    if !deps_ready {
+                        continue;
                     }
-                    op => op_latency(op),
-                };
-                ruu[i].state = EntryState::Issued {
-                    done_at: cycle + lat,
-                };
-                issued += 1;
+                    // Loads must respect older same-word stores (no
+                    // speculation past unresolved conflicting stores; forward
+                    // from completed ones).
+                    let mut load_forwarded = false;
+                    if ruu[i].inst.op == OpClass::Load {
+                        let my_word = ruu[i].inst.mem_addr.expect("load has addr") >> 3;
+                        let my_seq = ruu[i].seq;
+                        let mut blocked = false;
+                        for e in ruu.iter() {
+                            if e.seq >= my_seq {
+                                break;
+                            }
+                            if e.inst.op == OpClass::Store
+                                && e.inst.mem_addr.map(|a| a >> 3) == Some(my_word)
+                            {
+                                if e.state == EntryState::Done {
+                                    load_forwarded = true; // will forward
+                                } else {
+                                    blocked = true; // store not executed yet
+                                    break;
+                                }
+                            }
+                        }
+                        if blocked {
+                            continue;
+                        }
+                    }
+                    if !fu.try_claim(ruu[i].inst.op) {
+                        continue;
+                    }
+                    let lat = match ruu[i].inst.op {
+                        OpClass::Load => {
+                            let lat = if load_forwarded {
+                                1
+                            } else {
+                                dmem.load(ruu[i].inst.mem_addr.expect("load has addr"), cycle)
+                            };
+                            ruu[i].load_latency = lat;
+                            lat
+                        }
+                        op => op_latency(op),
+                    };
+                    let done_at = cycle + lat;
+                    ruu[i].state = EntryState::Issued { done_at };
+                    issued += 1;
+                    waiting_cnt -= 1;
+                    issued_cnt += 1;
+                    next_done = next_done.min(done_at);
+                }
             }
 
             // ---- Fetch/dispatch: bring in new instructions. ----
+            let mut fetched = 0;
             if fetch_halted_by.is_none() && cycle >= fetch_resume {
-                let mut fetched = 0;
                 while fetched < cfg.fetch_width {
                     if ruu.len() >= cfg.ruu_size {
                         break;
@@ -356,10 +385,41 @@ impl Pipeline {
                         mispredicted,
                         load_latency: 0,
                     });
+                    waiting_cnt += 1;
                     fetched += 1;
                     if ends_group {
                         break;
                     }
+                }
+            }
+
+            // ---- Idle-cycle skip. ----
+            // A cycle that wrote back, committed, issued and fetched
+            // nothing leaves the whole machine state untouched: every
+            // per-cycle scan above is then a pure function of time, and
+            // re-running it yields the same nothing until the next timed
+            // event. Jump straight there. The only timed events are an
+            // in-flight op completing (its `done_at`), a stalled store's
+            // commit block expiring over an already-Done head, and the
+            // front end's `fetch_resume`; everything else can only change
+            // as a consequence of one of those. This is a pure wall-clock
+            // optimisation — `cycle` takes exactly the values at which the
+            // naive loop would have done work, so results are bit-exact.
+            if wrote_back == 0 && committed_now == 0 && issued == 0 && fetched == 0 {
+                // `next_done` is exactly min done_at over Issued entries
+                // (u64::MAX when none) — no rescan needed.
+                let mut event = next_done;
+                if commit_blocked_until > cycle
+                    && ruu.front().is_some_and(|h| h.state == EntryState::Done)
+                {
+                    event = event.min(commit_blocked_until);
+                }
+                if fetch_halted_by.is_none() && fetch_resume > cycle && trace.peek().is_some() {
+                    event = event.min(fetch_resume);
+                }
+                if event != u64::MAX && event > cycle + 1 {
+                    cycle = event;
+                    continue;
                 }
             }
 

@@ -117,6 +117,16 @@ impl Cache {
         self.find_way(addr).is_some()
     }
 
+    /// Records a read hit on a line the caller *knows* is resident and
+    /// already most-recently-used in its set — the LRU touch would be a
+    /// no-op, so only the stats move. Fetch fast paths use this to skip
+    /// the tag scan on back-to-back accesses to one block; it must never
+    /// be called speculatively.
+    pub fn count_mru_read_hit(&mut self) {
+        self.stats.read_accesses += 1;
+        self.stats.read_hits += 1;
+    }
+
     /// Looks the block up, updating LRU and stats. Returns `true` on hit.
     /// On a write hit, the line is marked dirty.
     pub fn lookup(&mut self, addr: BlockAddr, kind: AccessKind) -> bool {

@@ -138,6 +138,12 @@ impl MemoryBackend {
 #[derive(Debug, Clone)]
 pub struct InstrCache {
     cache: Cache,
+    /// The block the previous fetch landed in. Straight-line code fetches
+    /// the same 32B block several instructions in a row; when the memo
+    /// matches, the line is resident and — because fetches are this
+    /// cache's only accesses — already MRU in its set, so the tag scan
+    /// and LRU touch can both be skipped without changing any state.
+    last_block: Option<BlockAddr>,
 }
 
 impl InstrCache {
@@ -145,6 +151,7 @@ impl InstrCache {
     pub fn new(config: &HierarchyConfig) -> Self {
         InstrCache {
             cache: Cache::new(config.l1i_geometry, config.l1i_latency),
+            last_block: None,
         }
     }
 
@@ -157,6 +164,11 @@ impl InstrCache {
     pub fn fetch(&mut self, pc: Addr, backend: &mut MemoryBackend) -> u64 {
         let g = self.cache.geometry();
         let block = g.block_addr(pc);
+        if self.last_block == Some(block) {
+            self.cache.count_mru_read_hit();
+            return self.cache.hit_latency();
+        }
+        self.last_block = Some(block);
         if self.cache.lookup(block, AccessKind::Read) {
             self.cache.hit_latency()
         } else {

@@ -19,10 +19,10 @@ use crate::engine::Engine;
 use crate::exec::Pool;
 use crate::simulator::{run_sim, CheckMode, SimConfig};
 use icr_check::{
-    Counters, RealLine, RealState, RealWriteBuffer, RefConfig, RefModel, RefProtection, RefVictim,
-    RefWriteBufferConfig,
+    Counters, RealLine, RealSetExport, RealSets, RealState, RealWriteBuffer, RefConfig, RefModel,
+    RefProtection, RefVictim, RefWriteBufferConfig,
 };
-use icr_core::{DataL1, DataL1Config, Scheme, VictimPolicy, WritePolicy};
+use icr_core::{DataL1, DataL1Config, LineExport, Scheme, VictimPolicy, WritePolicy};
 use icr_ecc::Protection;
 
 /// Translates the real dL1 configuration into the plain-type
@@ -70,33 +70,26 @@ pub fn ref_config(cfg: &DataL1Config) -> RefConfig {
     }
 }
 
-/// Exports the real cache's full observable state at cycle `now` into
-/// the plain [`RealState`] the reference model diffs against.
-pub fn export_real_state(dl1: &DataL1, now: u64) -> RealState {
-    let lines = dl1
-        .export_lines(now)
-        .into_iter()
-        .map(|l| RealLine {
-            set: l.set,
-            way: l.way,
-            addr: l.addr.raw(),
-            dirty: l.dirty,
-            replica: l.is_replica,
-            prot: match l.protection {
-                Protection::Parity => RefProtection::Parity,
-                Protection::SecDed => RefProtection::SecDed,
-            },
-            last_access: l.last_access,
-            counter: l.counter,
-            dead: l.dead,
-        })
-        .collect();
-    let g = dl1.geometry();
-    let recency = (0..g.num_sets())
-        .map(|s| dl1.lru_order(s).to_vec())
-        .collect();
+fn to_real_line(l: &LineExport) -> RealLine {
+    RealLine {
+        set: l.set,
+        way: l.way,
+        addr: l.addr.raw(),
+        dirty: l.dirty,
+        replica: l.is_replica,
+        prot: match l.protection {
+            Protection::Parity => RefProtection::Parity,
+            Protection::SecDed => RefProtection::SecDed,
+        },
+        last_access: l.last_access,
+        counter: l.counter,
+        dead: l.dead,
+    }
+}
+
+fn export_counters(dl1: &DataL1) -> Counters {
     let icr = dl1.stats();
-    let counters = Counters {
+    Counters {
         read_accesses: icr.cache.read_accesses,
         read_hits: icr.cache.read_hits,
         write_accesses: icr.cache.write_accesses,
@@ -112,32 +105,86 @@ pub fn export_real_state(dl1: &DataL1, now: u64) -> RealState {
         replication_with_two: icr.replication_with_two,
         read_hits_with_replica: icr.read_hits_with_replica,
         misses_served_by_replica: icr.misses_served_by_replica,
-    };
-    let write_buffer = dl1.write_buffer().map(|wb| RealWriteBuffer {
+    }
+}
+
+fn export_write_buffer(dl1: &DataL1) -> Option<RealWriteBuffer> {
+    dl1.write_buffer().map(|wb| RealWriteBuffer {
         occupancy: wb.occupancy(),
         pushes: wb.pushes(),
         coalesced: wb.coalesced(),
         retired: wb.retired(),
         stall_cycles: wb.stall_cycles(),
         pending_ready: wb.pending_ready(),
-    });
+    })
+}
+
+/// Exports the real cache's full observable state at cycle `now` into
+/// the plain [`RealState`] the reference model diffs against.
+pub fn export_real_state(dl1: &DataL1, now: u64) -> RealState {
+    let lines = dl1.export_lines(now).iter().map(to_real_line).collect();
+    let g = dl1.geometry();
+    let recency = (0..g.num_sets())
+        .map(|s| dl1.lru_order(s).to_vec())
+        .collect();
     RealState {
         lines,
         recency,
-        counters,
-        write_buffer,
+        counters: export_counters(dl1),
+        write_buffer: export_write_buffer(dl1),
     }
 }
+
+/// Exports only the named sets (plus the global counters and write
+/// buffer) at cycle `now`, for the incremental lockstep diff.
+pub fn export_real_sets(dl1: &DataL1, sets: &[usize], now: u64) -> RealSets {
+    let mut scratch: Vec<LineExport> = Vec::new();
+    let sets = sets
+        .iter()
+        .map(|&s| {
+            scratch.clear();
+            dl1.export_set_lines(s, now, &mut scratch);
+            RealSetExport {
+                set: s,
+                lines: scratch.iter().map(to_real_line).collect(),
+                recency: dl1.lru_order(s).to_vec(),
+            }
+        })
+        .collect();
+    RealSets {
+        sets,
+        counters: export_counters(dl1),
+        write_buffer: export_write_buffer(dl1),
+    }
+}
+
+/// How many accesses run under the cheap incremental diff between two
+/// full-state sweeps. The incremental diff covers every set the model
+/// touched, so the sweep exists to catch the one thing it cannot: the
+/// real cache mutating state on an access where the model mutated
+/// nothing (or a different set).
+const SWEEP_EVERY: u64 = 1024;
 
 /// The in-run auditor attached to a [`CheckMode::Lockstep`] simulation:
 /// it mirrors every dL1 access into the reference model and panics with
 /// a labelled divergence report on the first mismatch.
+///
+/// Most accesses are diffed *incrementally*: the model logs which sets
+/// its own transition touched, and only those sets (plus the global
+/// counters and write-buffer state) are exported and compared. Every
+/// `SWEEP_EVERY`-th access runs the original full-state diff — tags,
+/// recency and replica-pairing invariants over the whole cache — as the
+/// backstop for divergences in sets neither side should have moved.
 #[derive(Debug)]
 pub struct LockstepChecker {
     model: RefModel,
     app: String,
     scheme: String,
     accesses: u64,
+    /// Accesses between full-state sweeps (incremental diffs otherwise).
+    sweep_every: u64,
+    /// Reusable touched-set buffer for the incremental diff.
+    touched: Vec<usize>,
 }
 
 impl LockstepChecker {
@@ -154,7 +201,17 @@ impl LockstepChecker {
             app: app.to_owned(),
             scheme: cfg.scheme.name(),
             accesses: 0,
+            sweep_every: SWEEP_EVERY,
+            touched: Vec::new(),
         }
+    }
+
+    /// Overrides the full-sweep period (`1` = full diff on every access,
+    /// the pre-incremental behaviour). For tests.
+    pub fn with_sweep_every(mut self, sweep_every: u64) -> Self {
+        assert!(sweep_every > 0, "sweep period");
+        self.sweep_every = sweep_every;
+        self
     }
 
     /// Mirrors a load the real cache just performed, then diffs.
@@ -184,8 +241,17 @@ impl LockstepChecker {
 
     fn verify(&mut self, kind: &str, addr: u64, now: u64, dl1: &DataL1) {
         self.accesses += 1;
-        let real = export_real_state(dl1, now);
-        if let Err(e) = self.model.check(now, &real) {
+        let result = if self.accesses.is_multiple_of(self.sweep_every) {
+            let real = export_real_state(dl1, now);
+            self.model.check(now, &real)
+        } else {
+            let mut touched = std::mem::take(&mut self.touched);
+            self.model.take_touched_sets(&mut touched);
+            let real = export_real_sets(dl1, &touched, now);
+            self.touched = touched;
+            self.model.check_touched(now, &real)
+        };
+        if let Err(e) = result {
             panic!(
                 "lockstep audit divergence: scheme {}, app {}, access #{} \
                  ({kind} {addr:#x} at cycle {now}):\n{e}",

@@ -16,13 +16,15 @@
 //!   --write-through N  write-through dL1 with an N-entry buffer (§5.8)
 //!   --fault P          random-model fault probability per cycle
 //!   --scrub I          scrub 16 lines every I cycles
+//!   --check            diff every dL1 access against the icr-check
+//!                      reference model (fault-free runs only)
 //!   --json PATH        emit the result as JSON to PATH ('-' = stdout)
 //! ```
 
 use icr_core::{DataL1Config, DecayConfig, Scheme, VictimPolicy, WritePolicy};
 use icr_fault::ErrorModel;
 use icr_sim::json::write_output;
-use icr_sim::{run_sim, FaultConfig, ScrubConfig, SimConfig};
+use icr_sim::{run_sim, CheckMode, FaultConfig, ScrubConfig, SimConfig};
 use std::process::ExitCode;
 
 fn parse_scheme(name: &str) -> Option<Scheme> {
@@ -56,7 +58,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: icr-run <app> <scheme> [--insts N] [--seed S] [--window W]\n\
          \x20                [--victim P] [--keep] [--write-through N]\n\
-         \x20                [--fault P] [--scrub I] [--json PATH]\n\
+         \x20                [--fault P] [--scrub I] [--check] [--json PATH]\n\
          apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}"
     );
@@ -79,6 +81,7 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut fault: Option<FaultConfig> = None;
     let mut scrub: Option<ScrubConfig> = None;
+    let mut check = false;
     let mut json: Option<String> = None;
 
     let mut i = 2;
@@ -147,6 +150,10 @@ fn main() -> ExitCode {
                     lines_per_step: 16,
                 });
             }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
             "--json" => {
                 json = Some(val!().clone());
             }
@@ -162,6 +169,9 @@ fn main() -> ExitCode {
     }
     if let Some(scrub) = scrub {
         builder = builder.scrub(scrub);
+    }
+    if check {
+        builder = builder.check(CheckMode::Lockstep);
     }
     let r = run_sim(&builder.build());
 

@@ -1436,39 +1436,56 @@ pub fn sdc(opts: &ExpOptions) -> FigureResult {
     }
 }
 
-/// Every figure runner, for `icr-exp all` and the benches.
-pub fn all_figures(opts: &ExpOptions) -> Vec<FigureResult> {
+/// One figure runner with its id, as listed by [`figure_runners`].
+pub type FigureRunner = (&'static str, fn(&ExpOptions) -> FigureResult);
+
+/// The figure runners behind [`all_figures`], with their ids, in
+/// emission order. Exposed so the bench harness can time each figure
+/// individually through the same scheduler.
+pub fn figure_runners() -> Vec<FigureRunner> {
     vec![
-        fig1(opts),
-        fig2(opts),
-        fig3(opts),
-        fig4(opts),
-        fig5(opts),
-        fig6(opts),
-        fig7(opts),
-        fig8(opts),
-        fig9(opts),
-        fig10(opts),
-        fig11(opts),
-        fig12(opts),
-        fig13(opts),
-        fig14(opts),
-        fig15(opts),
-        sensitivity(opts),
-        fig16(opts),
-        fig17(opts),
-        victim_ablation(opts),
-        error_models(opts),
-        hints_ablation(opts),
-        dupcache(opts),
-        stability(opts),
-        scrub(opts),
-        window(opts),
-        dram(opts),
-        exposure(opts),
-        vuln(opts),
-        sdc(opts),
+        ("fig1", fig1),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("sens", sensitivity),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("victim", victim_ablation),
+        ("models", error_models),
+        ("hints", hints_ablation),
+        ("dupcache", dupcache),
+        ("stability", stability),
+        ("scrub", scrub),
+        ("window", window),
+        ("dram", dram),
+        ("exposure", exposure),
+        ("vuln", vuln),
+        ("sdc", sdc),
     ]
+}
+
+/// Every figure runner, for `icr-exp all` and the benches.
+///
+/// Figures are pipelined through the [`Pool`] at *figure* granularity:
+/// each runner is one job (and fans its own cells out through the same
+/// engine), so a long tail figure no longer serialises the figures after
+/// it. Results come back in emission order regardless of the worker
+/// count, and every cell still deduplicates through the process-wide
+/// [`Engine`] — the emitted numbers are identical to the serial path's.
+pub fn all_figures(opts: &ExpOptions) -> Vec<FigureResult> {
+    opts.pool().run(figure_runners(), |(_, f)| f(opts))
 }
 
 #[cfg(test)]
