@@ -3,12 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate campaign audit clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build trace-roundtrip campaign audit isa-audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
-## plus a build-only check of the bench targets and a lockstep audit of
-## the full scheme × app matrix against the icr-check reference model.
-verify: build test fmt-check clippy doc bench-engine-build bench-all-build audit
+## plus a build-only check of the bench targets, a lockstep audit of
+## the full scheme × app matrix against the icr-check reference model,
+## and a byte-identical trace save/replay round-trip through icr-run.
+verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build trace-roundtrip audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -61,6 +62,33 @@ bench-all-build:
 bench-all-gate:
 	ICR_BENCH_GATE=1 $(CARGO) bench -p icr-bench --bench all
 
+## Interpret-vs-replay benchmark over the execution-driven ISA kernels:
+## cold RV32IM interpretation against replaying the saved .icrt trace,
+## recorded to BENCH_isa.json. Asserts replay beats re-interpreting.
+bench-isa:
+	$(CARGO) bench -p icr-bench --bench isa
+
+## Compile the ISA benchmark without running it (used by `verify`).
+bench-isa-build:
+	$(CARGO) bench -p icr-bench --bench isa --no-run
+
+## Save a trace with --trace-out, replay it with --trace-in, and require
+## the two simulation reports to be byte-identical — once for an
+## execution-driven ISA kernel, once for a synthetic profile workload.
+trace-roundtrip:
+	$(CARGO) build --release -p icr-sim --bin icr-run
+	./target/release/icr-run isa:matmul icr-ecc-pp-ls --insts 20000 \
+		--json target/tr-live.json --trace-out target/tr.icrt
+	./target/release/icr-run isa:matmul icr-ecc-pp-ls --insts 20000 \
+		--json target/tr-replay.json --trace-in target/tr.icrt
+	cmp target/tr-live.json target/tr-replay.json
+	./target/release/icr-run gzip icr-p-ps-s --insts 20000 \
+		--json target/tr-live.json --trace-out target/tr.icrt
+	./target/release/icr-run gzip icr-p-ps-s --insts 20000 \
+		--json target/tr-replay.json --trace-in target/tr.icrt
+	cmp target/tr-live.json target/tr-replay.json
+	@echo "trace-roundtrip: OK"
+
 ## A 1,200-trial deterministic fault-injection campaign.
 campaign:
 	$(CARGO) run --release -p icr-sim --bin icr-campaign -- --trials 100
@@ -70,6 +98,10 @@ campaign:
 ## incremental touched-set diff makes this cheap enough to run deep.
 audit:
 	$(CARGO) run --release -p icr-sim --bin icr-exp -- audit --insts 20000
+
+## Same lockstep audit over the execution-driven ISA kernels.
+isa-audit:
+	$(CARGO) run --release -p icr-sim --bin icr-exp -- isa-audit --insts 20000
 
 clean:
 	$(CARGO) clean

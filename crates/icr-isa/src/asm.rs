@@ -1,0 +1,550 @@
+//! A tiny two-pass RV32IM assembler for the embedded kernels.
+//!
+//! Supports labels, `#` comments, decimal/hex/negative immediates, ABI
+//! and `xN` register names, the base-ISA and M-extension mnemonics the
+//! decoder speaks, and a handful of pseudo-instructions (`li`, `mv`,
+//! `j`, `call`, `ret`, `nop`, `beqz`, `bnez`, `bgt`, `ble`). Every
+//! pseudo expands to a fixed number of words (`li` is always two), so
+//! pass one can lay out label addresses without iteration.
+
+/// An assembly failure, with the 1-based source line it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parses a register name: `x0..x31` or an ABI name.
+fn reg(line: usize, s: &str) -> Result<u8, AsmError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    if let Some(idx) = ABI.iter().position(|&n| n == s) {
+        return Ok(idx as u8);
+    }
+    if s == "fp" {
+        return Ok(8);
+    }
+    if let Some(num) = s.strip_prefix('x') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    err(line, format!("unknown register {s:?}"))
+}
+
+/// Parses a decimal or `0x` immediate, optionally negative.
+fn imm(line: usize, s: &str) -> Result<i64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let parsed = match body.strip_prefix("0x") {
+        Some(hex) => i64::from_str_radix(hex, 16),
+        None => body.parse::<i64>(),
+    };
+    match parsed {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate {s:?}")),
+    }
+}
+
+fn check_range(line: usize, what: &str, v: i64, lo: i64, hi: i64) -> Result<i32, AsmError> {
+    if (lo..=hi).contains(&v) {
+        Ok(v as i32)
+    } else {
+        err(line, format!("{what} {v} out of range [{lo}, {hi}]"))
+    }
+}
+
+// Raw encoders; immediates are pre-checked by the callers.
+fn r_type(op: u32, rd: u8, f3: u32, rs1: u8, rs2: u8, f7: u32) -> u32 {
+    op | (u32::from(rd) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | (f7 << 25)
+}
+
+fn i_type(op: u32, rd: u8, f3: u32, rs1: u8, imm12: i32) -> u32 {
+    op | (u32::from(rd) << 7) | (f3 << 12) | (u32::from(rs1) << 15) | ((imm12 as u32) << 20)
+}
+
+fn s_type(op: u32, f3: u32, rs1: u8, rs2: u8, imm12: i32) -> u32 {
+    let i = imm12 as u32;
+    op | ((i & 0x1f) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | ((i >> 5) << 25)
+}
+
+fn b_type(f3: u32, rs1: u8, rs2: u8, offset: i32) -> u32 {
+    let i = offset as u32;
+    0x63 | (((i >> 11) & 1) << 7)
+        | (((i >> 1) & 0xf) << 8)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | (((i >> 5) & 0x3f) << 25)
+        | (((i >> 12) & 1) << 31)
+}
+
+fn u_type(op: u32, rd: u8, imm20: u32) -> u32 {
+    op | (u32::from(rd) << 7) | (imm20 << 12)
+}
+
+fn j_type(rd: u8, offset: i32) -> u32 {
+    let i = offset as u32;
+    0x6f | (u32::from(rd) << 7)
+        | (i & 0x000f_f000)
+        | (((i >> 11) & 1) << 20)
+        | (((i >> 1) & 0x3ff) << 21)
+        | (((i >> 20) & 1) << 31)
+}
+
+/// One source statement after pass-one layout.
+struct Stmt<'a> {
+    line: usize,
+    addr: u32,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+/// Words a statement assembles to; fixed per mnemonic so pass one can
+/// place labels.
+fn stmt_words(mnemonic: &str) -> u32 {
+    match mnemonic {
+        "li" => 2,
+        _ => 1,
+    }
+}
+
+/// Splits `off(reg)` into (offset, register).
+fn mem_operand(line: usize, s: &str) -> Result<(i64, &str), AsmError> {
+    let open = match s.find('(') {
+        Some(i) => i,
+        None => return err(line, format!("expected off(reg), got {s:?}")),
+    };
+    if !s.ends_with(')') {
+        return err(line, format!("expected off(reg), got {s:?}"));
+    }
+    let off = if open == 0 { 0 } else { imm(line, &s[..open])? };
+    Ok((off, &s[open + 1..s.len() - 1]))
+}
+
+/// Assembles `src` as if loaded at `base`, returning instruction words.
+pub fn assemble(src: &str, base: u32) -> Result<Vec<u32>, AsmError> {
+    use std::collections::HashMap;
+
+    // Pass one: strip comments/labels, lay out addresses.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut stmts: Vec<Stmt<'_>> = Vec::new();
+    let mut addr = base;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        if let Some(hash) = text.find('#') {
+            text = &text[..hash];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(line, format!("bad label {label:?}"));
+            }
+            if labels.insert(label, addr).is_some() {
+                return err(line, format!("duplicate label {label:?}"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        stmts.push(Stmt {
+            line,
+            addr,
+            mnemonic,
+            operands,
+        });
+        addr += 4 * stmt_words(mnemonic);
+    }
+
+    // Pass two: encode.
+    let mut words = Vec::with_capacity(stmts.len());
+    for stmt in &stmts {
+        encode_stmt(stmt, &labels, &mut words)?;
+    }
+    Ok(words)
+}
+
+/// Resolves a label or literal to a branch/jump byte offset from `stmt`.
+fn offset_to(
+    stmt: &Stmt<'_>,
+    labels: &std::collections::HashMap<&str, u32>,
+    target: &str,
+) -> Result<i64, AsmError> {
+    match labels.get(target) {
+        Some(&t) => Ok(i64::from(t) - i64::from(stmt.addr)),
+        None => imm(stmt.line, target),
+    }
+}
+
+fn encode_stmt(
+    stmt: &Stmt<'_>,
+    labels: &std::collections::HashMap<&str, u32>,
+    words: &mut Vec<u32>,
+) -> Result<(), AsmError> {
+    let line = stmt.line;
+    let ops = &stmt.operands;
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("{} takes {n} operands, got {}", stmt.mnemonic, ops.len()),
+            )
+        }
+    };
+    let branch_off = |target: &str| -> Result<i32, AsmError> {
+        let off = offset_to(stmt, labels, target)?;
+        if off % 2 != 0 {
+            return err(line, format!("odd branch offset {off}"));
+        }
+        check_range(line, "branch offset", off, -4096, 4094)
+    };
+
+    match stmt.mnemonic {
+        "lui" | "auipc" => {
+            want(2)?;
+            let rd = reg(line, ops[0])?;
+            let v = imm(line, ops[1])?;
+            let imm20 = check_range(line, "upper immediate", v, 0, 0xf_ffff)? as u32;
+            let op = if stmt.mnemonic == "lui" { 0x37 } else { 0x17 };
+            words.push(u_type(op, rd, imm20));
+        }
+        "jal" => {
+            // `jal label` links through ra; `jal rd, label` is explicit.
+            let (rd, target) = match ops.len() {
+                1 => (1, ops[0]),
+                2 => (reg(line, ops[0])?, ops[1]),
+                _ => return err(line, "jal takes 1 or 2 operands"),
+            };
+            let off = offset_to(stmt, labels, target)?;
+            let off = check_range(line, "jump offset", off, -(1 << 20), (1 << 20) - 2)?;
+            words.push(j_type(rd, off));
+        }
+        "jalr" => {
+            want(3)?;
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            let off = check_range(line, "jalr offset", imm(line, ops[2])?, -2048, 2047)?;
+            words.push(i_type(0x67, rd, 0, rs1, off));
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            want(3)?;
+            let f3 = match stmt.mnemonic {
+                "beq" => 0b000,
+                "bne" => 0b001,
+                "blt" => 0b100,
+                "bge" => 0b101,
+                "bltu" => 0b110,
+                _ => 0b111,
+            };
+            let rs1 = reg(line, ops[0])?;
+            let rs2 = reg(line, ops[1])?;
+            words.push(b_type(f3, rs1, rs2, branch_off(ops[2])?));
+        }
+        "bgt" | "ble" => {
+            // Swapped-operand pseudos: bgt a,b = blt b,a; ble a,b = bge b,a.
+            want(3)?;
+            let f3 = if stmt.mnemonic == "bgt" { 0b100 } else { 0b101 };
+            let rs1 = reg(line, ops[0])?;
+            let rs2 = reg(line, ops[1])?;
+            words.push(b_type(f3, rs2, rs1, branch_off(ops[2])?));
+        }
+        "beqz" | "bnez" => {
+            want(2)?;
+            let f3 = if stmt.mnemonic == "beqz" {
+                0b000
+            } else {
+                0b001
+            };
+            let rs1 = reg(line, ops[0])?;
+            words.push(b_type(f3, rs1, 0, branch_off(ops[1])?));
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            want(2)?;
+            let f3 = match stmt.mnemonic {
+                "lb" => 0b000,
+                "lh" => 0b001,
+                "lw" => 0b010,
+                "lbu" => 0b100,
+                _ => 0b101,
+            };
+            let rd = reg(line, ops[0])?;
+            let (off, base) = mem_operand(line, ops[1])?;
+            let off = check_range(line, "load offset", off, -2048, 2047)?;
+            words.push(i_type(0x03, rd, f3, reg(line, base)?, off));
+        }
+        "sb" | "sh" | "sw" => {
+            want(2)?;
+            let f3 = match stmt.mnemonic {
+                "sb" => 0b000,
+                "sh" => 0b001,
+                _ => 0b010,
+            };
+            let rs2 = reg(line, ops[0])?;
+            let (off, base) = mem_operand(line, ops[1])?;
+            let off = check_range(line, "store offset", off, -2048, 2047)?;
+            words.push(s_type(0x23, f3, reg(line, base)?, rs2, off));
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+            want(3)?;
+            let f3 = match stmt.mnemonic {
+                "addi" => 0b000,
+                "slti" => 0b010,
+                "sltiu" => 0b011,
+                "xori" => 0b100,
+                "ori" => 0b110,
+                _ => 0b111,
+            };
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            let v = check_range(line, "immediate", imm(line, ops[2])?, -2048, 2047)?;
+            words.push(i_type(0x13, rd, f3, rs1, v));
+        }
+        "slli" | "srli" | "srai" => {
+            want(3)?;
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            let sh = check_range(line, "shift amount", imm(line, ops[2])?, 0, 31)?;
+            let (f3, f7) = match stmt.mnemonic {
+                "slli" => (0b001, 0x00),
+                "srli" => (0b101, 0x00),
+                _ => (0b101, 0x20),
+            };
+            words.push(i_type(0x13, rd, f3, rs1, sh | (f7 << 5)));
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+            want(3)?;
+            let (f3, f7) = match stmt.mnemonic {
+                "add" => (0b000, 0x00),
+                "sub" => (0b000, 0x20),
+                "sll" => (0b001, 0x00),
+                "slt" => (0b010, 0x00),
+                "sltu" => (0b011, 0x00),
+                "xor" => (0b100, 0x00),
+                "srl" => (0b101, 0x00),
+                "sra" => (0b101, 0x20),
+                "or" => (0b110, 0x00),
+                _ => (0b111, 0x00),
+            };
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            let rs2 = reg(line, ops[2])?;
+            words.push(r_type(0x33, rd, f3, rs1, rs2, f7));
+        }
+        "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            want(3)?;
+            let f3 = match stmt.mnemonic {
+                "mul" => 0b000,
+                "mulh" => 0b001,
+                "mulhsu" => 0b010,
+                "mulhu" => 0b011,
+                "div" => 0b100,
+                "divu" => 0b101,
+                "rem" => 0b110,
+                _ => 0b111,
+            };
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            let rs2 = reg(line, ops[2])?;
+            words.push(r_type(0x33, rd, f3, rs1, rs2, 0x01));
+        }
+        "li" => {
+            // Fixed two-word expansion: lui rd, hi20; addi rd, rd, lo12.
+            want(2)?;
+            let rd = reg(line, ops[0])?;
+            let v = check_range(
+                line,
+                "li immediate",
+                imm(line, ops[1])?,
+                i64::from(i32::MIN),
+                i64::from(u32::MAX),
+            )?;
+            let v = v as u32;
+            let hi = v.wrapping_add(0x800) >> 12;
+            let lo = v.wrapping_sub(hi << 12) as i32; // in [-2048, 2047]
+            words.push(u_type(0x37, rd, hi & 0xf_ffff));
+            words.push(i_type(0x13, rd, 0, rd, lo & 0xfff));
+        }
+        "mv" => {
+            want(2)?;
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            words.push(i_type(0x13, rd, 0, rs1, 0));
+        }
+        "nop" => {
+            want(0)?;
+            words.push(i_type(0x13, 0, 0, 0, 0));
+        }
+        "j" => {
+            want(1)?;
+            let off = offset_to(stmt, labels, ops[0])?;
+            let off = check_range(line, "jump offset", off, -(1 << 20), (1 << 20) - 2)?;
+            words.push(j_type(0, off));
+        }
+        "call" => {
+            want(1)?;
+            let off = offset_to(stmt, labels, ops[0])?;
+            let off = check_range(line, "call offset", off, -(1 << 20), (1 << 20) - 2)?;
+            words.push(j_type(1, off));
+        }
+        "ret" => {
+            want(0)?;
+            words.push(i_type(0x67, 0, 0, 1, 0));
+        }
+        "ecall" => {
+            want(0)?;
+            words.push(0x0000_0073);
+        }
+        other => return err(line, format!("unknown mnemonic {other:?}")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, AluOp, BranchCond, Decoded, LoadWidth};
+
+    fn one(src: &str) -> u32 {
+        let words = assemble(src, 0x1000).unwrap();
+        assert_eq!(words.len(), 1, "{src:?}");
+        words[0]
+    }
+
+    #[test]
+    fn encodings_decode_back() {
+        assert_eq!(
+            decode(one("addi a0, zero, -7")).unwrap(),
+            Decoded::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: -7
+            }
+        );
+        assert_eq!(
+            decode(one("lw t0, -12(sp)")).unwrap(),
+            Decoded::Load {
+                width: LoadWidth::Word,
+                rd: 5,
+                rs1: 2,
+                offset: -12
+            }
+        );
+        assert_eq!(
+            decode(one("srai s1, s2, 11")).unwrap(),
+            Decoded::OpImm {
+                op: AluOp::Sra,
+                rd: 9,
+                rs1: 18,
+                imm: 11
+            }
+        );
+        assert_eq!(decode(one("ecall")).unwrap(), Decoded::Ecall);
+    }
+
+    #[test]
+    fn labels_resolve_forwards_and_backwards() {
+        let words = assemble(
+            "top:\n  addi t0, t0, 1\n  bne t0, t1, top\n  beq t0, t1, done\n  nop\ndone:\n  ecall\n",
+            0x1000,
+        )
+        .unwrap();
+        assert_eq!(
+            decode(words[1]).unwrap(),
+            Decoded::Branch {
+                cond: BranchCond::Ne,
+                rs1: 5,
+                rs2: 6,
+                offset: -4
+            }
+        );
+        assert_eq!(
+            decode(words[2]).unwrap(),
+            Decoded::Branch {
+                cond: BranchCond::Eq,
+                rs1: 5,
+                rs2: 6,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn li_expands_to_exact_constant() {
+        // Checked by the interpreter in interp::tests; here just shape.
+        for v in ["0", "1", "-1", "0x20000", "0x7fffffff", "-2048", "4097"] {
+            let words = assemble(&format!("li a0, {v}"), 0x1000).unwrap();
+            assert_eq!(words.len(), 2, "li {v}");
+            assert!(matches!(
+                decode(words[0]).unwrap(),
+                Decoded::Lui { rd: 10, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\n  addi q0, zero, 1\n", 0x1000).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("q0"));
+
+        let e = assemble("addi t0, t0, 4096\n", 0x1000).unwrap_err();
+        assert!(e.msg.contains("out of range"));
+
+        let e = assemble("bne t0, t1, nowhere\n", 0x1000).unwrap_err();
+        assert!(e.msg.contains("bad immediate"), "{}", e.msg);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble("a:\nnop\na:\nnop\n", 0x1000).unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+}

@@ -1,0 +1,522 @@
+//! RV32IM instruction decoding: one 32-bit word in, one [`Decoded`] op
+//! out.
+//!
+//! The decode table covers exactly the subset the in-crate assembler can
+//! emit — the RV32I base (minus `fence`/CSR space) plus the M extension
+//! — and rejects everything else with a precise [`DecodeError`] so a
+//! wild fetch shows up as a decode fault, not undefined interpreter
+//! behaviour.
+
+/// Two-source integer ALU operations (the `OP`/`OP-IMM` major opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`; register form only).
+    Sub,
+    /// Logical shift left.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+/// M-extension multiply/divide operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of the signed×signed product.
+    Mulh,
+    /// High 32 bits of the signed×unsigned product.
+    Mulhsu,
+    /// High 32 bits of the unsigned×unsigned product.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Conditional-branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Load width and extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadWidth {
+    /// `lb`: sign-extended byte.
+    Byte,
+    /// `lh`: sign-extended halfword.
+    Half,
+    /// `lw`: word.
+    Word,
+    /// `lbu`: zero-extended byte.
+    ByteU,
+    /// `lhu`: zero-extended halfword.
+    HalfU,
+}
+
+impl LoadWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadWidth::Byte | LoadWidth::ByteU => 1,
+            LoadWidth::Half | LoadWidth::HalfU => 2,
+            LoadWidth::Word => 4,
+        }
+    }
+}
+
+/// Store width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreWidth {
+    /// `sb`
+    Byte,
+    /// `sh`
+    Half,
+    /// `sw`
+    Word,
+}
+
+impl StoreWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreWidth::Byte => 1,
+            StoreWidth::Half => 2,
+            StoreWidth::Word => 4,
+        }
+    }
+}
+
+/// One decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// `lui rd, imm20`: rd = imm20 << 12.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Already-shifted immediate (low 12 bits zero).
+        imm: u32,
+    },
+    /// `auipc rd, imm20`: rd = pc + (imm20 << 12).
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Already-shifted immediate.
+        imm: u32,
+    },
+    /// `jal rd, offset`: rd = pc+4; pc += offset.
+    Jal {
+        /// Link register (x0 to discard).
+        rd: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, rs1, offset`: rd = pc+4; pc = (rs1+offset) & !1.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch: if `cond(rs1, rs2)` then pc += offset.
+    Branch {
+        /// Comparison.
+        cond: BranchCond,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Load: rd = mem[rs1 + offset].
+    Load {
+        /// Width/extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Store: mem[rs1 + offset] = rs2.
+    Store {
+        /// Width.
+        width: StoreWidth,
+        /// Data register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `OP-IMM`: rd = op(rs1, imm).
+    OpImm {
+        /// ALU operation (never [`AluOp::Sub`]).
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// `OP`: rd = op(rs1, rs2).
+    Op {
+        /// ALU operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// M-extension `OP`: rd = op(rs1, rs2).
+    OpMul {
+        /// Multiply/divide operation.
+        op: MulOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// `ecall`: environment call; the interpreter halts.
+    Ecall,
+}
+
+/// Why a word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Major opcode (bits 0..7) not in the supported table.
+    UnknownOpcode(u32),
+    /// Recognised major opcode with an illegal funct3/funct7 combination.
+    UnknownFunct(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(w) => write!(f, "unknown major opcode in word {w:#010x}"),
+            DecodeError::UnknownFunct(w) => write!(f, "illegal funct fields in word {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extended I-type immediate (bits 20..32).
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// Sign-extended S-type immediate.
+fn imm_s(w: u32) -> i32 {
+    (((w & 0xfe00_0000) as i32) >> 20) | (((w >> 7) & 0x1f) as i32)
+}
+
+/// Sign-extended B-type immediate (even, ±4 KiB).
+fn imm_b(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 19)
+        | (((w >> 7) & 0x1) as i32) << 11
+        | (((w >> 25) & 0x3f) as i32) << 5
+        | (((w >> 8) & 0xf) as i32) << 1
+}
+
+/// Sign-extended J-type immediate (even, ±1 MiB).
+fn imm_j(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 11)
+        | ((w & 0x000f_f000) as i32)
+        | (((w >> 20) & 0x1) as i32) << 11
+        | (((w >> 21) & 0x3ff) as i32) << 1
+}
+
+/// Decodes one instruction word.
+pub fn decode(w: u32) -> Result<Decoded, DecodeError> {
+    match w & 0x7f {
+        0x37 => Ok(Decoded::Lui {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        0x17 => Ok(Decoded::Auipc {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        0x6f => Ok(Decoded::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        }),
+        0x67 => match funct3(w) {
+            0 => Ok(Decoded::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }),
+            _ => Err(DecodeError::UnknownFunct(w)),
+        },
+        0x63 => {
+            let cond = match funct3(w) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(DecodeError::UnknownFunct(w)),
+            };
+            Ok(Decoded::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            })
+        }
+        0x03 => {
+            let width = match funct3(w) {
+                0b000 => LoadWidth::Byte,
+                0b001 => LoadWidth::Half,
+                0b010 => LoadWidth::Word,
+                0b100 => LoadWidth::ByteU,
+                0b101 => LoadWidth::HalfU,
+                _ => return Err(DecodeError::UnknownFunct(w)),
+            };
+            Ok(Decoded::Load {
+                width,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
+        }
+        0x23 => {
+            let width = match funct3(w) {
+                0b000 => StoreWidth::Byte,
+                0b001 => StoreWidth::Half,
+                0b010 => StoreWidth::Word,
+                _ => return Err(DecodeError::UnknownFunct(w)),
+            };
+            Ok(Decoded::Store {
+                width,
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            })
+        }
+        0x13 => {
+            let (op, imm) = match funct3(w) {
+                0b000 => (AluOp::Add, imm_i(w)),
+                0b010 => (AluOp::Slt, imm_i(w)),
+                0b011 => (AluOp::Sltu, imm_i(w)),
+                0b100 => (AluOp::Xor, imm_i(w)),
+                0b110 => (AluOp::Or, imm_i(w)),
+                0b111 => (AluOp::And, imm_i(w)),
+                0b001 => match funct7(w) {
+                    0 => (AluOp::Sll, rs2(w) as i32),
+                    _ => return Err(DecodeError::UnknownFunct(w)),
+                },
+                0b101 => match funct7(w) {
+                    0x00 => (AluOp::Srl, rs2(w) as i32),
+                    0x20 => (AluOp::Sra, rs2(w) as i32),
+                    _ => return Err(DecodeError::UnknownFunct(w)),
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(Decoded::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
+        }
+        0x33 => {
+            if funct7(w) == 0x01 {
+                let op = match funct3(w) {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b010 => MulOp::Mulhsu,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    0b111 => MulOp::Remu,
+                    _ => unreachable!("funct3 is 3 bits"),
+                };
+                return Ok(Decoded::OpMul {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                });
+            }
+            let op = match (funct3(w), funct7(w)) {
+                (0b000, 0x00) => AluOp::Add,
+                (0b000, 0x20) => AluOp::Sub,
+                (0b001, 0x00) => AluOp::Sll,
+                (0b010, 0x00) => AluOp::Slt,
+                (0b011, 0x00) => AluOp::Sltu,
+                (0b100, 0x00) => AluOp::Xor,
+                (0b101, 0x00) => AluOp::Srl,
+                (0b101, 0x20) => AluOp::Sra,
+                (0b110, 0x00) => AluOp::Or,
+                (0b111, 0x00) => AluOp::And,
+                _ => return Err(DecodeError::UnknownFunct(w)),
+            };
+            Ok(Decoded::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
+        }
+        0x73 if w == 0x0000_0073 => Ok(Decoded::Ecall),
+        0x73 => Err(DecodeError::UnknownFunct(w)),
+        _ => Err(DecodeError::UnknownOpcode(w)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_reference_encodings() {
+        // Hand-checked encodings from the RV32I spec examples.
+        // addi x1, x0, 5
+        assert_eq!(
+            decode(0x0050_0093).unwrap(),
+            Decoded::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            }
+        );
+        // add x3, x1, x2
+        assert_eq!(
+            decode(0x0020_81b3).unwrap(),
+            Decoded::Op {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }
+        );
+        // lw x5, 8(x2)
+        assert_eq!(
+            decode(0x0081_2283).unwrap(),
+            Decoded::Load {
+                width: LoadWidth::Word,
+                rd: 5,
+                rs1: 2,
+                offset: 8
+            }
+        );
+        // sw x5, -4(x2)
+        assert_eq!(
+            decode(0xfe51_2e23).unwrap(),
+            Decoded::Store {
+                width: StoreWidth::Word,
+                rs2: 5,
+                rs1: 2,
+                offset: -4
+            }
+        );
+        // beq x1, x2, -8
+        assert_eq!(
+            decode(0xfe20_8ce3).unwrap(),
+            Decoded::Branch {
+                cond: BranchCond::Eq,
+                rs1: 1,
+                rs2: 2,
+                offset: -8
+            }
+        );
+        // jal x1, 2048
+        assert_eq!(
+            decode(0x0010_00ef).unwrap(),
+            Decoded::Jal {
+                rd: 1,
+                offset: 2048
+            }
+        );
+        // mul x3, x1, x2
+        assert_eq!(
+            decode(0x0220_81b3).unwrap(),
+            Decoded::OpMul {
+                op: MulOp::Mul,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }
+        );
+        // ecall
+        assert_eq!(decode(0x0000_0073).unwrap(), Decoded::Ecall);
+    }
+
+    #[test]
+    fn rejects_unknown_encodings() {
+        assert_eq!(decode(0), Err(DecodeError::UnknownOpcode(0)));
+        // fence (opcode 0x0f) is outside the supported subset.
+        assert_eq!(decode(0x0000_000f), Err(DecodeError::UnknownOpcode(0x0f)));
+        // srai with a bad funct7.
+        assert!(matches!(
+            decode(0x5000_d093 | (1 << 25)),
+            Err(DecodeError::UnknownFunct(_))
+        ));
+    }
+}

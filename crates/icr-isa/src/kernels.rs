@@ -1,0 +1,455 @@
+//! The embedded workload kernels, as RV32IM assembly source.
+//!
+//! Each kernel seeds a shared xorshift32 PRNG from `a0` (the interpreter
+//! puts the folded 64-bit seed there), builds its input data in flat
+//! memory, runs the algorithm to architectural completion, leaves a
+//! checksum of the result in `a0`, and `ecall`s. Sizes are tuned so each
+//! kernel retires tens to hundreds of thousands of instructions with a
+//! data footprint that spills the paper's 16 KB dL1 — real locality,
+//! dead blocks and branch structure for the replication schemes to
+//! exploit.
+
+use crate::asm::{self, AsmError};
+use crate::interp::CODE_BASE;
+
+/// The kernels, in the order [`icr_trace::apps::ISA_APP_NAMES`] lists
+/// them: `(store app name, assembly source)`.
+pub const KERNELS: [(&str, &str); 7] = [
+    ("isa:bubble", BUBBLE),
+    ("isa:qsort", QSORT),
+    ("isa:matmul", MATMUL),
+    ("isa:chase", CHASE),
+    ("isa:strsearch", STRSEARCH),
+    ("isa:lz", LZ),
+    ("isa:checksum", CHECKSUM),
+];
+
+/// The kernel names, in [`KERNELS`] order.
+pub fn kernel_names() -> [&'static str; 7] {
+    KERNELS.map(|(name, _)| name)
+}
+
+/// Assembles the named kernel (plus the shared PRNG subroutine) into a
+/// program image for [`crate::interp::Machine::new`].
+///
+/// Returns `None` for names no kernel owns.
+pub fn program(name: &str) -> Option<Result<Vec<u32>, AsmError>> {
+    let (_, src) = KERNELS.iter().find(|(n, _)| *n == name)?;
+    let full = format!("{src}\n{RAND}");
+    Some(asm::assemble(&full, CODE_BASE))
+}
+
+/// Shared xorshift32 subroutine: state lives in `s11` (must be nonzero),
+/// each call advances it and copies the new value to `a5`.
+const RAND: &str = "
+rand:
+    slli t6, s11, 13
+    xor s11, s11, t6
+    srli t6, s11, 17
+    xor s11, s11, t6
+    slli t6, s11, 5
+    xor s11, s11, t6
+    mv a5, s11
+    ret
+";
+
+/// Bubble sort of 96 random words; checksum = xor of the sorted array.
+const BUBBLE: &str = "
+    ori s11, a0, 1        # PRNG state, nonzero
+    li s0, 0x20000        # array base
+    li s1, 96             # N
+    mv t0, zero
+fill:
+    call rand
+    slli t1, t0, 2
+    add t1, t1, s0
+    sw a5, 0(t1)
+    addi t0, t0, 1
+    blt t0, s1, fill
+    addi s2, s1, -1       # outer limit N-1
+    mv t0, zero           # i
+outer:
+    mv t1, zero           # j
+    sub s3, s2, t0        # inner limit N-1-i
+inner:
+    slli t2, t1, 2
+    add t2, t2, s0
+    lw t3, 0(t2)
+    lw t4, 4(t2)
+    bgeu t4, t3, noswap
+    sw t4, 0(t2)
+    sw t3, 4(t2)
+noswap:
+    addi t1, t1, 1
+    blt t1, s3, inner
+    addi t0, t0, 1
+    blt t0, s2, outer
+    mv a0, zero
+    mv t0, zero
+sum:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    xor a0, a0, t2
+    addi t0, t0, 1
+    blt t0, s1, sum
+    ecall
+";
+
+/// Recursive quicksort (Lomuto partition, real call stack) of 256 random
+/// words; checksum = sum of the sorted array.
+const QSORT: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # array base
+    li s1, 256            # N
+    mv t0, zero
+fill:
+    call rand
+    slli t1, t0, 2
+    add t1, t1, s0
+    sw a5, 0(t1)
+    addi t0, t0, 1
+    blt t0, s1, fill
+    mv a0, zero           # lo
+    addi a1, s1, -1       # hi
+    call qsort
+    mv a0, zero
+    mv t0, zero
+sum:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    add a0, a0, t2
+    addi t0, t0, 1
+    blt t0, s1, sum
+    ecall
+
+qsort:                    # qsort(a0=lo, a1=hi)
+    bge a0, a1, qdone
+    addi sp, sp, -16
+    sw ra, 0(sp)
+    sw s2, 4(sp)
+    sw s3, 8(sp)
+    sw s4, 12(sp)
+    mv s2, a0             # lo
+    mv s3, a1             # hi
+    slli t0, s3, 2
+    add t0, t0, s0
+    lw t1, 0(t0)          # pivot = arr[hi]
+    addi t2, s2, -1       # i
+    mv t3, s2             # j
+part:
+    bge t3, s3, partdone
+    slli t4, t3, 2
+    add t4, t4, s0
+    lw t5, 0(t4)          # arr[j]
+    bgeu t5, t1, keep
+    addi t2, t2, 1
+    slli t6, t2, 2
+    add t6, t6, s0
+    lw a2, 0(t6)          # arr[i]
+    sw t5, 0(t6)
+    sw a2, 0(t4)
+keep:
+    addi t3, t3, 1
+    j part
+partdone:
+    addi t2, t2, 1        # p = i+1
+    slli t4, t2, 2
+    add t4, t4, s0
+    lw t5, 0(t4)          # arr[p]
+    slli t6, s3, 2
+    add t6, t6, s0
+    lw a2, 0(t6)          # arr[hi] (pivot)
+    sw t5, 0(t6)
+    sw a2, 0(t4)
+    mv s4, t2             # p
+    mv a0, s2
+    addi a1, s4, -1
+    call qsort            # left half
+    addi a0, s4, 1
+    mv a1, s3
+    call qsort            # right half
+    lw ra, 0(sp)
+    lw s2, 4(sp)
+    lw s3, 8(sp)
+    lw s4, 12(sp)
+    addi sp, sp, 16
+qdone:
+    ret
+";
+
+/// 24×24 integer matrix multiply of two random matrices; checksum = xor
+/// over the product.
+const MATMUL: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # A
+    li s1, 0x21000        # B
+    li s2, 0x22000        # C
+    li s3, 24             # N
+    li s4, 576            # N*N
+    mv t0, zero
+fill:
+    call rand
+    slli t1, t0, 2
+    add t2, t1, s0
+    sw a5, 0(t2)
+    call rand
+    slli t1, t0, 2
+    add t2, t1, s1
+    sw a5, 0(t2)
+    addi t0, t0, 1
+    blt t0, s4, fill
+    mv t0, zero           # i
+iloop:
+    mv t1, zero           # j
+jloop:
+    mv t2, zero           # k
+    mv t3, zero           # acc
+    mul t4, t0, s3
+    slli t4, t4, 2
+    add s5, t4, s0        # &A[i][0]
+kloop:
+    slli t4, t2, 2
+    add t4, t4, s5
+    lw t5, 0(t4)          # A[i][k]
+    mul t4, t2, s3
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, t4, s1
+    lw t6, 0(t4)          # B[k][j]
+    mul t5, t5, t6
+    add t3, t3, t5
+    addi t2, t2, 1
+    blt t2, s3, kloop
+    mul t4, t0, s3
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, t4, s2
+    sw t3, 0(t4)          # C[i][j]
+    addi t1, t1, 1
+    blt t1, s3, jloop
+    addi t0, t0, 1
+    blt t0, s3, iloop
+    mv a0, zero
+    mv t0, zero
+sum:
+    slli t1, t0, 2
+    add t1, t1, s2
+    lw t2, 0(t1)
+    xor a0, a0, t2
+    addi t0, t0, 1
+    blt t0, s4, sum
+    ecall
+";
+
+/// Pointer chase over a 16 KB ring of 4096 linked words (stride 257
+/// permutation), 60k dependent loads; checksum = xor of visited
+/// pointers.
+const CHASE: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # table base
+    li s1, 4096           # N entries
+    li s6, 4095           # index mask
+    mv t0, zero
+build:
+    addi t1, t0, 257
+    and t1, t1, s6
+    slli t1, t1, 2
+    add t1, t1, s0        # address of next entry
+    slli t2, t0, 2
+    add t2, t2, s0
+    sw t1, 0(t2)
+    addi t0, t0, 1
+    blt t0, s1, build
+    call rand
+    and t0, a5, s6
+    slli t0, t0, 2
+    add t0, t0, s0        # start pointer
+    li s3, 60000          # steps
+    mv a0, zero
+    mv t1, zero
+chase:
+    lw t0, 0(t0)          # dependent load
+    xor a0, a0, t0
+    addi t1, t1, 1
+    blt t1, s3, chase
+    ecall
+";
+
+/// Naive substring search: two random 4-byte patterns over a 4 KB
+/// 4-letter text (short enough that matches actually occur, so the
+/// count is seed-sensitive); checksum = total match count.
+const STRSEARCH: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # text
+    li s1, 4096           # text length
+    li s2, 0x24000        # pattern
+    li s3, 4              # pattern length
+    mv t0, zero
+ftext:
+    call rand
+    andi t1, a5, 3
+    addi t1, t1, 97
+    add t2, t0, s0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    blt t0, s1, ftext
+    mv s4, zero           # pass counter
+    mv s6, zero           # total matches
+pass:
+    mv t0, zero
+fpat:
+    call rand
+    andi t1, a5, 3
+    addi t1, t1, 97
+    add t2, t0, s2
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    blt t0, s3, fpat
+    sub s5, s1, s3        # last start index
+    mv t0, zero           # i
+search:
+    mv t1, zero           # j
+cmp:
+    add t2, t0, t1
+    add t2, t2, s0
+    lbu t3, 0(t2)
+    add t4, t1, s2
+    lbu t5, 0(t4)
+    bne t3, t5, miss
+    addi t1, t1, 1
+    blt t1, s3, cmp
+    addi s6, s6, 1        # full match
+miss:
+    addi t0, t0, 1
+    ble t0, s5, search
+    addi s4, s4, 1
+    li t6, 2
+    blt s4, t6, pass
+    mv a0, s6
+    ecall
+";
+
+/// LZ-style match finder: hash-chain over an 8 KB 8-letter input,
+/// greedy match extension up to 8 bytes; checksum = total matched
+/// bytes.
+const LZ: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # input
+    li s1, 8192           # input length
+    li s2, 0x28000        # 256-entry hash table
+    mv t0, zero
+fin:
+    call rand
+    andi t1, a5, 7
+    addi t1, t1, 97
+    add t2, t0, s0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    blt t0, s1, fin
+    mv t0, zero
+    li t3, 256
+clr:
+    slli t1, t0, 2
+    add t1, t1, s2
+    sw zero, 0(t1)
+    addi t0, t0, 1
+    blt t0, t3, clr
+    mv a0, zero           # total matched bytes
+    addi s3, s1, -8       # last scan position
+    mv t0, zero           # i
+scan:
+    add t1, t0, s0
+    lbu t2, 0(t1)
+    lbu t3, 1(t1)
+    slli t3, t3, 4
+    xor t2, t2, t3
+    andi t2, t2, 255      # hash of 2 bytes
+    slli t2, t2, 2
+    add t2, t2, s2        # slot address
+    lw t4, 0(t2)          # candidate+1 (0 = empty)
+    addi t5, t0, 1
+    sw t5, 0(t2)          # slot = i+1
+    beqz t4, next
+    addi t4, t4, -1       # candidate position
+    mv t5, zero           # match length
+mlen:
+    add t6, t0, t5
+    add t6, t6, s0
+    lbu a2, 0(t6)
+    add t6, t4, t5
+    add t6, t6, s0
+    lbu a3, 0(t6)
+    bne a2, a3, mdone
+    addi t5, t5, 1
+    li t6, 8
+    blt t5, t6, mlen
+mdone:
+    add a0, a0, t5
+next:
+    addi t0, t0, 1
+    blt t0, s3, scan
+    ecall
+";
+
+/// Fletcher-style checksum: two passes over 4096 random words (16 KB);
+/// checksum = sum1 xor sum2.
+const CHECKSUM: &str = "
+    ori s11, a0, 1
+    li s0, 0x20000        # buffer
+    li s2, 4096           # words
+    mv t0, zero
+fill:
+    call rand
+    slli t1, t0, 2
+    add t1, t1, s0
+    sw a5, 0(t1)
+    addi t0, t0, 1
+    blt t0, s2, fill
+    mv s3, zero           # pass counter
+    mv a0, zero           # sum1
+    mv a1, zero           # sum2
+pass:
+    mv t0, zero
+word:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    add a0, a0, t2
+    add a1, a1, a0
+    addi t0, t0, 1
+    blt t0, s2, word
+    addi s3, s3, 1
+    li t6, 2
+    blt s3, t6, pass
+    xor a0, a0, a1
+    ecall
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icr_trace::apps::ISA_APP_NAMES;
+
+    #[test]
+    fn kernel_names_match_published_app_names() {
+        assert_eq!(kernel_names().as_slice(), ISA_APP_NAMES.as_slice());
+    }
+
+    #[test]
+    fn every_kernel_assembles() {
+        for (name, _) in KERNELS {
+            let words = program(name)
+                .expect("known kernel")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(words.len() > 10, "{name} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_none() {
+        assert!(program("isa:doom").is_none());
+        assert!(program("gzip").is_none());
+    }
+}

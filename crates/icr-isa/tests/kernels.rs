@@ -1,0 +1,129 @@
+//! Every embedded kernel runs to architectural completion,
+//! deterministically, with a contract-clean trace — and its identity is
+//! pinned: retired-instruction count, exit checksum, and the on-disk
+//! trace digest for the reference seed.
+//!
+//! Regenerate the table (only when a kernel or the trace encoding
+//! deliberately changes) with:
+//!
+//! ```text
+//! cargo test -p icr-isa --test kernels --release -- \
+//!     --ignored record_kernel_table --nocapture
+//! ```
+
+use icr_isa::kernels;
+use icr_trace::{disk, inst};
+
+const REFERENCE_SEED: u64 = 42;
+
+/// `(app, retired instructions, exit checksum a0, disk trace digest)`
+/// for [`REFERENCE_SEED`], recorded with the recorder test below.
+const RECORDED: [(&str, u64, u32, u64); 7] = [
+    ("isa:bubble", 38603, 0xa6f40038, 0x200a_84bf_1946_3418),
+    ("isa:qsort", 35564, 0x08a60049, 0x500f_a6de_8446_de29),
+    ("isa:matmul", 191320, 0xed91d4cf, 0xc83e_5f56_a559_e9db),
+    ("isa:chase", 276889, 0x00000000, 0x372b_adb5_1c54_be69),
+    ("isa:strsearch", 157137, 0x00000019, 0xd3d7_9492_6972_3fc0),
+    ("isa:lz", 511274, 0x000043f1, 0x74c0_ff0a_21e2_685b),
+    ("isa:checksum", 114709, 0x0c8f64d0, 0xa2cb_36ae_36ae_ffe0),
+];
+
+#[test]
+#[ignore = "fixture recorder, run explicitly with --ignored"]
+fn record_kernel_table() {
+    println!("const RECORDED: [(&str, u64, u32, u64); 7] = [");
+    for name in kernels::kernel_names() {
+        let (trace, retired, exit) = icr_isa::run_kernel(name, REFERENCE_SEED);
+        println!(
+            "    (\"{name}\", {retired}, {exit:#010x}, {:#018x}),",
+            disk::trace_digest(&trace)
+        );
+    }
+    println!("];");
+}
+
+#[test]
+fn kernels_complete_with_pinned_identities() {
+    for (name, retired, exit, digest) in RECORDED {
+        let (trace, got_retired, got_exit) = icr_isa::run_kernel(name, REFERENCE_SEED);
+        assert_eq!(got_retired, retired, "{name}: retired count moved");
+        assert_eq!(got_exit, exit, "{name}: exit checksum moved");
+        assert_eq!(
+            disk::trace_digest(&trace),
+            digest,
+            "{name}: trace digest moved"
+        );
+        assert_eq!(trace.len() as u64, retired, "{name}: one record per retire");
+    }
+}
+
+/// Satellite invariant check, interpreter side: every record every
+/// kernel emits passes the shared `inst::validate` — same contract the
+/// synthetic generator is property-tested against in icr-trace.
+#[test]
+fn every_kernel_satisfies_stream_contract() {
+    for name in kernels::kernel_names() {
+        for seed in [0, 1, REFERENCE_SEED, u64::MAX] {
+            let (trace, _, _) = icr_isa::run_kernel(name, seed);
+            for (idx, record) in trace.iter().enumerate() {
+                inst::validate(record)
+                    .unwrap_or_else(|e| panic!("{name} seed {seed} record {idx}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_are_deterministic_and_seed_sensitive() {
+    for name in kernels::kernel_names() {
+        let (a, _, exit_a) = icr_isa::run_kernel(name, 7);
+        let (b, _, exit_b) = icr_isa::run_kernel(name, 7);
+        assert_eq!(a, b, "{name}: same seed must replay identically");
+        assert_eq!(exit_a, exit_b);
+        let (_, _, exit_c) = icr_isa::run_kernel(name, 8);
+        assert_ne!(
+            exit_a, exit_c,
+            "{name}: the seed must reach the architectural result"
+        );
+    }
+}
+
+#[test]
+fn kernel_traces_roundtrip_through_disk() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    for name in kernels::kernel_names() {
+        let (trace, _, _) = icr_isa::run_kernel(name, REFERENCE_SEED);
+        let path = dir.join(format!(
+            "{}.icrt",
+            name.strip_prefix("isa:").unwrap_or(name)
+        ));
+        disk::write_trace(&path, name, REFERENCE_SEED, &trace).unwrap();
+        let stored = disk::read_trace(&path).unwrap();
+        assert_eq!(stored.app, name);
+        assert_eq!(stored.seed, REFERENCE_SEED);
+        assert_eq!(stored.insts, trace, "{name}: disk roundtrip must be exact");
+    }
+}
+
+#[test]
+fn kernel_traces_mix_op_classes_and_locality() {
+    use icr_trace::OpClass;
+    for name in kernels::kernel_names() {
+        let (trace, _, _) = icr_isa::run_kernel(name, REFERENCE_SEED);
+        let loads = trace.iter().filter(|i| i.op == OpClass::Load).count();
+        let stores = trace.iter().filter(|i| i.op == OpClass::Store).count();
+        let branches = trace.iter().filter(|i| i.op == OpClass::Branch).count();
+        assert!(loads > 0, "{name}: no loads");
+        assert!(stores > 0, "{name}: no stores");
+        assert!(branches > 0, "{name}: no branches");
+        let takens = trace
+            .iter()
+            .filter(|i| i.op == OpClass::Branch && i.taken)
+            .count();
+        assert!(
+            takens > 0 && takens < branches,
+            "{name}: branch outcomes must be mixed (taken {takens}/{branches})"
+        );
+    }
+}

@@ -5,7 +5,8 @@
 //! ```text
 //! icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark]
 //!
-//! experiments: table1, fig1..fig17, sens, victim, extensions, vuln, all
+//! experiments: table1, fig1..fig17, sens, victim, extensions, vuln,
+//!              isa, isa-audit, all
 //! ```
 //!
 //! `--json PATH` writes the machine-readable result to `PATH`, where `-`
@@ -36,7 +37,7 @@ fn usage() -> ExitCode {
         "usage: icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark] [--stats]\n\
          \x20      --json PATH   write JSON to PATH ('-' = stdout)\n\
          experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln audit sdc all"
+         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln audit sdc isa isa-audit all"
     );
     ExitCode::FAILURE
 }
@@ -132,6 +133,30 @@ fn main() -> ExitCode {
         "window" => emit(experiment::window(&opts)),
         "dram" => emit(experiment::dram(&opts)),
         "exposure" => emit(experiment::exposure(&opts)),
+        "isa" => emit(experiment::isa_matrix(&opts)),
+        "isa-audit" => {
+            let mut spec = AuditSpec::new(
+                icr_core::Scheme::all_paper_schemes(),
+                icr_trace::apps::ISA_APP_NAMES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                opts.instructions,
+                opts.seed,
+            );
+            spec.threads = opts.threads;
+            // Panics with a labelled divergence report on any mismatch.
+            let report = run_audit(&spec);
+            if let Some(path) = &json {
+                write_output(&report.to_json(), path).expect("json output writable");
+            } else {
+                println!(
+                    "Lockstep reference-model audit over ISA kernels ({} insts/app, seed {})",
+                    spec.instructions, spec.seed
+                );
+                print!("{}", report.summary_table());
+            }
+        }
         "vuln" => {
             let mut spec = VulnSpec::new(
                 icr_core::Scheme::all_paper_schemes(),

@@ -19,6 +19,11 @@
 //!   --check            diff every dL1 access against the icr-check
 //!                      reference model (fault-free runs only)
 //!   --json PATH        emit the result as JSON to PATH ('-' = stdout)
+//!   --trace-out PATH   save the workload trace this run consumed in the
+//!                      icr-trace disk format (.icrt)
+//!   --trace-in PATH    replay a saved .icrt trace instead of generating
+//!                      or interpreting the workload; the file's app and
+//!                      seed must match the command line
 //! ```
 
 use icr_core::{DataL1Config, DecayConfig, Scheme, VictimPolicy, WritePolicy};
@@ -59,7 +64,9 @@ fn usage() -> ExitCode {
         "usage: icr-run <app> <scheme> [--insts N] [--seed S] [--window W]\n\
          \x20                [--victim P] [--keep] [--write-through N]\n\
          \x20                [--fault P] [--scrub I] [--check] [--json PATH]\n\
-         apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)\n\
+         \x20                [--trace-out PATH] [--trace-in PATH]\n\
+         apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap,\n\
+         \x20     execution-driven isa:{{bubble,qsort,matmul,chase,strsearch,lz,checksum}})\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}"
     );
     ExitCode::FAILURE
@@ -83,6 +90,8 @@ fn main() -> ExitCode {
     let mut scrub: Option<ScrubConfig> = None;
     let mut check = false;
     let mut json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_in: Option<String> = None;
 
     let mut i = 2;
     macro_rules! val {
@@ -157,8 +166,35 @@ fn main() -> ExitCode {
             "--json" => {
                 json = Some(val!().clone());
             }
+            "--trace-out" => {
+                trace_out = Some(val!().clone());
+            }
+            "--trace-in" => {
+                trace_in = Some(val!().clone());
+            }
             _ => return usage(),
         }
+    }
+
+    if let Some(path) = &trace_in {
+        let stored = match icr_trace::disk::read_trace(std::path::Path::new(path)) {
+            Ok(stored) => stored,
+            Err(e) => {
+                eprintln!("--trace-in {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The trace file carries its identity; refuse a silent mismatch
+        // rather than simulate app A under app B's label.
+        if stored.app != app || stored.seed != seed {
+            eprintln!(
+                "--trace-in {path}: trace is for app {:?} seed {}, \
+                 but the command line says app {app:?} seed {seed}",
+                stored.app, stored.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        icr_trace::store::global().insert(&app, seed, instructions, stored.insts.into());
     }
 
     let mut builder = SimConfig::builder(&app, dl1)
@@ -174,6 +210,17 @@ fn main() -> ExitCode {
         builder = builder.check(CheckMode::Lockstep);
     }
     let r = run_sim(&builder.build());
+
+    if let Some(path) = &trace_out {
+        // run_sim resolved (and memoised) the trace; fetch the same
+        // slice back from the store and persist it.
+        let trace = icr_trace::store::global().get(&app, seed, instructions);
+        if let Err(e) = icr_trace::disk::write_trace(std::path::Path::new(path), &app, seed, &trace)
+        {
+            eprintln!("--trace-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &json {
         write_output(&r.to_json(), path).expect("json output writable");

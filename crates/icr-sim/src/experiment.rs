@@ -1436,6 +1436,65 @@ pub fn sdc(opts: &ExpOptions) -> FigureResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Execution-driven ISA kernels (extension)
+// ---------------------------------------------------------------------
+
+/// Extension: the default scheme matrix over the execution-driven
+/// `isa:*` kernels instead of the synthetic SPEC profiles.
+///
+/// Reports IPC relative to `BaseP` for each kernel under the paper's
+/// four headline schemes, with replication-capable schemes resolving
+/// their traces through the RV32IM interpreter (see the `icr-isa`
+/// crate). Deliberately **not** part of [`figure_runners`]: the default
+/// `icr-exp all` figure set — and its pinned golden digest — stays
+/// byte-identical; run this via `icr-exp isa`.
+pub fn isa_matrix(opts: &ExpOptions) -> FigureResult {
+    let apps = icr_trace::apps::ISA_APP_NAMES;
+    let variants = [
+        v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+        v(
+            "BaseECC",
+            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+        ),
+        v(
+            "ICR-P-PS (LS)",
+            DataL1Config::paper_default(Scheme::icr_p_ps_ls()),
+        ),
+        v(
+            "ICR-ECC-PP (LS)",
+            DataL1Config::paper_default(Scheme::icr_ecc_pp_ls()),
+        ),
+    ];
+    let matrix = run_matrix(&apps, &variants, opts);
+    let baseline = &matrix[0];
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut values: Vec<f64> = (0..apps.len())
+            .map(|a| matrix[vi][a].pipeline.ipc() / baseline[a].pipeline.ipc())
+            .collect();
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        values.push(avg);
+        series.push(Series {
+            label: label.clone(),
+            values,
+        });
+    }
+    let mut xs: Vec<String> = apps.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    FigureResult {
+        id: "isa".into(),
+        title: "Extension: scheme matrix over execution-driven RV32IM kernels".into(),
+        unit: "IPC relative to BaseP".into(),
+        xs,
+        series,
+        notes: "traces come from interpreting real programs to completion rather than \
+                from synthetic profiles; short kernels may retire before the \
+                instruction budget"
+            .into(),
+    }
+}
+
 /// One figure runner with its id, as listed by [`figure_runners`].
 pub type FigureRunner = (&'static str, fn(&ExpOptions) -> FigureResult);
 

@@ -378,6 +378,9 @@ impl InstrMemory for ImemPort {
 ///
 /// Panics on an invalid configuration or unknown application name.
 pub fn run_sim(config: &SimConfig) -> SimResult {
+    // Make the execution-driven `isa:*` kernels resolvable everywhere a
+    // simulation can start; install() is idempotent and cheap.
+    icr_isa::install();
     // Traces are pure functions of (app, seed, instructions); the
     // process-wide store materialises each one once and shares it across
     // schemes, figures, trials and worker threads.

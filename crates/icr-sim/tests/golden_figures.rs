@@ -1,0 +1,103 @@
+//! Byte-level pin of the default figure matrix across the ISA-frontend
+//! work: execution-driven `isa:*` workloads join the app roster via
+//! `EXTENDED_APP_NAMES` only, so the document `icr-exp all --json`
+//! emits — every figure id, x label, series label and number token —
+//! must not move. The digest below was recorded from the tree *before*
+//! the `icr-isa` crate existed; this test re-derives the document
+//! through the same `all_figures` + join path the binary uses (at a
+//! reduced instruction budget so the whole matrix fits in tier-1 time)
+//! and compares bytes.
+//!
+//! Regenerate (only when a PR *deliberately* changes figure output)
+//! with:
+//!
+//! ```text
+//! cargo test -p icr-sim --test golden_figures --release -- \
+//!     --ignored record_golden_digest --nocapture
+//! ```
+
+use icr_sim::experiment::{all_figures, figure_runners, ExpOptions};
+use icr_trace::apps::{APP_NAMES, EXTENDED_APP_NAMES};
+
+/// The budget the pin runs at. Small enough for debug-mode tier-1,
+/// large enough that every figure exercises fills, evictions,
+/// replication, decay and write-back traffic.
+const GOLDEN_INSTRUCTIONS: u64 = 3_000;
+const GOLDEN_SEED: u64 = 42;
+
+/// FNV-1a over the document bytes.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the exact document `icr-exp all --json` writes, at the test
+/// budget.
+fn all_json_document() -> String {
+    let opts = ExpOptions {
+        instructions: GOLDEN_INSTRUCTIONS,
+        seed: GOLDEN_SEED,
+        threads: 0,
+    };
+    let body = all_figures(&opts)
+        .iter()
+        .map(|f| f.to_json())
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n]")
+}
+
+/// Recorded from the pre-`icr-isa` tree. If this moves, the default
+/// figure matrix's bytes moved.
+const GOLDEN_DIGEST: u64 = 0x0e9b_bc95_d77e_6ac3; // 29 figures, 25060 bytes
+
+#[test]
+#[ignore = "fixture recorder, run explicitly with --ignored"]
+fn record_golden_digest() {
+    let doc = all_json_document();
+    println!(
+        "const GOLDEN_DIGEST: u64 = {:#018x}; // {} figures, {} bytes",
+        fnv(doc.as_bytes()),
+        doc.matches("\"id\":").count(),
+        doc.len()
+    );
+}
+
+#[test]
+fn default_figure_matrix_bytes_are_pinned() {
+    let doc = all_json_document();
+    assert_eq!(
+        fnv(doc.as_bytes()),
+        GOLDEN_DIGEST,
+        "the `icr-exp all --json` document changed; ISA workloads must \
+         join via EXTENDED_APP_NAMES without touching the default matrix \
+         (re-record only if the figure change is deliberate)"
+    );
+}
+
+/// The roster invariants behind the pin: the paper's eight apps are
+/// untouched, no `isa:` name appears in `APP_NAMES`, and no figure
+/// runner id refers to the ISA matrix.
+#[test]
+fn isa_workloads_join_via_extended_names_only() {
+    assert_eq!(
+        APP_NAMES,
+        ["gzip", "vpr", "gcc", "mcf", "parser", "mesa", "vortex", "art"]
+    );
+    assert!(
+        APP_NAMES.iter().all(|a| !a.starts_with("isa:")),
+        "default app roster must stay synthetic"
+    );
+    assert!(
+        EXTENDED_APP_NAMES.iter().any(|a| a.starts_with("isa:")),
+        "execution-driven kernels are published through EXTENDED_APP_NAMES"
+    );
+    assert!(
+        figure_runners().iter().all(|(id, _)| *id != "isa"),
+        "the ISA matrix is its own subcommand, not part of `all`"
+    );
+}

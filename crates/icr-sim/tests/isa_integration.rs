@@ -1,0 +1,190 @@
+//! The execution-driven `isa:*` kernels through the full simulator:
+//! lockstep reference-model audit across every paper scheme, the
+//! `isa_matrix` figure, and a byte-identical `icr-run` trace round-trip
+//! through the CLI.
+
+use icr_sim::audit::{run_audit, AuditSpec};
+use icr_sim::experiment::{isa_matrix, ExpOptions};
+use icr_trace::apps::ISA_APP_NAMES;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every paper scheme over every ISA kernel, with the icr-check
+/// reference model diffing the dL1's full observable state after each
+/// access. `run_audit` panics on the first divergence, so passing means
+/// the real hierarchy and the naive model agree on execution-driven
+/// streams exactly as they do on synthetic ones.
+#[test]
+fn lockstep_audit_covers_isa_kernels_under_every_scheme() {
+    let spec = AuditSpec::new(
+        icr_core::Scheme::all_paper_schemes(),
+        ISA_APP_NAMES.iter().map(|s| s.to_string()).collect(),
+        1_500,
+        42,
+    );
+    let report = run_audit(&spec);
+    assert_eq!(
+        report.cells.len(),
+        icr_core::Scheme::all_paper_schemes().len() * ISA_APP_NAMES.len(),
+        "one audited cell per scheme x kernel"
+    );
+    for cell in &report.cells {
+        assert!(
+            cell.accesses_checked > 0,
+            "{:?}/{}: no accesses audited",
+            cell.scheme,
+            cell.app
+        );
+    }
+}
+
+#[test]
+fn isa_matrix_is_deterministic_and_spans_the_kernels() {
+    let opts = ExpOptions {
+        instructions: 4_000,
+        seed: 42,
+        threads: 0,
+    };
+    let fig = isa_matrix(&opts);
+    assert_eq!(fig.id, "isa");
+    assert_eq!(fig.xs.len(), ISA_APP_NAMES.len() + 1, "kernels + AVG");
+    assert_eq!(fig.xs.last().map(String::as_str), Some("AVG"));
+    assert_eq!(fig.series.len(), 4, "BaseP, BaseECC, and two ICR schemes");
+    // Variant 0 is the BaseP baseline: identically 1.0 by construction.
+    for v in &fig.series[0].values {
+        assert_eq!(*v, 1.0);
+    }
+    let again = isa_matrix(&opts);
+    assert_eq!(
+        fig.to_json(),
+        again.to_json(),
+        "figure must be reproducible"
+    );
+}
+
+fn icr_run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_icr-run"))
+        .args(args)
+        .output()
+        .expect("icr-run spawns")
+}
+
+/// `--trace-out` then `--trace-in` must reproduce the simulation
+/// byte-for-byte: same JSON report, both for an execution-driven kernel
+/// and for a synthetic profile workload.
+#[test]
+fn cli_trace_roundtrip_is_bit_identical() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    for app in ["isa:matmul", "gzip"] {
+        let stem = app.replace(':', "_");
+        let trace = dir.join(format!("{stem}.icrt"));
+        let live = dir.join(format!("{stem}-live.json"));
+        let replay = dir.join(format!("{stem}-replay.json"));
+        let base = [app, "icr-ecc-pp-ls", "--insts", "4000", "--seed", "9"];
+
+        let out = icr_run(
+            &[
+                &base[..],
+                &[
+                    "--json",
+                    live.to_str().unwrap(),
+                    "--trace-out",
+                    trace.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        );
+        assert!(out.status.success(), "{app} live run failed: {out:?}");
+
+        let out = icr_run(
+            &[
+                &base[..],
+                &[
+                    "--json",
+                    replay.to_str().unwrap(),
+                    "--trace-in",
+                    trace.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        );
+        assert!(out.status.success(), "{app} replay run failed: {out:?}");
+
+        let live_bytes = std::fs::read(&live).unwrap();
+        let replay_bytes = std::fs::read(&replay).unwrap();
+        assert!(!live_bytes.is_empty());
+        assert_eq!(
+            live_bytes, replay_bytes,
+            "{app}: replaying the saved trace must reproduce the report exactly"
+        );
+    }
+}
+
+/// A trace file's embedded identity guards against replaying it under
+/// the wrong label: mismatched app or seed must be a hard CLI error.
+#[test]
+fn cli_trace_in_rejects_identity_mismatch() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("identity.icrt");
+    let out = icr_run(&[
+        "isa:chase",
+        "basep",
+        "--insts",
+        "2000",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "trace-out run failed: {out:?}");
+
+    // Wrong app.
+    let out = icr_run(&[
+        "isa:lz",
+        "basep",
+        "--insts",
+        "2000",
+        "--trace-in",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("isa:chase"),
+        "stderr names the real app: {stderr}"
+    );
+
+    // Wrong seed.
+    let out = icr_run(&[
+        "isa:chase",
+        "basep",
+        "--insts",
+        "2000",
+        "--seed",
+        "7",
+        "--trace-in",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+
+    // Corrupt file: precise disk-format error, not a panic.
+    let mut bytes = std::fs::read(&trace).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let bad = dir.join("identity-corrupt.icrt");
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = icr_run(&[
+        "isa:chase",
+        "basep",
+        "--insts",
+        "2000",
+        "--trace-in",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--trace-in"),
+        "CLI reports the failing option: {stderr}"
+    );
+}

@@ -24,15 +24,45 @@ pub const APP_NAMES: [&str; 8] = [
     "gzip", "vpr", "gcc", "mcf", "parser", "mesa", "vortex", "art",
 ];
 
-/// Additional SPEC2000 stand-ins beyond the paper's eight, available for
-/// robustness studies (`bzip2, twolf, crafty, gap`).
-pub const EXTENDED_APP_NAMES: [&str; 4] = ["bzip2", "twolf", "crafty", "gap"];
+/// Execution-driven RISC-V kernels served by the `icr-isa` interpreter
+/// through the [`crate::store::WorkloadSource`] seam. These names have no
+/// synthetic profile — [`profile`] panics on them; resolve them through
+/// [`crate::store::global`] after the interpreter crate has installed its
+/// source.
+pub const ISA_APP_NAMES: [&str; 7] = [
+    "isa:bubble",
+    "isa:qsort",
+    "isa:matmul",
+    "isa:chase",
+    "isa:strsearch",
+    "isa:lz",
+    "isa:checksum",
+];
+
+/// Additional workloads beyond the paper's eight: four more SPEC2000
+/// stand-ins for robustness studies (`bzip2, twolf, crafty, gap`) plus
+/// the execution-driven [`ISA_APP_NAMES`] kernels.
+pub const EXTENDED_APP_NAMES: [&str; 11] = [
+    "bzip2",
+    "twolf",
+    "crafty",
+    "gap",
+    "isa:bubble",
+    "isa:qsort",
+    "isa:matmul",
+    "isa:chase",
+    "isa:strsearch",
+    "isa:lz",
+    "isa:checksum",
+];
 
 /// Builds the profile for one application by name.
 ///
 /// # Panics
 ///
-/// Panics if `name` is not one of [`APP_NAMES`].
+/// Panics if `name` is not one of [`APP_NAMES`] or the synthetic part of
+/// [`EXTENDED_APP_NAMES`] — in particular, `isa:*` workloads are
+/// execution-driven and have no profile.
 pub fn profile(name: &str) -> AppProfile {
     let p = match name {
         "gzip" => gzip(),
@@ -47,6 +77,10 @@ pub fn profile(name: &str) -> AppProfile {
         "twolf" => twolf(),
         "crafty" => crafty(),
         "gap" => gap(),
+        other if other.starts_with("isa:") => panic!(
+            "unknown application profile {other:?}: isa:* workloads are execution-driven; \
+             resolve them through the WorkloadStore after icr_isa::install()"
+        ),
         other => panic!(
             "unknown application {other:?}; expected one of {APP_NAMES:?} or {EXTENDED_APP_NAMES:?}"
         ),
@@ -528,6 +562,9 @@ mod tests {
     #[test]
     fn extended_profiles_validate() {
         for name in EXTENDED_APP_NAMES {
+            if name.starts_with("isa:") {
+                continue; // execution-driven: no synthetic profile
+            }
             profile(name)
                 .validate()
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -535,8 +572,29 @@ mod tests {
     }
 
     #[test]
+    fn isa_names_are_published_through_extended_names() {
+        for name in ISA_APP_NAMES {
+            assert!(name.starts_with("isa:"));
+            assert!(
+                EXTENDED_APP_NAMES.contains(&name),
+                "{name} missing from EXTENDED_APP_NAMES"
+            );
+        }
+        assert!(
+            !APP_NAMES.iter().any(|n| n.starts_with("isa:")),
+            "the default roster stays synthetic"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "unknown application")]
     fn unknown_app_panics() {
         profile("doom");
+    }
+
+    #[test]
+    #[should_panic(expected = "execution-driven")]
+    fn isa_app_has_no_profile() {
+        profile("isa:bubble");
     }
 }

@@ -112,6 +112,96 @@ impl Inst {
     }
 }
 
+/// Highest architectural register index, exclusive: 32 integer + 32 FP.
+pub const REG_LIMIT: u8 = 64;
+
+/// Why an [`Inst`] violates the stream contract; see [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstError {
+    /// A register index is ≥ [`REG_LIMIT`].
+    RegOutOfRange {
+        /// Which field held the bad index (`"dest"`, `"src0"`, `"src1"`).
+        field: &'static str,
+        /// The offending index.
+        reg: u8,
+    },
+    /// A load or store with `mem_addr: None`.
+    MemOpWithoutAddress(OpClass),
+    /// A non-memory op carrying an effective address.
+    AddressOnNonMemOp(OpClass),
+    /// A non-branch with `taken` set or a nonzero `target`.
+    BranchFieldsOnNonBranch(OpClass),
+    /// A branch whose `target` is zero (no code lives at address 0).
+    BranchWithoutTarget,
+}
+
+impl std::fmt::Display for InstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstError::RegOutOfRange { field, reg } => {
+                write!(f, "{field} register index {reg} is outside 0..{REG_LIMIT}")
+            }
+            InstError::MemOpWithoutAddress(op) => {
+                write!(f, "{op:?} carries no effective address")
+            }
+            InstError::AddressOnNonMemOp(op) => {
+                write!(
+                    f,
+                    "{op:?} is not a memory op but carries an effective address"
+                )
+            }
+            InstError::BranchFieldsOnNonBranch(op) => {
+                write!(f, "{op:?} is not a branch but has taken/target set")
+            }
+            InstError::BranchWithoutTarget => write!(f, "branch with target 0"),
+        }
+    }
+}
+
+impl std::error::Error for InstError {}
+
+/// Checks the invariants every trace producer — the synthetic
+/// [`crate::generator::TraceGenerator`], the `icr-isa` interpreter, and
+/// the on-disk reader in [`crate::disk`] — must uphold before handing an
+/// instruction to the timing model:
+///
+/// * every named register index is `< 64` (32 integer + 32 FP);
+/// * loads and stores carry `mem_addr`; nothing else does;
+/// * only branches set `taken`/`target`, and a branch's `target` is
+///   nonzero (jumps and conditional branches both record the
+///   would-be-taken target).
+///
+/// Branches *may* write a destination register (a RISC-V `jal ra, f`
+/// links), so `dest` is unconstrained beyond the index range.
+pub fn validate(inst: &Inst) -> Result<(), InstError> {
+    for (field, reg) in [
+        ("dest", inst.dest),
+        ("src0", inst.srcs[0]),
+        ("src1", inst.srcs[1]),
+    ] {
+        if let Some(Reg(r)) = reg {
+            if r >= REG_LIMIT {
+                return Err(InstError::RegOutOfRange { field, reg: r });
+            }
+        }
+    }
+    if inst.op.is_mem() {
+        if inst.mem_addr.is_none() {
+            return Err(InstError::MemOpWithoutAddress(inst.op));
+        }
+    } else if inst.mem_addr.is_some() {
+        return Err(InstError::AddressOnNonMemOp(inst.op));
+    }
+    if inst.op == OpClass::Branch {
+        if inst.target == 0 {
+            return Err(InstError::BranchWithoutTarget);
+        }
+    } else if inst.taken || inst.target != 0 {
+        return Err(InstError::BranchFieldsOnNonBranch(inst.op));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +229,64 @@ mod tests {
         let br = Inst::branch(0x108, 0x80, true, Some(Reg(1)));
         assert!(br.taken);
         assert_eq!(br.target, 0x80);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        validate(&Inst::alu(
+            0x100,
+            OpClass::IntAlu,
+            Reg(5),
+            [Some(Reg(1)), None],
+        ))
+        .unwrap();
+        validate(&Inst::load(0x100, 0x2000, Reg(3), Some(Reg(4)))).unwrap();
+        validate(&Inst::store(0x104, 0x2008, Reg(3), None)).unwrap();
+        validate(&Inst::branch(0x108, 0x80, true, Some(Reg(1)))).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_broken_invariant() {
+        let mut bad_reg = Inst::alu(0, OpClass::IntAlu, Reg(64), [None, None]);
+        assert_eq!(
+            validate(&bad_reg),
+            Err(InstError::RegOutOfRange {
+                field: "dest",
+                reg: 64
+            })
+        );
+        bad_reg.dest = Some(Reg(2));
+        bad_reg.srcs[1] = Some(Reg(200));
+        assert_eq!(
+            validate(&bad_reg),
+            Err(InstError::RegOutOfRange {
+                field: "src1",
+                reg: 200
+            })
+        );
+
+        let mut no_addr = Inst::load(0, 0x2000, Reg(1), None);
+        no_addr.mem_addr = None;
+        assert_eq!(
+            validate(&no_addr),
+            Err(InstError::MemOpWithoutAddress(OpClass::Load))
+        );
+
+        let mut stray_addr = Inst::alu(0, OpClass::FpMul, Reg(40), [None, None]);
+        stray_addr.mem_addr = Some(0x2000);
+        assert_eq!(
+            validate(&stray_addr),
+            Err(InstError::AddressOnNonMemOp(OpClass::FpMul))
+        );
+
+        let mut stray_taken = Inst::alu(0, OpClass::IntAlu, Reg(1), [None, None]);
+        stray_taken.taken = true;
+        assert_eq!(
+            validate(&stray_taken),
+            Err(InstError::BranchFieldsOnNonBranch(OpClass::IntAlu))
+        );
+
+        let untargeted = Inst::branch(0x100, 0, false, None);
+        assert_eq!(validate(&untargeted), Err(InstError::BranchWithoutTarget));
     }
 }

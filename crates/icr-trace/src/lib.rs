@@ -29,14 +29,16 @@
 //! ```
 
 pub mod apps;
+pub mod disk;
 pub mod generator;
 pub mod inst;
 pub mod profile;
 pub mod stats;
 pub mod store;
 
+pub use disk::{DiskError, StoredTrace, TraceReader, TraceWriter};
 pub use generator::{TraceGenerator, INST_BYTES};
 pub use inst::{Inst, OpClass, Reg};
 pub use profile::{AppProfile, BranchProfile, LocalityProfile, OpMix};
 pub use stats::TraceStats;
-pub use store::{TraceKey, WorkloadStore};
+pub use store::{TraceKey, WorkloadSource, WorkloadStore};

@@ -9,7 +9,8 @@
 //! |---|---|
 //! | [`ecc`] | byte parity and Hamming(72,64) SEC-DED, bit-for-bit |
 //! | [`mem`] | set-associative caches, write buffer, L2 + memory hierarchy |
-//! | [`trace`] | synthetic SPEC2000-like workload generators |
+//! | [`trace`] | synthetic SPEC2000-like workload generators, the shared workload store, and the `.icrt` on-disk trace format |
+//! | [`isa`] | deterministic RV32IM interpreter + assembler and seven embedded kernels behind the `isa:*` execution-driven workloads |
 //! | [`cpu`] | cycle-level out-of-order superscalar core (Table 1) |
 //! | [`core`] | **the paper's contribution**: the replica-aware data L1 |
 //! | [`fault`] | transient-fault injection (direct/adjacent/column/random) |
@@ -50,6 +51,7 @@ pub use icr_cpu as cpu;
 pub use icr_ecc as ecc;
 pub use icr_energy as energy;
 pub use icr_fault as fault;
+pub use icr_isa as isa;
 pub use icr_mem as mem;
 pub use icr_sim as sim;
 pub use icr_trace as trace;
