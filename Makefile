@@ -3,13 +3,14 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build trace-roundtrip campaign audit isa-audit clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build bench-campaign bench-campaign-build trace-roundtrip campaign campaign-resume audit isa-audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
 ## plus a build-only check of the bench targets, a lockstep audit of
 ## the full scheme × app matrix against the icr-check reference model,
-## and a byte-identical trace save/replay round-trip through icr-run.
-verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build trace-roundtrip audit
+## a byte-identical trace save/replay round-trip through icr-run, and
+## a kill-and-resume smoke of the checkpointed campaign service.
+verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build bench-campaign-build trace-roundtrip campaign-resume audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -92,6 +93,47 @@ trace-roundtrip:
 ## A 1,200-trial deterministic fault-injection campaign.
 campaign:
 	$(CARGO) run --release -p icr-sim --bin icr-campaign -- --trials 100
+
+## Crash-safety smoke for the checkpointed campaign service: run a
+## sharded campaign straight through, run the same campaign again with
+## a SIGKILL mid-run, resume it, and require the two JSON reports to be
+## byte-identical. (The integration tests in
+## crates/icr-sim/tests/campaign_kill.rs do this at randomized kill
+## points; this target is the fast release-build end-to-end check.)
+CAMPAIGN_RESUME_ARGS = --schemes basep,icr-p-ps-s --apps gzip --trials 200 \
+	--insts 20000 --shard-size 10 --seed 7 --quiet
+campaign-resume:
+	$(CARGO) build --release -p icr-sim --bin icr-campaign
+	rm -rf target/ckpt-straight target/ckpt-killed
+	rm -f target/cr-straight.json target/cr-killed.json
+	./target/release/icr-campaign $(CAMPAIGN_RESUME_ARGS) \
+		--checkpoint target/ckpt-straight --json target/cr-straight.json
+	@set -e; \
+	./target/release/icr-campaign $(CAMPAIGN_RESUME_ARGS) \
+		--checkpoint target/ckpt-killed --json target/cr-killed.json & \
+	pid=$$!; \
+	sleep 0.7; \
+	if kill -9 $$pid 2>/dev/null; then \
+		echo "campaign-resume: SIGKILLed pid $$pid mid-run"; \
+	else \
+		echo "campaign-resume: campaign finished before the kill"; \
+	fi; \
+	wait $$pid || true
+	./target/release/icr-campaign $(CAMPAIGN_RESUME_ARGS) --resume \
+		--checkpoint target/ckpt-killed --json target/cr-killed.json
+	cmp target/cr-straight.json target/cr-killed.json
+	@echo "campaign-resume: OK (killed-and-resumed output is byte-identical)"
+
+## Checkpoint-overhead benchmark for the sharded campaign service:
+## in-memory vs checkpointed vs resume, shard throughput and overhead
+## recorded to BENCH_campaign.json. Asserts the durability cost stays
+## under 5% of campaign wall time.
+bench-campaign:
+	$(CARGO) bench -p icr-bench --bench campaign
+
+## Compile the campaign benchmark without running it (used by `verify`).
+bench-campaign-build:
+	$(CARGO) bench -p icr-bench --bench campaign --no-run
 
 ## Lockstep reference-model audit: every dL1 access of the full paper
 ## scheme × app matrix diffed against the naive icr-check model. The

@@ -325,6 +325,27 @@ impl OutcomeTally {
         }
     }
 
+    /// The raw counts, indexed in [`ErrorOutcome::ALL`] order. This is
+    /// the serialization surface the campaign checkpoints persist.
+    pub fn counts(&self) -> [u64; ErrorOutcome::ALL.len()] {
+        self.counts
+    }
+
+    /// Rebuilds a tally from counts in [`ErrorOutcome::ALL`] order —
+    /// the inverse of [`counts`](OutcomeTally::counts), used when
+    /// restoring a digest-verified campaign checkpoint. The caller is
+    /// responsible for the counts describing real trials; arbitrary
+    /// values can violate the conservation invariant behind
+    /// [`survived_count`](OutcomeTally::survived_count).
+    pub fn from_counts(counts: [u64; ErrorOutcome::ALL.len()]) -> Self {
+        OutcomeTally { counts }
+    }
+
+    /// `true` when no trial has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
     fn index(outcome: ErrorOutcome) -> usize {
         ErrorOutcome::ALL
             .iter()
@@ -432,6 +453,22 @@ mod tests {
         assert_eq!(t.lost(), 2);
         assert_eq!(t.survived_count(), 2);
         assert!((t.survived_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_round_trip_through_from_counts() {
+        let mut t = OutcomeTally::default();
+        assert!(t.is_empty());
+        for (i, &o) in ErrorOutcome::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                t.record(o);
+            }
+        }
+        assert!(!t.is_empty());
+        let back = OutcomeTally::from_counts(t.counts());
+        assert_eq!(back, t);
+        assert_eq!(back.total(), t.total());
+        assert_eq!(back.injected(), t.injected());
     }
 
     #[test]

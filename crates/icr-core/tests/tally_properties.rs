@@ -1,0 +1,85 @@
+//! Property tests for [`OutcomeTally`] shard merging: the algebra the
+//! sharded campaign engine rests on. Merging per-shard tallies must be
+//! associative and commutative, and any partition of a trial sequence
+//! into shards must reproduce the single-process tally exactly —
+//! otherwise a resumed campaign could not be byte-identical to an
+//! uninterrupted one.
+
+use icr_core::{ErrorOutcome, OutcomeTally};
+use proptest::prelude::*;
+
+/// A trial outcome drawn uniformly from the full taxonomy.
+fn arb_outcome() -> impl Strategy<Value = ErrorOutcome> {
+    prop::sample::select(ErrorOutcome::ALL.to_vec())
+}
+
+/// An arbitrary trial sequence (what one campaign cell observes).
+fn arb_trials() -> impl Strategy<Value = Vec<ErrorOutcome>> {
+    prop::collection::vec(arb_outcome(), 0..200)
+}
+
+fn tally_of(outcomes: &[ErrorOutcome]) -> OutcomeTally {
+    let mut t = OutcomeTally::default();
+    for &o in outcomes {
+        t.record(o);
+    }
+    t
+}
+
+proptest! {
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c).
+    #[test]
+    fn merge_is_associative(a in arb_trials(), b in arb_trials(), c in arb_trials()) {
+        let (ta, tb, tc) = (tally_of(&a), tally_of(&b), tally_of(&c));
+        let mut left = ta;
+        let mut bc = tb;
+        bc.merge(&tc);
+        left.merge(&bc);
+        let mut right = ta;
+        right.merge(&tb);
+        right.merge(&tc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge(a, b) == merge(b, a) — shards can land in any order.
+    #[test]
+    fn merge_is_commutative(a in arb_trials(), b in arb_trials()) {
+        let (ta, tb) = (tally_of(&a), tally_of(&b));
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Any randomized partition of a trial sequence into contiguous
+    /// shards merges back to exactly the single-process tally, and the
+    /// derived statistics agree bit-for-bit.
+    #[test]
+    fn randomized_shard_splits_reproduce_the_whole(
+        trials in arb_trials(),
+        shard_size in 1usize..64,
+    ) {
+        let whole = tally_of(&trials);
+        let mut merged = OutcomeTally::default();
+        for shard in trials.chunks(shard_size) {
+            merged.merge(&tally_of(shard));
+        }
+        prop_assert_eq!(merged, whole);
+        prop_assert_eq!(merged.total(), trials.len() as u64);
+        prop_assert_eq!(merged.injected(), whole.injected());
+        prop_assert_eq!(merged.survived_count(), whole.survived_count());
+        prop_assert_eq!(
+            merged.survived_fraction().to_bits(),
+            whole.survived_fraction().to_bits(),
+            "fractions must agree bit-for-bit"
+        );
+    }
+
+    /// counts()/from_counts() round-trips arbitrary recorded tallies.
+    #[test]
+    fn counts_round_trip(trials in arb_trials()) {
+        let t = tally_of(&trials);
+        prop_assert_eq!(OutcomeTally::from_counts(t.counts()), t);
+    }
+}

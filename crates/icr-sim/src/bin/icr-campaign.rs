@@ -1,5 +1,6 @@
 //! `icr-campaign` — deterministic parallel Monte-Carlo fault-injection
-//! campaign over a (scheme × app) matrix.
+//! campaign over a (scheme × app) matrix, with optional sharded
+//! checkpointing so a killed run resumes to byte-identical output.
 //!
 //! ```text
 //! icr-campaign [options]
@@ -16,20 +17,39 @@
 //!   --ci-width W      stop a cell once its Wilson 95% interval is narrower
 //!   --threads N       worker threads                (default all cores)
 //!   --no-oracle       disable the silent-corruption oracle shadow
+//!   --checkpoint DIR  run sharded: persist one digest-verified checkpoint
+//!                     per completed shard into DIR (see --shard-size)
+//!   --resume          skip shards DIR already holds verified checkpoints
+//!                     for; corrupt files are quarantined and re-run
+//!   --shard-size N    trials per shard per cell     (default: --batch)
 //!   --json PATH       write the JSON report to PATH, '-' = stdout
 //!                     (default stdout — same convention as icr-run/icr-exp)
 //!   --quiet           suppress progress output
 //! ```
 //!
 //! The JSON report is a pure function of the options: no timestamps, no
-//! host data, bit-identical across runs and thread counts. Progress and
-//! timing go to stderr only.
+//! host data, bit-identical across runs, thread counts, and — in
+//! checkpoint mode — across any sequence of kills and resumes. Progress
+//! and timing go to stderr only; in checkpoint mode that means one
+//! streaming line per completed shard instead of silence until the
+//! final blob.
+//!
+//! SIGINT in checkpoint mode triggers a graceful drain: the in-flight
+//! shard finishes, its checkpoint is flushed, and the report is written
+//! with `"complete": false` so partial results are explicit. Invalid
+//! command-line input exits with code 2 and a diagnostic; runtime
+//! failures (e.g. an unwritable checkpoint directory) exit with 1.
 
 use icr_core::Scheme;
 use icr_fault::ErrorModel;
 use icr_sim::json::write_output;
-use icr_sim::{run_campaign_observed, CampaignSpec};
+use icr_sim::{
+    run_campaign_observed, run_sharded_campaign_observed, CampaignSpec, ShardEvent,
+    ShardedCampaignSpec,
+};
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 fn parse_scheme(name: &str) -> Option<Scheme> {
@@ -59,17 +79,45 @@ fn parse_model(name: &str) -> Option<ErrorModel> {
     })
 }
 
-fn usage() -> ExitCode {
+/// Prints a diagnostic plus the usage text and returns the
+/// invalid-invocation exit code (2, in the `getopt` tradition —
+/// distinct from runtime failures, which exit 1).
+fn fail_usage(diagnostic: &str) -> ExitCode {
+    eprintln!("error: {diagnostic}");
     eprintln!(
         "usage: icr-campaign [--schemes a,b,c] [--apps a,b,c] [--trials N]\n\
          \x20                   [--batch N] [--seed S] [--insts N] [--model M]\n\
          \x20                   [--fault P] [--ci-width W] [--threads N]\n\
-         \x20                   [--no-oracle] [--json PATH] [--quiet]\n\
+         \x20                   [--no-oracle] [--checkpoint DIR] [--resume]\n\
+         \x20                   [--shard-size N] [--json PATH] [--quiet]\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}\n\
          models:  direct adjacent column random\n\
          apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
+}
+
+/// Installs a SIGINT handler that only sets a flag (the async-signal-safe
+/// minimum); the shard loop polls it between shards and drains. On
+/// non-Unix targets the flag simply never fires.
+fn install_sigint_flag() -> &'static AtomicBool {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            STOP.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        // SAFETY: `on_sigint` is async-signal-safe (a single relaxed-free
+        // atomic store) and stays alive for the process lifetime.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+    &STOP
 }
 
 fn main() -> ExitCode {
@@ -88,6 +136,9 @@ fn main() -> ExitCode {
     );
     let mut json_path: Option<String> = None;
     let mut quiet = false;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut shard_size: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -95,111 +146,103 @@ fn main() -> ExitCode {
             *i += 1;
             args.get(*i).cloned()
         };
+        macro_rules! take_value {
+            ($flag:expr) => {
+                match take(&mut i) {
+                    Some(v) => v,
+                    None => return fail_usage(&format!("{} requires a value", $flag)),
+                }
+            };
+        }
+        macro_rules! take_parsed {
+            ($flag:expr, $what:expr) => {{
+                let v = take_value!($flag);
+                match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return fail_usage(&format!("{} expects {}, got {v:?}", $flag, $what))
+                    }
+                }
+            }};
+        }
         match args[i].as_str() {
             "--schemes" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
+                let v = take_value!("--schemes");
                 let mut schemes = Vec::new();
                 for name in v.split(',') {
                     let Some(s) = parse_scheme(name.trim()) else {
-                        eprintln!("unknown scheme {name:?}");
-                        return usage();
+                        return fail_usage(&format!("unknown scheme {name:?}"));
                     };
                     schemes.push(s);
                 }
                 spec.schemes = schemes;
             }
             "--apps" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
+                let v = take_value!("--apps");
                 spec.apps = v.split(',').map(|a| a.trim().to_string()).collect();
             }
-            "--trials" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(n) = v.parse() else { return usage() };
-                spec.trials_per_cell = n;
-            }
-            "--batch" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(n) = v.parse() else { return usage() };
-                spec.batch = n;
-            }
-            "--seed" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(n) = v.parse() else { return usage() };
-                spec.master_seed = n;
-            }
-            "--insts" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(n) = v.parse() else { return usage() };
-                spec.instructions = n;
-            }
+            "--trials" => spec.trials_per_cell = take_parsed!("--trials", "a positive integer"),
+            "--batch" => spec.batch = take_parsed!("--batch", "a positive integer"),
+            "--seed" => spec.master_seed = take_parsed!("--seed", "an unsigned integer"),
+            "--insts" => spec.instructions = take_parsed!("--insts", "a positive integer"),
             "--model" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
+                let v = take_value!("--model");
                 let Some(m) = parse_model(&v) else {
-                    eprintln!("unknown model {v:?}");
-                    return usage();
+                    return fail_usage(&format!("unknown model {v:?}"));
                 };
                 spec.model = m;
             }
-            "--fault" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(p) = v.parse() else { return usage() };
-                spec.p_per_cycle = p;
-            }
+            "--fault" => spec.p_per_cycle = take_parsed!("--fault", "a probability"),
             "--ci-width" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(w) = v.parse() else { return usage() };
-                spec.target_ci_width = Some(w);
+                spec.target_ci_width = Some(take_parsed!("--ci-width", "a width in (0, 1]"))
             }
-            "--threads" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                let Ok(n) = v.parse() else { return usage() };
-                spec.threads = n;
-            }
+            "--threads" => spec.threads = take_parsed!("--threads", "an unsigned integer"),
             "--no-oracle" => spec.oracle = false,
-            "--json" => {
-                let Some(v) = take(&mut i) else {
-                    return usage();
-                };
-                json_path = Some(v);
-            }
+            "--checkpoint" => checkpoint_dir = Some(take_value!("--checkpoint")),
+            "--resume" => resume = true,
+            "--shard-size" => shard_size = Some(take_parsed!("--shard-size", "a positive integer")),
+            "--json" => json_path = Some(take_value!("--json")),
             "--quiet" => quiet = true,
-            other => {
-                eprintln!("unknown option {other:?}");
-                return usage();
-            }
+            other => return fail_usage(&format!("unknown option {other:?}")),
         }
         i += 1;
     }
 
-    if spec.schemes.is_empty() || spec.apps.is_empty() || spec.trials_per_cell == 0 {
-        return usage();
+    if spec.schemes.is_empty() {
+        return fail_usage("--schemes must name at least one scheme");
+    }
+    if spec.apps.is_empty() {
+        return fail_usage("--apps must name at least one workload");
+    }
+    if spec.trials_per_cell == 0 {
+        return fail_usage("--trials must be at least 1");
+    }
+    if spec.batch == 0 {
+        return fail_usage("--batch must be at least 1");
+    }
+    if spec.instructions == 0 {
+        return fail_usage("--insts must be at least 1");
+    }
+    if !(0.0..=1.0).contains(&spec.p_per_cycle) || !spec.p_per_cycle.is_finite() {
+        return fail_usage("--fault must be a probability in [0, 1]");
+    }
+    if spec.target_ci_width.is_some_and(|w| !(w > 0.0 && w <= 1.0)) {
+        return fail_usage("--ci-width must be in (0, 1]");
+    }
+    if shard_size == Some(0) {
+        return fail_usage("--shard-size must be at least 1");
+    }
+    if resume && checkpoint_dir.is_none() {
+        return fail_usage("--resume requires --checkpoint DIR");
+    }
+    if shard_size.is_some() && checkpoint_dir.is_none() {
+        return fail_usage("--shard-size requires --checkpoint DIR");
     }
     for app in &spec.apps {
         if !icr_trace::apps::APP_NAMES.contains(&app.as_str())
             && !icr_trace::apps::EXTENDED_APP_NAMES.contains(&app.as_str())
         {
-            eprintln!("unknown app {app:?}");
-            return usage();
+            return fail_usage(&format!("unknown app {app:?}"));
         }
     }
 
@@ -218,6 +261,113 @@ fn main() -> ExitCode {
         );
     }
 
+    match checkpoint_dir {
+        Some(dir) => run_checkpointed(spec, &dir, resume, shard_size, json_path, quiet),
+        None => run_plain(spec, json_path, quiet),
+    }
+}
+
+/// The sharded, checkpointed service mode behind `--checkpoint`.
+fn run_checkpointed(
+    spec: CampaignSpec,
+    dir: &str,
+    resume: bool,
+    shard_size: Option<u64>,
+    json_path: Option<String>,
+    quiet: bool,
+) -> ExitCode {
+    let shard_size = shard_size.unwrap_or(spec.batch);
+    let sspec = ShardedCampaignSpec::new(spec, shard_size);
+    let stop = install_sigint_flag();
+    if !quiet {
+        eprintln!(
+            "checkpointing to {dir}: {} shards of {} trials/cell{} (spec fingerprint {:#018x})",
+            sspec.shards_total(),
+            sspec.shard_size,
+            if resume { ", resuming" } else { "" },
+            sspec.fingerprint(),
+        );
+    }
+
+    let started = Instant::now();
+    let result = run_sharded_campaign_observed(&sspec, Some(Path::new(dir)), resume, stop, |e| {
+        match e {
+            // Quarantine diagnostics always print: silently re-running a
+            // corrupt checkpoint's shard would hide data damage.
+            ShardEvent::Quarantined {
+                shard,
+                quarantined_to,
+                reason,
+            } => eprintln!(
+                "  shard {shard}: checkpoint failed verification ({reason}); \
+                 quarantined to {}; shard will re-run",
+                quarantined_to.display()
+            ),
+            ShardEvent::ShardDone(p) => {
+                if !quiet {
+                    let secs = started.elapsed().as_secs_f64();
+                    eprintln!(
+                        "  shard {:>4}/{:<4} {} {:>8} trials total, {:>3} cells active  ({:.0} trials/s)",
+                        p.shard + 1,
+                        p.shards_total,
+                        if p.resumed { "resumed " } else { "ran     " },
+                        p.trials_done,
+                        p.cells_active,
+                        p.trials_done as f64 / secs.max(1e-9),
+                    );
+                }
+            }
+        }
+    });
+
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // A populated directory without --resume is an invocation
+            // error; anything else is a runtime failure.
+            return if e.to_string().contains("--resume") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let secs = started.elapsed().as_secs_f64();
+    if !quiet {
+        let executed: u64 = report.report.cells.iter().map(|c| c.trials).sum();
+        eprintln!(
+            "{}: {executed} trials accounted ({} of {} shards, {} resumed{}) in {secs:.2}s\n",
+            if report.complete {
+                "done"
+            } else {
+                "interrupted"
+            },
+            report.shards_done,
+            report.shards_total,
+            report.shards_resumed,
+            if report.quarantined > 0 {
+                format!(", {} quarantined", report.quarantined)
+            } else {
+                String::new()
+            },
+        );
+        eprint!("{}", report.report.summary_table());
+    }
+    if !report.complete {
+        eprintln!(
+            "campaign drained after SIGINT: checkpoints are flushed; \
+             re-run with --checkpoint {dir} --resume to finish \
+             (JSON carries \"complete\": false)"
+        );
+    }
+
+    write_report(&report.to_json(), json_path.as_deref(), quiet)
+}
+
+/// The original single-process batch mode (no `--checkpoint`).
+fn run_plain(spec: CampaignSpec, json_path: Option<String>, quiet: bool) -> ExitCode {
     let started = Instant::now();
     let mut per_cell: std::collections::HashMap<(String, String), u64> = Default::default();
     let report = run_campaign_observed(&spec, |p| {
@@ -262,12 +412,15 @@ fn main() -> ExitCode {
         );
         eprint!("{}", report.summary_table());
     }
+    write_report(&report.to_json(), json_path.as_deref(), quiet)
+}
 
-    let json = report.to_json();
+/// Writes the final JSON through the shared hardened writer.
+fn write_report(json: &str, json_path: Option<&str>, quiet: bool) -> ExitCode {
     // `to_json` already ends with a newline; trim it so the shared writer
     // appends exactly one, keeping report bytes identical to earlier
     // releases for both file and stdout destinations.
-    let path = json_path.as_deref().unwrap_or("-");
+    let path = json_path.unwrap_or("-");
     if let Err(e) = write_output(json.trim_end_matches('\n'), path) {
         eprintln!("cannot write {path}: {e}");
         return ExitCode::FAILURE;

@@ -21,12 +21,16 @@
 //! only between whole batches, the set of executed trials — and hence the
 //! report — is still thread-count independent.
 
+use crate::checkpoint::{self, ShardCellState, ShardCheckpoint};
 use crate::engine::Engine;
 use crate::exec::Pool;
 use crate::simulator::{FaultConfig, SimConfig};
 use crate::stats::wilson_ci95;
 use icr_core::{DataL1Config, ErrorOutcome, OutcomeTally, Scheme};
 use icr_fault::{trial_seed, ErrorModel};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Everything that defines a campaign. The spec is echoed into the JSON
 /// report so a result file is self-describing and replayable.
@@ -379,6 +383,14 @@ impl CampaignReport {
     /// timing or host information, so two runs of the same spec produce
     /// byte-identical files.
     pub fn to_json(&self) -> String {
+        self.to_json_sections("")
+    }
+
+    /// [`to_json`](CampaignReport::to_json) with `extra` inserted
+    /// verbatim between the `campaign` and `cells` sections — how the
+    /// sharded report adds its `sharding` block without perturbing a
+    /// single byte of the unsharded format.
+    fn to_json_sections(&self, extra: &str) -> String {
         use crate::json::{esc, num};
         let spec = &self.spec;
         let schemes = spec
@@ -414,7 +426,9 @@ impl CampaignReport {
         out.push_str(&format!("    \"oracle\": {},\n", spec.oracle));
         out.push_str(&format!("    \"schemes\": [{schemes}],\n"));
         out.push_str(&format!("    \"apps\": [{apps}]\n"));
-        out.push_str("  },\n  \"cells\": [\n");
+        out.push_str("  },\n");
+        out.push_str(extra);
+        out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             let (lo, hi) = cell.wilson95();
             out.push_str("    {\n");
@@ -459,6 +473,458 @@ impl CampaignReport {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// A campaign partitioned into seed-range shards for checkpointed,
+/// resumable execution.
+///
+/// Shard `s` covers per-cell trial indices `[s·shard_size,
+/// min((s+1)·shard_size, trials_per_cell))` for every cell still
+/// active. Trial seeds derive exactly as in the unsharded engine — a
+/// pure SplitMix64 function of the master seed and the trial's global
+/// coordinates — so each shard's seed stream is independent of every
+/// other shard's, shard tallies are order-insensitive and mergeable,
+/// and a sharded campaign without early stopping reproduces the
+/// unsharded tallies bit-for-bit.
+///
+/// In sharded mode, early-stopping decisions happen at **shard**
+/// boundaries (the shard is the durable unit of progress), so
+/// [`CampaignSpec::batch`] is ignored; everything else in the base
+/// spec keeps its meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedCampaignSpec {
+    /// The campaign being sharded.
+    pub base: CampaignSpec,
+    /// Per-cell trials per shard (the checkpoint granularity).
+    pub shard_size: u64,
+}
+
+impl ShardedCampaignSpec {
+    /// Shards `base` into ranges of `shard_size` trials per cell.
+    pub fn new(base: CampaignSpec, shard_size: u64) -> Self {
+        ShardedCampaignSpec { base, shard_size }
+    }
+
+    /// Total shards the trial budget partitions into.
+    pub fn shards_total(&self) -> u64 {
+        self.base.trials_per_cell.div_ceil(self.shard_size.max(1))
+    }
+
+    /// FNV-1a fingerprint over every spec field that affects trial
+    /// outcomes or shard geometry. Checkpoints carry it in their
+    /// header; a resume refuses (quarantines) any checkpoint written
+    /// by a different spec. Thread count and `batch` are deliberately
+    /// excluded — neither changes what a shard computes.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write;
+        let b = &self.base;
+        let mut canon = String::new();
+        write!(
+            canon,
+            "ICRC v{}|seed={}|insts={}|model={}|p={}|trials={}|ci={:?}|oracle={}|shard_size={}",
+            checkpoint::VERSION,
+            b.master_seed,
+            b.instructions,
+            b.model.name(),
+            crate::json::num(b.effective_p()),
+            b.trials_per_cell,
+            b.target_ci_width,
+            b.oracle,
+            self.shard_size,
+        )
+        .expect("writing to a String cannot fail");
+        for s in &b.schemes {
+            write!(canon, "|s:{}", s.name()).expect("infallible");
+        }
+        for a in &b.apps {
+            write!(canon, "|a:{a}").expect("infallible");
+        }
+        checkpoint::fnv1a64(canon.as_bytes())
+    }
+
+    fn validate(&self) {
+        self.base.validate();
+        assert!(self.shard_size > 0, "shard size must be positive");
+    }
+}
+
+/// What happened to one shard, streamed to the observer as the
+/// campaign advances (the per-shard progress feed that replaces
+/// waiting on the single end-of-run JSON blob).
+#[derive(Debug, Clone)]
+pub enum ShardEvent {
+    /// A checkpoint file failed verification and was renamed aside;
+    /// its shard will re-run from its seeds.
+    Quarantined {
+        /// Shard index the file claimed to cover.
+        shard: u64,
+        /// Where the failed file now lives.
+        quarantined_to: PathBuf,
+        /// Why verification failed.
+        reason: String,
+    },
+    /// A shard completed — executed fresh or restored from a verified
+    /// checkpoint.
+    ShardDone(ShardProgress),
+}
+
+/// Progress snapshot for one completed shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProgress {
+    /// Shard index, counting from 0.
+    pub shard: u64,
+    /// Total shards in the plan.
+    pub shards_total: u64,
+    /// `true` when the shard was restored from a checkpoint instead of
+    /// executed.
+    pub resumed: bool,
+    /// Trials this shard contributed (freshly run or restored).
+    pub trials_this_shard: u64,
+    /// Cumulative trials across all shards so far.
+    pub trials_done: u64,
+    /// Cells still active after this shard's early-stop evaluation.
+    pub cells_active: usize,
+    /// Total cells in the matrix.
+    pub cells_total: usize,
+}
+
+/// A finished (or gracefully drained) sharded campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedReport {
+    /// Merged per-cell results, exactly as an unsharded report.
+    pub report: CampaignReport,
+    /// Per-cell trials per shard.
+    pub shard_size: u64,
+    /// Shards the trial budget partitions into.
+    pub shards_total: u64,
+    /// Shards actually accounted for (run or restored). Less than
+    /// `shards_total` when every cell stopped early, or when a stop
+    /// request drained the run.
+    pub shards_done: u64,
+    /// Of `shards_done`, how many were restored from checkpoints.
+    /// Deliberately **not** serialized: a resumed run's JSON must be
+    /// byte-identical to an uninterrupted one.
+    pub shards_resumed: u64,
+    /// Checkpoint files that failed verification and were quarantined.
+    /// Not serialized, for the same reason.
+    pub quarantined: u64,
+    /// `false` when a stop request (e.g. SIGINT) drained the campaign
+    /// before every cell finished; the JSON carries this marker so
+    /// partial results can never be mistaken for final ones.
+    pub complete: bool,
+}
+
+impl ShardedReport {
+    /// The report as JSON: the unsharded campaign document plus a
+    /// `sharding` section. Identical bytes whether the run was
+    /// straight-through or killed and resumed any number of times.
+    pub fn to_json(&self) -> String {
+        let sharding = format!(
+            "  \"sharding\": {{\n    \"shard_size\": {},\n    \"shards_total\": {},\n    \"shards_done\": {},\n    \"complete\": {}\n  }},\n",
+            self.shard_size, self.shards_total, self.shards_done, self.complete
+        );
+        self.report.to_json_sections(&sharding)
+    }
+}
+
+struct ShardCellSlot {
+    scheme: Scheme,
+    scheme_name: String,
+    app: String,
+    tally: OutcomeTally,
+    trials_done: u64,
+    stopped_early: bool,
+    active: bool,
+}
+
+/// Runs a sharded campaign with optional durable checkpoints; see
+/// [`run_sharded_campaign_observed`] for the streaming variant.
+pub fn run_sharded_campaign(
+    spec: &ShardedCampaignSpec,
+    dir: Option<&Path>,
+    resume: bool,
+) -> io::Result<ShardedReport> {
+    let stop = AtomicBool::new(false);
+    run_sharded_campaign_observed(spec, dir, resume, &stop, |_| {})
+}
+
+/// Runs a sharded campaign, persisting one verified checkpoint per
+/// completed shard into `dir` (when given) and streaming a
+/// [`ShardEvent`] per shard to `observer`.
+///
+/// * With `resume`, checkpoints already in `dir` satisfy their shards
+///   without re-execution — after full verification (magic, version,
+///   spec fingerprint, payload digest, and participation consistency
+///   with the replayed early-stop state). A file failing any check is
+///   quarantined (renamed aside, never deleted or trusted) and its
+///   shard re-runs from its seeds, so the final report is
+///   byte-identical either way.
+/// * `stop` is checked between shards: once set, the in-flight shard
+///   drains to completion, its checkpoint is flushed, and the
+///   campaign returns early with `complete == false` — the graceful
+///   SIGINT path.
+///
+/// # Errors
+///
+/// Propagates checkpoint-directory I/O failures. Without `resume`, a
+/// directory already holding shard checkpoints is refused rather than
+/// silently overwritten.
+pub fn run_sharded_campaign_observed(
+    spec: &ShardedCampaignSpec,
+    dir: Option<&Path>,
+    resume: bool,
+    stop: &AtomicBool,
+    mut observer: impl FnMut(&ShardEvent),
+) -> io::Result<ShardedReport> {
+    spec.validate();
+    assert!(
+        dir.is_some() || !resume,
+        "resume requires a checkpoint directory"
+    );
+    let base = &spec.base;
+    let fingerprint = spec.fingerprint();
+    let pool = Pool::new(base.threads);
+
+    let mut cells: Vec<ShardCellSlot> = base
+        .schemes
+        .iter()
+        .flat_map(|&scheme| {
+            base.apps.iter().map(move |app| ShardCellSlot {
+                scheme,
+                scheme_name: scheme.name(),
+                app: app.clone(),
+                tally: OutcomeTally::default(),
+                trials_done: 0,
+                stopped_early: false,
+                active: true,
+            })
+        })
+        .collect();
+
+    let mut available: std::collections::BTreeMap<u64, PathBuf> = Default::default();
+    if let Some(dir) = dir {
+        let found = checkpoint::scan_dir(dir)?;
+        if !resume && !found.is_empty() {
+            return Err(io::Error::other(format!(
+                "checkpoint directory {} already holds {} shard checkpoint(s); \
+                 pass --resume to continue that campaign or point --checkpoint \
+                 at a fresh directory",
+                dir.display(),
+                found.len()
+            )));
+        }
+        if resume {
+            available = found.into_iter().collect();
+        }
+    }
+
+    let shards_total = spec.shards_total();
+    let mut shards_done = 0u64;
+    let mut shards_resumed = 0u64;
+    let mut quarantined = 0u64;
+    let mut trials_done_total = 0u64;
+
+    for s in 0..shards_total {
+        if !cells.iter().any(|c| c.active) {
+            break;
+        }
+        let start = s * spec.shard_size;
+        let end = (start + spec.shard_size).min(base.trials_per_cell);
+
+        // A verified checkpoint satisfies the shard without execution.
+        let mut restored: Option<ShardCheckpoint> = None;
+        if let Some(path) = available.get(&s) {
+            match checkpoint::read_shard(path, fingerprint)
+                .map_err(|e| e.to_string())
+                .and_then(|ckpt| {
+                    verify_participation(&ckpt, s, start, end, &cells)?;
+                    Ok(ckpt)
+                }) {
+                Ok(ckpt) => restored = Some(ckpt),
+                Err(reason) => {
+                    let quarantined_to = checkpoint::quarantine(path)?;
+                    quarantined += 1;
+                    observer(&ShardEvent::Quarantined {
+                        shard: s,
+                        quarantined_to,
+                        reason,
+                    });
+                }
+            }
+        }
+
+        let resumed = restored.is_some();
+        let trials_this_shard = match restored {
+            Some(ckpt) => {
+                let mut n = 0;
+                for (slot, cell) in cells.iter_mut().zip(&ckpt.cells) {
+                    slot.tally.merge(&cell.tally);
+                    slot.trials_done += cell.trials;
+                    n += cell.trials;
+                }
+                n
+            }
+            None => {
+                let jobs: Vec<(usize, u64)> = cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.active)
+                    .flat_map(|(ci, _)| (start..end).map(move |t| (ci, t)))
+                    .collect();
+                let outcomes = pool.run(jobs.clone(), |(ci, trial)| {
+                    run_trial(base, cells[ci].scheme, &cells[ci].app, ci, trial)
+                });
+                let mut shard_tallies: Vec<OutcomeTally> =
+                    vec![OutcomeTally::default(); cells.len()];
+                for (&(ci, _), outcome) in jobs.iter().zip(outcomes) {
+                    shard_tallies[ci].record(outcome);
+                }
+                let n = jobs.len() as u64;
+                for (slot, shard_tally) in cells.iter_mut().zip(&shard_tallies) {
+                    slot.tally.merge(shard_tally);
+                    slot.trials_done += shard_tally.total();
+                }
+                if let Some(dir) = dir {
+                    let ckpt = ShardCheckpoint {
+                        shard: s,
+                        start,
+                        end,
+                        cells: cells
+                            .iter()
+                            .zip(&shard_tallies)
+                            .map(|(slot, shard_tally)| ShardCellState {
+                                scheme: slot.scheme_name.clone(),
+                                app: slot.app.clone(),
+                                trials: shard_tally.total(),
+                                tally: *shard_tally,
+                            })
+                            .collect(),
+                    };
+                    checkpoint::write_shard(dir, fingerprint, &ckpt)?;
+                }
+                n
+            }
+        };
+
+        // Early-stop evaluation at the shard boundary — deterministic
+        // given the shard order, so straight-through and resumed runs
+        // agree on exactly which cells run in every later shard.
+        for cell in cells.iter_mut().filter(|c| c.active) {
+            let injected = cell.tally.injected();
+            let ci95 = wilson_ci95(cell.tally.survived_count(), injected);
+            let budget_spent = cell.trials_done >= base.trials_per_cell;
+            let ci_reached = base
+                .target_ci_width
+                .is_some_and(|w| injected > 0 && ci95.1 - ci95.0 <= w);
+            if budget_spent || ci_reached {
+                cell.active = false;
+                cell.stopped_early = !budget_spent;
+            }
+        }
+
+        shards_done += 1;
+        shards_resumed += resumed as u64;
+        trials_done_total += trials_this_shard;
+        observer(&ShardEvent::ShardDone(ShardProgress {
+            shard: s,
+            shards_total,
+            resumed,
+            trials_this_shard,
+            trials_done: trials_done_total,
+            cells_active: cells.iter().filter(|c| c.active).count(),
+            cells_total: cells.len(),
+        }));
+
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    let complete = cells.iter().all(|c| !c.active);
+
+    // Outcome conservation, exactly as the unsharded engine checks it.
+    for c in &cells {
+        icr_check::tally_conserved(
+            c.trials_done,
+            c.tally.count(ErrorOutcome::NotInjected),
+            c.tally.recovered(),
+            c.tally.count(ErrorOutcome::Masked),
+            c.tally.count(ErrorOutcome::DetectedUnrecoverable),
+            c.tally.count(ErrorOutcome::SilentCorruption),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "sharded campaign tally violates conservation: scheme {}, app {}: {e}",
+                c.scheme_name, c.app
+            )
+        });
+    }
+
+    Ok(ShardedReport {
+        report: CampaignReport {
+            spec: base.clone(),
+            cells: cells
+                .into_iter()
+                .map(|c| CellReport {
+                    scheme: c.scheme,
+                    app: c.app,
+                    trials: c.trials_done,
+                    stopped_early: c.stopped_early,
+                    tally: c.tally,
+                })
+                .collect(),
+        },
+        shard_size: spec.shard_size,
+        shards_total,
+        shards_done,
+        shards_resumed,
+        quarantined,
+        complete,
+    })
+}
+
+/// Checks a decoded checkpoint against the replayed campaign state: it
+/// must cover exactly this shard's trial range, list every cell in
+/// spec order, and record participation consistent with the cells
+/// active at this point (active cells ran the full range, stopped
+/// cells ran nothing). Any disagreement means the file belongs to a
+/// different history and must be quarantined.
+fn verify_participation(
+    ckpt: &ShardCheckpoint,
+    shard: u64,
+    start: u64,
+    end: u64,
+    cells: &[ShardCellSlot],
+) -> Result<(), String> {
+    if ckpt.shard != shard || ckpt.start != start || ckpt.end != end {
+        return Err(format!(
+            "covers shard {} range [{}, {}), expected shard {shard} range [{start}, {end})",
+            ckpt.shard, ckpt.start, ckpt.end
+        ));
+    }
+    if ckpt.cells.len() != cells.len() {
+        return Err(format!(
+            "records {} cells, spec has {}",
+            ckpt.cells.len(),
+            cells.len()
+        ));
+    }
+    for (slot, cell) in cells.iter().zip(&ckpt.cells) {
+        if cell.scheme != slot.scheme_name || cell.app != slot.app {
+            return Err(format!(
+                "cell ({}, {}) does not match spec cell ({}, {})",
+                cell.scheme, cell.app, slot.scheme_name, slot.app
+            ));
+        }
+        let expected = if slot.active { end - start } else { 0 };
+        if cell.trials != expected {
+            return Err(format!(
+                "cell ({}, {}) records {} trials, replayed early-stop state expects {expected}",
+                cell.scheme, cell.app, cell.trials
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -529,6 +995,155 @@ mod tests {
             4,
             "one scheme key per cell"
         );
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("icr_campaign_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn sharded_reproduces_unsharded_tallies_across_shard_splits() {
+        // The satellite property: any shard partition of the trial
+        // space merges back to exactly the single-process campaign
+        // tallies — seeds are pure functions of trial coordinates and
+        // tallies are commutative sums.
+        let spec = tiny_spec();
+        let whole = run_campaign(&spec);
+        for shard_size in [1, 2, 3, 4, 5, 6, 7] {
+            let sharded = ShardedCampaignSpec::new(spec.clone(), shard_size);
+            let got = run_sharded_campaign(&sharded, None, false).unwrap();
+            assert!(got.complete);
+            assert_eq!(got.shards_total, 6u64.div_ceil(shard_size));
+            assert_eq!(
+                got.report.cells, whole.cells,
+                "shard_size {shard_size} diverged from the unsharded run"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_replays_checkpoints_to_identical_bytes() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let dir = scratch("resume");
+
+        let straight = run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+        assert!(straight.complete);
+        assert_eq!(straight.shards_done, 3);
+        assert_eq!(straight.shards_resumed, 0);
+
+        // A full resume touches no trial at all.
+        let resumed = run_sharded_campaign(&spec, Some(&dir), true).unwrap();
+        assert_eq!(resumed.shards_resumed, resumed.shards_done);
+        assert_eq!(resumed.to_json(), straight.to_json());
+
+        // A drained (partial) run resumes to the same bytes.
+        let dir2 = scratch("resume_partial");
+        let stop = AtomicBool::new(false);
+        let partial = run_sharded_campaign_observed(&spec, Some(&dir2), false, &stop, |e| {
+            if matches!(e, ShardEvent::ShardDone(_)) {
+                stop.store(true, Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        assert!(!partial.complete, "drained after the first shard");
+        assert_eq!(partial.shards_done, 1);
+        assert!(partial.to_json().contains("\"complete\": false"));
+
+        let finished = run_sharded_campaign(&spec, Some(&dir2), true).unwrap();
+        assert!(finished.complete);
+        assert_eq!(finished.shards_resumed, 1);
+        assert_eq!(finished.to_json(), straight.to_json());
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_and_its_shard_rerun() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let dir = scratch("corrupt");
+        let straight = run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+
+        // Flip a tally digit inside shard 1's payload.
+        let victim = dir.join("shard-00001.json");
+        let doc = std::fs::read_to_string(&victim).unwrap();
+        let pos = doc.find("\"counts\":[").unwrap() + "\"counts\":[".len();
+        let mut bytes = doc.into_bytes();
+        bytes[pos] = if bytes[pos] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&victim, bytes).unwrap();
+
+        let mut quarantine_events = 0;
+        let stop = AtomicBool::new(false);
+        let recovered = run_sharded_campaign_observed(&spec, Some(&dir), true, &stop, |e| {
+            if let ShardEvent::Quarantined { shard, reason, .. } = e {
+                assert_eq!(*shard, 1);
+                assert!(!reason.is_empty());
+                quarantine_events += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(quarantine_events, 1);
+        assert_eq!(recovered.quarantined, 1);
+        assert_eq!(recovered.shards_resumed, 2, "shards 0 and 2 restore");
+        assert_eq!(recovered.to_json(), straight.to_json());
+        assert!(
+            dir.join("shard-00001.json.quarantined").exists(),
+            "evidence stays on disk"
+        );
+        assert!(
+            dir.join("shard-00001.json").exists(),
+            "the re-run wrote a fresh checkpoint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_fingerprint_checkpoints_are_quarantined() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 3);
+        let dir = scratch("foreign");
+        run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+
+        let mut other = spec.clone();
+        other.base.master_seed ^= 1;
+        assert_ne!(other.fingerprint(), spec.fingerprint());
+        let report = run_sharded_campaign(&other, Some(&dir), true).unwrap();
+        assert_eq!(report.quarantined, 2, "both shards rejected");
+        assert_eq!(report.shards_resumed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_run_refuses_a_populated_checkpoint_directory() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 3);
+        let dir = scratch("refuse");
+        run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+        let err = run_sharded_campaign(&spec, Some(&dir), false).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_early_stopping_is_stable_across_resume() {
+        let mut base = tiny_spec();
+        base.trials_per_cell = 12;
+        base.target_ci_width = Some(1.0);
+        let spec = ShardedCampaignSpec::new(base, 2);
+        let dir = scratch("earlystop");
+        let straight = run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+        assert!(straight.complete);
+        assert!(
+            straight.shards_done < straight.shards_total,
+            "the huge CI target must stop every cell early"
+        );
+        for cell in &straight.report.cells {
+            assert!(cell.stopped_early);
+            assert_eq!(cell.trials, 2);
+        }
+        let resumed = run_sharded_campaign(&spec, Some(&dir), true).unwrap();
+        assert_eq!(resumed.to_json(), straight.to_json());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

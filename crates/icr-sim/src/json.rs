@@ -295,10 +295,14 @@ pub fn num(v: f64) -> String {
 /// `icr-exp` and `icr-campaign`; both destinations receive identical
 /// bytes.
 ///
-/// File writes are atomic: the bytes land in a sibling temporary file
-/// that is renamed into place, so a crash mid-campaign leaves either the
-/// previous report or the new one — never a truncated,
-/// parseable-looking prefix.
+/// File writes are atomic **and durable**: the bytes land in a sibling
+/// temporary file that is fsynced, renamed into place, and then the
+/// parent directory is fsynced. A crash at any point leaves either the
+/// previous file or the new one — never a truncated, parseable-looking
+/// prefix — and once `write_output` returns, the rename itself has
+/// reached stable storage (without the directory sync a power loss
+/// right after the rename could roll the directory entry back to the
+/// old file, or to nothing for a first write).
 ///
 /// # Errors
 ///
@@ -315,13 +319,44 @@ pub fn write_output(json: &str, path: &str) -> std::io::Result<()> {
         // The temp file must live in the same directory for the rename
         // to stay a single-filesystem (hence atomic) operation.
         let tmp = format!("{path}.tmp.{}", std::process::id());
-        let result =
-            std::fs::write(&tmp, format!("{json}\n")).and_then(|()| std::fs::rename(&tmp, path));
+        let result = write_durable(json, &tmp, path);
         if result.is_err() {
             std::fs::remove_file(&tmp).ok();
         }
         result
     }
+}
+
+/// The write → fsync → rename → fsync-dir sequence behind
+/// [`write_output`], factored out so the error path above can clean up
+/// the temp file after a failure at any step.
+fn write_durable(json: &str, tmp: &str, path: &str) -> std::io::Result<()> {
+    {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        // The data must be on stable storage *before* the rename
+        // publishes it, or the published name can point at garbage.
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename durable. On Unix a directory opens like a file and
+/// `sync_all` flushes its entries; elsewhere this is a no-op (Windows
+/// cannot open directories with `File::open`, and NTFS metadata
+/// journaling covers the rename).
+fn sync_parent_dir(path: &str) -> std::io::Result<()> {
+    if cfg!(unix) {
+        let parent = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -415,5 +450,28 @@ mod tests {
         // leave nothing behind and report the error.
         let missing = dir.join("icr_json_no_such_dir").join("out.json");
         assert!(write_output("{}", missing.to_str().unwrap()).is_err());
+    }
+
+    #[test]
+    fn write_output_failed_rename_leaves_no_temp_files() {
+        // Make the final rename fail by pointing `path` at an existing
+        // non-empty directory: the temp file is created and fsynced,
+        // the rename errors, and the error path must clean up.
+        let dir = std::env::temp_dir().join("icr_json_rename_fail_test");
+        let blocker = dir.join("out.json");
+        std::fs::create_dir_all(blocker.join("occupied")).unwrap();
+        let err = write_output("{}", blocker.to_str().unwrap());
+        assert!(err.is_err(), "renaming onto a non-empty directory fails");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

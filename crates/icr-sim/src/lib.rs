@@ -18,7 +18,14 @@
 //!   `victim_ablation`;
 //! * [`campaign`] — deterministic parallel Monte-Carlo fault-injection
 //!   campaigns ([`CampaignSpec`] → [`run_campaign`] → [`CampaignReport`]),
-//!   exposed by the `icr-campaign` binary;
+//!   exposed by the `icr-campaign` binary; the sharded, checkpointed,
+//!   resumable variant ([`ShardedCampaignSpec`] →
+//!   [`run_sharded_campaign`] → [`ShardedReport`]) partitions the trial
+//!   space into seed-range shards and persists digest-verified
+//!   checkpoints so a killed campaign resumes to byte-identical output;
+//! * [`checkpoint`] — the durable per-shard checkpoint format behind
+//!   resume: versioned `ICRC` header, FNV-1a payload digest, spec
+//!   fingerprint, quarantine-on-corruption;
 //! * [`vuln`] — analytic vulnerability profiles ([`VulnSpec`] →
 //!   [`run_vuln`] → [`VulnReport`]): the same outcome distribution the
 //!   campaign estimates, from one fault-free pass per cell;
@@ -49,6 +56,7 @@
 
 pub mod audit;
 pub mod campaign;
+pub mod checkpoint;
 pub mod engine;
 pub mod exec;
 pub mod experiment;
@@ -60,7 +68,9 @@ pub mod vuln;
 
 pub use audit::{run_audit, AuditCell, AuditReport, AuditSpec, LockstepChecker};
 pub use campaign::{
-    run_campaign, run_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
+    run_campaign, run_campaign_observed, run_sharded_campaign, run_sharded_campaign_observed,
+    CampaignReport, CampaignSpec, CellProgress, CellReport, ShardEvent, ShardProgress,
+    ShardedCampaignSpec, ShardedReport,
 };
 pub use engine::{Engine, EngineStats};
 pub use exec::{JobProgress, Pool};

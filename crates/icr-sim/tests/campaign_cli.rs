@@ -1,0 +1,213 @@
+//! CLI contract tests for `icr-campaign`: every class of invalid
+//! invocation exits with code 2 and prints a diagnostic plus the usage
+//! text to stderr; valid invocations exit 0. Runtime failures (covered
+//! at the end) exit 1, keeping the three codes distinguishable for
+//! scripts driving the binary.
+
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_icr-campaign");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn icr-campaign")
+}
+
+/// Asserts the invocation is rejected as invalid: exit code 2, the
+/// expected diagnostic fragment, and the usage text.
+fn assert_usage_error(args: &[&str], diagnostic_fragment: &str) {
+    let out = run(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(diagnostic_fragment),
+        "args {args:?}: diagnostic {diagnostic_fragment:?} missing from stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage: icr-campaign"),
+        "args {args:?}: usage text missing from stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_option_exits_2() {
+    assert_usage_error(&["--frobnicate"], "unknown option \"--frobnicate\"");
+}
+
+#[test]
+fn unknown_scheme_exits_2() {
+    assert_usage_error(&["--schemes", "basep,tmr"], "unknown scheme \"tmr\"");
+}
+
+#[test]
+fn unknown_model_exits_2() {
+    assert_usage_error(&["--model", "burst"], "unknown model \"burst\"");
+}
+
+#[test]
+fn unknown_app_exits_2() {
+    assert_usage_error(&["--apps", "gzip,doom"], "unknown app \"doom\"");
+}
+
+#[test]
+fn non_numeric_trials_exits_2() {
+    assert_usage_error(&["--trials", "abc"], "--trials expects a positive integer");
+}
+
+#[test]
+fn zero_trials_exits_2() {
+    assert_usage_error(&["--trials", "0"], "--trials must be at least 1");
+}
+
+#[test]
+fn zero_batch_exits_2() {
+    assert_usage_error(&["--batch", "0"], "--batch must be at least 1");
+}
+
+#[test]
+fn zero_insts_exits_2() {
+    assert_usage_error(&["--insts", "0"], "--insts must be at least 1");
+}
+
+#[test]
+fn missing_value_exits_2() {
+    assert_usage_error(&["--seed"], "--seed requires a value");
+}
+
+#[test]
+fn non_numeric_fault_exits_2() {
+    assert_usage_error(&["--fault", "lots"], "--fault expects a probability");
+}
+
+#[test]
+fn out_of_range_fault_exits_2() {
+    assert_usage_error(
+        &["--fault", "1.5"],
+        "--fault must be a probability in [0, 1]",
+    );
+    assert_usage_error(
+        &["--fault", "NaN"],
+        "--fault must be a probability in [0, 1]",
+    );
+}
+
+#[test]
+fn out_of_range_ci_width_exits_2() {
+    assert_usage_error(&["--ci-width", "0"], "--ci-width must be in (0, 1]");
+}
+
+#[test]
+fn zero_shard_size_exits_2() {
+    assert_usage_error(
+        &["--checkpoint", "/tmp/x", "--shard-size", "0"],
+        "--shard-size must be at least 1",
+    );
+}
+
+#[test]
+fn resume_without_checkpoint_exits_2() {
+    assert_usage_error(&["--resume"], "--resume requires --checkpoint DIR");
+}
+
+#[test]
+fn shard_size_without_checkpoint_exits_2() {
+    assert_usage_error(
+        &["--shard-size", "5"],
+        "--shard-size requires --checkpoint DIR",
+    );
+}
+
+#[test]
+fn empty_scheme_list_exits_2() {
+    assert_usage_error(&["--schemes", " "], "unknown scheme");
+}
+
+#[test]
+fn populated_checkpoint_dir_without_resume_exits_2() {
+    let dir = std::env::temp_dir().join(format!("icr_cli_populated_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let common = [
+        "--schemes",
+        "basep",
+        "--apps",
+        "gzip",
+        "--trials",
+        "4",
+        "--insts",
+        "500",
+        "--shard-size",
+        "2",
+        "--quiet",
+        "--json",
+        "-",
+        "--checkpoint",
+    ];
+    let dir_s = dir.to_str().unwrap();
+
+    let first = run(&[&common[..], &[dir_s]].concat());
+    assert!(first.status.success(), "seeding run failed: {first:?}");
+
+    let second = run(&[&common[..], &[dir_s]].concat());
+    assert_eq!(
+        second.status.code(),
+        Some(2),
+        "re-running over a populated directory without --resume must be \
+         rejected as an invocation error\nstderr: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    assert!(String::from_utf8_lossy(&second.stderr).contains("--resume"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn valid_tiny_run_exits_0_with_report_on_stdout() {
+    let out = run(&[
+        "--schemes",
+        "basep",
+        "--apps",
+        "gzip",
+        "--trials",
+        "4",
+        "--insts",
+        "500",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "valid run failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"campaign\"") && stdout.contains("\"cells\""),
+        "JSON report missing from stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn unwritable_json_destination_exits_1() {
+    let out = run(&[
+        "--schemes",
+        "basep",
+        "--apps",
+        "gzip",
+        "--trials",
+        "2",
+        "--insts",
+        "500",
+        "--quiet",
+        "--json",
+        "/nonexistent-dir/out.json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "runtime failures must exit 1, not {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
