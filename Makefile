@@ -3,14 +3,16 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build bench-campaign bench-campaign-build trace-roundtrip campaign campaign-resume audit isa-audit clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build bench-campaign bench-campaign-build bench-spill trace-roundtrip campaign campaign-resume audit isa-audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
-## plus a build-only check of the bench targets, a lockstep audit of
-## the full scheme × app matrix against the icr-check reference model,
-## a byte-identical trace save/replay round-trip through icr-run, and
-## a kill-and-resume smoke of the checkpointed campaign service.
-verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build bench-campaign-build trace-roundtrip campaign-resume audit
+## plus a build-only check of the bench targets, the dL1-vs-spill
+## placement benchmark (fast enough to run, not just build), a lockstep
+## audit of the full scheme × app matrix — ten paper presets plus two
+## L2-spill descriptors — against the icr-check reference model, a
+## byte-identical trace save/replay round-trip through icr-run, and a
+## kill-and-resume smoke of the checkpointed campaign service.
+verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build bench-campaign-build bench-spill trace-roundtrip campaign-resume audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -134,6 +136,13 @@ bench-campaign:
 ## Compile the campaign benchmark without running it (used by `verify`).
 bench-campaign-build:
 	$(CARGO) bench -p icr-bench --bench campaign --no-run
+
+## dL1-only vs L2-spill placement: per-app wall time plus the spill
+## region's lifecycle counters, recorded to BENCH_spill.json. Asserts
+## the region sees traffic and the bookkeeping stays under 2x the
+## dL1-only run. Cheap enough that `verify` runs it outright.
+bench-spill:
+	$(CARGO) bench -p icr-bench --bench spill
 
 ## Lockstep reference-model audit: every dL1 access of the full paper
 ## scheme × app matrix diffed against the naive icr-check model. The

@@ -40,7 +40,7 @@ const HISTORY_KEEP: usize = 20;
 /// keep the second leg from replaying the first leg's cache.
 fn spec(master_seed: u64) -> ShardedCampaignSpec {
     let mut base = CampaignSpec::new(
-        vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+        vec![Scheme::BASE_P, Scheme::ICR_P_PS_S],
         vec!["gzip".into(), "gcc".into()],
         TRIALS_PER_CELL,
         master_seed,

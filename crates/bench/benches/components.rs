@@ -56,7 +56,7 @@ fn bench_cache(c: &mut Criterion) {
     });
     g.bench_function("dl1_load_hit_basep", |b| {
         let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
         dl1.load(Addr(0x1000_0000), 0, &mut backend);
         let mut now = 1;
         b.iter(|| {
@@ -66,7 +66,7 @@ fn bench_cache(c: &mut Criterion) {
     });
     g.bench_function("dl1_store_with_replication", |b| {
         let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-        let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+        let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_S));
         let mut now = 0;
         b.iter(|| {
             now += 2;
@@ -95,7 +95,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.throughput(Throughput::Elements(20_000));
-    for scheme in [Scheme::BaseP, Scheme::icr_p_ps_s()] {
+    for scheme in [Scheme::BASE_P, Scheme::ICR_P_PS_S] {
         g.bench_function(format!("sim_20k_insts_{}", scheme.name()), |b| {
             b.iter(|| {
                 let cfg = SimConfig::paper("gzip", DataL1Config::paper_default(scheme), 20_000, 42);

@@ -66,6 +66,10 @@ pub struct RefConfig {
     /// §5.6 mode: replicas survive their primary's eviction and may
     /// serve later misses.
     pub keep_replicas_on_evict: bool,
+    /// Capacity (in blocks) of the L2 spill region a `SpillToL2` scheme
+    /// overflows into when no dL1 replica can be placed. `0` = the
+    /// scheme keeps replicas in the dL1 only (every paper scheme).
+    pub spill_capacity: usize,
     /// `Some` exactly when the dL1 is write-through (with its buffer).
     pub write_buffer: Option<RefWriteBufferConfig>,
 }
@@ -157,11 +161,22 @@ pub struct Counters {
     pub read_hits_with_replica: u64,
     /// §5.6: load misses served by a surviving replica.
     pub misses_served_by_replica: u64,
+    /// Spill tier: blocks inserted into the L2 replica region.
+    pub spills_created: u64,
+    /// Spill tier: in-place spilled-copy updates on stores.
+    pub spill_updates: u64,
+    /// Spill tier: spilled copies dropped (dirty writeback, promotion
+    /// to a dL1 replica, or a write-through no-allocate store miss).
+    pub spill_invalidations: u64,
+    /// Spill tier: spilled copies displaced by region capacity.
+    pub spill_evictions: u64,
+    /// Spill tier: load misses served by the spilled copy.
+    pub misses_served_by_spill: u64,
 }
 
 impl Counters {
     /// The counters as (name, value) pairs, for diffing with names.
-    pub fn fields(&self) -> [(&'static str, u64); 15] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("read_accesses", self.read_accesses),
             ("read_hits", self.read_hits),
@@ -178,6 +193,11 @@ impl Counters {
             ("replication_with_two", self.replication_with_two),
             ("read_hits_with_replica", self.read_hits_with_replica),
             ("misses_served_by_replica", self.misses_served_by_replica),
+            ("spills_created", self.spills_created),
+            ("spill_updates", self.spill_updates),
+            ("spill_invalidations", self.spill_invalidations),
+            ("spill_evictions", self.spill_evictions),
+            ("misses_served_by_spill", self.misses_served_by_spill),
         ]
     }
 }
@@ -212,6 +232,9 @@ pub struct RealState {
     pub lines: Vec<RealLine>,
     /// Per-set recency order, most-recently-used way first.
     pub recency: Vec<Vec<usize>>,
+    /// Blocks resident in the L2 spill region, least-recently-*written*
+    /// first (empty for every dL1-only scheme).
+    pub spill: Vec<u64>,
     /// The statistics counters.
     pub counters: Counters,
     /// Write-buffer state (write-through configurations only).
@@ -235,6 +258,10 @@ pub struct RealSetExport {
 pub struct RealSets {
     /// One export per diffed set.
     pub sets: Vec<RealSetExport>,
+    /// Blocks resident in the L2 spill region, least-recently-*written*
+    /// first. Exported on every incremental check — any access can move
+    /// the region, and the list is at most `spill_capacity` long.
+    pub spill: Vec<u64>,
     /// The statistics counters.
     pub counters: Counters,
     /// Write-buffer state (write-through configurations only).
@@ -259,6 +286,10 @@ pub struct RefModel {
     /// replica of it. Redundant with the lines (and cross-checked
     /// against a scan on every diff) — that redundancy is the point.
     replica_map: HashMap<u64, Vec<usize>>,
+    /// The spill ledger: blocks with a copy in the L2 replica region,
+    /// least-recently-*written* first — the naive mirror of the
+    /// region's write-stamp order (reads do not reorder it).
+    spill: Vec<u64>,
     /// The model's own statistics.
     pub counters: Counters,
     wb: Option<RefWriteBuffer>,
@@ -295,6 +326,7 @@ impl RefModel {
             lines: vec![vec![None; cfg.ways]; cfg.sets],
             recency: vec![(0..cfg.ways).collect(); cfg.sets],
             replica_map: HashMap::new(),
+            spill: Vec::new(),
             counters: Counters::default(),
             wb: cfg
                 .write_buffer
@@ -347,6 +379,48 @@ impl RefModel {
         self.replica_map.get(&block).is_some_and(|s| !s.is_empty())
     }
 
+    fn is_spilled(&self, block: u64) -> bool {
+        self.spill.contains(&block)
+    }
+
+    /// A block that just lost its last copy (dL1 replica or spilled)
+    /// reverts a resident primary to the unreplicated code.
+    fn demote_primary_if_bare(&mut self, block: u64) {
+        if self.has_replica(block) || self.is_spilled(block) {
+            return;
+        }
+        if let Some((ps, pw)) = self.find_primary(block) {
+            let prot = self.cfg.unreplicated;
+            self.lines[ps][pw].as_mut().expect("primary found").prot = prot;
+            self.touched.push(ps);
+        }
+    }
+
+    /// Mirrors `DataL1::spill_replica`: a copy enters at the
+    /// most-recently-written end, displacing the least-recently-written
+    /// block when the region is full.
+    fn spill_insert(&mut self, block: u64) {
+        debug_assert!(!self.spill.contains(&block), "duplicate spill");
+        if self.spill.len() == self.cfg.spill_capacity {
+            let evicted = self.spill.remove(0);
+            self.counters.spill_evictions += 1;
+            self.demote_primary_if_bare(evicted);
+        }
+        self.spill.push(block);
+        self.counters.spills_created += 1;
+    }
+
+    /// Mirrors `DataL1::drop_spill`: removes the copy (if any) and
+    /// reverts a now-bare resident primary to the unreplicated code.
+    fn spill_invalidate(&mut self, block: u64) {
+        let Some(pos) = self.spill.iter().position(|&b| b == block) else {
+            return;
+        };
+        self.spill.remove(pos);
+        self.counters.spill_invalidations += 1;
+        self.demote_primary_if_bare(block);
+    }
+
     fn touch(&mut self, set: usize, way: usize) {
         self.touched.push(set);
         let order = &mut self.recency[set];
@@ -373,19 +447,19 @@ impl RefModel {
                 }
             }
             // Last replica gone: a resident primary reverts to the
-            // unreplicated code.
-            if !self.has_replica(line.addr) {
-                if let Some((ps, pw)) = self.find_primary(line.addr) {
-                    let prot = self.cfg.unreplicated;
-                    self.lines[ps][pw].as_mut().expect("primary found").prot = prot;
-                    self.touched.push(ps);
-                }
-            }
+            // unreplicated code (unless a spilled copy still covers it).
+            self.demote_primary_if_bare(line.addr);
         } else {
             self.counters.evictions += 1;
             if line.dirty {
                 self.counters.writebacks += 1;
+                // The written-back block is newer than its spilled copy:
+                // the stale copy is dropped.
+                self.spill_invalidate(line.addr);
             }
+            // A *clean* eviction keeps the spilled copy — victim-cache
+            // semantics; `keep_replicas_on_evict` governs the dL1 tier
+            // only.
             if !self.cfg.keep_replicas_on_evict {
                 for (rs, rw) in self.find_replicas(line.addr) {
                     self.lines[rs][rw] = None;
@@ -404,7 +478,7 @@ impl RefModel {
             None => *self.recency[s].last().expect("ways > 0"),
         };
         self.evict_line(s, way);
-        let prot = if self.has_replica(block) {
+        let prot = if self.has_replica(block) || self.is_spilled(block) {
             RefProtection::Parity
         } else {
             self.cfg.unreplicated
@@ -456,6 +530,7 @@ impl RefModel {
         if max == 0 {
             return;
         }
+        let was_spilled = self.is_spilled(block);
         let mut count = self.find_replicas(block).len();
         let had_none = count == 0;
         let count_before = count;
@@ -485,13 +560,24 @@ impl RefModel {
                 count += 1;
             }
         }
-        // First replica: the primary switches to parity.
-        if had_none && count > 0 {
+        let created_now = count - count_before;
+        // A fresh dL1 replica promotes the block out of the spill tier
+        // (the tiers are exclusive).
+        if created_now > 0 && was_spilled {
+            self.spill_invalidate(block);
+        }
+        // No dL1 replica placeable anywhere: spill into the L2 region.
+        let spilled_now = self.cfg.spill_capacity > 0 && count == 0 && !was_spilled;
+        if spilled_now {
+            self.spill_insert(block);
+        }
+        // First copy of any kind: the primary switches to parity.
+        if had_none && !was_spilled && (count > 0 || spilled_now) {
             self.lines[ps][pw].as_mut().expect("primary resident").prot = RefProtection::Parity;
             self.touched.push(ps);
         }
         self.counters.replication_attempts += 1;
-        if count - count_before >= 1 {
+        if created_now >= 1 || spilled_now {
             self.counters.replication_with_one += 1;
             if count >= 2 {
                 self.counters.replication_with_two += 1;
@@ -509,7 +595,7 @@ impl RefModel {
         self.counters.read_accesses += 1;
         if let Some((s, w)) = self.find_primary(block) {
             self.counters.read_hits += 1;
-            if self.has_replica(block) {
+            if self.has_replica(block) || self.is_spilled(block) {
                 self.counters.read_hits_with_replica += 1;
             }
             self.touch(s, w);
@@ -528,6 +614,17 @@ impl RefModel {
                 }
                 return;
             }
+        }
+        // A spilled copy serves the miss from the L2 region (the model
+        // is fault-free, so the verified read-back always succeeds).
+        // Region reads deliberately do not refresh the recency stamp.
+        if self.is_spilled(block) {
+            self.counters.misses_served_by_spill += 1;
+            self.fill_primary(block, false, now);
+            if self.cfg.replicate_on_load_miss {
+                self.attempt_replication(block, now);
+            }
+            return;
         }
         self.fill_primary(block, false, now);
         if self.cfg.replicate_on_load_miss {
@@ -564,8 +661,19 @@ impl RefModel {
                 self.touch(rs, rw);
                 self.counters.replica_updates += 1;
             }
+            // The spilled copy is updated in place, which refreshes its
+            // write-recency stamp: the block moves to the MRU end.
+            if let Some(pos) = self.spill.iter().position(|&b| b == block) {
+                let b = self.spill.remove(pos);
+                self.spill.push(b);
+                self.counters.spill_updates += 1;
+            }
             // Stores always trigger a replication attempt.
             self.attempt_replication(block, now);
+        } else if self.is_spilled(block) {
+            // Write-through no-allocate miss: the store bypassed the
+            // dL1, so the spilled copy is stale and is dropped.
+            self.spill_invalidate(block);
         }
         if let Some(wb) = &mut self.wb {
             wb.push(now, block);
@@ -589,6 +697,7 @@ impl RefModel {
         self.check_lines(now, real)?;
         self.check_recency(real)?;
         self.check_replica_invariants(real)?;
+        self.check_spill_list(&real.spill)?;
         self.check_write_buffer(&real.write_buffer)?;
         self.prev_counters = Some(real.counters);
         // A clean full sweep covers every set: the incremental log is
@@ -626,8 +735,23 @@ impl RefModel {
         for se in &real.sets {
             self.check_set(now, se)?;
         }
+        self.check_spill_list(&real.spill)?;
         self.check_write_buffer(&real.write_buffer)?;
         self.prev_counters = Some(real.counters);
+        Ok(())
+    }
+
+    /// The exported spill-region occupancy must match the model's
+    /// ledger exactly, *including* the write-recency order — a stale
+    /// copy a missed invalidation left behind, a dropped insert, or a
+    /// wrong eviction victim all surface here.
+    fn check_spill_list(&self, real: &[u64]) -> Result<(), String> {
+        if self.spill.as_slice() != real {
+            return Err(format!(
+                "spill region diverged:\n  real      {real:#x?}\n  reference {:#x?}",
+                self.spill
+            ));
+        }
         Ok(())
     }
 
@@ -877,9 +1001,29 @@ impl RefModel {
                 }
             }
         }
-        // Unreplicated primaries carry the scheme's code.
+        // The tiers are exclusive: a spilled block holds no dL1 replica.
+        for &block in &self.spill {
+            if scanned.contains_key(&block) {
+                return Err(format!(
+                    "block {block:#x} sits in both tiers: dL1 replicas and a spilled copy"
+                ));
+            }
+        }
+        // Unreplicated primaries carry the scheme's code; a spilled
+        // block's resident primary reads under parity (the spilled copy
+        // backs it, so per-line SEC-DED would be wasted).
         for rl in &real.lines {
-            if !rl.replica && !scanned.contains_key(&rl.addr) && rl.prot != self.cfg.unreplicated {
+            if rl.replica {
+                continue;
+            }
+            if self.is_spilled(rl.addr) {
+                if rl.prot != RefProtection::Parity {
+                    return Err(format!(
+                        "spilled primary {:#x} has protection {:?}, expected Parity",
+                        rl.addr, rl.prot
+                    ));
+                }
+            } else if !scanned.contains_key(&rl.addr) && rl.prot != self.cfg.unreplicated {
                 return Err(format!(
                     "unreplicated primary {:#x} has protection {:?}, expected {:?}",
                     rl.addr, rl.prot, self.cfg.unreplicated
@@ -931,7 +1075,36 @@ mod tests {
             distances: vec![4],
             max_replicas: 1,
             keep_replicas_on_evict: false,
+            spill_capacity: 0,
             write_buffer: None,
+        }
+    }
+
+    /// A spill-tier configuration: SEC-DED base, live lines decay
+    /// slowly, and the DeadOnly victim policy means a full candidate
+    /// set blocks dL1 replication entirely.
+    fn spill_cfg() -> RefConfig {
+        RefConfig {
+            unreplicated: RefProtection::SecDed,
+            decay_window: 1000,
+            spill_capacity: 2,
+            ..cfg()
+        }
+    }
+
+    /// Fills both ways of `set` with live (cycle-0) primaries directly,
+    /// bypassing the access path so no replication side effects occur.
+    fn pin_set_live(m: &mut RefModel, set: usize) {
+        for w in 0..2 {
+            let addr = 0x40 * (8 * (w as u64 + 1) + set as u64);
+            m.lines[set][w] = Some(RefLine {
+                addr,
+                dirty: false,
+                replica: false,
+                prot: m.cfg.unreplicated,
+                last_access: 0,
+            });
+            m.counters.fills += 1;
         }
     }
 
@@ -960,6 +1133,7 @@ mod tests {
         RealState {
             lines,
             recency: m.recency.clone(),
+            spill: m.spill.clone(),
             counters: m.counters,
             write_buffer: None,
         }
@@ -1043,6 +1217,7 @@ mod tests {
                     recency: m.recency[s].clone(),
                 })
                 .collect(),
+            spill: m.spill.clone(),
             counters: m.counters,
             write_buffer: None,
         }
@@ -1131,6 +1306,134 @@ mod tests {
         let mut touched = Vec::new();
         m.take_touched_sets(&mut touched);
         assert!(touched.is_empty());
+    }
+
+    #[test]
+    fn blocked_replication_spills_into_the_region() {
+        let mut m = RefModel::new(spill_cfg());
+        pin_set_live(&mut m, 5); // candidate set of home set 1
+        m.store(0x40, 0);
+        assert_eq!(m.counters.replicas_created, 0);
+        assert_eq!(m.counters.spills_created, 1);
+        assert_eq!(m.counters.replication_with_one, 1);
+        assert_eq!(m.spill, vec![0x40]);
+        // The primary reads under parity while the spilled copy covers it.
+        let (ps, pw) = m.find_primary(0x40).unwrap();
+        assert_eq!(m.lines[ps][pw].unwrap().prot, RefProtection::Parity);
+        let snap = snapshot(&m, 0);
+        assert!(m.clone().check(0, &snap).is_ok());
+    }
+
+    #[test]
+    fn dirty_writeback_drops_the_stale_spilled_copy() {
+        let mut m = RefModel::new(spill_cfg());
+        pin_set_live(&mut m, 5);
+        m.store(0x40, 0);
+        assert_eq!(m.spill, vec![0x40]);
+        // Two conflicting fills displace the dirty primary from set 1.
+        m.load(0x40 * 9, 1);
+        m.load(0x40 * 17, 2);
+        assert_eq!(m.counters.writebacks, 1);
+        assert_eq!(m.counters.spill_invalidations, 1);
+        assert!(m.spill.is_empty());
+        let snap = snapshot(&m, 2);
+        assert!(m.clone().check(2, &snap).is_ok());
+    }
+
+    #[test]
+    fn a_fresh_dl1_replica_promotes_the_block_out_of_the_region() {
+        let mut m = RefModel::new(spill_cfg());
+        pin_set_live(&mut m, 5);
+        m.store(0x40, 0);
+        assert_eq!(m.spill, vec![0x40]);
+        // Past the decay window the pinned primaries are dead hosts, so
+        // the next store places a real dL1 replica and drops the spill.
+        m.store(0x44, 2000);
+        assert_eq!(m.counters.replicas_created, 1);
+        assert_eq!(m.counters.spill_updates, 1);
+        assert_eq!(m.counters.spill_invalidations, 1);
+        assert!(m.spill.is_empty());
+        let snap = snapshot(&m, 2000);
+        assert!(m.clone().check(2000, &snap).is_ok());
+    }
+
+    #[test]
+    fn region_capacity_eviction_demotes_the_displaced_primary() {
+        let mut m = RefModel::new(RefConfig {
+            spill_capacity: 1,
+            ..spill_cfg()
+        });
+        pin_set_live(&mut m, 5);
+        pin_set_live(&mut m, 6);
+        m.store(0x40, 0); // home 1 → candidate 5 blocked: spills
+        m.store(0x80, 0); // home 2 → candidate 6 blocked: displaces 0x40
+        assert_eq!(m.counters.spill_evictions, 1);
+        assert_eq!(m.spill, vec![0x80]);
+        // The displaced block's primary reverts to the scheme's code.
+        let (ps, pw) = m.find_primary(0x40).unwrap();
+        assert_eq!(m.lines[ps][pw].unwrap().prot, RefProtection::SecDed);
+        let snap = snapshot(&m, 0);
+        assert!(m.clone().check(0, &snap).is_ok());
+    }
+
+    #[test]
+    fn a_spilled_copy_serves_a_clean_miss() {
+        let mut m = RefModel::new(RefConfig {
+            replicate_on_load_miss: true,
+            spill_capacity: 4,
+            ..spill_cfg()
+        });
+        pin_set_live(&mut m, 5);
+        m.load(0x40, 1); // miss → clean fill → LS trigger spills
+        assert_eq!(m.counters.spills_created, 1);
+        // Conflicting fills displace the clean primary; the spilled
+        // copies survive the clean evictions.
+        m.load(0x40 * 9, 2);
+        m.load(0x40 * 17, 3);
+        assert_eq!(m.counters.writebacks, 0);
+        assert!(m.is_spilled(0x40));
+        // The next miss on the block is served from the region.
+        m.load(0x40, 4);
+        assert_eq!(m.counters.misses_served_by_spill, 1);
+        let snap = snapshot(&m, 4);
+        assert!(m.clone().check(4, &snap).is_ok());
+    }
+
+    #[test]
+    fn check_flags_a_stale_spill_entry() {
+        let mut m = RefModel::new(spill_cfg());
+        pin_set_live(&mut m, 5);
+        m.store(0x40, 0);
+        let mut snap = snapshot(&m, 0);
+        snap.spill.push(0xbc0); // a copy the model never spilled
+        let err = m.check(0, &snap).unwrap_err();
+        assert!(err.contains("spill region diverged"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_a_spilled_block_with_a_dl1_replica() {
+        let mut m = RefModel::new(spill_cfg());
+        m.store(0x40, 0); // candidate set 5 is free: a real dL1 replica
+        assert_eq!(m.counters.replicas_created, 1);
+        // Doctor both sides identically so the list diff passes and the
+        // tier-exclusivity invariant is what fires.
+        m.spill.push(0x40);
+        let snap = snapshot(&m, 0);
+        let err = m.check(0, &snap).unwrap_err();
+        assert!(err.contains("both tiers"), "{err}");
+    }
+
+    #[test]
+    fn check_touched_flags_a_doctored_spill_list() {
+        let mut m = RefModel::new(spill_cfg());
+        pin_set_live(&mut m, 5);
+        m.store(0x40, 0);
+        let mut touched = Vec::new();
+        m.take_touched_sets(&mut touched);
+        let mut snap = snapshot_sets(&m, &touched, 0);
+        snap.spill.clear(); // the shape of a dropped insert
+        let err = m.check_touched(0, &snap).unwrap_err();
+        assert!(err.contains("spill region diverged"), "{err}");
     }
 
     #[test]

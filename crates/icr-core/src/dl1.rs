@@ -59,7 +59,13 @@ pub enum WritePolicy {
 }
 
 /// Full configuration of the dL1.
+///
+/// Construct via [`DataL1Config::paper_default`],
+/// [`DataL1Config::aggressive`] or [`DataL1Config::builder`]; the struct
+/// is `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream constructors (fields stay public for read/mutate access).
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct DataL1Config {
     /// Cache shape (paper: 16KB, 4-way, 64-byte blocks).
     pub geometry: CacheGeometry,
@@ -121,6 +127,26 @@ impl DataL1Config {
         }
     }
 
+    /// A fluent builder starting from [`DataL1Config::paper_default`] for
+    /// `scheme` — the cross-crate way to customize the configuration now
+    /// that the struct is `#[non_exhaustive]`.
+    ///
+    /// ```
+    /// use icr_core::{DataL1Config, Scheme, VictimPolicy};
+    ///
+    /// let cfg = DataL1Config::builder(Scheme::ICR_P_PS_S)
+    ///     .victim(VictimPolicy::DeadOnly)
+    ///     .keep_replicas_on_evict(true)
+    ///     .build();
+    /// assert_eq!(cfg.victim, VictimPolicy::DeadOnly);
+    /// ```
+    pub fn builder(scheme: Scheme) -> DataL1ConfigBuilder {
+        DataL1ConfigBuilder {
+            config: DataL1Config::paper_default(scheme),
+            placement_set: false,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -137,6 +163,92 @@ impl DataL1Config {
             return Err("duplication cache needs at least one block".into());
         }
         Ok(())
+    }
+}
+
+/// Builder for [`DataL1Config`], produced by [`DataL1Config::builder`].
+///
+/// Mirrors `SimConfig::builder` / `HierarchyConfig::builder`: every
+/// setter takes and returns the builder by value, and
+/// [`build`](DataL1ConfigBuilder::build) hands back the finished
+/// config.
+#[derive(Debug, Clone)]
+pub struct DataL1ConfigBuilder {
+    config: DataL1Config,
+    placement_set: bool,
+}
+
+impl DataL1ConfigBuilder {
+    /// Cache shape. Unless [`placement`](Self::placement) was set
+    /// explicitly, the placement policy is re-derived as vertical
+    /// single-replica over the new geometry (matching
+    /// [`DataL1Config::paper_default`]).
+    pub fn geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.config.geometry = geometry;
+        if !self.placement_set {
+            self.config.placement = PlacementPolicy::vertical(geometry);
+        }
+        self
+    }
+
+    /// Protection/replication scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Dead-block decay window.
+    pub fn decay(mut self, decay: DecayConfig) -> Self {
+        self.config.decay = decay;
+        self
+    }
+
+    /// Replica placement policy.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.config.placement = placement;
+        self.placement_set = true;
+        self
+    }
+
+    /// Replica victim-selection policy.
+    pub fn victim(mut self, victim: VictimPolicy) -> Self {
+        self.config.victim = victim;
+        self
+    }
+
+    /// §5.6 performance mode: replicas survive their primary's eviction.
+    pub fn keep_replicas_on_evict(mut self, keep: bool) -> Self {
+        self.config.keep_replicas_on_evict = keep;
+        self
+    }
+
+    /// Write-back (default) or write-through with a buffer.
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.config.write_policy = policy;
+        self
+    }
+
+    /// Software replication directives (§6 future work).
+    pub fn hints(mut self, hints: ReplicationHints) -> Self {
+        self.config.hints = hints;
+        self
+    }
+
+    /// Attaches a Kim–Somani duplication cache of `blocks` blocks.
+    pub fn duplication_cache(mut self, blocks: usize) -> Self {
+        self.config.duplication_cache = Some(blocks);
+        self
+    }
+
+    /// Maintains the oracle shadow for silent-corruption counting.
+    pub fn oracle(mut self, oracle: bool) -> Self {
+        self.config.oracle = oracle;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> DataL1Config {
+        self.config
     }
 }
 
@@ -293,7 +405,7 @@ pub struct LineExport {
 /// use icr_mem::{Addr, HierarchyConfig, MemoryBackend};
 ///
 /// let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-/// let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+/// let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::ICR_P_PS_S));
 /// // A store miss allocates, writes, and tries to replicate the block.
 /// let lat = dl1.store(Addr(0x1000_0000), 0, &mut backend);
 /// assert_eq!(lat, 1); // stores are buffered: 1 cycle
@@ -327,6 +439,14 @@ pub struct DataL1 {
     /// residency and per-word consumed (ACE) windows, driven inline
     /// from every fill/store/replicate/evict/scrub transition.
     exposure: ExposureLedger,
+    /// Blocks whose replica currently lives in the backend's L2 replica
+    /// region (SpillToL2 tier only) — a mirror of the region's occupancy
+    /// so the hot path never walks the region to answer "is spilled?".
+    spilled: std::collections::HashSet<BlockAddr>,
+    /// First exposure-ledger slot of the region's lines, once the ledger
+    /// has been lazily extended by the first spill. Region slot `i` maps
+    /// to ledger line `spill_base + i`.
+    spill_base: Option<usize>,
 }
 
 impl DataL1 {
@@ -362,6 +482,8 @@ impl DataL1 {
             mask_scratch: Vec::new(),
             port_free_at: 0,
             exposure: ExposureLedger::new(g.num_sets() * g.associativity(), g.words_per_block()),
+            spilled: std::collections::HashSet::new(),
+            spill_base: None,
         }
     }
 
@@ -426,7 +548,7 @@ impl DataL1 {
             ProtState::Replica
         } else if self.lines.prot[sl] == Protection::SecDed {
             ProtState::Ecc
-        } else if self.has_replica(self.lines.addr[sl]) {
+        } else if self.has_replica(self.lines.addr[sl]) || self.is_spilled(self.lines.addr[sl]) {
             ProtState::Replicated
         } else if self.lines.dirty[sl] {
             ProtState::DirtyParity
@@ -496,6 +618,24 @@ impl DataL1 {
             return false;
         }
         self.first_replica(block).is_some()
+    }
+
+    /// `true` when `block`'s replica currently lives in the backend's L2
+    /// replica region (only possible under a `SpillToL2`-tier scheme).
+    pub fn is_spilled(&self, block: BlockAddr) -> bool {
+        self.config.scheme.spills_to_l2() && self.spilled.contains(&block)
+    }
+
+    /// Number of blocks with a spilled replica in the L2 region.
+    pub fn spilled_block_count(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// The exposure-ledger slot of L2-region slot 0, once the first spill
+    /// has attached the region to the ledger (region slot `i` is ledger
+    /// line `spill_ledger_base() + i`).
+    pub fn spill_ledger_base(&self) -> Option<usize> {
+        self.spill_base
     }
 
     /// `true` when `block` has a resident primary copy.
@@ -639,7 +779,7 @@ impl DataL1 {
             if self.lines.prot[sl] == Protection::SecDed {
                 continue;
             }
-            if self.has_replica(self.lines.addr[sl]) {
+            if self.has_replica(self.lines.addr[sl]) || self.is_spilled(self.lines.addr[sl]) {
                 continue;
             }
             if let Some(dup) = &self.duplication {
@@ -748,9 +888,10 @@ impl DataL1 {
         self.exposure.end_line(slot, now);
         if is_replica {
             self.stats.replica_evictions += 1;
-            // If that was the block's last replica and its primary is
-            // resident, the primary reverts to the unreplicated code.
-            if !self.has_replica(addr) {
+            // If that was the block's last replica in *either* tier and
+            // its primary is resident, the primary reverts to the
+            // unreplicated code.
+            if !self.has_replica(addr) && !self.is_spilled(addr) {
                 if let Some((ps, pw)) = self.find_primary(addr) {
                     let prot = self.unreplicated_protection();
                     self.reprotect_primary(ps, pw, prot, now);
@@ -763,6 +904,12 @@ impl DataL1 {
                 self.stats.writebacks += 1;
                 self.stats.cache.writebacks += 1;
                 backend.write_block(addr, self.lines.plain_data(slot));
+                // The writeback makes any spilled replica stale — the
+                // spill protocol invalidates it rather than updating it
+                // (the region is not on the writeback path).
+                if self.is_spilled(addr) {
+                    self.drop_spill(addr, now, backend);
+                }
             }
             if !self.config.keep_replicas_on_evict {
                 for (rs, rw) in self.find_replicas(addr) {
@@ -798,8 +945,8 @@ impl DataL1 {
         };
         self.evict_line(s, way, now, backend);
         // Protection depends on whether replicas survived a previous
-        // eviction (keep-replicas mode).
-        let protection = if self.has_replica(block) {
+        // eviction (keep-replicas mode, or a spilled copy in the region).
+        let protection = if self.has_replica(block) || self.is_spilled(block) {
             Protection::Parity
         } else {
             self.unreplicated_protection()
@@ -861,6 +1008,84 @@ impl DataL1 {
         chosen
     }
 
+    // ------------------------------------------------------------------
+    // The L2 spill tier (SpillToL2 placement)
+    // ------------------------------------------------------------------
+
+    /// Attaches the backend's replica region to the exposure ledger on
+    /// first use, returning the ledger slot of region slot 0.
+    fn ensure_spill_ledger(&mut self, backend: &MemoryBackend) -> usize {
+        if let Some(base) = self.spill_base {
+            return base;
+        }
+        let base = self.exposure.add_lines(backend.replica_region().capacity());
+        self.spill_base = Some(base);
+        base
+    }
+
+    /// Spills a parity-protected copy of `block`'s primary (at `ps`,
+    /// `pw`) into the backend's L2 replica region. Returns `false` when
+    /// the region has no capacity configured.
+    fn spill_replica(
+        &mut self,
+        block: BlockAddr,
+        ps: usize,
+        pw: usize,
+        now: u64,
+        backend: &mut MemoryBackend,
+    ) -> bool {
+        if backend.replica_region().capacity() == 0 {
+            return false;
+        }
+        let base = self.ensure_spill_ledger(backend);
+        let pslot = self.lines.slot(ps, pw);
+        let wpb = self.lines.words_per_block;
+        let words: Vec<ProtectedWord> = (0..wpb)
+            .map(|i| {
+                ProtectedWord::encode(self.lines.words[pslot * wpb + i].data(), Protection::Parity)
+            })
+            .collect();
+        let ins = backend.replica_region_mut().insert(block, words);
+        if let Some((eblock, eslot)) = ins.evicted {
+            self.spilled.remove(&eblock);
+            self.exposure.end_line(base + eslot, now);
+            self.stats.spill_evictions += 1;
+            // The displaced block loses its last replica tier: a resident
+            // primary reverts to the unreplicated code.
+            if !self.has_replica(eblock) {
+                if let Some((es, ew)) = self.find_primary(eblock) {
+                    let prot = self.unreplicated_protection();
+                    self.reprotect_primary(es, ew, prot, now);
+                }
+            }
+        }
+        self.spilled.insert(block);
+        self.exposure
+            .begin_line(base + ins.slot, ProtState::Replica, now);
+        self.stats.spills_created += 1;
+        self.stats.parity_ops += 1;
+        true
+    }
+
+    /// Invalidates `block`'s spilled replica, if any, and demotes its
+    /// primary back to the unreplicated code when no dL1 replica remains.
+    fn drop_spill(&mut self, block: BlockAddr, now: u64, backend: &mut MemoryBackend) {
+        let Some(rslot) = backend.replica_region_mut().invalidate(block) else {
+            return;
+        };
+        self.spilled.remove(&block);
+        if let Some(base) = self.spill_base {
+            self.exposure.end_line(base + rslot, now);
+        }
+        self.stats.spill_invalidations += 1;
+        if !self.has_replica(block) {
+            if let Some((ps, pw)) = self.find_primary(block) {
+                let prot = self.unreplicated_protection();
+                self.reprotect_primary(ps, pw, prot, now);
+            }
+        }
+    }
+
     /// Attempts to bring `block` up to the configured replica count.
     ///
     /// Every triggering event (store, or load miss under `LS`) counts as
@@ -903,6 +1128,8 @@ impl DataL1 {
         }
         let had_none = count == 0;
         let count_before = count;
+        let spills = self.config.scheme.spills_to_l2();
+        let was_spilled = spills && self.spilled.contains(&block);
         for attempt in 0..n_attempts {
             if count >= max {
                 break;
@@ -938,6 +1165,17 @@ impl DataL1 {
                 count += 1;
             }
         }
+        let created_now = count - count_before;
+        // Tier exclusivity: a block holds replicas in at most one tier.
+        // Gaining a dL1 replica promotes a previously spilled block out
+        // of the region; failing to place any dL1 replica under a spill
+        // scheme demotes the copy into the L2 region instead (unless one
+        // is already there).
+        if spills && created_now > 0 && was_spilled {
+            self.drop_spill(block, now, backend);
+        }
+        let spilled_now =
+            spills && count == 0 && !was_spilled && self.spill_replica(block, ps, pw, now, backend);
         // A block that just gained its first replica switches to parity.
         // Its stored data was trusted when *copied* into the replica: a
         // latent strike is still detected at the next load (the primary
@@ -945,14 +1183,13 @@ impl DataL1 {
         // copy — mark a copy-laundering boundary on the primary's open
         // word windows. For ECC-unreplicated schemes the reprotect that
         // follows re-encodes in place and upgrades the mark.
-        if had_none && count > 0 {
+        if had_none && !was_spilled && (count > 0 || spilled_now) {
             let pslot = self.line_slot(ps, pw);
             self.exposure.launder_line(pslot, now, LaunderKind::Copy);
             self.reprotect_primary(ps, pw, Protection::Parity, now);
         }
         self.stats.replication_attempts += 1;
-        let created_now = count - count_before;
-        if created_now >= 1 {
+        if created_now >= 1 || spilled_now {
             self.stats.replication_with_one += 1;
             if count >= 2 {
                 self.stats.replication_with_two += 1;
@@ -976,13 +1213,7 @@ impl DataL1 {
         backend: &mut MemoryBackend,
     ) -> u64 {
         let slot = self.lines.slot(set, way);
-        let sequential = matches!(
-            self.config.scheme,
-            Scheme::Icr {
-                lookup: ReplicaLookup::Sequential,
-                ..
-            }
-        );
+        let sequential = self.config.scheme.lookup() == Some(ReplicaLookup::Sequential);
         // 1. Try the replicas.
         let replicas = self.find_replicas(block);
         for (rs, rw) in replicas {
@@ -1005,7 +1236,29 @@ impl DataL1 {
                 return if sequential { 1 } else { 0 };
             }
         }
-        // 2. A Kim–Somani duplication cache, when configured, is probed
+        // 2. A spilled replica in the L2 region (SpillToL2 tier): a
+        // verified read-back at L2 latency. A corrupt region word drops
+        // the spill and falls through the rest of the ladder.
+        if self.is_spilled(block) {
+            self.stats.parity_ops += 1;
+            let rslot = backend
+                .replica_region()
+                .slot_of(block)
+                .expect("spilled set mirrors region occupancy");
+            let mut spill_word = *backend.replica_region().word(rslot, word);
+            if spill_word.check_and_correct().data_is_good() {
+                let value = spill_word.data();
+                let protection = self.lines.prot[slot];
+                *self.lines.word_mut(slot, word) = ProtectedWord::encode(value, protection);
+                self.exposure.refresh_word(slot, word, now);
+                self.stats.l1_write_ops += 1;
+                self.count_code_op(protection);
+                self.stats.errors_recovered_spill += 1;
+                return backend.l2_latency();
+            }
+            self.drop_spill(block, now, backend);
+        }
+        // 3. A Kim–Somani duplication cache, when configured, is probed
         // next (one extra access, like a replica read).
         if let Some(dup) = &mut self.duplication {
             self.stats.l1_read_ops += 1;
@@ -1020,7 +1273,7 @@ impl DataL1 {
                 return 1;
             }
         }
-        // 3. Clean blocks can be refetched from L2.
+        // 4. Clean blocks can be refetched from L2.
         if !self.lines.dirty[slot] {
             let (data, l2_lat) = backend.read_block(block);
             let protection = self.lines.prot[slot];
@@ -1033,7 +1286,7 @@ impl DataL1 {
             self.stats.errors_recovered_l2 += 1;
             return l2_lat;
         }
-        // 4. Dirty + unreplicated + undetectable-by-correction: lost.
+        // 5. Dirty + unreplicated + undetectable-by-correction: lost.
         self.stats.unrecoverable_loads += 1;
         // Re-encode the corrupt word so one fault is not re-counted on
         // every subsequent load (software would have consumed bad data and
@@ -1191,7 +1444,7 @@ impl DataL1 {
                             self.exposure.end_line(slot, now);
                             self.stats.replica_evictions += 1;
                             let addr = block;
-                            if !self.has_replica(addr) {
+                            if !self.has_replica(addr) && !self.is_spilled(addr) {
                                 if let Some((ps, pw)) = self.find_primary(addr) {
                                     let p = self.unreplicated_protection();
                                     self.reprotect_primary(ps, pw, p, now);
@@ -1229,7 +1482,8 @@ impl DataL1 {
         if let Some((s, w)) = self.find_primary(block) {
             self.stats.cache.read_hits += 1;
             let has_replica = self.has_replica(block);
-            if has_replica {
+            let spilled = self.is_spilled(block);
+            if has_replica || spilled {
                 self.stats.read_hits_with_replica += 1;
             }
             let slot = self.lines.slot(s, w);
@@ -1247,7 +1501,7 @@ impl DataL1 {
             // replica probe above is reused rather than repeated.
             let class = if line_protection == Protection::SecDed {
                 VulnClass::ByEcc
-            } else if has_replica {
+            } else if has_replica || spilled {
                 VulnClass::ByReplica
             } else if !self.lines.dirty[slot]
                 || self.duplication.as_ref().is_some_and(|d| d.contains(block))
@@ -1257,14 +1511,10 @@ impl DataL1 {
                 VulnClass::Unrecoverable
             };
             self.exposure.consume_word(slot, word, class, now);
-            let parallel = matches!(
-                self.config.scheme,
-                Scheme::Icr {
-                    lookup: ReplicaLookup::Parallel,
-                    ..
-                }
-            );
-            // Parallel lookup reads the replica on every access.
+            let parallel = self.config.scheme.lookup() == Some(ReplicaLookup::Parallel);
+            // Parallel lookup reads the replica on every access. A
+            // spilled-only copy sits behind the L2 latency wall, so the
+            // PP compare covers dL1-resident replicas only.
             let replica_slot = if has_replica && parallel {
                 self.stats.l1_read_ops += 1;
                 self.stats.parity_ops += 1;
@@ -1283,7 +1533,16 @@ impl DataL1 {
             } else {
                 None
             };
-            let base = self.config.scheme.load_hit_latency(has_replica);
+            // A spilled-only block is parity-protected but has no dL1
+            // replica to read in parallel: its fault-free hit is the
+            // plain 1-cycle parity check regardless of lookup mode.
+            let base = if has_replica {
+                self.config.scheme.load_hit_latency(true)
+            } else if spilled {
+                1
+            } else {
+                self.config.scheme.load_hit_latency(false)
+            };
             let mut error_handled = false;
             let lat = match self.lines.word_mut(slot, word).check_and_correct() {
                 CheckOutcome::Clean => {
@@ -1363,6 +1622,49 @@ impl DataL1 {
                     return self.config.scheme.load_hit_latency(true) + 1 + port_wait;
                 }
             }
+            // A spilled replica can serve the miss at L2 latency: every
+            // word is parity-verified on the way back. Any bad word drops
+            // the stale copy and the miss refetches normally.
+            if self.is_spilled(block) {
+                let rslot = backend
+                    .replica_region()
+                    .slot_of(block)
+                    .expect("spilled set mirrors region occupancy");
+                let base_slot = self.spill_base.expect("spilled implies ledger attached");
+                let wpb = g.words_per_block();
+                let mut values = Vec::with_capacity(wpb);
+                for i in 0..wpb {
+                    self.stats.parity_ops += 1;
+                    // The read-back observes each region word: a strike
+                    // in its open window is detected here and healed by
+                    // falling through to the normal L2 refetch.
+                    self.exposure
+                        .consume_word(base_slot + rslot, i, VulnClass::ByRefetch, now);
+                    let mut w = *backend.replica_region().word(rslot, i);
+                    if w.check_and_correct().data_is_good() {
+                        values.push(w.data());
+                    } else {
+                        self.stats.errors_detected += 1;
+                        break;
+                    }
+                }
+                if values.len() == wpb {
+                    self.stats.misses_served_by_spill += 1;
+                    let data = DataBlock::from_words(values);
+                    self.fill_primary(block, &data, false, now, backend);
+                    if self
+                        .config
+                        .scheme
+                        .trigger()
+                        .is_some_and(|t| t.on_load_miss())
+                    {
+                        self.attempt_replication(block, now, backend);
+                    }
+                    self.port_free_at = now + port_wait + 1;
+                    return 1 + backend.l2_latency() + port_wait;
+                }
+                self.drop_spill(block, now, backend);
+            }
             let (data, l2_lat) = backend.read_block(block);
             self.fill_primary(block, &data, false, now, backend);
             if self
@@ -1385,10 +1687,10 @@ impl DataL1 {
     /// hard to sustain at one access per cycle). Speculative ECC checks
     /// run in the background and release the port immediately.
     fn check_occupancy(&self, protection: Protection) -> u64 {
-        match (protection, self.config.scheme) {
-            (Protection::SecDed, Scheme::BaseEcc { speculative: true }) => 1,
-            (Protection::SecDed, _) => 2,
-            (Protection::Parity, _) => 1,
+        match protection {
+            Protection::SecDed if self.config.scheme.speculative() => 1,
+            Protection::SecDed => 2,
+            Protection::Parity => 1,
         }
     }
 
@@ -1490,8 +1792,28 @@ impl DataL1 {
                 self.stats.l1_write_ops += 1;
                 self.stats.parity_ops += 1;
             }
+            // A spilled copy is kept coherent in place the same way.
+            if self.is_spilled(block) {
+                let rslot = backend
+                    .replica_region()
+                    .slot_of(block)
+                    .expect("spilled set mirrors region occupancy");
+                backend.replica_region_mut().update_word(
+                    rslot,
+                    word,
+                    ProtectedWord::encode(value, Protection::Parity),
+                );
+                let base = self.spill_base.expect("spilled implies ledger attached");
+                self.exposure.refresh_word(base + rslot, word, now);
+                self.stats.spill_updates += 1;
+                self.stats.parity_ops += 1;
+            }
             // Stores always trigger a replication attempt.
             self.attempt_replication(block, now, backend);
+        } else if self.is_spilled(block) {
+            // Write-through no-allocate miss: the word goes straight to
+            // L2, making any spilled copy stale — drop it.
+            self.drop_spill(block, now, backend);
         }
 
         // Write-through: propagate functionally, time through the buffer.
@@ -1531,7 +1853,7 @@ mod tests {
     #[test]
     fn basep_load_hit_is_one_cycle() {
         let mut b = backend();
-        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
         let a = Addr(0x1000_0000);
         let miss_lat = c.load(a, 0, &mut b);
         assert_eq!(miss_lat, 1 + 106, "cold miss goes to memory");
@@ -1542,18 +1864,14 @@ mod tests {
     #[test]
     fn baseecc_load_hit_is_two_cycles() {
         let mut b = backend();
-        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-            speculative: false,
-        }));
+        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC));
         let a = Addr(0x1000_0000);
         c.load(a, 0, &mut b);
         // Well after the port drained: the pure hit cost is 2 cycles.
         assert_eq!(c.load(a, 10, &mut b), 2);
         // Back-to-back ECC loads queue on the port (+1 cycle).
         assert_eq!(c.load(a, 11, &mut b), 3);
-        let mut spec = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-            speculative: true,
-        }));
+        let mut spec = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC_SPEC));
         spec.load(a, 0, &mut b);
         assert_eq!(spec.load(a, 10, &mut b), 1);
         // Speculative checks release the port immediately: no queueing.
@@ -1563,7 +1881,7 @@ mod tests {
     #[test]
     fn store_creates_replica_at_distance_n_over_2() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = addr_for_set(g, 3, 5);
@@ -1581,7 +1899,7 @@ mod tests {
     #[test]
     fn base_schemes_never_replicate() {
         let mut b = backend();
-        for scheme in [Scheme::BaseP, Scheme::BaseEcc { speculative: false }] {
+        for scheme in [Scheme::BASE_P, Scheme::BASE_ECC] {
             let mut c = DataL1::new(DataL1Config::paper_default(scheme));
             for i in 0..100u64 {
                 c.store(Addr(0x1000_0000 + i * 64), i, &mut b);
@@ -1594,7 +1912,7 @@ mod tests {
     #[test]
     fn ls_scheme_replicates_on_load_miss_too() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_ls());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_LS);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = addr_for_set(g, 7, 9);
@@ -1602,7 +1920,7 @@ mod tests {
         assert!(c.has_replica(g.block_addr(a)), "LS replicates at load miss");
 
         // The S variant does not.
-        let cfg_s = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg_s = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let mut c_s = DataL1::new(cfg_s);
         c_s.load(a, 0, &mut b);
         assert!(!c_s.has_replica(g.block_addr(a)));
@@ -1611,7 +1929,7 @@ mod tests {
     #[test]
     fn loads_with_replica_counts_read_hits_on_replicated_blocks() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
         c.store(a, 0, &mut b); // allocates + replicates
@@ -1623,7 +1941,7 @@ mod tests {
     #[test]
     fn store_updates_replica_in_place() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
@@ -1647,7 +1965,7 @@ mod tests {
     #[test]
     fn icr_ecc_switches_primary_to_parity_when_replicated() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_ecc_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_ECC_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
@@ -1668,7 +1986,7 @@ mod tests {
     #[test]
     fn pp_lookup_costs_two_cycles_and_reads_replica() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_pp_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PP_S);
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
         c.store(a, 0, &mut b);
@@ -1685,7 +2003,7 @@ mod tests {
     fn dead_only_never_evicts_live_primaries_for_replicas() {
         let mut b = backend();
         // Relaxed decay: primaries stay live for 1000 cycles.
-        let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         cfg.victim = VictimPolicy::DeadOnly;
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1706,7 +2024,7 @@ mod tests {
     #[test]
     fn dead_first_falls_back_to_evicting_replicas() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         cfg.victim = VictimPolicy::DeadFirst;
         cfg.decay = DecayConfig { window: 1_000_000 }; // nothing dies
         let g = cfg.geometry;
@@ -1728,7 +2046,7 @@ mod tests {
     #[test]
     fn primary_eviction_drops_replicas_by_default() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let victim_addr = addr_for_set(g, 0, 0);
@@ -1745,10 +2063,204 @@ mod tests {
         );
     }
 
+    /// Fills `set` with 4 live primaries so DeadOnly victim selection
+    /// can never place a replica there.
+    fn pin_set_live(c: &mut DataL1, b: &mut MemoryBackend, g: CacheGeometry, set: usize) {
+        for t in 10..14u64 {
+            c.load(addr_for_set(g, set, t), 0, b);
+        }
+    }
+
+    #[test]
+    fn spill_scheme_spills_when_no_dead_block_hosts_the_replica() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        c.store(a, 1, &mut b);
+        let block = g.block_addr(a);
+        assert!(!c.has_replica(block), "no dL1 dead block was available");
+        assert!(c.is_spilled(block), "replica spilled into the L2 region");
+        assert_eq!(c.stats().spills_created, 1);
+        assert_eq!(
+            c.stats().replication_with_one,
+            1,
+            "a spill counts as one replica"
+        );
+        assert_eq!(b.replica_region().len(), 1);
+        // The dL1-only preset never touches the region.
+        let mut cfg2 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
+        cfg2.victim = VictimPolicy::DeadOnly;
+        let mut c2 = DataL1::new(cfg2);
+        let mut b2 = backend();
+        pin_set_live(&mut c2, &mut b2, g, 35);
+        c2.store(a, 1, &mut b2);
+        assert_eq!(c2.stats().spills_created, 0);
+        assert!(b2.replica_region().is_empty());
+    }
+
+    #[test]
+    fn spilled_replica_recovers_a_dirty_load_error_at_l2_latency() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        c.store(a, 1, &mut b);
+        let block = g.block_addr(a);
+        assert!(c.is_spilled(block));
+        let (ps, pw) = c.find_primary(block).unwrap();
+        let wi = g.word_index(a);
+        let good = c.word_data(ps, pw, wi).unwrap();
+        assert!(c.flip_data_bit(ps, pw, wi, 7));
+        // Parity detects; the spilled copy heals the word at L2 latency.
+        assert_eq!(c.load(a, 100, &mut b), 1 + 6);
+        assert_eq!(c.stats().errors_detected, 1);
+        assert_eq!(c.stats().errors_recovered_spill, 1);
+        assert_eq!(c.stats().unrecoverable_loads, 0);
+        assert_eq!(c.word_data(ps, pw, wi), Some(good), "word healed in place");
+        // Without the spill tier the same dirty fault is unrecoverable.
+        let mut b2 = backend();
+        let mut cfg2 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
+        cfg2.victim = VictimPolicy::DeadOnly;
+        let mut c2 = DataL1::new(cfg2);
+        pin_set_live(&mut c2, &mut b2, g, 35);
+        c2.store(a, 1, &mut b2);
+        let (ps2, pw2) = c2.find_primary(block).unwrap();
+        assert!(c2.flip_data_bit(ps2, pw2, wi, 7));
+        c2.load(a, 100, &mut b2);
+        assert_eq!(c2.stats().unrecoverable_loads, 1);
+    }
+
+    #[test]
+    fn dirty_writeback_invalidates_the_spilled_copy() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        c.store(a, 1, &mut b);
+        let block = g.block_addr(a);
+        assert!(c.is_spilled(block));
+        // Four conflicting loads evict the dirty primary: the writeback
+        // makes the spilled copy stale, so it is dropped, not kept.
+        for t in 20..24u64 {
+            c.load(addr_for_set(g, 3, t), 2, &mut b);
+        }
+        assert!(c.find_primary(block).is_none());
+        assert!(!c.is_spilled(block));
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().spill_invalidations, 1);
+        assert_eq!(b.replica_region().slot_of(block), None);
+    }
+
+    #[test]
+    fn clean_eviction_keeps_the_spill_and_serves_the_next_miss() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_LS_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        // LS: the load miss itself triggers replication, which spills —
+        // leaving a *clean* spilled primary.
+        c.load(a, 1, &mut b);
+        let block = g.block_addr(a);
+        assert!(c.is_spilled(block));
+        for t in 20..24u64 {
+            c.load(addr_for_set(g, 3, t), 2, &mut b);
+        }
+        assert!(c.find_primary(block).is_none());
+        assert!(c.is_spilled(block), "clean eviction keeps the region copy");
+        // The next miss is served by verified read-back at L2 latency
+        // instead of the full refetch.
+        let miss_before = c.stats().misses_served_by_spill;
+        assert_eq!(c.load(a, 5000, &mut b), 1 + 6);
+        assert_eq!(c.stats().misses_served_by_spill, miss_before + 1);
+    }
+
+    #[test]
+    fn creating_a_dl1_replica_promotes_the_block_out_of_the_region() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        c.store(a, 1, &mut b);
+        let block = g.block_addr(a);
+        assert!(c.is_spilled(block) && !c.has_replica(block));
+        // 5000 cycles later the pinned lines have decayed: the next store
+        // places a real dL1 replica and drops the spilled copy.
+        c.store(a, 5000, &mut b);
+        assert!(c.has_replica(block), "replica promoted into a dead block");
+        assert!(!c.is_spilled(block));
+        assert_eq!(c.stats().spill_invalidations, 1);
+        assert!(b.replica_region().is_empty());
+    }
+
+    #[test]
+    fn region_capacity_eviction_demotes_the_displaced_primary() {
+        let hier = HierarchyConfig::builder().l2_replica_blocks(1).build();
+        let mut b = MemoryBackend::new(&hier);
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_ECC_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        pin_set_live(&mut c, &mut b, g, 36);
+        let a1 = addr_for_set(g, 3, 5);
+        let a2 = addr_for_set(g, 4, 6);
+        c.store(a1, 1, &mut b);
+        let b1 = g.block_addr(a1);
+        assert!(c.is_spilled(b1));
+        let (s1, w1) = c.find_primary(b1).unwrap();
+        assert_eq!(c.line_view(s1, w1).unwrap().protection, Protection::Parity);
+        // The second spill displaces the first at region capacity 1: the
+        // displaced block loses its only replica and reverts to SEC-DED.
+        c.store(a2, 2, &mut b);
+        assert!(c.is_spilled(g.block_addr(a2)));
+        assert!(!c.is_spilled(b1));
+        assert_eq!(c.stats().spill_evictions, 1);
+        assert_eq!(c.line_view(s1, w1).unwrap().protection, Protection::SecDed);
+    }
+
+    #[test]
+    fn store_keeps_the_spilled_copy_coherent() {
+        let mut b = backend();
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+        cfg.victim = VictimPolicy::DeadOnly;
+        let g = cfg.geometry;
+        let mut c = DataL1::new(cfg);
+        pin_set_live(&mut c, &mut b, g, 35);
+        let a = addr_for_set(g, 3, 5);
+        c.store(a, 1, &mut b);
+        let block = g.block_addr(a);
+        c.store(a, 2, &mut b);
+        assert_eq!(c.stats().spill_updates, 1);
+        let (ps, pw) = c.find_primary(block).unwrap();
+        let wi = g.word_index(a);
+        let slot = b.replica_region().slot_of(block).unwrap();
+        assert_eq!(
+            b.replica_region().word(slot, wi).data(),
+            c.word_data(ps, pw, wi).unwrap(),
+            "spilled copy coherent with the primary after the second store"
+        );
+    }
+
     #[test]
     fn keep_replicas_mode_serves_miss_from_replica() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         cfg.keep_replicas_on_evict = true;
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1770,7 +2282,7 @@ mod tests {
     #[test]
     fn parity_error_on_replicated_block_recovers_from_replica() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
@@ -1791,7 +2303,7 @@ mod tests {
     #[test]
     fn parity_error_on_clean_unreplicated_block_refetches_l2() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
@@ -1811,7 +2323,7 @@ mod tests {
     fn parity_error_on_dirty_unreplicated_block_is_unrecoverable() {
         let mut b = backend();
         // Make replication impossible: nothing is ever dead.
-        let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         cfg.decay = DecayConfig { window: u64::MAX };
         cfg.victim = VictimPolicy::DeadOnly;
         let g = cfg.geometry;
@@ -1837,7 +2349,7 @@ mod tests {
     #[test]
     fn ecc_corrects_single_bit_on_dirty_unreplicated_block() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseEcc { speculative: false });
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_ECC);
         cfg.decay = DecayConfig { window: u64::MAX };
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1857,7 +2369,7 @@ mod tests {
     #[test]
     fn write_through_keeps_lines_clean_and_pushes_to_l2() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 8 };
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1882,7 +2394,7 @@ mod tests {
     #[test]
     fn write_through_error_always_recoverable_from_l2() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 8 };
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1899,7 +2411,7 @@ mod tests {
     #[test]
     fn dirty_writeback_reaches_l2_with_stored_data() {
         let mut b = backend();
-        let cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let cfg = DataL1Config::paper_default(Scheme::BASE_P);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = addr_for_set(g, 0, 0);
@@ -1919,7 +2431,7 @@ mod tests {
     #[test]
     fn two_replica_policy_creates_two_copies() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         cfg.placement = PlacementPolicy::two_replicas(cfg.geometry);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1935,7 +2447,7 @@ mod tests {
     #[test]
     fn horizontal_replication_stays_in_home_set() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         cfg.placement = PlacementPolicy::horizontal();
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -1953,7 +2465,7 @@ mod tests {
         // A block whose home set is the replica set of another block must
         // not "hit" on the replica line (§3.1: the replica bit).
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = addr_for_set(g, 0, 7);
@@ -1967,7 +2479,7 @@ mod tests {
     #[test]
     fn hints_deny_blocks_replication() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         cfg.hints = crate::hints::ReplicationHints::new().deny(0x1000_0000..0x2000_0000);
         let mut c = DataL1::new(cfg);
         c.store(Addr(0x1000_0040), 0, &mut b);
@@ -1985,7 +2497,7 @@ mod tests {
     #[test]
     fn hints_can_demand_extra_replicas() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         // Hardware default is one replica, but placement offers two
         // candidate sets and software asks for two copies of this range.
         cfg.placement = PlacementPolicy {
@@ -2009,7 +2521,7 @@ mod tests {
         let mut b = backend();
         // BaseP (no replicas) + a Kim-Somani duplicate store: the case
         // where plain parity would lose a dirty line.
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.duplication_cache = Some(16);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -2031,7 +2543,7 @@ mod tests {
     #[test]
     fn duplication_cache_capacity_limits_coverage() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.duplication_cache = Some(4);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -2053,9 +2565,7 @@ mod tests {
     #[test]
     fn scrub_heals_single_bit_errors_before_loads_see_them() {
         let mut b = backend();
-        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-            speculative: false,
-        }));
+        let mut c = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC));
         let a = Addr(0x1000_0000);
         c.load(a, 0, &mut b);
         let g = c.geometry();
@@ -2078,7 +2588,7 @@ mod tests {
     #[test]
     fn scrub_refetches_clean_parity_lines_and_drops_bad_replicas() {
         let mut b = backend();
-        let mut c = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+        let mut c = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_S));
         let g = c.geometry();
         // A clean unreplicated line with a parity error: healed from L2.
         let a = Addr(0x1000_0000);
@@ -2102,7 +2612,7 @@ mod tests {
     fn vulnerable_words_track_protection_and_replication() {
         let mut b = backend();
         // BaseP: a dirty line is fully exposed.
-        let mut p = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        let mut p = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
         assert_eq!(p.vulnerable_word_count(), 0, "empty cache");
         p.load(Addr(0x1000_0000), 0, &mut b);
         assert_eq!(p.vulnerable_word_count(), 0, "clean lines are safe");
@@ -2110,14 +2620,12 @@ mod tests {
         assert_eq!(p.vulnerable_word_count(), 8, "one dirty parity line");
 
         // BaseECC: never exposed to single-bit loss.
-        let mut e = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-            speculative: false,
-        }));
+        let mut e = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC));
         e.store(Addr(0x1000_0040), 1, &mut b);
         assert_eq!(e.vulnerable_word_count(), 0);
 
         // ICR: the store's replica covers the dirty line.
-        let mut i = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+        let mut i = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_S));
         i.store(Addr(0x1000_0040), 1, &mut b);
         assert!(i.has_replica(i.geometry().block_addr(Addr(0x1000_0040))));
         assert_eq!(i.vulnerable_word_count(), 0);
@@ -2126,7 +2634,7 @@ mod tests {
     #[test]
     fn pp_compare_catches_parity_aliased_corruption() {
         let mut b = backend();
-        let cfg = DataL1Config::aggressive(Scheme::icr_p_pp_s());
+        let cfg = DataL1Config::aggressive(Scheme::ICR_P_PP_S);
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
         let a = Addr(0x1000_0000);
@@ -2134,7 +2642,7 @@ mod tests {
         c.store(a, 1, &mut b); // replicate (dirty)
                                // Flush the dirt so recovery can use L2: evict + refill... instead
                                // test the clean case on a separate block replicated via LS.
-        let cfg2 = DataL1Config::aggressive(Scheme::icr_p_pp_ls());
+        let cfg2 = DataL1Config::aggressive(Scheme::ICR_P_PP_LS);
         let mut c2 = DataL1::new(cfg2);
         c2.load(a, 0, &mut b); // LS replicates at load miss; line is clean
         let block = g.block_addr(a);
@@ -2157,7 +2665,7 @@ mod tests {
     #[test]
     fn oracle_counts_silent_corruption_under_ps() {
         let mut b = backend();
-        let mut cfg = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         cfg.oracle = true;
         let g = cfg.geometry;
         let mut c = DataL1::new(cfg);
@@ -2180,7 +2688,7 @@ mod tests {
     #[test]
     fn oracle_is_quiet_on_healthy_runs() {
         let mut b = backend();
-        let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         cfg.oracle = true;
         let mut c = DataL1::new(cfg);
         for i in 0..2000u64 {
@@ -2196,7 +2704,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_entry_write_buffer() {
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 0 };
         assert!(cfg.validate().is_err());
     }

@@ -29,7 +29,7 @@
 //! use icr_mem::{Addr, HierarchyConfig, MemoryBackend};
 //!
 //! let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-//! let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+//! let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_S));
 //!
 //! // Writing a block replicates it; a later load finds the replica.
 //! dl1.store(Addr(0x1000_0000), 0, &mut backend);
@@ -47,10 +47,12 @@ pub mod stats;
 pub mod victim;
 
 pub use decay::{DecayConfig, DecayState};
-pub use dl1::{DataL1, DataL1Config, LineExport, LineView, WritePolicy};
+pub use dl1::{DataL1, DataL1Config, DataL1ConfigBuilder, LineExport, LineView, WritePolicy};
 pub use hints::{HintAction, ReplicationHints};
 pub use placement::PlacementPolicy;
-pub use scheme::{ReplicaLookup, Scheme, Trigger};
+pub use scheme::{
+    ParseSchemeError, ReplicaLookup, ReplicaTier, ReplicationSpec, Scheme, SchemeSpec, Trigger,
+};
 pub use side_cache::DuplicationCache;
 pub use stats::{ErrorOutcome, IcrStats, OutcomeTally};
 pub use victim::{CandidateLine, VictimPolicy};

@@ -1,6 +1,11 @@
-//! The ten schemes of §3.2, plus the §5.8/§5.9 comparison variants.
+//! The scheme-descriptor algebra: protection × trigger × lookup ×
+//! replica-placement tier, with the ten schemes of §3.2 (plus the
+//! §5.8/§5.9 comparison variants and the spill-to-L2 extension tier)
+//! as named preset constants.
 
 use icr_ecc::Protection;
+use std::fmt;
+use std::str::FromStr;
 
 /// When replication is attempted (§3.1, "When do we replicate?").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,138 +34,257 @@ pub enum ReplicaLookup {
     Parallel,
 }
 
-/// One of the dL1 protection schemes under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scheme {
-    /// Plain parity-protected dL1, no replication. 1-cycle loads.
-    BaseP,
-    /// SEC-DED on every line, no replication. 2-cycle loads, or 1-cycle
-    /// when `speculative` (§5.9: checks complete in the background).
-    BaseEcc {
-        /// Loads complete in 1 cycle with background ECC checking.
-        speculative: bool,
-    },
-    /// In-cache replication.
-    Icr {
-        /// Protection for non-replicated lines (`P` = parity,
-        /// `ECC` = SEC-DED). Replicated lines are always parity.
-        unreplicated: Protection,
-        /// Sequential (`PS`) or parallel (`PP`) replica lookup.
-        lookup: ReplicaLookup,
-        /// Replication on stores (`S`) or load-misses-and-stores (`LS`).
-        trigger: Trigger,
-    },
+/// Where a block's replica may live (the placement axis of the
+/// descriptor algebra; an extension beyond the paper's dL1-only tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplicaTier {
+    /// Replicas live only in dead dL1 blocks — the paper's schemes.
+    #[default]
+    DeadBlocksOnly,
+    /// When no dL1 dead block can host the replica, it spills into a
+    /// replica-aware L2 region (invalidated on dL1 writeback, consulted
+    /// with verified read-back on dL1 load misses and as a recovery
+    /// rung between the dL1 replicas and the L2 refetch).
+    SpillToL2,
 }
 
-impl Scheme {
+/// The replication half of a scheme descriptor: how replicas are looked
+/// up, when they are created, and which tier may host them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicationSpec {
+    /// Sequential (`PS`) or parallel (`PP`) replica lookup.
+    pub lookup: ReplicaLookup,
+    /// Replication on stores (`S`) or load-misses-and-stores (`LS`).
+    pub trigger: Trigger,
+    /// Replica placement tier (dL1 dead blocks only, or spill to L2).
+    pub tier: ReplicaTier,
+}
+
+/// A composable dL1 protection-scheme descriptor.
+///
+/// A scheme is the product of four axes: the protection code applied to
+/// unreplicated lines (parity or SEC-DED), whether ECC checks complete
+/// speculatively, and — when the scheme replicates — a
+/// [`ReplicationSpec`] (lookup × trigger × placement tier). The ten
+/// paper schemes are exposed as associated constants ([`Scheme::BASE_P`],
+/// [`Scheme::ICR_P_PS_S`], …); arbitrary points in the axis product are
+/// reachable through [`Scheme::base`], [`Scheme::icr`] and the
+/// `with_*` combinators.
+///
+/// [`Display`](fmt::Display) emits the paper's name grammar and
+/// [`FromStr`] parses it back (case-insensitively, also accepting the
+/// kebab-case CLI spelling), so every name a `--json` report emits
+/// round-trips through one shared parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemeSpec {
+    unreplicated: Protection,
+    speculative: bool,
+    replication: Option<ReplicationSpec>,
+}
+
+/// The scheme vocabulary used across the workspace. `Scheme` predates
+/// the descriptor redesign; the alias keeps every `Scheme::…` path
+/// working over the composable [`SchemeSpec`].
+pub type Scheme = SchemeSpec;
+
+impl SchemeSpec {
+    /// Plain parity-protected dL1, no replication. 1-cycle loads.
+    pub const BASE_P: Scheme = Scheme::base(Protection::Parity);
+    /// SEC-DED on every line, no replication. 2-cycle loads.
+    pub const BASE_ECC: Scheme = Scheme::base(Protection::SecDed);
+    /// SEC-DED with background (speculative) checking: 1-cycle loads (§5.9).
+    pub const BASE_ECC_SPEC: Scheme = Scheme::base(Protection::SecDed).with_speculative();
+
     /// `ICR-P-PS (LS)`.
-    pub fn icr_p_ps_ls() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::Parity,
-            lookup: ReplicaLookup::Sequential,
-            trigger: Trigger::LoadMissAndStore,
-        }
-    }
-
+    pub const ICR_P_PS_LS: Scheme = Scheme::icr(
+        Protection::Parity,
+        ReplicaLookup::Sequential,
+        Trigger::LoadMissAndStore,
+    );
     /// `ICR-P-PS (S)` — one of the paper's two recommended schemes.
-    pub fn icr_p_ps_s() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::Parity,
-            lookup: ReplicaLookup::Sequential,
-            trigger: Trigger::StoreOnly,
-        }
-    }
-
+    pub const ICR_P_PS_S: Scheme = Scheme::icr(
+        Protection::Parity,
+        ReplicaLookup::Sequential,
+        Trigger::StoreOnly,
+    );
     /// `ICR-P-PP (LS)`.
-    pub fn icr_p_pp_ls() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::Parity,
-            lookup: ReplicaLookup::Parallel,
-            trigger: Trigger::LoadMissAndStore,
-        }
-    }
-
+    pub const ICR_P_PP_LS: Scheme = Scheme::icr(
+        Protection::Parity,
+        ReplicaLookup::Parallel,
+        Trigger::LoadMissAndStore,
+    );
     /// `ICR-P-PP (S)`.
-    pub fn icr_p_pp_s() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::Parity,
-            lookup: ReplicaLookup::Parallel,
-            trigger: Trigger::StoreOnly,
-        }
-    }
-
+    pub const ICR_P_PP_S: Scheme = Scheme::icr(
+        Protection::Parity,
+        ReplicaLookup::Parallel,
+        Trigger::StoreOnly,
+    );
     /// `ICR-ECC-PS (LS)`.
-    pub fn icr_ecc_ps_ls() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::SecDed,
-            lookup: ReplicaLookup::Sequential,
-            trigger: Trigger::LoadMissAndStore,
-        }
-    }
-
+    pub const ICR_ECC_PS_LS: Scheme = Scheme::icr(
+        Protection::SecDed,
+        ReplicaLookup::Sequential,
+        Trigger::LoadMissAndStore,
+    );
     /// `ICR-ECC-PS (S)` — the paper's other recommended scheme.
-    pub fn icr_ecc_ps_s() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::SecDed,
-            lookup: ReplicaLookup::Sequential,
-            trigger: Trigger::StoreOnly,
-        }
-    }
-
+    pub const ICR_ECC_PS_S: Scheme = Scheme::icr(
+        Protection::SecDed,
+        ReplicaLookup::Sequential,
+        Trigger::StoreOnly,
+    );
     /// `ICR-ECC-PP (LS)`.
-    pub fn icr_ecc_pp_ls() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::SecDed,
-            lookup: ReplicaLookup::Parallel,
-            trigger: Trigger::LoadMissAndStore,
+    pub const ICR_ECC_PP_LS: Scheme = Scheme::icr(
+        Protection::SecDed,
+        ReplicaLookup::Parallel,
+        Trigger::LoadMissAndStore,
+    );
+    /// `ICR-ECC-PP (S)`.
+    pub const ICR_ECC_PP_S: Scheme = Scheme::icr(
+        Protection::SecDed,
+        ReplicaLookup::Parallel,
+        Trigger::StoreOnly,
+    );
+
+    /// `ICR-P-PS-L2 (LS)`: [`Scheme::ICR_P_PS_LS`] with spill-to-L2.
+    pub const ICR_P_PS_LS_L2: Scheme = Scheme::ICR_P_PS_LS.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-P-PS-L2 (S)`: [`Scheme::ICR_P_PS_S`] with spill-to-L2.
+    pub const ICR_P_PS_S_L2: Scheme = Scheme::ICR_P_PS_S.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-P-PP-L2 (LS)`: [`Scheme::ICR_P_PP_LS`] with spill-to-L2.
+    pub const ICR_P_PP_LS_L2: Scheme = Scheme::ICR_P_PP_LS.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-P-PP-L2 (S)`: [`Scheme::ICR_P_PP_S`] with spill-to-L2.
+    pub const ICR_P_PP_S_L2: Scheme = Scheme::ICR_P_PP_S.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-ECC-PS-L2 (LS)`: [`Scheme::ICR_ECC_PS_LS`] with spill-to-L2.
+    pub const ICR_ECC_PS_LS_L2: Scheme = Scheme::ICR_ECC_PS_LS.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-ECC-PS-L2 (S)`: [`Scheme::ICR_ECC_PS_S`] with spill-to-L2.
+    pub const ICR_ECC_PS_S_L2: Scheme = Scheme::ICR_ECC_PS_S.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-ECC-PP-L2 (LS)`: [`Scheme::ICR_ECC_PP_LS`] with spill-to-L2.
+    pub const ICR_ECC_PP_LS_L2: Scheme = Scheme::ICR_ECC_PP_LS.with_tier(ReplicaTier::SpillToL2);
+    /// `ICR-ECC-PP-L2 (S)`: [`Scheme::ICR_ECC_PP_S`] with spill-to-L2.
+    pub const ICR_ECC_PP_S_L2: Scheme = Scheme::ICR_ECC_PP_S.with_tier(ReplicaTier::SpillToL2);
+
+    /// A non-replicating base scheme protected by `code` on every line.
+    pub const fn base(code: Protection) -> Self {
+        SchemeSpec {
+            unreplicated: code,
+            speculative: false,
+            replication: None,
         }
     }
 
-    /// `ICR-ECC-PP (S)`.
-    pub fn icr_ecc_pp_s() -> Self {
-        Scheme::Icr {
-            unreplicated: Protection::SecDed,
-            lookup: ReplicaLookup::Parallel,
-            trigger: Trigger::StoreOnly,
+    /// An in-cache-replication scheme: `unreplicated` protection on
+    /// lines without a replica, `lookup` × `trigger` replication, and
+    /// the paper's dL1-dead-blocks-only placement tier.
+    pub const fn icr(unreplicated: Protection, lookup: ReplicaLookup, trigger: Trigger) -> Self {
+        SchemeSpec {
+            unreplicated,
+            speculative: false,
+            replication: Some(ReplicationSpec {
+                lookup,
+                trigger,
+                tier: ReplicaTier::DeadBlocksOnly,
+            }),
         }
+    }
+
+    /// The same scheme with background (speculative) ECC checking:
+    /// loads complete in 1 cycle while the check finishes behind them.
+    pub const fn with_speculative(mut self) -> Self {
+        self.speculative = true;
+        self
+    }
+
+    /// The same scheme with its replica placement tier replaced.
+    /// No-op on non-replicating schemes (there is nothing to place).
+    pub const fn with_tier(mut self, tier: ReplicaTier) -> Self {
+        self.replication = match self.replication {
+            Some(r) => Some(ReplicationSpec {
+                lookup: r.lookup,
+                trigger: r.trigger,
+                tier,
+            }),
+            None => None,
+        };
+        self
+    }
+
+    /// Shorthand for [`Scheme::with_tier`]`(ReplicaTier::SpillToL2)`.
+    pub const fn spill_to_l2(self) -> Self {
+        self.with_tier(ReplicaTier::SpillToL2)
     }
 
     /// The ten schemes of Figure 9, in the paper's order.
     pub fn all_paper_schemes() -> Vec<Scheme> {
         vec![
-            Scheme::BaseP,
-            Scheme::BaseEcc { speculative: false },
-            Scheme::icr_p_ps_ls(),
-            Scheme::icr_p_ps_s(),
-            Scheme::icr_p_pp_ls(),
-            Scheme::icr_p_pp_s(),
-            Scheme::icr_ecc_ps_ls(),
-            Scheme::icr_ecc_ps_s(),
-            Scheme::icr_ecc_pp_ls(),
-            Scheme::icr_ecc_pp_s(),
+            Scheme::BASE_P,
+            Scheme::BASE_ECC,
+            Scheme::ICR_P_PS_LS,
+            Scheme::ICR_P_PS_S,
+            Scheme::ICR_P_PP_LS,
+            Scheme::ICR_P_PP_S,
+            Scheme::ICR_ECC_PS_LS,
+            Scheme::ICR_ECC_PS_S,
+            Scheme::ICR_ECC_PP_LS,
+            Scheme::ICR_ECC_PP_S,
         ]
+    }
+
+    /// The eight spill-to-L2 variants, in the same order as the paper's
+    /// eight ICR schemes.
+    pub fn all_spill_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::ICR_P_PS_LS_L2,
+            Scheme::ICR_P_PS_S_L2,
+            Scheme::ICR_P_PP_LS_L2,
+            Scheme::ICR_P_PP_S_L2,
+            Scheme::ICR_ECC_PS_LS_L2,
+            Scheme::ICR_ECC_PS_S_L2,
+            Scheme::ICR_ECC_PP_LS_L2,
+            Scheme::ICR_ECC_PP_S_L2,
+        ]
+    }
+
+    /// Every named preset: the ten paper schemes, the speculative-ECC
+    /// comparison variant, and the eight spill-to-L2 variants. This is
+    /// the vocabulary the shared [`FromStr`] parser accepts.
+    pub fn all_named_schemes() -> Vec<Scheme> {
+        let mut v = Scheme::all_paper_schemes();
+        v.push(Scheme::BASE_ECC_SPEC);
+        v.extend(Scheme::all_spill_schemes());
+        v
     }
 
     /// `true` for the ICR variants (the schemes that replicate).
     pub fn replicates(self) -> bool {
-        matches!(self, Scheme::Icr { .. })
+        self.replication.is_some()
     }
 
     /// The replication trigger, if this scheme replicates.
     pub fn trigger(self) -> Option<Trigger> {
-        match self {
-            Scheme::Icr { trigger, .. } => Some(trigger),
-            _ => None,
-        }
+        self.replication.map(|r| r.trigger)
+    }
+
+    /// The replica-lookup policy, if this scheme replicates.
+    pub fn lookup(self) -> Option<ReplicaLookup> {
+        self.replication.map(|r| r.lookup)
+    }
+
+    /// The replica placement tier, if this scheme replicates.
+    pub fn tier(self) -> Option<ReplicaTier> {
+        self.replication.map(|r| r.tier)
+    }
+
+    /// `true` when replicas may spill into the L2 replica region.
+    pub fn spills_to_l2(self) -> bool {
+        self.tier() == Some(ReplicaTier::SpillToL2)
+    }
+
+    /// `true` when ECC checks complete speculatively (in the background).
+    pub fn speculative(self) -> bool {
+        self.speculative
     }
 
     /// Protection applied to a line that currently has no replica.
     pub fn unreplicated_protection(self) -> Protection {
-        match self {
-            Scheme::BaseP => Protection::Parity,
-            Scheme::BaseEcc { .. } => Protection::SecDed,
-            Scheme::Icr { unreplicated, .. } => unreplicated,
-        }
+        self.unreplicated
     }
 
     /// Load-hit latency in cycles, given whether the block has a replica.
@@ -169,61 +293,176 @@ impl Scheme {
     /// access; ECC verification adds a cycle (unless speculative); parallel
     /// replica compares add a cycle.
     pub fn load_hit_latency(self, has_replica: bool) -> u64 {
-        match self {
-            Scheme::BaseP => 1,
-            Scheme::BaseEcc { speculative } => {
-                if speculative {
-                    1
-                } else {
-                    2
-                }
-            }
-            Scheme::Icr {
-                unreplicated,
-                lookup,
-                ..
-            } => {
-                if has_replica {
-                    match lookup {
-                        ReplicaLookup::Sequential => 1,
-                        ReplicaLookup::Parallel => 2,
-                    }
-                } else {
-                    match unreplicated {
-                        Protection::Parity => 1,
-                        Protection::SecDed => 2,
-                    }
-                }
+        match self.replication {
+            Some(r) if has_replica => match r.lookup {
+                ReplicaLookup::Sequential => 1,
+                ReplicaLookup::Parallel => 2,
+            },
+            _ => match (self.unreplicated, self.speculative) {
+                (Protection::Parity, _) => 1,
+                (Protection::SecDed, true) => 1,
+                (Protection::SecDed, false) => 2,
+            },
+        }
+    }
+
+    /// The paper's display name for the scheme (`BaseP`, `BaseECC`,
+    /// `ICR-P-PS (S)`, …; spill variants insert `-L2` after the lookup,
+    /// e.g. `ICR-P-PS-L2 (S)`).
+    pub fn name(self) -> String {
+        match self.replication {
+            None => match (self.unreplicated, self.speculative) {
+                (Protection::Parity, false) => "BaseP".into(),
+                (Protection::Parity, true) => "BaseP-spec".into(),
+                (Protection::SecDed, false) => "BaseECC".into(),
+                (Protection::SecDed, true) => "BaseECC-spec".into(),
+            },
+            Some(r) => {
+                let p = match self.unreplicated {
+                    Protection::Parity => "P",
+                    Protection::SecDed => "ECC",
+                };
+                let l = match r.lookup {
+                    ReplicaLookup::Sequential => "PS",
+                    ReplicaLookup::Parallel => "PP",
+                };
+                let tier = match r.tier {
+                    ReplicaTier::DeadBlocksOnly => "",
+                    ReplicaTier::SpillToL2 => "-L2",
+                };
+                let t = match r.trigger {
+                    Trigger::StoreOnly => "S",
+                    Trigger::LoadMissAndStore => "LS",
+                };
+                format!("ICR-{p}-{l}{tier} ({t})")
             }
         }
     }
 
-    /// The paper's display name for the scheme.
-    pub fn name(self) -> String {
-        match self {
-            Scheme::BaseP => "BaseP".into(),
-            Scheme::BaseEcc { speculative: false } => "BaseECC".into(),
-            Scheme::BaseEcc { speculative: true } => "BaseECC-spec".into(),
-            Scheme::Icr {
-                unreplicated,
-                lookup,
-                trigger,
-            } => {
-                let p = match unreplicated {
-                    Protection::Parity => "P",
-                    Protection::SecDed => "ECC",
-                };
-                let l = match lookup {
-                    ReplicaLookup::Sequential => "PS",
-                    ReplicaLookup::Parallel => "PP",
-                };
-                let t = match trigger {
-                    Trigger::StoreOnly => "S",
-                    Trigger::LoadMissAndStore => "LS",
-                };
-                format!("ICR-{p}-{l} ({t})")
+    // ---- deprecated constructor shims (one release) ----
+
+    /// `ICR-P-PS (LS)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_P_PS_LS`")]
+    pub fn icr_p_ps_ls() -> Self {
+        Scheme::ICR_P_PS_LS
+    }
+
+    /// `ICR-P-PS (S)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_P_PS_S`")]
+    pub fn icr_p_ps_s() -> Self {
+        Scheme::ICR_P_PS_S
+    }
+
+    /// `ICR-P-PP (LS)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_P_PP_LS`")]
+    pub fn icr_p_pp_ls() -> Self {
+        Scheme::ICR_P_PP_LS
+    }
+
+    /// `ICR-P-PP (S)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_P_PP_S`")]
+    pub fn icr_p_pp_s() -> Self {
+        Scheme::ICR_P_PP_S
+    }
+
+    /// `ICR-ECC-PS (LS)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_ECC_PS_LS`")]
+    pub fn icr_ecc_ps_ls() -> Self {
+        Scheme::ICR_ECC_PS_LS
+    }
+
+    /// `ICR-ECC-PS (S)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_ECC_PS_S`")]
+    pub fn icr_ecc_ps_s() -> Self {
+        Scheme::ICR_ECC_PS_S
+    }
+
+    /// `ICR-ECC-PP (LS)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_ECC_PP_LS`")]
+    pub fn icr_ecc_pp_ls() -> Self {
+        Scheme::ICR_ECC_PP_LS
+    }
+
+    /// `ICR-ECC-PP (S)`.
+    #[deprecated(since = "0.1.0", note = "use `Scheme::ICR_ECC_PP_S`")]
+    pub fn icr_ecc_pp_s() -> Self {
+        Scheme::ICR_ECC_PP_S
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Error returned when a scheme name fails to parse; carries the
+/// offending input for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    input: String,
+}
+
+impl ParseSchemeError {
+    /// The string that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The accepted kebab-case spellings, for CLI diagnostics.
+    pub fn valid_names() -> Vec<String> {
+        Scheme::all_named_schemes()
+            .iter()
+            .map(|s| normalize(&s.name()))
+            .collect()
+    }
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheme \"{}\"", self.input)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+/// Canonical comparison form of a scheme name: lowercase, parentheses
+/// stripped, runs of spaces/dashes collapsed to one dash. Maps both the
+/// display grammar (`ICR-P-PS (S)`) and the CLI kebab spelling
+/// (`icr-p-ps-s`) onto the same key.
+fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '(' | ')' => {}
+            ' ' | '-' | '_' => {
+                if !out.ends_with('-') && !out.is_empty() {
+                    out.push('-');
+                }
             }
+            _ => out.extend(c.to_lowercase()),
         }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+impl FromStr for SchemeSpec {
+    type Err = ParseSchemeError;
+
+    /// Parses both the display grammar (`ICR-P-PS (S)`) and the CLI
+    /// kebab spelling (`icr-p-ps-s`), case-insensitively, over the full
+    /// named-preset vocabulary ([`Scheme::all_named_schemes`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key = normalize(s.trim());
+        Scheme::all_named_schemes()
+            .into_iter()
+            .find(|scheme| normalize(&scheme.name()) == key)
+            .ok_or_else(|| ParseSchemeError {
+                input: s.trim().to_owned(),
+            })
     }
 }
 
@@ -255,55 +494,135 @@ mod tests {
     }
 
     #[test]
+    fn spill_schemes_insert_l2_in_the_name() {
+        let names: Vec<String> = Scheme::all_spill_schemes()
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "ICR-P-PS-L2 (LS)",
+                "ICR-P-PS-L2 (S)",
+                "ICR-P-PP-L2 (LS)",
+                "ICR-P-PP-L2 (S)",
+                "ICR-ECC-PS-L2 (LS)",
+                "ICR-ECC-PS-L2 (S)",
+                "ICR-ECC-PP-L2 (LS)",
+                "ICR-ECC-PP-L2 (S)",
+            ]
+        );
+    }
+
+    #[test]
     fn latency_table_matches_section_3_2() {
         // BaseP loads: 1 cycle. BaseECC loads: 2 (1 speculative).
-        assert_eq!(Scheme::BaseP.load_hit_latency(false), 1);
-        assert_eq!(
-            Scheme::BaseEcc { speculative: false }.load_hit_latency(false),
-            2
-        );
-        assert_eq!(
-            Scheme::BaseEcc { speculative: true }.load_hit_latency(false),
-            1
-        );
+        assert_eq!(Scheme::BASE_P.load_hit_latency(false), 1);
+        assert_eq!(Scheme::BASE_ECC.load_hit_latency(false), 2);
+        assert_eq!(Scheme::BASE_ECC_SPEC.load_hit_latency(false), 1);
         // PS schemes: replicated lines are 1-cycle parity.
-        assert_eq!(Scheme::icr_p_ps_s().load_hit_latency(true), 1);
-        assert_eq!(Scheme::icr_ecc_ps_s().load_hit_latency(true), 1);
+        assert_eq!(Scheme::ICR_P_PS_S.load_hit_latency(true), 1);
+        assert_eq!(Scheme::ICR_ECC_PS_S.load_hit_latency(true), 1);
         // ECC-PS unreplicated lines pay the ECC cycle.
-        assert_eq!(Scheme::icr_ecc_ps_s().load_hit_latency(false), 2);
+        assert_eq!(Scheme::ICR_ECC_PS_S.load_hit_latency(false), 2);
         // PP schemes pay 2 cycles on replicated loads.
-        assert_eq!(Scheme::icr_p_pp_s().load_hit_latency(true), 2);
-        assert_eq!(Scheme::icr_ecc_pp_ls().load_hit_latency(true), 2);
+        assert_eq!(Scheme::ICR_P_PP_S.load_hit_latency(true), 2);
+        assert_eq!(Scheme::ICR_ECC_PP_LS.load_hit_latency(true), 2);
         // P-PP unreplicated lines are plain parity: 1 cycle.
-        assert_eq!(Scheme::icr_p_pp_s().load_hit_latency(false), 1);
+        assert_eq!(Scheme::ICR_P_PP_S.load_hit_latency(false), 1);
+        // The placement tier never changes the latency table.
+        for (dl1, l2) in Scheme::all_paper_schemes()[2..]
+            .iter()
+            .zip(Scheme::all_spill_schemes().iter())
+        {
+            assert_eq!(dl1.load_hit_latency(true), l2.load_hit_latency(true));
+            assert_eq!(dl1.load_hit_latency(false), l2.load_hit_latency(false));
+        }
     }
 
     #[test]
     fn triggers_and_replication_flags() {
-        assert!(!Scheme::BaseP.replicates());
-        assert!(Scheme::icr_p_ps_s().replicates());
-        assert_eq!(Scheme::icr_p_ps_s().trigger(), Some(Trigger::StoreOnly));
-        assert!(Scheme::icr_p_ps_ls()
+        assert!(!Scheme::BASE_P.replicates());
+        assert!(Scheme::ICR_P_PS_S.replicates());
+        assert_eq!(Scheme::ICR_P_PS_S.trigger(), Some(Trigger::StoreOnly));
+        assert!(Scheme::ICR_P_PS_LS
             .trigger()
             .expect("ICR has trigger")
             .on_load_miss());
-        assert_eq!(Scheme::BaseP.trigger(), None);
+        assert_eq!(Scheme::BASE_P.trigger(), None);
     }
 
     #[test]
     fn unreplicated_protection_follows_the_scheme_letter() {
-        assert_eq!(Scheme::BaseP.unreplicated_protection(), Protection::Parity);
+        assert_eq!(Scheme::BASE_P.unreplicated_protection(), Protection::Parity);
         assert_eq!(
-            Scheme::BaseEcc { speculative: false }.unreplicated_protection(),
+            Scheme::BASE_ECC.unreplicated_protection(),
             Protection::SecDed
         );
         assert_eq!(
-            Scheme::icr_ecc_pp_s().unreplicated_protection(),
+            Scheme::ICR_ECC_PP_S.unreplicated_protection(),
             Protection::SecDed
         );
         assert_eq!(
-            Scheme::icr_p_pp_ls().unreplicated_protection(),
+            Scheme::ICR_P_PP_LS.unreplicated_protection(),
             Protection::Parity
         );
+    }
+
+    #[test]
+    fn tier_axis_is_orthogonal() {
+        assert_eq!(Scheme::BASE_P.tier(), None);
+        assert!(!Scheme::BASE_P.spills_to_l2());
+        assert_eq!(Scheme::ICR_P_PS_S.tier(), Some(ReplicaTier::DeadBlocksOnly));
+        assert_eq!(Scheme::ICR_P_PS_S_L2.tier(), Some(ReplicaTier::SpillToL2));
+        assert!(Scheme::ICR_ECC_PP_LS_L2.spills_to_l2());
+        // spill_to_l2 on a base scheme stays non-replicating.
+        assert_eq!(Scheme::BASE_ECC.spill_to_l2(), Scheme::BASE_ECC);
+        // The combinator and the preset agree.
+        assert_eq!(Scheme::ICR_P_PS_S.spill_to_l2(), Scheme::ICR_P_PS_S_L2);
+        // Everything else about the spill variant matches its dL1 twin.
+        assert_eq!(
+            Scheme::ICR_ECC_PS_S_L2.lookup(),
+            Scheme::ICR_ECC_PS_S.lookup()
+        );
+        assert_eq!(
+            Scheme::ICR_ECC_PS_S_L2.trigger(),
+            Scheme::ICR_ECC_PS_S.trigger()
+        );
+    }
+
+    #[test]
+    fn names_round_trip_through_the_parser() {
+        for scheme in Scheme::all_named_schemes() {
+            let display = scheme.name();
+            assert_eq!(display.parse::<Scheme>().unwrap(), scheme, "{display}");
+            // The kebab CLI spelling parses to the same scheme.
+            let kebab = super::normalize(&display);
+            assert_eq!(kebab.parse::<Scheme>().unwrap(), scheme, "{kebab}");
+            // Case-insensitively.
+            assert_eq!(
+                display.to_uppercase().parse::<Scheme>().unwrap(),
+                scheme,
+                "{display}"
+            );
+        }
+        assert!("tmr".parse::<Scheme>().is_err());
+        assert_eq!(
+            "tmr".parse::<Scheme>().unwrap_err().to_string(),
+            "unknown scheme \"tmr\""
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_return_the_presets() {
+        assert_eq!(Scheme::icr_p_ps_ls(), Scheme::ICR_P_PS_LS);
+        assert_eq!(Scheme::icr_p_ps_s(), Scheme::ICR_P_PS_S);
+        assert_eq!(Scheme::icr_p_pp_ls(), Scheme::ICR_P_PP_LS);
+        assert_eq!(Scheme::icr_p_pp_s(), Scheme::ICR_P_PP_S);
+        assert_eq!(Scheme::icr_ecc_ps_ls(), Scheme::ICR_ECC_PS_LS);
+        assert_eq!(Scheme::icr_ecc_ps_s(), Scheme::ICR_ECC_PS_S);
+        assert_eq!(Scheme::icr_ecc_pp_ls(), Scheme::ICR_ECC_PP_LS);
+        assert_eq!(Scheme::icr_ecc_pp_s(), Scheme::ICR_ECC_PP_S);
     }
 }

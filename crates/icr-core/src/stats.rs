@@ -29,6 +29,20 @@ pub struct IcrStats {
     /// Dirty victims written back to L2.
     pub writebacks: u64,
 
+    // ---- L2 spill tier (SpillToL2 placement; extension) ----
+    /// Replicas spilled into the L2 replica region because the dL1 had no
+    /// dead block to host them.
+    pub spills_created: u64,
+    /// Spilled replicas updated in place by stores.
+    pub spill_updates: u64,
+    /// Spilled replicas invalidated (dirty writeback, stale-copy drop, or
+    /// promotion back into a dL1 dead block).
+    pub spill_invalidations: u64,
+    /// Spilled replicas displaced by other spills at region capacity.
+    pub spill_evictions: u64,
+    /// Primary-copy misses served by verified read-back from the region.
+    pub misses_served_by_spill: u64,
+
     // ---- error bookkeeping (Figure 14) ----
     /// Load-word checks that detected an error.
     pub errors_detected: u64,
@@ -36,6 +50,8 @@ pub struct IcrStats {
     pub errors_corrected_ecc: u64,
     /// Errors recovered by reading the replica.
     pub errors_recovered_replica: u64,
+    /// Errors recovered by reading a spilled replica from the L2 region.
+    pub errors_recovered_spill: u64,
     /// Errors recovered by refetching a clean block from L2.
     pub errors_recovered_l2: u64,
     /// Errors recovered from a Kim–Somani duplication cache (only with
@@ -218,7 +234,7 @@ impl ErrorOutcome {
             ErrorOutcome::SilentCorruption
         } else if stats.unrecoverable_loads > 0 {
             ErrorOutcome::DetectedUnrecoverable
-        } else if stats.errors_recovered_replica > 0 {
+        } else if stats.errors_recovered_replica > 0 || stats.errors_recovered_spill > 0 {
             ErrorOutcome::CorrectedByReplica
         } else if stats.errors_corrected_ecc > 0 {
             ErrorOutcome::CorrectedByEcc
@@ -402,6 +418,11 @@ mod tests {
         assert_eq!(
             ErrorOutcome::classify_single_fault(1, &s),
             ErrorOutcome::RefetchedFromL2
+        );
+        s.errors_recovered_spill = 1;
+        assert_eq!(
+            ErrorOutcome::classify_single_fault(1, &s),
+            ErrorOutcome::CorrectedByReplica
         );
         s.errors_recovered_replica = 1;
         assert_eq!(

@@ -15,12 +15,12 @@ type Op = (bool, u16, u8);
 
 fn schemes() -> Vec<Scheme> {
     vec![
-        Scheme::BaseP,
-        Scheme::BaseEcc { speculative: false },
-        Scheme::icr_p_ps_s(),
-        Scheme::icr_p_pp_s(),
-        Scheme::icr_ecc_ps_s(),
-        Scheme::icr_p_ps_ls(),
+        Scheme::BASE_P,
+        Scheme::BASE_ECC,
+        Scheme::ICR_P_PS_S,
+        Scheme::ICR_P_PP_S,
+        Scheme::ICR_ECC_PS_S,
+        Scheme::ICR_P_PS_LS,
     ]
 }
 

@@ -151,7 +151,7 @@ proptest! {
         fault_line in 0usize..1024,
         bit in 0u32..64,
     ) {
-        let cfg = DataL1Config::paper_default(Scheme::icr_ecc_ps_s());
+        let cfg = DataL1Config::paper_default(Scheme::ICR_ECC_PS_S);
         let g = cfg.geometry;
         let mut dl1 = DataL1::new(cfg);
         let mut backend = MemoryBackend::new(&HierarchyConfig::default());
@@ -193,4 +193,61 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    /// `FromStr` ∘ `Display` is the identity over the full named-preset
+    /// vocabulary — all ten paper schemes, `BaseP-spec`/`BaseECC-spec`,
+    /// and the eight L2-spill descriptors — and parsing is insensitive
+    /// to case and to the display-vs-kebab spelling split, so every
+    /// binary's `--scheme` flag accepts exactly what every report
+    /// prints.
+    #[test]
+    fn scheme_names_round_trip_through_the_shared_parser(
+        idx in any::<usize>(),
+        flips in any::<u64>(),
+    ) {
+        let schemes = Scheme::all_named_schemes();
+        let scheme = schemes[idx % schemes.len()];
+
+        // Display grammar round-trips.
+        let display = scheme.to_string();
+        prop_assert_eq!(display.parse::<Scheme>(), Ok(scheme), "{}", display);
+
+        // Case-mangled spelling parses to the same preset.
+        let mangled: String = display
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if flips >> (i % 64) & 1 == 1 {
+                    c.to_ascii_lowercase()
+                } else {
+                    c.to_ascii_uppercase()
+                }
+            })
+            .collect();
+        prop_assert_eq!(mangled.parse::<Scheme>(), Ok(scheme), "{}", mangled);
+
+        // Surrounding whitespace is tolerated (CLI comma-list hygiene).
+        prop_assert_eq!(format!("  {display} ").parse::<Scheme>(), Ok(scheme));
+    }
+}
+
+/// The preset vocabulary is exactly what the descriptor algebra promises:
+/// ten paper schemes (dL1-only), eight spill descriptors, one speculative
+/// base — with distinct names on every one of the nineteen.
+#[test]
+fn named_preset_vocabulary_is_closed_and_collision_free() {
+    let named = Scheme::all_named_schemes();
+    assert_eq!(named.len(), 19);
+    assert_eq!(Scheme::all_paper_schemes().len(), 10);
+    assert_eq!(Scheme::all_spill_schemes().len(), 8);
+    assert!(Scheme::all_paper_schemes()
+        .iter()
+        .all(|s| !s.spills_to_l2()));
+    assert!(Scheme::all_spill_schemes().iter().all(|s| s.spills_to_l2()));
+    let mut names: Vec<String> = named.iter().map(|s| s.name()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 19, "scheme names must be pairwise distinct");
 }

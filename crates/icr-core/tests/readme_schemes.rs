@@ -1,0 +1,73 @@
+//! Drift gate for the README's scheme table: the table is regenerated
+//! here from [`Scheme::all_paper_schemes`] and the descriptor
+//! accessors, then matched against the README byte-for-byte. Renaming
+//! a preset, moving a descriptor axis, or editing the table by hand
+//! without keeping the two in sync fails this test — with the freshly
+//! generated table in the panic message, ready to paste.
+
+use icr_core::{ReplicaLookup, Scheme, Trigger};
+use icr_ecc::Protection;
+
+/// The kebab-case CLI spelling of a preset's display name, as the
+/// shared `FromStr` parser accepts it (`ICR-P-PS (S)` → `icr-p-ps-s`).
+fn cli_name(scheme: Scheme) -> String {
+    scheme
+        .name()
+        .to_lowercase()
+        .replace(" (", "-")
+        .replace(')', "")
+}
+
+/// Builds the exact markdown table the README embeds, one row per
+/// paper preset, every cell read off the descriptor.
+fn scheme_table() -> String {
+    let mut t = String::from(
+        "| scheme | CLI name | unreplicated code | replica lookup | replication trigger |\n\
+         |---|---|---|---|---|\n",
+    );
+    for s in Scheme::all_paper_schemes() {
+        let code = match s.unreplicated_protection() {
+            Protection::Parity => "parity",
+            Protection::SecDed => "SEC-DED",
+        };
+        let lookup = match s.lookup() {
+            Some(ReplicaLookup::Sequential) => "PS (sequential)",
+            Some(ReplicaLookup::Parallel) => "PP (parallel)",
+            None => "—",
+        };
+        let trigger = match s.trigger() {
+            Some(Trigger::StoreOnly) => "stores",
+            Some(Trigger::LoadMissAndStore) => "load misses + stores",
+            None => "—",
+        };
+        t.push_str(&format!(
+            "| {} | `{}` | {code} | {lookup} | {trigger} |\n",
+            s.name(),
+            cli_name(s),
+        ));
+    }
+    t
+}
+
+#[test]
+fn readme_scheme_table_matches_the_descriptor_presets() {
+    let readme = include_str!("../../../README.md");
+    let table = scheme_table();
+    assert!(
+        readme.contains(&table),
+        "README.md's scheme table is out of sync with \
+         Scheme::all_paper_schemes(); replace it with:\n\n{table}"
+    );
+    // The prose around the table names the spill variants' CLI grammar;
+    // keep it honest against the actual preset list too.
+    for s in Scheme::all_spill_schemes() {
+        let cli = cli_name(s);
+        assert!(
+            cli.contains("-l2-"),
+            "spill preset {} must carry the -l2 placement marker in its \
+             CLI name ({cli})",
+            s.name()
+        );
+        assert_eq!(cli.parse::<Scheme>(), Ok(s), "CLI spelling must round-trip");
+    }
+}

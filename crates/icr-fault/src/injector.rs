@@ -1,19 +1,39 @@
-//! The injector: per-cycle Bernoulli fault arrivals applied to the dL1.
+//! The injector: per-cycle Bernoulli fault arrivals applied to the dL1
+//! and, for spill schemes, to the replica-aware L2 region.
 
 use crate::model::ErrorModel;
 use icr_core::DataL1;
+use icr_mem::MemoryBackend;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Where an injected fault landed: a dL1 line, or a spilled replica in
+/// the L2 region. The sample space is the union of both, weighted by
+/// occupancy, so spilled copies face the same per-bit strike rate as
+/// dL1-resident data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A valid dL1 line.
+    DataL1 {
+        /// Set index of the struck line.
+        set: usize,
+        /// Way of the struck line.
+        way: usize,
+    },
+    /// An occupied slot of the L2 replica region.
+    L2Replica {
+        /// Region slot of the struck copy.
+        slot: usize,
+    },
+}
 
 /// Record of one injected fault (for logging and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectedFault {
     /// Cycle at which the fault struck.
     pub cycle: u64,
-    /// Set index of the struck line.
-    pub set: usize,
-    /// Way of the struck line.
-    pub way: usize,
+    /// The struck storage location.
+    pub site: FaultSite,
     /// Word within the line.
     pub word: usize,
     /// First (or only) flipped bit.
@@ -31,12 +51,12 @@ pub struct InjectedFault {
 /// use icr_mem::{Addr, HierarchyConfig, MemoryBackend};
 ///
 /// let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-/// let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+/// let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
 /// dl1.load(Addr(0x1000_0000), 0, &mut backend);
 ///
 /// // Probability 1: one fault per cycle, guaranteed.
 /// let mut inj = FaultInjector::new(ErrorModel::Random, 1.0, 42);
-/// let n = inj.advance(&mut dl1, 0, 10);
+/// let n = inj.advance(&mut dl1, &mut backend, 0, 10);
 /// assert_eq!(n, 10);
 /// ```
 #[derive(Debug, Clone)]
@@ -108,13 +128,20 @@ impl FaultInjector {
     /// Advances simulated time from `from_cycle` (exclusive) to `to_cycle`
     /// (inclusive), flipping bits per the per-cycle probability. Returns
     /// the number of faults injected.
-    pub fn advance(&mut self, dl1: &mut DataL1, from_cycle: u64, to_cycle: u64) -> u64 {
+    pub fn advance(
+        &mut self,
+        dl1: &mut DataL1,
+        backend: &mut MemoryBackend,
+        from_cycle: u64,
+        to_cycle: u64,
+    ) -> u64 {
         if self.p_per_cycle == 0.0 || to_cycle <= from_cycle || self.quiesced() {
             return 0;
         }
         let mut n = 0;
         for cycle in from_cycle..to_cycle {
-            if self.rng.gen::<f64>() < self.p_per_cycle && self.inject_one(dl1, cycle + 1) {
+            if self.rng.gen::<f64>() < self.p_per_cycle && self.inject_one(dl1, backend, cycle + 1)
+            {
                 n += 1;
                 if self.quiesced() {
                     break;
@@ -131,44 +158,68 @@ impl FaultInjector {
     }
 
     /// Injects exactly one fault event right now (used by tests and by
-    /// deterministic experiments). Returns `false` when the cache holds no
-    /// valid line to strike.
-    pub fn inject_one(&mut self, dl1: &mut DataL1, cycle: u64) -> bool {
+    /// deterministic experiments), striking uniformly across dL1 lines
+    /// and occupied L2 replica-region slots. Returns `false` when
+    /// neither holds anything to strike.
+    ///
+    /// When the region is empty — every scheme whose placement tier is
+    /// dL1-only — the draw collapses to the pure dL1 sample space, so
+    /// established seeds reproduce the same fault sites they always did.
+    pub fn inject_one(
+        &mut self,
+        dl1: &mut DataL1,
+        backend: &mut MemoryBackend,
+        cycle: u64,
+    ) -> bool {
         let lines = dl1.valid_lines();
-        if lines.is_empty() {
+        let slots = backend.replica_region().occupied();
+        let total = lines.len() + slots.len();
+        if total == 0 {
             return false;
         }
-        let (set, way) = lines[self.rng.gen_range(0..lines.len())];
-        let words = dl1.geometry().words_per_block();
+        let idx = self.rng.gen_range(0..total);
+        let (site, words) = if idx < lines.len() {
+            let (set, way) = lines[idx];
+            (
+                FaultSite::DataL1 { set, way },
+                dl1.geometry().words_per_block(),
+            )
+        } else {
+            let (slot, _) = slots[idx - lines.len()];
+            (
+                FaultSite::L2Replica { slot },
+                backend.replica_region().words(slot).len(),
+            )
+        };
         let word = self.rng.gen_range(0..words);
         match self.model {
             ErrorModel::Direct => {
                 let bit = self.rng.gen_range(0..64);
-                dl1.flip_data_bit(set, way, word, bit);
-                self.record(cycle, set, way, word, bit, false);
+                flip_data(dl1, backend, site, word, bit);
+                self.record(cycle, site, word, bit, false);
             }
             ErrorModel::Adjacent => {
                 let bit = self.rng.gen_range(0..63);
-                dl1.flip_data_bit(set, way, word, bit);
-                dl1.flip_data_bit(set, way, word, bit + 1);
-                self.record(cycle, set, way, word, bit, false);
+                flip_data(dl1, backend, site, word, bit);
+                flip_data(dl1, backend, site, word, bit + 1);
+                self.record(cycle, site, word, bit, false);
             }
             ErrorModel::Column => {
                 let bit = self.rng.gen_range(0..64);
                 let next_word = (word + 1) % words;
-                dl1.flip_data_bit(set, way, word, bit);
-                dl1.flip_data_bit(set, way, next_word, bit);
-                self.record(cycle, set, way, word, bit, false);
+                flip_data(dl1, backend, site, word, bit);
+                flip_data(dl1, backend, site, next_word, bit);
+                self.record(cycle, site, word, bit, false);
             }
             ErrorModel::Random => {
                 // 64 data bits + 8 check bits per word: strike uniformly.
                 let bit = self.rng.gen_range(0..72);
                 if bit < 64 {
-                    dl1.flip_data_bit(set, way, word, bit);
-                    self.record(cycle, set, way, word, bit, false);
+                    flip_data(dl1, backend, site, word, bit);
+                    self.record(cycle, site, word, bit, false);
                 } else {
-                    dl1.flip_check_bit(set, way, word, bit - 64);
-                    self.record(cycle, set, way, word, bit - 64, true);
+                    flip_check(dl1, backend, site, word, bit - 64);
+                    self.record(cycle, site, word, bit - 64, true);
                 }
             }
         }
@@ -176,18 +227,49 @@ impl FaultInjector {
         true
     }
 
-    fn record(&mut self, cycle: u64, set: usize, way: usize, word: usize, bit: u32, chk: bool) {
+    fn record(&mut self, cycle: u64, site: FaultSite, word: usize, bit: u32, chk: bool) {
         if self.keep_log {
             self.log.push(InjectedFault {
                 cycle,
-                set,
-                way,
+                site,
                 word,
                 bit,
                 in_check_bits: chk,
             });
         }
     }
+}
+
+fn flip_data(
+    dl1: &mut DataL1,
+    backend: &mut MemoryBackend,
+    site: FaultSite,
+    word: usize,
+    bit: u32,
+) {
+    let flipped = match site {
+        FaultSite::DataL1 { set, way } => dl1.flip_data_bit(set, way, word, bit),
+        FaultSite::L2Replica { slot } => {
+            backend.replica_region_mut().flip_data_bit(slot, word, bit)
+        }
+    };
+    debug_assert!(flipped, "fault site {site:?} vanished mid-injection");
+}
+
+fn flip_check(
+    dl1: &mut DataL1,
+    backend: &mut MemoryBackend,
+    site: FaultSite,
+    word: usize,
+    bit: u32,
+) {
+    let flipped = match site {
+        FaultSite::DataL1 { set, way } => dl1.flip_check_bit(set, way, word, bit),
+        FaultSite::L2Replica { slot } => {
+            backend.replica_region_mut().flip_check_bit(slot, word, bit)
+        }
+    };
+    debug_assert!(flipped, "fault site {site:?} vanished mid-injection");
 }
 
 #[cfg(test)]
@@ -198,32 +280,41 @@ mod tests {
 
     fn loaded_cache() -> (DataL1, MemoryBackend) {
         let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
         for i in 0..16u64 {
             dl1.load(Addr(0x1000_0000 + i * 64), i, &mut backend);
         }
         (dl1, backend)
     }
 
+    /// The dL1 coordinates of a logged fault (panics on a region fault).
+    fn dl1_site(f: &InjectedFault) -> (usize, usize) {
+        match f.site {
+            FaultSite::DataL1 { set, way } => (set, way),
+            FaultSite::L2Replica { slot } => panic!("expected a dL1 fault, got region slot {slot}"),
+        }
+    }
+
     #[test]
     fn zero_probability_injects_nothing() {
-        let (mut dl1, _) = loaded_cache();
+        let (mut dl1, mut backend) = loaded_cache();
         let mut inj = FaultInjector::new(ErrorModel::Random, 0.0, 1);
-        assert_eq!(inj.advance(&mut dl1, 0, 100_000), 0);
+        assert_eq!(inj.advance(&mut dl1, &mut backend, 0, 100_000), 0);
     }
 
     #[test]
     fn empty_cache_cannot_be_struck() {
-        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseP));
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_P));
         let mut inj = FaultInjector::new(ErrorModel::Random, 1.0, 1);
-        assert_eq!(inj.advance(&mut dl1, 0, 10), 0);
+        assert_eq!(inj.advance(&mut dl1, &mut backend, 0, 10), 0);
     }
 
     #[test]
     fn injection_rate_tracks_probability() {
-        let (mut dl1, _) = loaded_cache();
+        let (mut dl1, mut backend) = loaded_cache();
         let mut inj = FaultInjector::new(ErrorModel::Direct, 0.1, 7);
-        let n = inj.advance(&mut dl1, 0, 10_000);
+        let n = inj.advance(&mut dl1, &mut backend, 0, 10_000);
         assert!((800..1200).contains(&n), "expected ~1000, got {n}");
     }
 
@@ -231,11 +322,12 @@ mod tests {
     fn direct_fault_is_detectable_by_parity() {
         let (mut dl1, mut backend) = loaded_cache();
         let mut inj = FaultInjector::new(ErrorModel::Direct, 1.0, 3).with_log();
-        assert!(inj.inject_one(&mut dl1, 0));
+        assert!(inj.inject_one(&mut dl1, &mut backend, 0));
         let f = inj.log()[0];
+        let (set, way) = dl1_site(&f);
         // Reload every resident word of that line via the public API: the
         // parity machinery must detect (and, clean line, recover from L2).
-        let view = dl1.line_view(f.set, f.way).unwrap();
+        let view = dl1.line_view(set, way).unwrap();
         let addr = Addr(view.addr.raw() + (f.word as u64) * 8);
         dl1.load(addr, 1, &mut backend);
         assert_eq!(dl1.stats().errors_detected, 1);
@@ -252,11 +344,12 @@ mod tests {
         // Find an injection whose two bits fall in the same byte.
         loop {
             inj.log.clear();
-            assert!(inj.inject_one(&mut dl1, 0));
+            assert!(inj.inject_one(&mut dl1, &mut backend, 0));
             let f = inj.log()[0];
             if f.bit % 8 != 7 {
                 // bits f.bit and f.bit+1 share a byte
-                let view = dl1.line_view(f.set, f.way).unwrap();
+                let (set, way) = dl1_site(&f);
+                let view = dl1.line_view(set, way).unwrap();
                 let addr = Addr(view.addr.raw() + (f.word as u64) * 8);
                 let before = dl1.stats().errors_detected;
                 dl1.load(addr, 1, &mut backend);
@@ -276,14 +369,13 @@ mod tests {
     #[test]
     fn adjacent_fault_is_detected_by_secded() {
         let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-            speculative: false,
-        }));
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC));
         dl1.load(Addr(0x1000_0000), 0, &mut backend);
         let mut inj = FaultInjector::new(ErrorModel::Adjacent, 1.0, 5).with_log();
-        assert!(inj.inject_one(&mut dl1, 0));
+        assert!(inj.inject_one(&mut dl1, &mut backend, 0));
         let f = inj.log()[0];
-        let view = dl1.line_view(f.set, f.way).unwrap();
+        let (set, way) = dl1_site(&f);
+        let view = dl1.line_view(set, way).unwrap();
         let addr = Addr(view.addr.raw() + (f.word as u64) * 8);
         dl1.load(addr, 1, &mut backend);
         // SEC-DED flags the double error; the clean line refetches from L2.
@@ -296,37 +388,63 @@ mod tests {
     fn column_fault_hits_two_words() {
         let (mut dl1, mut backend) = loaded_cache();
         let mut inj = FaultInjector::new(ErrorModel::Column, 1.0, 9).with_log();
-        assert!(inj.inject_one(&mut dl1, 0));
+        assert!(inj.inject_one(&mut dl1, &mut backend, 0));
         let f = inj.log()[0];
-        let view = dl1.line_view(f.set, f.way).unwrap();
+        let (set, way) = dl1_site(&f);
+        let view = dl1.line_view(set, way).unwrap();
         let words = dl1.geometry().words_per_block();
         let w2 = (f.word + 1) % words;
         // Both struck words differ from the architecturally-correct data.
         let golden = backend.golden_block(view.addr);
-        assert_ne!(
-            dl1.word_data(f.set, f.way, f.word),
-            Some(golden.word(f.word))
-        );
-        assert_ne!(dl1.word_data(f.set, f.way, w2), Some(golden.word(w2)));
+        assert_ne!(dl1.word_data(set, way, f.word), Some(golden.word(f.word)));
+        assert_ne!(dl1.word_data(set, way, w2), Some(golden.word(w2)));
         // The first load detects its word's error; the clean-line refetch
         // from L2 heals the *entire* line, including the second word.
         dl1.load(Addr(view.addr.raw() + (f.word as u64) * 8), 1, &mut backend);
         assert_eq!(dl1.stats().errors_detected, 1);
         assert_eq!(dl1.stats().errors_recovered_l2, 1);
-        assert_eq!(dl1.word_data(f.set, f.way, w2), Some(golden.word(w2)));
+        assert_eq!(dl1.word_data(set, way, w2), Some(golden.word(w2)));
         dl1.load(Addr(view.addr.raw() + (w2 as u64) * 8), 2, &mut backend);
         assert_eq!(dl1.stats().errors_detected, 1, "second word already healed");
     }
 
     #[test]
     fn determinism_same_seed_same_fault_sites() {
-        let (mut a, _) = loaded_cache();
-        let (mut b, _) = loaded_cache();
+        let (mut a, mut backend_a) = loaded_cache();
+        let (mut b, mut backend_b) = loaded_cache();
         let mut ia = FaultInjector::new(ErrorModel::Random, 1.0, 11).with_log();
         let mut ib = FaultInjector::new(ErrorModel::Random, 1.0, 11).with_log();
-        ia.advance(&mut a, 0, 50);
-        ib.advance(&mut b, 0, 50);
+        ia.advance(&mut a, &mut backend_a, 0, 50);
+        ib.advance(&mut b, &mut backend_b, 0, 50);
         assert_eq!(ia.log(), ib.log());
+    }
+
+    #[test]
+    fn spilled_replicas_share_the_strike_space() {
+        // An empty dL1 plus one region-resident copy: every strike must
+        // land in the region, and the flip must corrupt the stored word.
+        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2));
+        let block = icr_mem::BlockAddr(0x1000_0000);
+        let words: Vec<_> = backend
+            .golden_block(block)
+            .words()
+            .iter()
+            .map(|&w| icr_ecc::ProtectedWord::encode(w, icr_ecc::Protection::Parity))
+            .collect();
+        backend.replica_region_mut().insert(block, words);
+        let before: Vec<u64> = backend.replica_region().export_lru_order()[0].1.clone();
+
+        let mut inj = FaultInjector::new(ErrorModel::Direct, 1.0, 21).with_log();
+        assert!(inj.inject_one(&mut dl1, &mut backend, 0));
+        let f = inj.log()[0];
+        assert_eq!(f.site, FaultSite::L2Replica { slot: 0 });
+        let after: Vec<u64> = backend.replica_region().export_lru_order()[0].1.clone();
+        assert_eq!(after[f.word], before[f.word] ^ (1 << f.bit));
+        assert!(
+            !backend.replica_region().word(0, f.word).is_clean(),
+            "a direct flip must be visible to the copy's parity"
+        );
     }
 
     #[test]

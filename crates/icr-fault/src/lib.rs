@@ -3,14 +3,15 @@
 //! The paper injects errors "at each clock cycle based on a constant
 //! probability", using the four models of Kim & Somani: *direct*,
 //! *adjacent*, *column* and *random*. Faults here flip real stored bits in
-//! the dL1 (data or check bits); whether they are later detected,
-//! corrected, healed from a replica, refetched from L2 or lost is decided
-//! by the cache's own integrity machinery, not by the injector.
+//! the dL1 (data or check bits) and, for spill schemes, in the L2 replica
+//! region; whether they are later detected, corrected, healed from a
+//! replica, refetched from L2 or lost is decided by the cache's own
+//! integrity machinery, not by the injector.
 
 pub mod injector;
 pub mod model;
 pub mod seed;
 
-pub use injector::{FaultInjector, InjectedFault};
+pub use injector::{FaultInjector, FaultSite, InjectedFault};
 pub use model::ErrorModel;
 pub use seed::trial_seed;

@@ -42,7 +42,7 @@ proptest! {
         word in 0usize..8,
         bit in 0u32..64,
     ) {
-        let (mut dl1, mut backend) = warmed(Scheme::icr_p_ps_s(), &ops);
+        let (mut dl1, mut backend) = warmed(Scheme::ICR_P_PS_S, &ops);
         let candidates: Vec<(usize, usize)> = dl1
             .valid_lines()
             .into_iter()
@@ -80,7 +80,7 @@ proptest! {
         bit in 0u32..64,
     ) {
         let (mut dl1, mut backend) =
-            warmed(Scheme::BaseEcc { speculative: false }, &ops);
+            warmed(Scheme::BASE_ECC, &ops);
         let lines = dl1.valid_lines();
         prop_assume!(!lines.is_empty());
         let (s, w) = lines[pick % lines.len()];
@@ -107,7 +107,7 @@ proptest! {
         word in 0usize..8,
         bit in 0u32..64,
     ) {
-        let (mut dl1, mut backend) = warmed(Scheme::BaseP, &ops);
+        let (mut dl1, mut backend) = warmed(Scheme::BASE_P, &ops);
         let lines = dl1.valid_lines();
         prop_assume!(!lines.is_empty());
         let (s, w) = lines[pick % lines.len()];
@@ -141,15 +141,15 @@ proptest! {
         split in 1u64..99,
     ) {
         let cycles = 100u64;
-        let (mut a, _) = warmed(Scheme::BaseP, &ops);
-        let (mut b, _) = warmed(Scheme::BaseP, &ops);
+        let (mut a, mut backend_a) = warmed(Scheme::BASE_P, &ops);
+        let (mut b, mut backend_b) = warmed(Scheme::BASE_P, &ops);
 
         let mut inj_a = FaultInjector::new(ErrorModel::Random, 0.3, seed).with_log();
-        inj_a.advance(&mut a, 0, cycles);
+        inj_a.advance(&mut a, &mut backend_a, 0, cycles);
 
         let mut inj_b = FaultInjector::new(ErrorModel::Random, 0.3, seed).with_log();
-        inj_b.advance(&mut b, 0, split);
-        inj_b.advance(&mut b, split, cycles);
+        inj_b.advance(&mut b, &mut backend_b, 0, split);
+        inj_b.advance(&mut b, &mut backend_b, split, cycles);
 
         prop_assert_eq!(inj_a.injected(), inj_b.injected());
         prop_assert_eq!(inj_a.log(), inj_b.log());
@@ -163,15 +163,15 @@ proptest! {
         seed in proptest::any::<u64>(),
         cap in 1u64..5,
     ) {
-        let (mut dl1, _) = warmed(Scheme::BaseP, &ops);
+        let (mut dl1, mut backend) = warmed(Scheme::BASE_P, &ops);
         let mut inj = FaultInjector::new(ErrorModel::Direct, 1.0, seed)
             .with_max_faults(cap);
-        let n = inj.advance(&mut dl1, 0, 1000);
+        let n = inj.advance(&mut dl1, &mut backend, 0, 1000);
         prop_assert_eq!(n, cap);
         prop_assert_eq!(inj.injected(), cap);
         prop_assert!(inj.quiesced());
         // Further advances are no-ops.
-        prop_assert_eq!(inj.advance(&mut dl1, 1000, 2000), 0);
+        prop_assert_eq!(inj.advance(&mut dl1, &mut backend, 1000, 2000), 0);
         prop_assert_eq!(inj.injected(), cap);
     }
 

@@ -10,9 +10,16 @@ use crate::block::DataBlock;
 use crate::cache::{AccessKind, Cache};
 use crate::memory::MainMemory;
 use crate::stats::CacheStats;
+use icr_ecc::ProtectedWord;
 
 /// Shapes and latencies of the memory system (Table 1 of the paper).
+///
+/// `#[non_exhaustive]`: construct one with [`HierarchyConfig::default`]
+/// or [`HierarchyConfig::builder`] (fields stay readable and assignable,
+/// but new configuration axes can be added without breaking downstream
+/// literals).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct HierarchyConfig {
     /// L1 instruction cache shape (paper: 16KB, direct-mapped, 32B blocks).
     pub l1i_geometry: CacheGeometry,
@@ -27,6 +34,12 @@ pub struct HierarchyConfig {
     /// Optional DRAM open-page model; `None` (default) keeps the paper's
     /// flat latency.
     pub memory_row_buffer: Option<crate::memory::RowBufferConfig>,
+    /// Capacity (in dL1-sized blocks) of the replica-aware L2 region
+    /// that spill-to-L2 schemes use ([`L2ReplicaRegion`]). The region
+    /// is inert — allocated but never touched — under every scheme
+    /// whose replica tier is dL1-only. Default 256 blocks (16KB, 1/16
+    /// of the paper's L2).
+    pub l2_replica_blocks: usize,
 }
 
 impl Default for HierarchyConfig {
@@ -38,7 +51,256 @@ impl Default for HierarchyConfig {
             l2_latency: 6,
             memory_latency: 100,
             memory_row_buffer: None,
+            l2_replica_blocks: 256,
         }
+    }
+}
+
+impl HierarchyConfig {
+    /// A builder over every knob, starting from the paper's Table 1
+    /// defaults — mirrors `SimConfig::builder()`.
+    pub fn builder() -> HierarchyConfigBuilder {
+        HierarchyConfigBuilder {
+            config: HierarchyConfig::default(),
+        }
+    }
+}
+
+/// Builds a [`HierarchyConfig`]; obtained from [`HierarchyConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct HierarchyConfigBuilder {
+    config: HierarchyConfig,
+}
+
+impl HierarchyConfigBuilder {
+    /// L1 instruction cache shape.
+    pub fn l1i_geometry(mut self, g: CacheGeometry) -> Self {
+        self.config.l1i_geometry = g;
+        self
+    }
+
+    /// L1I hit latency in cycles.
+    pub fn l1i_latency(mut self, cycles: u64) -> Self {
+        self.config.l1i_latency = cycles;
+        self
+    }
+
+    /// Unified L2 shape.
+    pub fn l2_geometry(mut self, g: CacheGeometry) -> Self {
+        self.config.l2_geometry = g;
+        self
+    }
+
+    /// L2 hit latency in cycles.
+    pub fn l2_latency(mut self, cycles: u64) -> Self {
+        self.config.l2_latency = cycles;
+        self
+    }
+
+    /// Main-memory latency in cycles.
+    pub fn memory_latency(mut self, cycles: u64) -> Self {
+        self.config.memory_latency = cycles;
+        self
+    }
+
+    /// DRAM open-page model (default: the paper's flat latency).
+    pub fn memory_row_buffer(mut self, rb: crate::memory::RowBufferConfig) -> Self {
+        self.config.memory_row_buffer = Some(rb);
+        self
+    }
+
+    /// Capacity of the replica-aware L2 region, in blocks.
+    pub fn l2_replica_blocks(mut self, blocks: usize) -> Self {
+        self.config.l2_replica_blocks = blocks;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> HierarchyConfig {
+        self.config
+    }
+}
+
+/// Result of an [`L2ReplicaRegion::insert`]: the slot the new copy
+/// landed in, and the entry it displaced when the region was full.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInsert {
+    /// Slot index of the newly inserted copy.
+    pub slot: usize,
+    /// `(block, slot)` of the LRU entry displaced to make room, when
+    /// the region was at capacity.
+    pub evicted: Option<(BlockAddr, usize)>,
+}
+
+/// The replica-aware region of the L2: a small, fully-associative store
+/// of parity-protected block copies that hosts dL1 replicas which found
+/// no dead dL1 block to live in (the spill tier of the scheme
+/// descriptor's placement axis).
+///
+/// Slots are **stable**: a copy keeps its slot index for its whole
+/// residency, so slot `i` maps 1:1 onto exposure-ledger line
+/// `dl1_slots + i`. Recency is tracked with per-slot stamps; at
+/// capacity the lowest-stamped (least-recently *written*) entry is
+/// displaced. Inserts and in-place word updates refresh the stamp;
+/// reads (miss service, recovery) deliberately do not, so the
+/// reference model can mirror the order from the write stream alone.
+#[derive(Debug, Clone)]
+pub struct L2ReplicaRegion {
+    capacity: usize,
+    blocks: Vec<Option<BlockAddr>>,
+    words: Vec<Vec<ProtectedWord>>,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl L2ReplicaRegion {
+    /// An empty region with `capacity` block slots.
+    pub fn new(capacity: usize) -> Self {
+        L2ReplicaRegion {
+            capacity,
+            blocks: vec![None; capacity],
+            words: vec![Vec::new(); capacity],
+            stamps: vec![0; capacity],
+            tick: 0,
+        }
+    }
+
+    /// Total block slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied block slots.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// `true` when no copy is resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|b| b.is_none())
+    }
+
+    /// The slot holding `block`'s copy, if resident.
+    pub fn slot_of(&self, block: BlockAddr) -> Option<usize> {
+        self.blocks.iter().position(|&b| b == Some(block))
+    }
+
+    /// The block resident in `slot`, if any.
+    pub fn block_at(&self, slot: usize) -> Option<BlockAddr> {
+        self.blocks[slot]
+    }
+
+    /// The stored words of the copy in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is empty.
+    pub fn words(&self, slot: usize) -> &[ProtectedWord] {
+        assert!(self.blocks[slot].is_some(), "read of empty region slot");
+        &self.words[slot]
+    }
+
+    /// One stored word of the copy in `slot`.
+    pub fn word(&self, slot: usize, word: usize) -> &ProtectedWord {
+        &self.words(slot)[word]
+    }
+
+    /// Inserts a copy of `block`, reusing the lowest-indexed free slot
+    /// or displacing the least-recently-written entry at capacity.
+    /// `block` must not already be resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate insert or a zero-capacity region.
+    pub fn insert(&mut self, block: BlockAddr, words: Vec<ProtectedWord>) -> RegionInsert {
+        assert!(self.capacity > 0, "insert into a zero-capacity region");
+        assert!(
+            self.slot_of(block).is_none(),
+            "duplicate region insert of {block}"
+        );
+        let (slot, evicted) = match self.blocks.iter().position(|b| b.is_none()) {
+            Some(free) => (free, None),
+            None => {
+                let victim = (0..self.capacity)
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("capacity > 0");
+                (victim, Some((self.blocks[victim].unwrap(), victim)))
+            }
+        };
+        self.blocks[slot] = Some(block);
+        self.words[slot] = words;
+        self.tick += 1;
+        self.stamps[slot] = self.tick;
+        RegionInsert { slot, evicted }
+    }
+
+    /// Overwrites one word of the copy in `slot` and refreshes its
+    /// recency stamp (stores keep spilled copies coherent in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is empty.
+    pub fn update_word(&mut self, slot: usize, word: usize, value: ProtectedWord) {
+        assert!(self.blocks[slot].is_some(), "update of empty region slot");
+        self.words[slot][word] = value;
+        self.tick += 1;
+        self.stamps[slot] = self.tick;
+    }
+
+    /// Drops `block`'s copy, returning the slot it occupied.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<usize> {
+        let slot = self.slot_of(block)?;
+        self.blocks[slot] = None;
+        self.words[slot] = Vec::new();
+        Some(slot)
+    }
+
+    /// Occupied slots as `(slot, block)` pairs, in slot order — the
+    /// fault injector's sample space over the region.
+    pub fn occupied(&self) -> Vec<(usize, BlockAddr)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|block| (i, block)))
+            .collect()
+    }
+
+    /// Resident copies as `(block, decoded data words)` in recency
+    /// order, least-recently-written first — the export the lockstep
+    /// reference model diffs its naive spill ledger against.
+    pub fn export_lru_order(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut occ: Vec<usize> = (0..self.capacity)
+            .filter(|&i| self.blocks[i].is_some())
+            .collect();
+        occ.sort_by_key(|&i| self.stamps[i]);
+        occ.into_iter()
+            .map(|i| {
+                (
+                    self.blocks[i].unwrap().raw(),
+                    self.words[i].iter().map(|w| w.data()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Flips a data bit in a stored word (transient-fault injection).
+    /// Returns `false` if the slot is empty.
+    pub fn flip_data_bit(&mut self, slot: usize, word: usize, bit: u32) -> bool {
+        if self.blocks[slot].is_none() {
+            return false;
+        }
+        self.words[slot][word].flip_data_bit(bit);
+        true
+    }
+
+    /// Flips a check bit in a stored word (fault in the parity bit).
+    /// Returns `false` if the slot is empty.
+    pub fn flip_check_bit(&mut self, slot: usize, word: usize, bit: u32) -> bool {
+        if self.blocks[slot].is_none() {
+            return false;
+        }
+        self.words[slot][word].flip_check_bit(bit);
+        true
     }
 }
 
@@ -47,6 +309,7 @@ impl Default for HierarchyConfig {
 pub struct MemoryBackend {
     l2: Cache,
     memory: MainMemory,
+    replica_region: L2ReplicaRegion,
 }
 
 impl MemoryBackend {
@@ -60,7 +323,18 @@ impl MemoryBackend {
         MemoryBackend {
             l2: Cache::new(config.l2_geometry, config.l2_latency),
             memory,
+            replica_region: L2ReplicaRegion::new(config.l2_replica_blocks),
         }
+    }
+
+    /// The replica-aware L2 region (the spill tier).
+    pub fn replica_region(&self) -> &L2ReplicaRegion {
+        &self.replica_region
+    }
+
+    /// Mutable access to the replica-aware L2 region.
+    pub fn replica_region_mut(&mut self) -> &mut L2ReplicaRegion {
+        &mut self.replica_region
     }
 
     /// Serves an L1 read miss: returns the block's data and the latency in
@@ -196,6 +470,76 @@ impl InstrCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icr_ecc::Protection;
+
+    fn pwords(values: &[u64]) -> Vec<ProtectedWord> {
+        values
+            .iter()
+            .map(|&v| ProtectedWord::encode(v, Protection::Parity))
+            .collect()
+    }
+
+    #[test]
+    fn region_insert_fills_lowest_free_slot_then_evicts_lru() {
+        let mut r = L2ReplicaRegion::new(2);
+        assert!(r.is_empty());
+        let a = r.insert(BlockAddr(0x100), pwords(&[1, 2]));
+        assert_eq!((a.slot, a.evicted), (0, None));
+        let b = r.insert(BlockAddr(0x200), pwords(&[3, 4]));
+        assert_eq!((b.slot, b.evicted), (1, None));
+        assert_eq!(r.len(), 2);
+        // Touch slot 0 so slot 1 becomes least-recently-written.
+        r.update_word(0, 1, ProtectedWord::encode(9, Protection::Parity));
+        let c = r.insert(BlockAddr(0x300), pwords(&[5, 6]));
+        assert_eq!(c.slot, 1);
+        assert_eq!(c.evicted, Some((BlockAddr(0x200), 1)));
+        assert_eq!(r.slot_of(BlockAddr(0x200)), None);
+        assert_eq!(r.word(0, 1).data(), 9);
+        assert_eq!(r.word(1, 0).data(), 5);
+    }
+
+    #[test]
+    fn region_invalidate_frees_the_slot_for_reuse() {
+        let mut r = L2ReplicaRegion::new(2);
+        r.insert(BlockAddr(0x100), pwords(&[1]));
+        r.insert(BlockAddr(0x200), pwords(&[2]));
+        assert_eq!(r.invalidate(BlockAddr(0x100)), Some(0));
+        assert_eq!(r.invalidate(BlockAddr(0x100)), None);
+        assert_eq!(r.len(), 1);
+        // The freed slot is reused before any eviction happens.
+        let ins = r.insert(BlockAddr(0x300), pwords(&[3]));
+        assert_eq!((ins.slot, ins.evicted), (0, None));
+        assert_eq!(
+            r.occupied(),
+            vec![(0, BlockAddr(0x300)), (1, BlockAddr(0x200))]
+        );
+    }
+
+    #[test]
+    fn region_export_orders_by_write_recency_not_slot() {
+        let mut r = L2ReplicaRegion::new(3);
+        r.insert(BlockAddr(0x100), pwords(&[1]));
+        r.insert(BlockAddr(0x200), pwords(&[2]));
+        r.insert(BlockAddr(0x300), pwords(&[3]));
+        // Rewrite the oldest: it becomes most-recently-written.
+        r.update_word(0, 0, ProtectedWord::encode(11, Protection::Parity));
+        let export = r.export_lru_order();
+        assert_eq!(
+            export,
+            vec![(0x200, vec![2]), (0x300, vec![3]), (0x100, vec![11]),]
+        );
+    }
+
+    #[test]
+    fn region_bit_flips_only_touch_occupied_slots() {
+        let mut r = L2ReplicaRegion::new(2);
+        r.insert(BlockAddr(0x100), pwords(&[0]));
+        assert!(r.flip_data_bit(0, 0, 3));
+        assert_eq!(r.word(0, 0).data(), 8);
+        assert!(r.flip_check_bit(0, 0, 0));
+        assert!(!r.flip_data_bit(1, 0, 0));
+        assert!(!r.flip_check_bit(1, 0, 0));
+    }
 
     #[test]
     fn default_config_matches_table1() {

@@ -33,7 +33,10 @@ pub mod write_buffer;
 pub use addr::{Addr, BlockAddr, CacheGeometry, SetIndex};
 pub use block::{splitmix64, DataBlock};
 pub use cache::{AccessKind, Cache, Evicted};
-pub use hierarchy::{HierarchyConfig, InstrCache, MemoryBackend};
+pub use hierarchy::{
+    HierarchyConfig, HierarchyConfigBuilder, InstrCache, L2ReplicaRegion, MemoryBackend,
+    RegionInsert,
+};
 pub use lru::LruQueue;
 pub use memory::{MainMemory, RowBufferConfig};
 pub use stats::CacheStats;

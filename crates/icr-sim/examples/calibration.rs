@@ -20,9 +20,9 @@ fn main() {
         .collect();
     let results = parallel_map(jobs, |(app, ecc)| {
         let scheme = if ecc {
-            Scheme::BaseEcc { speculative: false }
+            Scheme::BASE_ECC
         } else {
-            Scheme::BaseP
+            Scheme::BASE_P
         };
         let cfg = SimConfig::paper(app, DataL1Config::paper_default(scheme), instructions, 42);
         ((app, ecc), run_sim(&cfg))

@@ -24,15 +24,18 @@ use icr_check::{
 };
 use icr_core::{DataL1, DataL1Config, LineExport, Scheme, VictimPolicy, WritePolicy};
 use icr_ecc::Protection;
+use icr_mem::{HierarchyConfig, MemoryBackend};
 
 /// Translates the real dL1 configuration into the plain-type
-/// [`RefConfig`] the reference model consumes.
+/// [`RefConfig`] the reference model consumes. The hierarchy supplies
+/// the L2 spill-region capacity for `SpillToL2` schemes (dL1-only
+/// schemes get a zero-capacity spill tier, i.e. none).
 ///
 /// # Panics
 ///
 /// Panics when the configuration carries replication hints — the model
 /// covers the hardware policy only.
-pub fn ref_config(cfg: &DataL1Config) -> RefConfig {
+pub fn ref_config(cfg: &DataL1Config, hierarchy: &HierarchyConfig) -> RefConfig {
     assert!(
         cfg.hints.is_empty(),
         "lockstep auditing covers the hardware replication policy; hints must be empty"
@@ -58,6 +61,11 @@ pub fn ref_config(cfg: &DataL1Config) -> RefConfig {
         distances: cfg.placement.attempts.iter().map(|&k| k as i64).collect(),
         max_replicas: cfg.placement.max_replicas,
         keep_replicas_on_evict: cfg.keep_replicas_on_evict,
+        spill_capacity: if cfg.scheme.spills_to_l2() {
+            hierarchy.l2_replica_blocks
+        } else {
+            0
+        },
         write_buffer: match cfg.write_policy {
             WritePolicy::WriteBack => None,
             WritePolicy::WriteThrough { buffer_entries } => Some(RefWriteBufferConfig {
@@ -105,7 +113,23 @@ fn export_counters(dl1: &DataL1) -> Counters {
         replication_with_two: icr.replication_with_two,
         read_hits_with_replica: icr.read_hits_with_replica,
         misses_served_by_replica: icr.misses_served_by_replica,
+        spills_created: icr.spills_created,
+        spill_updates: icr.spill_updates,
+        spill_invalidations: icr.spill_invalidations,
+        spill_evictions: icr.spill_evictions,
+        misses_served_by_spill: icr.misses_served_by_spill,
     }
+}
+
+/// The L2 spill-region occupancy in least-recently-written order — the
+/// export the model's naive spill ledger is diffed against.
+fn export_spill(backend: &MemoryBackend) -> Vec<u64> {
+    backend
+        .replica_region()
+        .export_lru_order()
+        .into_iter()
+        .map(|(block, _)| block)
+        .collect()
 }
 
 fn export_write_buffer(dl1: &DataL1) -> Option<RealWriteBuffer> {
@@ -120,8 +144,9 @@ fn export_write_buffer(dl1: &DataL1) -> Option<RealWriteBuffer> {
 }
 
 /// Exports the real cache's full observable state at cycle `now` into
-/// the plain [`RealState`] the reference model diffs against.
-pub fn export_real_state(dl1: &DataL1, now: u64) -> RealState {
+/// the plain [`RealState`] the reference model diffs against. The
+/// backend supplies the L2 spill-region occupancy.
+pub fn export_real_state(dl1: &DataL1, backend: &MemoryBackend, now: u64) -> RealState {
     let lines = dl1.export_lines(now).iter().map(to_real_line).collect();
     let g = dl1.geometry();
     let recency = (0..g.num_sets())
@@ -130,14 +155,21 @@ pub fn export_real_state(dl1: &DataL1, now: u64) -> RealState {
     RealState {
         lines,
         recency,
+        spill: export_spill(backend),
         counters: export_counters(dl1),
         write_buffer: export_write_buffer(dl1),
     }
 }
 
-/// Exports only the named sets (plus the global counters and write
-/// buffer) at cycle `now`, for the incremental lockstep diff.
-pub fn export_real_sets(dl1: &DataL1, sets: &[usize], now: u64) -> RealSets {
+/// Exports only the named sets (plus the global counters, spill-region
+/// occupancy and write buffer) at cycle `now`, for the incremental
+/// lockstep diff.
+pub fn export_real_sets(
+    dl1: &DataL1,
+    backend: &MemoryBackend,
+    sets: &[usize],
+    now: u64,
+) -> RealSets {
     let mut scratch: Vec<LineExport> = Vec::new();
     let sets = sets
         .iter()
@@ -153,6 +185,7 @@ pub fn export_real_sets(dl1: &DataL1, sets: &[usize], now: u64) -> RealSets {
         .collect();
     RealSets {
         sets,
+        spill: export_spill(backend),
         counters: export_counters(dl1),
         write_buffer: export_write_buffer(dl1),
     }
@@ -188,16 +221,18 @@ pub struct LockstepChecker {
 }
 
 impl LockstepChecker {
-    /// An auditor for a dL1 with the given configuration, labelled with
-    /// the workload name for divergence reports.
+    /// An auditor for a dL1 with the given configuration running over
+    /// the given hierarchy (which sizes the L2 spill region for
+    /// `SpillToL2` schemes), labelled with the workload name for
+    /// divergence reports.
     ///
     /// # Panics
     ///
     /// Panics on a configuration outside the model's coverage (see
     /// [`ref_config`]).
-    pub fn new(cfg: &DataL1Config, app: &str) -> Self {
+    pub fn new(cfg: &DataL1Config, hierarchy: &HierarchyConfig, app: &str) -> Self {
         LockstepChecker {
-            model: RefModel::new(ref_config(cfg)),
+            model: RefModel::new(ref_config(cfg, hierarchy)),
             app: app.to_owned(),
             scheme: cfg.scheme.name(),
             accesses: 0,
@@ -219,9 +254,9 @@ impl LockstepChecker {
     /// # Panics
     ///
     /// Panics with a full divergence report on the first mismatch.
-    pub fn after_load(&mut self, addr: u64, now: u64, dl1: &DataL1) {
+    pub fn after_load(&mut self, addr: u64, now: u64, dl1: &DataL1, backend: &MemoryBackend) {
         self.model.load(addr, now);
-        self.verify("load", addr, now, dl1);
+        self.verify("load", addr, now, dl1, backend);
     }
 
     /// Mirrors a store the real cache just performed, then diffs.
@@ -229,9 +264,9 @@ impl LockstepChecker {
     /// # Panics
     ///
     /// Panics with a full divergence report on the first mismatch.
-    pub fn after_store(&mut self, addr: u64, now: u64, dl1: &DataL1) {
+    pub fn after_store(&mut self, addr: u64, now: u64, dl1: &DataL1, backend: &MemoryBackend) {
         self.model.store(addr, now);
-        self.verify("store", addr, now, dl1);
+        self.verify("store", addr, now, dl1, backend);
     }
 
     /// Accesses diffed so far.
@@ -239,15 +274,15 @@ impl LockstepChecker {
         self.accesses
     }
 
-    fn verify(&mut self, kind: &str, addr: u64, now: u64, dl1: &DataL1) {
+    fn verify(&mut self, kind: &str, addr: u64, now: u64, dl1: &DataL1, backend: &MemoryBackend) {
         self.accesses += 1;
         let result = if self.accesses.is_multiple_of(self.sweep_every) {
-            let real = export_real_state(dl1, now);
+            let real = export_real_state(dl1, backend, now);
             self.model.check(now, &real)
         } else {
             let mut touched = std::mem::take(&mut self.touched);
             self.model.take_touched_sets(&mut touched);
-            let real = export_real_sets(dl1, &touched, now);
+            let real = export_real_sets(dl1, backend, &touched, now);
             self.touched = touched;
             self.model.check_touched(now, &real)
         };
@@ -459,21 +494,27 @@ mod tests {
 
     #[test]
     fn basep_cell_audits_clean() {
-        let report = run_audit(&tiny_spec(vec![Scheme::BaseP]));
+        let report = run_audit(&tiny_spec(vec![Scheme::BASE_P]));
         assert_eq!(report.cells.len(), 1);
         assert!(report.cells[0].accesses_checked > 0);
     }
 
     #[test]
     fn replicating_scheme_audits_clean() {
-        let report = run_audit(&tiny_spec(vec![Scheme::icr_p_ps_s()]));
+        let report = run_audit(&tiny_spec(vec![Scheme::ICR_P_PS_S]));
+        assert!(report.total_accesses_checked() > 0);
+    }
+
+    #[test]
+    fn spill_scheme_audits_clean() {
+        let report = run_audit(&tiny_spec(vec![Scheme::ICR_P_PS_S_L2]));
         assert!(report.total_accesses_checked() > 0);
     }
 
     #[test]
     fn report_json_is_complete_and_deterministic() {
-        let a = run_audit(&tiny_spec(vec![Scheme::BaseP]));
-        let b = run_audit(&tiny_spec(vec![Scheme::BaseP]));
+        let a = run_audit(&tiny_spec(vec![Scheme::BASE_P]));
+        let b = run_audit(&tiny_spec(vec![Scheme::BASE_P]));
         assert_eq!(a.to_json(), b.to_json());
         assert!(icr_check::json_complete(&a.to_json()));
         assert!(a.summary_table().contains("0 divergences"));
@@ -482,15 +523,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "hints must be empty")]
     fn hinted_configs_are_rejected() {
-        let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         cfg.hints = icr_core::ReplicationHints::new().deny(0..0x1000);
-        ref_config(&cfg);
+        ref_config(&cfg, &HierarchyConfig::default());
     }
 
     #[test]
     #[should_panic(expected = "fault-free")]
     fn lockstep_rejects_fault_injection() {
-        let cfg = SimConfig::builder("gzip", DataL1Config::paper_default(Scheme::BaseP))
+        let cfg = SimConfig::builder("gzip", DataL1Config::paper_default(Scheme::BASE_P))
             .instructions(1_000)
             .fault(crate::simulator::FaultConfig::one_shot(
                 icr_fault::ErrorModel::Random,

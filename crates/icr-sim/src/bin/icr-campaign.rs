@@ -52,23 +52,6 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-fn parse_scheme(name: &str) -> Option<Scheme> {
-    Some(match name {
-        "basep" => Scheme::BaseP,
-        "baseecc" => Scheme::BaseEcc { speculative: false },
-        "baseecc-spec" => Scheme::BaseEcc { speculative: true },
-        "icr-p-ps-s" => Scheme::icr_p_ps_s(),
-        "icr-p-ps-ls" => Scheme::icr_p_ps_ls(),
-        "icr-p-pp-s" => Scheme::icr_p_pp_s(),
-        "icr-p-pp-ls" => Scheme::icr_p_pp_ls(),
-        "icr-ecc-ps-s" => Scheme::icr_ecc_ps_s(),
-        "icr-ecc-ps-ls" => Scheme::icr_ecc_ps_ls(),
-        "icr-ecc-pp-s" => Scheme::icr_ecc_pp_s(),
-        "icr-ecc-pp-ls" => Scheme::icr_ecc_pp_ls(),
-        _ => return None,
-    })
-}
-
 fn parse_model(name: &str) -> Option<ErrorModel> {
     Some(match name {
         "direct" => ErrorModel::Direct,
@@ -90,7 +73,7 @@ fn fail_usage(diagnostic: &str) -> ExitCode {
          \x20                   [--fault P] [--ci-width W] [--threads N]\n\
          \x20                   [--no-oracle] [--checkpoint DIR] [--resume]\n\
          \x20                   [--shard-size N] [--json PATH] [--quiet]\n\
-         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}\n\
+         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}[-l2]-{{s,ls}}\n\
          models:  direct adjacent column random\n\
          apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)"
     );
@@ -125,10 +108,10 @@ fn main() -> ExitCode {
 
     let mut spec = CampaignSpec::new(
         vec![
-            Scheme::BaseP,
-            Scheme::BaseEcc { speculative: false },
-            Scheme::icr_p_ps_s(),
-            Scheme::icr_ecc_ps_s(),
+            Scheme::BASE_P,
+            Scheme::BASE_ECC,
+            Scheme::ICR_P_PS_S,
+            Scheme::ICR_ECC_PS_S,
         ],
         vec!["gzip".into(), "gcc".into(), "mcf".into()],
         100,
@@ -170,10 +153,10 @@ fn main() -> ExitCode {
                 let v = take_value!("--schemes");
                 let mut schemes = Vec::new();
                 for name in v.split(',') {
-                    let Some(s) = parse_scheme(name.trim()) else {
-                        return fail_usage(&format!("unknown scheme {name:?}"));
-                    };
-                    schemes.push(s);
+                    match name.parse::<Scheme>() {
+                        Ok(s) => schemes.push(s),
+                        Err(e) => return fail_usage(&e.to_string()),
+                    }
                 }
                 spec.schemes = schemes;
             }

@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark]
+//! icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH]
+//!                      [--scheme NAME[,NAME…]] [--spark] [--stats]
 //!
 //! experiments: table1, fig1..fig17, sens, victim, extensions, vuln,
-//!              isa, isa-audit, all
+//!              isa, isa-audit, spill, all
 //! ```
 //!
 //! `--json PATH` writes the machine-readable result to `PATH`, where `-`
@@ -15,16 +16,23 @@
 //! one-shot outcome probabilities, FIT and MTTF from the `icr-vuln`
 //! ledger) rather than a figure; with `--json` it emits the
 //! machine-readable `VulnReport`. `audit` runs the full scheme × app
-//! matrix under the lockstep reference-model checker (`icr-check`),
-//! diffing the dL1's complete observable state after every access, and
-//! exits non-zero (panic) on the first divergence. `all --json` emits
+//! matrix — the ten paper presets plus two L2-spill descriptors — under
+//! the lockstep reference-model checker (`icr-check`), diffing the
+//! dL1's complete observable state after every access, and exits
+//! non-zero (panic) on the first divergence. `--scheme` (accepted by
+//! `audit`, `isa-audit` and `vuln`; any named preset, comma-separated)
+//! replaces that default matrix. `spill` compares the descriptor's
+//! L2-spill placement tier against dL1-only replication; like `isa` it
+//! stays out of `all`, whose JSON bytes are pinned. `all --json` emits
 //! one JSON array holding every figure object.
 //!
 //! Every cell is executed through the shared engine, so `all` computes
 //! each distinct configuration exactly once even though many figures
 //! name the same cells; `--stats` prints the cache counters to stderr
-//! afterwards.
+//! afterwards. Invalid command-line input exits with code 2 and a
+//! diagnostic — the same contract as `icr-run` and `icr-campaign`.
 
+use icr_core::Scheme;
 use icr_sim::audit::{run_audit, AuditSpec};
 use icr_sim::engine::Engine;
 use icr_sim::experiment::{self, ExpOptions};
@@ -32,34 +40,73 @@ use icr_sim::json::write_output;
 use icr_sim::vuln::{run_vuln, VulnSpec};
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
+/// Prints a diagnostic plus the usage text and returns the
+/// invalid-invocation exit code (2, in the `getopt` tradition —
+/// distinct from runtime failures, which exit 1).
+fn fail_usage(diagnostic: &str) -> ExitCode {
+    eprintln!("error: {diagnostic}");
     eprintln!(
-        "usage: icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--spark] [--stats]\n\
-         \x20      --json PATH   write JSON to PATH ('-' = stdout)\n\
+        "usage: icr-exp <experiment> [--insts N] [--seed S] [--threads T] [--json PATH] [--scheme NAME[,NAME…]] [--spark] [--stats]\n\
+         \x20      --json PATH    write JSON to PATH ('-' = stdout)\n\
+         \x20      --scheme NAMES restrict audit/isa-audit/vuln to these schemes\n\
          experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln audit sdc isa isa-audit all"
+         \x20            fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 sens victim models hints dupcache stability scrub window dram exposure vuln audit sdc isa isa-audit spill all"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
+}
+
+/// The default lockstep-audit scheme matrix: the ten paper presets plus
+/// two spill descriptors, so every audit run exercises the L2 replica
+/// region's reference model too.
+fn audit_schemes() -> Vec<Scheme> {
+    let mut schemes = Scheme::all_paper_schemes();
+    schemes.push(Scheme::ICR_P_PS_S_L2);
+    schemes.push(Scheme::ICR_ECC_PS_S_L2);
+    schemes
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else {
-        return usage();
+        return fail_usage("expected an experiment name");
     };
     let mut opts = ExpOptions::default();
     let mut json: Option<String> = None;
+    let mut schemes: Option<Vec<Scheme>> = None;
     let mut spark = false;
     let mut stats = false;
     let mut i = 1;
+    macro_rules! take_value {
+        ($flag:expr) => {{
+            let Some(v) = args.get(i + 1) else {
+                return fail_usage(&format!("{} requires a value", $flag));
+            };
+            i += 2;
+            v
+        }};
+    }
+    macro_rules! take_parsed {
+        ($flag:expr, $what:expr) => {{
+            let v = take_value!($flag);
+            match v.parse() {
+                Ok(n) => n,
+                Err(_) => return fail_usage(&format!("{} expects {}, got {v:?}", $flag, $what)),
+            }
+        }};
+    }
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => {
-                let Some(path) = args.get(i + 1) else {
-                    return usage();
-                };
-                json = Some(path.clone());
-                i += 2;
+            "--json" => json = Some(take_value!("--json").clone()),
+            "--scheme" => {
+                let v = take_value!("--scheme");
+                let mut parsed = Vec::new();
+                for name in v.split(',') {
+                    match name.parse::<Scheme>() {
+                        Ok(s) => parsed.push(s),
+                        Err(e) => return fail_usage(&e.to_string()),
+                    }
+                }
+                schemes = Some(parsed);
             }
             "--spark" => {
                 spark = true;
@@ -69,29 +116,20 @@ fn main() -> ExitCode {
                 stats = true;
                 i += 1;
             }
-            "--insts" => {
-                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                opts.instructions = n;
-                i += 2;
-            }
-            "--seed" => {
-                let Some(s) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                opts.seed = s;
-                i += 2;
-            }
-            "--threads" => {
-                let Some(t) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                opts.threads = t;
-                i += 2;
-            }
-            _ => return usage(),
+            "--insts" => opts.instructions = take_parsed!("--insts", "a positive integer"),
+            "--seed" => opts.seed = take_parsed!("--seed", "an unsigned integer"),
+            "--threads" => opts.threads = take_parsed!("--threads", "an unsigned integer"),
+            other => return fail_usage(&format!("unknown option {other:?}")),
         }
+    }
+    if opts.instructions == 0 {
+        return fail_usage("--insts must be at least 1");
+    }
+    if schemes.as_ref().is_some_and(|s| s.is_empty()) {
+        return fail_usage("--scheme must name at least one scheme");
+    }
+    if schemes.is_some() && !matches!(which.as_str(), "audit" | "isa-audit" | "vuln") {
+        return fail_usage("--scheme only applies to audit, isa-audit and vuln");
     }
 
     let emit = |fig: icr_sim::FigureResult| {
@@ -134,9 +172,10 @@ fn main() -> ExitCode {
         "dram" => emit(experiment::dram(&opts)),
         "exposure" => emit(experiment::exposure(&opts)),
         "isa" => emit(experiment::isa_matrix(&opts)),
+        "spill" => emit(experiment::spill_matrix(&opts)),
         "isa-audit" => {
             let mut spec = AuditSpec::new(
-                icr_core::Scheme::all_paper_schemes(),
+                schemes.unwrap_or_else(Scheme::all_paper_schemes),
                 icr_trace::apps::ISA_APP_NAMES
                     .iter()
                     .map(|s| s.to_string())
@@ -159,7 +198,7 @@ fn main() -> ExitCode {
         }
         "vuln" => {
             let mut spec = VulnSpec::new(
-                icr_core::Scheme::all_paper_schemes(),
+                schemes.unwrap_or_else(Scheme::all_paper_schemes),
                 icr_trace::apps::APP_NAMES
                     .iter()
                     .map(|s| s.to_string())
@@ -184,7 +223,7 @@ fn main() -> ExitCode {
         }
         "audit" => {
             let mut spec = AuditSpec::new(
-                icr_core::Scheme::all_paper_schemes(),
+                schemes.unwrap_or_else(audit_schemes),
                 icr_trace::apps::APP_NAMES
                     .iter()
                     .map(|s| s.to_string())
@@ -225,7 +264,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        _ => return usage(),
+        other => return fail_usage(&format!("unknown experiment {other:?}")),
     }
     if stats {
         eprintln!("engine: {:?}", Engine::global().stats());

@@ -3,9 +3,9 @@
 //! ```text
 //! icr-run <app> <scheme> [options]
 //!
-//! schemes: basep, baseecc, baseecc-spec,
-//!          icr-p-ps-s, icr-p-ps-ls, icr-p-pp-s, icr-p-pp-ls,
-//!          icr-ecc-ps-s, icr-ecc-ps-ls, icr-ecc-pp-s, icr-ecc-pp-ls
+//! schemes: basep, baseecc, baseecc-spec, and the descriptor presets
+//!          icr-{p,ecc}-{ps,pp}[-l2]-{s,ls} (the `-l2` variants spill
+//!          replicas that find no dead dL1 block into the L2 region)
 //!
 //! options:
 //!   --insts N          instructions to simulate      (default 200000)
@@ -25,29 +25,16 @@
 //!                      or interpreting the workload; the file's app and
 //!                      seed must match the command line
 //! ```
+//!
+//! Invalid command-line input exits with code 2 and a diagnostic;
+//! runtime failures (e.g. an unreadable trace file) exit with 1 — the
+//! same contract as `icr-campaign` and `icr-exp`.
 
 use icr_core::{DataL1Config, DecayConfig, Scheme, VictimPolicy, WritePolicy};
 use icr_fault::ErrorModel;
 use icr_sim::json::write_output;
 use icr_sim::{run_sim, CheckMode, FaultConfig, ScrubConfig, SimConfig};
 use std::process::ExitCode;
-
-fn parse_scheme(name: &str) -> Option<Scheme> {
-    Some(match name {
-        "basep" => Scheme::BaseP,
-        "baseecc" => Scheme::BaseEcc { speculative: false },
-        "baseecc-spec" => Scheme::BaseEcc { speculative: true },
-        "icr-p-ps-s" => Scheme::icr_p_ps_s(),
-        "icr-p-ps-ls" => Scheme::icr_p_ps_ls(),
-        "icr-p-pp-s" => Scheme::icr_p_pp_s(),
-        "icr-p-pp-ls" => Scheme::icr_p_pp_ls(),
-        "icr-ecc-ps-s" => Scheme::icr_ecc_ps_s(),
-        "icr-ecc-ps-ls" => Scheme::icr_ecc_ps_ls(),
-        "icr-ecc-pp-s" => Scheme::icr_ecc_pp_s(),
-        "icr-ecc-pp-ls" => Scheme::icr_ecc_pp_ls(),
-        _ => return None,
-    })
-}
 
 fn parse_victim(name: &str) -> Option<VictimPolicy> {
     Some(match name {
@@ -59,7 +46,11 @@ fn parse_victim(name: &str) -> Option<VictimPolicy> {
     })
 }
 
-fn usage() -> ExitCode {
+/// Prints a diagnostic plus the usage text and returns the
+/// invalid-invocation exit code (2, in the `getopt` tradition —
+/// distinct from runtime failures, which exit 1).
+fn fail_usage(diagnostic: &str) -> ExitCode {
+    eprintln!("error: {diagnostic}");
     eprintln!(
         "usage: icr-run <app> <scheme> [--insts N] [--seed S] [--window W]\n\
          \x20                [--victim P] [--keep] [--write-through N]\n\
@@ -67,20 +58,25 @@ fn usage() -> ExitCode {
          \x20                [--trace-out PATH] [--trace-in PATH]\n\
          apps: gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap,\n\
          \x20     execution-driven isa:{{bubble,qsort,matmul,chase,strsearch,lz,checksum}})\n\
-         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}-{{s,ls}}"
+         schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}[-l2]-{{s,ls}}"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
-        return usage();
+        return fail_usage("expected <app> and <scheme>");
     }
     let app = args[0].clone();
-    let Some(scheme) = parse_scheme(&args[1]) else {
-        eprintln!("unknown scheme {:?}", args[1]);
-        return usage();
+    if !icr_trace::apps::APP_NAMES.contains(&app.as_str())
+        && !icr_trace::apps::EXTENDED_APP_NAMES.contains(&app.as_str())
+    {
+        return fail_usage(&format!("unknown app {app:?}"));
+    }
+    let scheme = match args[1].parse::<Scheme>() {
+        Ok(s) => s,
+        Err(e) => return fail_usage(&e.to_string()),
     };
 
     let mut dl1 = DataL1Config::paper_default(scheme);
@@ -94,38 +90,37 @@ fn main() -> ExitCode {
     let mut trace_in: Option<String> = None;
 
     let mut i = 2;
-    macro_rules! val {
-        () => {{
+    macro_rules! take_value {
+        ($flag:expr) => {{
             let Some(v) = args.get(i + 1) else {
-                return usage();
+                return fail_usage(&format!("{} requires a value", $flag));
             };
             i += 2;
             v
         }};
     }
+    macro_rules! take_parsed {
+        ($flag:expr, $what:expr) => {{
+            let v = take_value!($flag);
+            match v.parse() {
+                Ok(n) => n,
+                Err(_) => return fail_usage(&format!("{} expects {}, got {v:?}", $flag, $what)),
+            }
+        }};
+    }
     while i < args.len() {
         match args[i].as_str() {
-            "--insts" => {
-                let Ok(n) = val!().parse() else {
-                    return usage();
-                };
-                instructions = n;
-            }
-            "--seed" => {
-                let Ok(s) = val!().parse() else {
-                    return usage();
-                };
-                seed = s;
-            }
+            "--insts" => instructions = take_parsed!("--insts", "a positive integer"),
+            "--seed" => seed = take_parsed!("--seed", "an unsigned integer"),
             "--window" => {
-                let Ok(w) = val!().parse() else {
-                    return usage();
-                };
-                dl1.decay = DecayConfig { window: w };
+                dl1.decay = DecayConfig {
+                    window: take_parsed!("--window", "a cycle count"),
+                }
             }
             "--victim" => {
-                let Some(p) = parse_victim(val!()) else {
-                    return usage();
+                let v = take_value!("--victim");
+                let Some(p) = parse_victim(v) else {
+                    return fail_usage(&format!("unknown victim policy {v:?}"));
                 };
                 dl1.victim = p;
             }
@@ -134,15 +129,15 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--write-through" => {
-                let Ok(n) = val!().parse() else {
-                    return usage();
-                };
-                dl1.write_policy = WritePolicy::WriteThrough { buffer_entries: n };
+                dl1.write_policy = WritePolicy::WriteThrough {
+                    buffer_entries: take_parsed!("--write-through", "a buffer entry count"),
+                }
             }
             "--fault" => {
-                let Ok(p) = val!().parse() else {
-                    return usage();
-                };
+                let p: f64 = take_parsed!("--fault", "a probability");
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return fail_usage("--fault must be a probability in [0, 1]");
+                }
                 fault = Some(FaultConfig {
                     model: ErrorModel::Random,
                     p_per_cycle: p,
@@ -151,11 +146,8 @@ fn main() -> ExitCode {
                 });
             }
             "--scrub" => {
-                let Ok(interval) = val!().parse() else {
-                    return usage();
-                };
                 scrub = Some(ScrubConfig {
-                    interval,
+                    interval: take_parsed!("--scrub", "an interval in cycles"),
                     lines_per_step: 16,
                 });
             }
@@ -164,16 +156,19 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--json" => {
-                json = Some(val!().clone());
+                json = Some(take_value!("--json").clone());
             }
             "--trace-out" => {
-                trace_out = Some(val!().clone());
+                trace_out = Some(take_value!("--trace-out").clone());
             }
             "--trace-in" => {
-                trace_in = Some(val!().clone());
+                trace_in = Some(take_value!("--trace-in").clone());
             }
-            _ => return usage(),
+            other => return fail_usage(&format!("unknown option {other:?}")),
         }
+    }
+    if instructions == 0 {
+        return fail_usage("--insts must be at least 1");
     }
 
     if let Some(path) = &trace_in {
@@ -269,6 +264,16 @@ fn main() -> ExitCode {
         100.0 * r.icr.loads_with_replica()
     );
     println!("misses served by repl: {}", r.icr.misses_served_by_replica);
+    if scheme.spills_to_l2() {
+        println!();
+        println!("-- L2 spill region --");
+        println!("spills created       : {}", r.icr.spills_created);
+        println!("spill updates        : {}", r.icr.spill_updates);
+        println!("spill invalidations  : {}", r.icr.spill_invalidations);
+        println!("region evictions     : {}", r.icr.spill_evictions);
+        println!("misses served by spi : {}", r.icr.misses_served_by_spill);
+        println!("healed from spill    : {}", r.icr.errors_recovered_spill);
+    }
     println!();
     println!("-- reliability --");
     println!("faults injected      : {}", r.faults_injected);

@@ -933,7 +933,7 @@ mod tests {
 
     fn tiny_spec() -> CampaignSpec {
         let mut spec = CampaignSpec::new(
-            vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+            vec![Scheme::BASE_P, Scheme::ICR_P_PS_S],
             vec!["gzip".into(), "gcc".into()],
             6,
             42,

@@ -147,7 +147,7 @@ mod tests {
     use icr_fault::ErrorModel;
 
     fn cfg(app: &str, seed: u64) -> SimConfig {
-        SimConfig::builder(app, DataL1Config::paper_default(Scheme::BaseP))
+        SimConfig::builder(app, DataL1Config::paper_default(Scheme::BASE_P))
             .instructions(5_000)
             .seed(seed)
             .build()

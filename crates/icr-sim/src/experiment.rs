@@ -129,7 +129,7 @@ fn v(label: &str, dl1: DataL1Config) -> (String, DataL1Config, Option<FaultConfi
 pub fn table1() -> String {
     let cpu = icr_cpu::CpuConfig::default();
     let h = icr_mem::HierarchyConfig::default();
-    let dl1 = DataL1Config::paper_default(Scheme::BaseP);
+    let dl1 = DataL1Config::paper_default(Scheme::BASE_P);
     let g = dl1.geometry;
     format!(
         "== table1 — Configuration parameters (paper Table 1) ==\n\
@@ -181,7 +181,7 @@ pub fn table1() -> String {
 /// `ICR-P-PS (S)`, aggressive dead-block prediction.
 pub fn fig1(opts: &ExpOptions) -> FigureResult {
     let g = CacheGeometry::new(16 * 1024, 4, 64);
-    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let single = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut multi = single.clone();
     multi.placement = PlacementPolicy::multi_attempt(g);
     figure_over_apps(
@@ -198,7 +198,7 @@ pub fn fig1(opts: &ExpOptions) -> FigureResult {
 /// Figure 2: loads with replica, single vs multiple attempt.
 pub fn fig2(opts: &ExpOptions) -> FigureResult {
     let g = CacheGeometry::new(16 * 1024, 4, 64);
-    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let single = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut multi = single.clone();
     multi.placement = PlacementPolicy::multi_attempt(g);
     figure_over_apps(
@@ -215,7 +215,7 @@ pub fn fig2(opts: &ExpOptions) -> FigureResult {
 /// Figure 3: ability to create one vs two replicas, `ICR-P-PS (S)`.
 pub fn fig3(opts: &ExpOptions) -> FigureResult {
     let g = CacheGeometry::new(16 * 1024, 4, 64);
-    let mut two = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let mut two = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     two.placement = PlacementPolicy::two_replicas(g);
     let matrix = run_matrix(&APP_NAMES, &[v("two-replica policy", two)], opts);
     let mut one_vals: Vec<f64> = matrix[0]
@@ -252,7 +252,7 @@ pub fn fig3(opts: &ExpOptions) -> FigureResult {
 /// Figure 4: miss rates with one vs two replicas, `ICR-P-PS (S)`.
 pub fn fig4(opts: &ExpOptions) -> FigureResult {
     let g = CacheGeometry::new(16 * 1024, 4, 64);
-    let one = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let one = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut two = one.clone();
     two.placement = PlacementPolicy::two_replicas(g);
     figure_over_apps(
@@ -269,7 +269,7 @@ pub fn fig4(opts: &ExpOptions) -> FigureResult {
 /// Figure 5: loads with replica, vertical (N/2) vs horizontal (0)
 /// replication, `ICR-P-PS (S)`.
 pub fn fig5(opts: &ExpOptions) -> FigureResult {
-    let vertical = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let vertical = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut horizontal = vertical.clone();
     horizontal.placement = PlacementPolicy::horizontal();
     figure_over_apps(
@@ -295,8 +295,8 @@ pub fn fig6(opts: &ExpOptions) -> FigureResult {
         "fraction of attempts",
         "paper shape: LS replicates more data than S",
         &[
-            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
-            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::ICR_P_PS_LS)),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::ICR_P_PS_S)),
         ],
         opts,
         |r, _| r.icr.replication_ability(),
@@ -311,8 +311,8 @@ pub fn fig7(opts: &ExpOptions) -> FigureResult {
         "fraction of read hits",
         "paper shape: S > 65% on average, LS > 90%, mcf near-complete duplication",
         &[
-            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
-            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::ICR_P_PS_LS)),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::ICR_P_PS_S)),
         ],
         opts,
         |r, _| r.icr.loads_with_replica(),
@@ -327,9 +327,9 @@ pub fn fig8(opts: &ExpOptions) -> FigureResult {
         "dL1 miss rate",
         "paper shape: ICR raises misses; mcf barely moves (poor locality anyway)",
         &[
-            v("Base*", DataL1Config::paper_default(Scheme::BaseP)),
-            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::icr_p_ps_ls())),
-            v("ICR-*(S)", DataL1Config::aggressive(Scheme::icr_p_ps_s())),
+            v("Base*", DataL1Config::paper_default(Scheme::BASE_P)),
+            v("ICR-*(LS)", DataL1Config::aggressive(Scheme::ICR_P_PS_LS)),
+            v("ICR-*(S)", DataL1Config::aggressive(Scheme::ICR_P_PS_S)),
         ],
         opts,
         |r, _| r.icr.miss_rate(),
@@ -373,7 +373,7 @@ pub fn fig10(opts: &ExpOptions) -> FigureResult {
     let configs: Vec<SimConfig> = WINDOWS
         .iter()
         .map(|&w| {
-            let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+            let mut dl1 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
             dl1.decay = DecayConfig { window: w };
             // §5.3 runs before the paper switches to dead-first, and its
             // falling-ability trend requires dead-only victims: a longer
@@ -409,14 +409,14 @@ pub fn fig10(opts: &ExpOptions) -> FigureResult {
 pub fn fig11(opts: &ExpOptions) -> FigureResult {
     let base = Engine::global().run(&SimConfig::paper(
         "vpr",
-        DataL1Config::paper_default(Scheme::BaseP),
+        DataL1Config::paper_default(Scheme::BASE_P),
         opts.instructions,
         opts.seed,
     ));
     let jobs: Vec<(u64, Scheme)> = WINDOWS
         .iter()
         .flat_map(|&w| {
-            [Scheme::icr_p_ps_s(), Scheme::icr_ecc_ps_s()]
+            [Scheme::ICR_P_PS_S, Scheme::ICR_ECC_PS_S]
                 .into_iter()
                 .map(move |s| (w, s))
         })
@@ -475,18 +475,15 @@ pub fn fig12(opts: &ExpOptions) -> FigureResult {
         "cycles / BaseP cycles",
         "paper shape: BaseECC +30.9%, ICR-P-PS(S) +2.4%, ICR-ECC-PS(S) +10.2% on average",
         &[
-            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
-            v(
-                "BaseECC",
-                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-            ),
+            v("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
+            v("BaseECC", DataL1Config::paper_default(Scheme::BASE_ECC)),
             v(
                 "ICR-P-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_P_PS_S),
             ),
             v(
                 "ICR-ECC-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_ECC_PS_S),
             ),
         ],
         opts,
@@ -497,8 +494,8 @@ pub fn fig12(opts: &ExpOptions) -> FigureResult {
 /// Figure 13: replication ability and loads-with-replica, 1000 vs 0
 /// cycle windows.
 pub fn fig13(opts: &ExpOptions) -> FigureResult {
-    let aggressive = DataL1Config::aggressive(Scheme::icr_p_ps_s());
-    let relaxed = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let aggressive = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
+    let relaxed = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     let matrix = run_matrix(
         &APP_NAMES,
         &[v("window 0", aggressive), v("window 1000", relaxed)],
@@ -547,19 +544,16 @@ pub const FIG14_PROBS: [f64; 4] = [1e-2, 1e-3, 1e-4, 1e-5];
 /// probability (vortex, random injection model).
 pub fn fig14(opts: &ExpOptions) -> FigureResult {
     let schemes = [
-        ("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+        ("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
         (
             "ICR-P-PS (S)",
-            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            DataL1Config::paper_default(Scheme::ICR_P_PS_S),
         ),
         (
             "ICR-ECC-PS (S)",
-            DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+            DataL1Config::paper_default(Scheme::ICR_ECC_PS_S),
         ),
-        (
-            "BaseECC",
-            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-        ),
+        ("BaseECC", DataL1Config::paper_default(Scheme::BASE_ECC)),
     ];
     let jobs: Vec<(usize, usize)> = (0..schemes.len())
         .flat_map(|s| (0..FIG14_PROBS.len()).map(move |p| (s, p)))
@@ -611,9 +605,9 @@ pub fn fig14(opts: &ExpOptions) -> FigureResult {
 /// Figure 15: normalized execution cycles when replicas are left in the
 /// cache on primary eviction and can serve misses.
 pub fn fig15(opts: &ExpOptions) -> FigureResult {
-    let mut icr_p = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let mut icr_p = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     icr_p.keep_replicas_on_evict = true;
-    let mut icr_ecc = DataL1Config::paper_default(Scheme::icr_ecc_ps_s());
+    let mut icr_ecc = DataL1Config::paper_default(Scheme::ICR_ECC_PS_S);
     icr_ecc.keep_replicas_on_evict = true;
     figure_over_apps(
         "fig15",
@@ -621,11 +615,8 @@ pub fn fig15(opts: &ExpOptions) -> FigureResult {
         "cycles / BaseP cycles",
         "paper shape: ICR-*-PS(S) match BaseP, and beat it on mcf/vpr (up to ~24%)",
         &[
-            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
-            v(
-                "BaseECC",
-                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-            ),
+            v("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
+            v("BaseECC", DataL1Config::paper_default(Scheme::BASE_ECC)),
             v("ICR-P-PS (S) keep", icr_p),
             v("ICR-ECC-PS (S) keep", icr_ecc),
         ],
@@ -653,7 +644,7 @@ pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
         .flat_map(|s| (0..apps.len()).map(move |a| (s, a)))
         .collect();
     let results = opts.pool().run(jobs, |(s, a)| {
-        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut dl1 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         dl1.geometry = shapes[s].1;
         dl1.placement = PlacementPolicy::vertical(shapes[s].1);
         // Dead-only makes replication ability a direct read-out of how
@@ -709,9 +700,9 @@ pub fn sensitivity(opts: &ExpOptions) -> FigureResult {
 /// buffer), normalized to `ICR-P-PS (S)` with write-back — execution
 /// cycles and energy.
 pub fn fig16(opts: &ExpOptions) -> FigureResult {
-    let mut wt = DataL1Config::paper_default(Scheme::BaseP);
+    let mut wt = DataL1Config::paper_default(Scheme::BASE_P);
     wt.write_policy = icr_core::WritePolicy::WriteThrough { buffer_entries: 8 };
-    let icr = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let icr = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     let matrix = run_matrix(
         &APP_NAMES,
         &[v("ICR-P-PS (S) wb", icr), v("BaseP wt", wt)],
@@ -758,8 +749,8 @@ pub fn fig16(opts: &ExpOptions) -> FigureResult {
 /// performance-optimized `ICR-P-PS (S)` (replicas left in place) —
 /// execution cycles and energy at two parity:ECC cost points.
 pub fn fig17(opts: &ExpOptions) -> FigureResult {
-    let spec = DataL1Config::paper_default(Scheme::BaseEcc { speculative: true });
-    let mut icr = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let spec = DataL1Config::paper_default(Scheme::BASE_ECC_SPEC);
+    let mut icr = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     icr.keep_replicas_on_evict = true;
     let matrix = run_matrix(
         &APP_NAMES,
@@ -827,7 +818,7 @@ pub fn victim_ablation(opts: &ExpOptions) -> FigureResult {
     let variants: Vec<_> = policies
         .iter()
         .map(|&p| {
-            let mut cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+            let mut cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
             cfg.victim = p;
             v(p.name(), cfg)
         })
@@ -874,10 +865,10 @@ pub fn victim_ablation(opts: &ExpOptions) -> FigureResult {
 /// fractions per model, for BaseP and ICR-P-PS (S) at p = 10⁻².
 pub fn error_models(opts: &ExpOptions) -> FigureResult {
     let schemes = [
-        ("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+        ("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
         (
             "ICR-P-PS (S)",
-            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            DataL1Config::paper_default(Scheme::ICR_P_PS_S),
         ),
     ];
     let models = ErrorModel::all();
@@ -933,7 +924,7 @@ pub fn error_models(opts: &ExpOptions) -> FigureResult {
 /// hinted variant that only replicates each app's hot region.
 pub fn hints_ablation(opts: &ExpOptions) -> FigureResult {
     use icr_core::ReplicationHints;
-    let unhinted = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let unhinted = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> =
         vec![v("no hints", unhinted.clone()), {
             // Hot-region blocks live at the front of each app's data
@@ -1000,17 +991,17 @@ pub fn dupcache(opts: &ExpOptions) -> FigureResult {
     let mut variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
         (
             "BaseP".into(),
-            DataL1Config::paper_default(Scheme::BaseP),
+            DataL1Config::paper_default(Scheme::BASE_P),
             Some(fault),
         ),
         (
             "ICR-P-PS (S), +0 area".into(),
-            DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+            DataL1Config::paper_default(Scheme::ICR_P_PS_S),
             Some(fault),
         ),
     ];
     for blocks in [8usize, 16, 32, 64] {
-        let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
         cfg.duplication_cache = Some(blocks);
         variants.push((format!("dup-cache {blocks} blk"), cfg, Some(fault)));
     }
@@ -1037,9 +1028,9 @@ pub fn stability(opts: &ExpOptions) -> FigureResult {
     use crate::stats::Summary;
     const SEEDS: u64 = 5;
     let schemes = [
-        ("BaseECC", Scheme::BaseEcc { speculative: false }),
-        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
-        ("ICR-ECC-PS (S)", Scheme::icr_ecc_ps_s()),
+        ("BaseECC", Scheme::BASE_ECC),
+        ("ICR-P-PS (S)", Scheme::ICR_P_PS_S),
+        ("ICR-ECC-PS (S)", Scheme::ICR_ECC_PS_S),
     ];
     // (scheme index incl. BaseP at 0, app, seed) jobs.
     let jobs: Vec<(usize, usize, u64)> = (0..=schemes.len())
@@ -1047,7 +1038,7 @@ pub fn stability(opts: &ExpOptions) -> FigureResult {
         .collect();
     let results = opts.pool().run(jobs, |(s, a, k)| {
         let scheme = if s == 0 {
-            Scheme::BaseP
+            Scheme::BASE_P
         } else {
             schemes[s - 1].1
         };
@@ -1114,8 +1105,8 @@ pub fn scrub(opts: &ExpOptions) -> FigureResult {
     };
     let intervals: [Option<u64>; 4] = [None, Some(20_000), Some(4_000), Some(500)];
     let schemes = [
-        ("BaseECC", Scheme::BaseEcc { speculative: false }),
-        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
+        ("BaseECC", Scheme::BASE_ECC),
+        ("ICR-P-PS (S)", Scheme::ICR_P_PS_S),
     ];
     let jobs: Vec<(usize, usize)> = (0..schemes.len())
         .flat_map(|s| (0..intervals.len()).map(move |i| (s, i)))
@@ -1182,9 +1173,9 @@ pub fn scrub(opts: &ExpOptions) -> FigureResult {
 pub fn window(opts: &ExpOptions) -> FigureResult {
     let ruu_sizes = [8usize, 16, 32, 64];
     let schemes = [
-        ("BaseP", Scheme::BaseP),
-        ("BaseECC", Scheme::BaseEcc { speculative: false }),
-        ("ICR-ECC-PS (S)", Scheme::icr_ecc_ps_s()),
+        ("BaseP", Scheme::BASE_P),
+        ("BaseECC", Scheme::BASE_ECC),
+        ("ICR-ECC-PS (S)", Scheme::ICR_ECC_PS_S),
     ];
     let jobs: Vec<(usize, usize)> = (0..ruu_sizes.len())
         .flat_map(|r| (0..schemes.len()).map(move |s| (r, s)))
@@ -1242,9 +1233,9 @@ pub fn dram(opts: &ExpOptions) -> FigureResult {
     use icr_mem::RowBufferConfig;
     let apps = ["mcf", "art"];
     let schemes = [
-        ("BaseP", Scheme::BaseP),
-        ("BaseECC", Scheme::BaseEcc { speculative: false }),
-        ("ICR-P-PS (S)", Scheme::icr_p_ps_s()),
+        ("BaseP", Scheme::BASE_P),
+        ("BaseECC", Scheme::BASE_ECC),
+        ("ICR-P-PS (S)", Scheme::ICR_P_PS_S),
     ];
     let jobs: Vec<(usize, usize, bool)> = (0..apps.len())
         .flat_map(|a| (0..schemes.len()).flat_map(move |s| [false, true].map(move |rb| (a, s, rb))))
@@ -1311,18 +1302,18 @@ pub fn exposure(opts: &ExpOptions) -> FigureResult {
         "vulnerable words (of 2048)",
         "BaseP exposes its whole dirty footprint; ICR covers it with replicas;          SEC-DED schemes expose nothing to single-bit strikes",
         &[
-            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
             v(
                 "ICR-P-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_P_PS_S),
             ),
             v(
                 "ICR-P-PS (LS)",
-                DataL1Config::paper_default(Scheme::icr_p_ps_ls()),
+                DataL1Config::paper_default(Scheme::ICR_P_PS_LS),
             ),
             v(
                 "ICR-ECC-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_ECC_PS_S),
             ),
         ],
         opts,
@@ -1346,22 +1337,22 @@ pub fn vuln(opts: &ExpOptions) -> FigureResult {
         "P(survived | strike on a valid word)",
         "single-pass AVF accounting; cross-validated against the           Monte-Carlo campaign in icr-sim/tests/vuln_validation.rs",
         &[
-            v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
+            v("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
             v(
                 "BaseECC",
-                DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
+                DataL1Config::paper_default(Scheme::BASE_ECC),
             ),
             v(
                 "ICR-P-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_P_PS_S),
             ),
             v(
                 "ICR-P-PP (S)",
-                DataL1Config::paper_default(Scheme::icr_p_pp_s()),
+                DataL1Config::paper_default(Scheme::ICR_P_PP_S),
             ),
             v(
                 "ICR-ECC-PS (S)",
-                DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
+                DataL1Config::paper_default(Scheme::ICR_ECC_PS_S),
             ),
         ],
         opts,
@@ -1391,14 +1382,10 @@ pub fn sdc(opts: &ExpOptions) -> FigureResult {
         cfg
     };
     let variants: Vec<(String, DataL1Config, Option<FaultConfig>)> = vec![
-        ("BaseP".into(), mk(Scheme::BaseP), Some(fault)),
-        ("ICR-P-PS (S)".into(), mk(Scheme::icr_p_ps_s()), Some(fault)),
-        ("ICR-P-PP (S)".into(), mk(Scheme::icr_p_pp_s()), Some(fault)),
-        (
-            "BaseECC".into(),
-            mk(Scheme::BaseEcc { speculative: false }),
-            Some(fault),
-        ),
+        ("BaseP".into(), mk(Scheme::BASE_P), Some(fault)),
+        ("ICR-P-PS (S)".into(), mk(Scheme::ICR_P_PS_S), Some(fault)),
+        ("ICR-P-PP (S)".into(), mk(Scheme::ICR_P_PP_S), Some(fault)),
+        ("BaseECC".into(), mk(Scheme::BASE_ECC), Some(fault)),
     ];
     let matrix = run_matrix(&APP_NAMES, &variants, opts);
     let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
@@ -1452,18 +1439,15 @@ pub fn sdc(opts: &ExpOptions) -> FigureResult {
 pub fn isa_matrix(opts: &ExpOptions) -> FigureResult {
     let apps = icr_trace::apps::ISA_APP_NAMES;
     let variants = [
-        v("BaseP", DataL1Config::paper_default(Scheme::BaseP)),
-        v(
-            "BaseECC",
-            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-        ),
+        v("BaseP", DataL1Config::paper_default(Scheme::BASE_P)),
+        v("BaseECC", DataL1Config::paper_default(Scheme::BASE_ECC)),
         v(
             "ICR-P-PS (LS)",
-            DataL1Config::paper_default(Scheme::icr_p_ps_ls()),
+            DataL1Config::paper_default(Scheme::ICR_P_PS_LS),
         ),
         v(
             "ICR-ECC-PP (LS)",
-            DataL1Config::paper_default(Scheme::icr_ecc_pp_ls()),
+            DataL1Config::paper_default(Scheme::ICR_ECC_PP_LS),
         ),
     ];
     let matrix = run_matrix(&apps, &variants, opts);
@@ -1491,6 +1475,93 @@ pub fn isa_matrix(opts: &ExpOptions) -> FigureResult {
         notes: "traces come from interpreting real programs to completion rather than \
                 from synthetic profiles; short kernels may retire before the \
                 instruction budget"
+            .into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: the L2 spill tier of the scheme descriptor
+// ---------------------------------------------------------------------
+
+/// Extension: what the descriptor's spill placement tier buys.
+///
+/// Pairs each dL1-only scheme with its `+L2` spill variant and reports
+/// the analytic one-shot survival probability (the AVF-weighted chance
+/// a uniformly-arriving strike is recovered or masked) across the eight
+/// applications, plus — for the spill variants — how often replication
+/// would have been refused outright but found a home in the L2 region,
+/// and how many dL1 load misses a spilled copy served with verified
+/// read-back. Like [`isa_matrix`], deliberately **not** part of
+/// [`figure_runners`]: the default `icr-exp all` figure set and its
+/// pinned golden digest stay byte-identical; run this via
+/// `icr-exp spill`.
+pub fn spill_matrix(opts: &ExpOptions) -> FigureResult {
+    let variants = [
+        v(
+            "ICR-P-PS (S)",
+            DataL1Config::paper_default(Scheme::ICR_P_PS_S),
+        ),
+        v(
+            "ICR-P-PS (S) +L2",
+            DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2),
+        ),
+        v(
+            "ICR-ECC-PS (S)",
+            DataL1Config::paper_default(Scheme::ICR_ECC_PS_S),
+        ),
+        v(
+            "ICR-ECC-PS (S) +L2",
+            DataL1Config::paper_default(Scheme::ICR_ECC_PS_S_L2),
+        ),
+    ];
+    let matrix = run_matrix(&APP_NAMES, &variants, opts);
+    let mut xs: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    xs.push("AVG".into());
+    let mut series = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut survived: Vec<f64> = matrix[vi]
+            .iter()
+            .map(|r| r.exposure.one_shot_survived())
+            .collect();
+        survived.push(survived.iter().sum::<f64>() / survived.len() as f64);
+        series.push(Series {
+            label: format!("{label} survival"),
+            values: survived,
+        });
+    }
+    // The spill variants' extra coverage, in raw event counts: replicas
+    // that only existed because the region took them, and load misses a
+    // spilled copy answered.
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let spills: u64 = matrix[vi].iter().map(|r| r.icr.spills_created).sum();
+        if spills == 0 {
+            continue;
+        }
+        for (tag, metric) in [
+            (
+                "spills",
+                (|r: &SimResult| r.icr.spills_created) as fn(&SimResult) -> u64,
+            ),
+            ("spill serves", |r: &SimResult| r.icr.misses_served_by_spill),
+        ] {
+            let mut counts: Vec<f64> = matrix[vi].iter().map(|r| metric(r) as f64).collect();
+            counts.push(counts.iter().sum::<f64>() / counts.len() as f64);
+            series.push(Series {
+                label: format!("{label} {tag}"),
+                values: counts,
+            });
+        }
+    }
+    FigureResult {
+        id: "spill".into(),
+        title: "Extension: spill-to-L2 replica placement vs dL1-only".into(),
+        unit: "P(survived | strike on a valid word); counts for event series".into(),
+        xs,
+        series,
+        notes: "the +L2 variants spill replicas that found no dead dL1 block into a \
+                replica-aware L2 region (verified read-back on dL1 load misses, \
+                invalidation on dirty writeback), so their survival can only meet or \
+                beat the dL1-only scheme at the cost of L2-latency recoveries"
             .into(),
     }
 }
@@ -1585,6 +1656,47 @@ mod tests {
         }
         // BaseECC must cost more than BaseP everywhere.
         assert!(r.series_mean("BaseECC").expect("present") > 1.0);
+    }
+
+    #[test]
+    fn spill_matrix_pairs_every_scheme_with_its_l2_variant() {
+        let r = spill_matrix(&tiny());
+        r.validate().unwrap();
+        assert_eq!(r.xs.len(), 9); // 8 apps + AVG
+                                   // Four survival series, all probabilities.
+        for label in [
+            "ICR-P-PS (S) survival",
+            "ICR-P-PS (S) +L2 survival",
+            "ICR-ECC-PS (S) survival",
+            "ICR-ECC-PS (S) +L2 survival",
+        ] {
+            let s = r
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"));
+            assert!(s.values.iter().all(|v| (0.0..=1.0).contains(v)), "{label}");
+        }
+        // Only the +L2 variants spill, and they actually did.
+        for label in ["ICR-P-PS (S) +L2 spills", "ICR-ECC-PS (S) +L2 spills"] {
+            let s = r
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"));
+            assert!(s.values.iter().sum::<f64>() > 0.0, "{label} never fired");
+        }
+        assert!(!r.series.iter().any(|s| s.label == "ICR-P-PS (S) spills"));
+    }
+
+    #[test]
+    fn spill_matrix_stays_out_of_the_default_figure_set() {
+        // The golden digest pins the default `icr-exp all` bytes; the
+        // spill figure (like `isa`) must never join that set.
+        for (id, _) in figure_runners() {
+            assert_ne!(id, "spill");
+            assert_ne!(id, "isa");
+        }
     }
 
     #[test]

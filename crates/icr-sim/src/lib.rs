@@ -46,7 +46,7 @@
 //!
 //! let cfg = SimConfig::paper(
 //!     "gzip",
-//!     DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+//!     DataL1Config::paper_default(Scheme::ICR_P_PS_S),
 //!     10_000,
 //!     42,
 //! );

@@ -321,7 +321,7 @@ impl Machine {
     fn advance_faults(&mut self, now: u64) {
         if let Some(inj) = &mut self.injector {
             if now > self.fault_horizon {
-                inj.advance(&mut self.dl1, self.fault_horizon, now);
+                inj.advance(&mut self.dl1, &mut self.backend, self.fault_horizon, now);
                 self.fault_horizon = now;
             }
         }
@@ -346,7 +346,7 @@ impl DataMemory for DmemPort {
         let m = &mut *m;
         let lat = m.dl1.load(Addr(addr), now, &mut m.backend);
         if let Some(chk) = &mut m.checker {
-            chk.after_load(addr, now, &m.dl1);
+            chk.after_load(addr, now, &m.dl1, &m.backend);
         }
         lat
     }
@@ -357,7 +357,7 @@ impl DataMemory for DmemPort {
         let m = &mut *m;
         let lat = m.dl1.store(Addr(addr), now, &mut m.backend);
         if let Some(chk) = &mut m.checker {
-            chk.after_store(addr, now, &m.dl1);
+            chk.after_store(addr, now, &m.dl1, &m.backend);
         }
         lat
     }
@@ -401,6 +401,7 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
             );
             Some(Box::new(crate::audit::LockstepChecker::new(
                 &config.dl1,
+                &config.hierarchy,
                 &config.app,
             )))
         }
@@ -488,7 +489,7 @@ mod tests {
 
     #[test]
     fn full_machine_runs_to_completion() {
-        let r = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
+        let r = quick("gzip", DataL1Config::paper_default(Scheme::BASE_P));
         assert_eq!(r.pipeline.committed, 20_000);
         assert!(r.pipeline.cycles > 0);
         assert!(r.icr.cache.accesses() > 0);
@@ -498,11 +499,8 @@ mod tests {
 
     #[test]
     fn baseecc_is_slower_than_basep() {
-        let p = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
-        let e = quick(
-            "gzip",
-            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-        );
+        let p = quick("gzip", DataL1Config::paper_default(Scheme::BASE_P));
+        let e = quick("gzip", DataL1Config::paper_default(Scheme::BASE_ECC));
         assert!(
             e.pipeline.cycles > p.pipeline.cycles,
             "2-cycle ECC loads must cost cycles: {} vs {}",
@@ -513,8 +511,8 @@ mod tests {
 
     #[test]
     fn icr_p_ps_s_is_close_to_basep() {
-        let p = quick("gzip", DataL1Config::paper_default(Scheme::BaseP));
-        let i = quick("gzip", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        let p = quick("gzip", DataL1Config::paper_default(Scheme::BASE_P));
+        let i = quick("gzip", DataL1Config::paper_default(Scheme::ICR_P_PS_S));
         let overhead = i.pipeline.cycles as f64 / p.pipeline.cycles as f64;
         assert!(
             overhead < 1.15,
@@ -525,15 +523,15 @@ mod tests {
 
     #[test]
     fn determinism_same_config_same_result() {
-        let a = quick("vpr", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
-        let b = quick("vpr", DataL1Config::paper_default(Scheme::icr_p_ps_s()));
+        let a = quick("vpr", DataL1Config::paper_default(Scheme::ICR_P_PS_S));
+        let b = quick("vpr", DataL1Config::paper_default(Scheme::ICR_P_PS_S));
         assert_eq!(a.pipeline, b.pipeline);
         assert_eq!(a.icr, b.icr);
     }
 
     #[test]
     fn fault_injection_produces_detections() {
-        let cfg = SimConfig::builder("vortex", DataL1Config::paper_default(Scheme::BaseP))
+        let cfg = SimConfig::builder("vortex", DataL1Config::paper_default(Scheme::BASE_P))
             .instructions(20_000)
             .seed(1)
             .fault(FaultConfig {
@@ -554,7 +552,7 @@ mod tests {
 
     #[test]
     fn energy_counts_populated() {
-        let r = quick("gcc", DataL1Config::paper_default(Scheme::icr_ecc_ps_s()));
+        let r = quick("gcc", DataL1Config::paper_default(Scheme::ICR_ECC_PS_S));
         assert!(r.energy_counts.l1_reads > 0);
         assert!(r.energy_counts.l1_writes > 0);
         assert!(r.energy_counts.ecc_ops > 0, "unreplicated lines use ECC");

@@ -321,7 +321,7 @@ mod tests {
 
     fn tiny_spec() -> VulnSpec {
         VulnSpec::new(
-            vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+            vec![Scheme::BASE_P, Scheme::ICR_P_PS_S],
             vec!["gzip".into()],
             5_000,
             7,
@@ -342,8 +342,8 @@ mod tests {
     #[test]
     fn replication_improves_analytic_survival() {
         let report = run_vuln(&tiny_spec());
-        let base = report.cell(Scheme::BaseP, "gzip").unwrap();
-        let icr = report.cell(Scheme::icr_p_ps_s(), "gzip").unwrap();
+        let base = report.cell(Scheme::BASE_P, "gzip").unwrap();
+        let icr = report.cell(Scheme::ICR_P_PS_S, "gzip").unwrap();
         assert!(
             icr.survived_fraction() >= base.survived_fraction(),
             "ICR must not be analytically worse than BaseP: {} vs {}",

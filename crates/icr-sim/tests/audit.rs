@@ -20,10 +20,11 @@ use icr_sim::{run_audit, run_sim, AuditSpec, CheckMode, SimConfig};
 fn lockstep(
     cfg: DataL1Config,
     schedule: &[(bool, u64, u64)], // (is_store, addr, cycle)
-) -> (DataL1, RefModel) {
-    let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+) -> (DataL1, MemoryBackend, RefModel) {
+    let hierarchy = HierarchyConfig::default();
+    let mut backend = MemoryBackend::new(&hierarchy);
     let mut dl1 = DataL1::new(cfg.clone());
-    let mut model = RefModel::new(ref_config(&cfg));
+    let mut model = RefModel::new(ref_config(&cfg, &hierarchy));
     for &(is_store, addr, now) in schedule {
         if is_store {
             dl1.store(Addr(addr), now, &mut backend);
@@ -32,12 +33,12 @@ fn lockstep(
             dl1.load(Addr(addr), now, &mut backend);
             model.load(addr, now);
         }
-        let real = export_real_state(&dl1, now);
+        let real = export_real_state(&dl1, &backend, now);
         model
             .check(now, &real)
             .unwrap_or_else(|e| panic!("clean lockstep diverged at cycle {now}: {e}"));
     }
-    (dl1, model)
+    (dl1, backend, model)
 }
 
 // ---------------------------------------------------------------------
@@ -51,14 +52,15 @@ fn lockstep(
 /// state must trip the checker's decay cross-check.
 #[test]
 fn checker_catches_the_old_decay_counter_formula() {
-    let cfg = DataL1Config::paper_default(Scheme::BaseP); // window 1000, tick 250
+    let cfg = DataL1Config::paper_default(Scheme::BASE_P); // window 1000, tick 250
     let window = cfg.decay.window;
     let tick = cfg.decay.tick_interval();
     // Touch a line at cycle 0, then observe at cycle 800: three ticks
     // elapsed but the window has not — the disagreement zone.
-    let (dl1, mut model) = lockstep(cfg, &[(false, 0x1000_0000, 0), (false, 0x2000_0000, 800)]);
+    let (dl1, backend, mut model) =
+        lockstep(cfg, &[(false, 0x1000_0000, 0), (false, 0x2000_0000, 800)]);
     let now = 800;
-    let mut real = export_real_state(&dl1, now);
+    let mut real = export_real_state(&dl1, &backend, now);
     let line = real
         .lines
         .iter_mut()
@@ -141,7 +143,7 @@ fn checker_catches_a_stall_that_leaves_due_entries_queued() {
 /// (write buffer included) under the in-simulator lockstep checker.
 #[test]
 fn write_through_configuration_audits_clean() {
-    let mut dl1 = DataL1Config::paper_default(Scheme::BaseP);
+    let mut dl1 = DataL1Config::paper_default(Scheme::BASE_P);
     dl1.write_policy = icr_core::WritePolicy::WriteThrough { buffer_entries: 8 };
     let cfg = SimConfig::builder("gzip", dl1)
         .instructions(3_000)
@@ -205,7 +207,7 @@ fn checker_catches_unconserved_tallies() {
 /// rename this is the torn-report guarantee.
 #[test]
 fn checker_catches_truncated_report_files() {
-    let spec = AuditSpec::new(vec![Scheme::BaseP], vec!["gzip".into()], 2_000, 5);
+    let spec = AuditSpec::new(vec![Scheme::BASE_P], vec!["gzip".into()], 2_000, 5);
     let report = run_audit(&spec);
     let json = report.to_json();
     assert!(icr_check::json_complete(&json));
@@ -218,7 +220,7 @@ fn checker_catches_truncated_report_files() {
 
     let sim = run_sim(&SimConfig::paper(
         "gzip",
-        DataL1Config::paper_default(Scheme::BaseP),
+        DataL1Config::paper_default(Scheme::BASE_P),
         2_000,
         5,
     ));
@@ -257,12 +259,14 @@ fn checker_catches_the_t_table_cliff_past_df_30() {
 #[test]
 fn scheme_variants_audit_clean() {
     let variants: Vec<DataL1Config> = vec![
-        DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-        DataL1Config::paper_default(Scheme::icr_p_ps_ls()),
-        DataL1Config::paper_default(Scheme::icr_ecc_pp_s()),
-        DataL1Config::aggressive(Scheme::icr_p_ps_s()),
+        DataL1Config::paper_default(Scheme::BASE_ECC),
+        DataL1Config::paper_default(Scheme::ICR_P_PS_LS),
+        DataL1Config::paper_default(Scheme::ICR_ECC_PP_S),
+        DataL1Config::aggressive(Scheme::ICR_P_PS_S),
+        DataL1Config::paper_default(Scheme::ICR_P_PS_LS_L2),
+        DataL1Config::paper_default(Scheme::ICR_ECC_PS_S_L2),
         {
-            let mut c = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+            let mut c = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
             c.keep_replicas_on_evict = true;
             c
         },

@@ -101,3 +101,31 @@ fn isa_workloads_join_via_extended_names_only() {
         "the ISA matrix is its own subcommand, not part of `all`"
     );
 }
+
+/// The scheme-descriptor redesign's analogue of the roster invariant:
+/// the ten paper presets stay the only schemes the default figures name
+/// (every one a dL1-only placement), the spill figure is its own
+/// subcommand, and the digest above therefore pins the paper presets'
+/// default output bytes across the `SchemeSpec` rewrite.
+#[test]
+fn spill_descriptors_join_outside_the_default_matrix() {
+    assert!(
+        figure_runners().iter().all(|(id, _)| *id != "spill"),
+        "the spill comparison is its own subcommand, not part of `all`"
+    );
+    let paper = icr_core::Scheme::all_paper_schemes();
+    assert_eq!(paper.len(), 10);
+    assert!(
+        paper.iter().all(|s| !s.spills_to_l2()),
+        "paper presets must keep replicas in the dL1 only"
+    );
+    // No named spill preset leaks into the pinned document.
+    let doc = all_json_document();
+    for s in icr_core::Scheme::all_spill_schemes() {
+        assert!(
+            !doc.contains(&s.name()),
+            "spill scheme {} appeared in the default figure document",
+            s.name()
+        );
+    }
+}

@@ -25,10 +25,11 @@ use icr_sim::{run_audit, AuditSpec};
 fn lockstep_incremental(
     cfg: DataL1Config,
     schedule: &[(bool, u64, u64)], // (is_store, addr, cycle)
-) -> (DataL1, RefModel) {
-    let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+) -> (DataL1, MemoryBackend, RefModel) {
+    let hierarchy = HierarchyConfig::default();
+    let mut backend = MemoryBackend::new(&hierarchy);
     let mut dl1 = DataL1::new(cfg.clone());
-    let mut model = RefModel::new(ref_config(&cfg));
+    let mut model = RefModel::new(ref_config(&cfg, &hierarchy));
     let mut touched = Vec::new();
     for &(is_store, addr, now) in schedule {
         if is_store {
@@ -39,12 +40,12 @@ fn lockstep_incremental(
             model.load(addr, now);
         }
         model.take_touched_sets(&mut touched);
-        let real = export_real_sets(&dl1, &touched, now);
+        let real = export_real_sets(&dl1, &backend, &touched, now);
         model
             .check_touched(now, &real)
             .unwrap_or_else(|e| panic!("clean incremental lockstep diverged at cycle {now}: {e}"));
     }
-    (dl1, model)
+    (dl1, backend, model)
 }
 
 // ---------------------------------------------------------------------
@@ -57,12 +58,12 @@ fn lockstep_incremental(
 /// the touched export is all the checker sees between sweeps.
 #[test]
 fn incremental_diff_catches_the_old_decay_counter_formula() {
-    let cfg = DataL1Config::paper_default(Scheme::BaseP); // window 1000, tick 250
+    let cfg = DataL1Config::paper_default(Scheme::BASE_P); // window 1000, tick 250
     let window = cfg.decay.window;
     let tick = cfg.decay.tick_interval();
     // Both addresses map to the same set, so the cycle-800 access puts
     // the cycle-0 line inside the touched export.
-    let (dl1, mut model) =
+    let (dl1, backend, mut model) =
         lockstep_incremental(cfg, &[(false, 0x1000_0000, 0), (false, 0x2000_0000, 800)]);
     let now = 800;
     let mut touched = Vec::new();
@@ -71,13 +72,13 @@ fn incremental_diff_catches_the_old_decay_counter_formula() {
     // touched log was consumed by the clean check, so reconstruct it
     // from the home set of the two colliding addresses.
     assert!(touched.is_empty(), "clean check consumed the touched log");
-    let home: Vec<usize> = export_real_state(&dl1, now)
+    let home: Vec<usize> = export_real_state(&dl1, &backend, now)
         .lines
         .iter()
         .filter(|l| l.last_access == 0)
         .map(|l| l.set)
         .collect();
-    let mut real = export_real_sets(&dl1, &home, now);
+    let mut real = export_real_sets(&dl1, &backend, &home, now);
     let line = real.sets[0]
         .lines
         .iter_mut()
@@ -102,9 +103,9 @@ fn incremental_diff_catches_the_old_decay_counter_formula() {
 /// planted in the partial export.
 #[test]
 fn incremental_diff_catches_a_stall_that_leaves_due_entries_queued() {
-    let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+    let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
     cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 2 };
-    let (dl1, mut model) = lockstep_incremental(
+    let (dl1, backend, mut model) = lockstep_incremental(
         cfg,
         &[
             (true, 0x000, 0),
@@ -114,7 +115,7 @@ fn incremental_diff_catches_a_stall_that_leaves_due_entries_queued() {
         ],
     );
     let now = 8;
-    let mut real = export_real_sets(&dl1, &[], now);
+    let mut real = export_real_sets(&dl1, &backend, &[], now);
     let wb = real
         .write_buffer
         .as_mut()
@@ -138,20 +139,20 @@ fn incremental_diff_catches_a_stall_that_leaves_due_entries_queued() {
 /// check run on every access, sweep or not.
 #[test]
 fn incremental_diff_catches_miscounted_statistics() {
-    let cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
-    let (dl1, mut model) = lockstep_incremental(
+    let cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
+    let (dl1, backend, mut model) = lockstep_incremental(
         cfg,
         &[(true, 0x040, 0), (false, 0x040, 10), (false, 0x1040, 20)],
     );
     let now = 20;
     // A hit the real side counted but the reference did not.
-    let mut real = export_real_sets(&dl1, &[], now);
+    let mut real = export_real_sets(&dl1, &backend, &[], now);
     real.counters.read_hits += 1;
     let err = model.check_touched(now, &real).unwrap_err();
     assert!(err.contains("read_hits"), "{err}");
 
     // The conservation shape: more hits than accesses.
-    let mut real = export_real_sets(&dl1, &[], now);
+    let mut real = export_real_sets(&dl1, &backend, &[], now);
     real.counters.read_hits = real.counters.read_accesses + 1;
     let err = model.check_touched(now, &real).unwrap_err();
     assert!(err.contains("read_accesses"), "{err}");
@@ -166,7 +167,7 @@ fn incremental_diff_catches_miscounted_statistics() {
 /// prefix — a torn, non-atomic write — must be flagged.
 #[test]
 fn incremental_audit_report_json_rejects_torn_writes() {
-    let spec = AuditSpec::new(vec![Scheme::icr_p_ps_s()], vec!["gzip".into()], 2_000, 5);
+    let spec = AuditSpec::new(vec![Scheme::ICR_P_PS_S], vec!["gzip".into()], 2_000, 5);
     let report = run_audit(&spec);
     assert!(report.total_accesses_checked() > 0);
     let json = report.to_json();
@@ -198,6 +199,54 @@ fn incremental_refactor_keeps_the_conservative_t_table() {
 }
 
 // ---------------------------------------------------------------------
+// Bug 6: stale spilled replicas in the L2 region.
+// ---------------------------------------------------------------------
+
+/// A dirty writeback must invalidate the block's spilled copy in the L2
+/// replica region — the written-back data is newer than the copy.
+/// Doctoring the export to keep the stale copy (the shape of a missed
+/// invalidation) must trip the spill-ledger diff on the very next
+/// incremental check; the clean run through the same schedule is the
+/// positive control proving the dL1 and the model agree on every spill
+/// transition.
+#[test]
+fn incremental_diff_catches_a_stale_spilled_replica_after_writeback() {
+    let cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S_L2);
+    let g = cfg.geometry;
+    let sets = g.num_sets() as u64;
+    let ways = g.associativity() as u64;
+    let block = |set: u64, tag: u64| (tag * sets + set) * g.block_bytes() as u64;
+    let dist = cfg.placement.attempts[0] as u64;
+    let home = 3u64;
+    let candidate = (home + dist) % sets;
+    // Pin every way of the candidate set with live primaries so the
+    // store's replica has no dead host and spills into the L2 region.
+    let mut schedule: Vec<(bool, u64, u64)> = (0..ways)
+        .map(|t| (false, block(candidate, 10 + t), 0))
+        .collect();
+    schedule.push((true, block(home, 1), 1)); // no dL1 host → spills
+                                              // Conflicting fills displace the dirty primary: writeback + drop.
+    for (i, t) in (20..20 + ways).enumerate() {
+        schedule.push((false, block(home, t), 2 + i as u64));
+    }
+    let (dl1, backend, mut model) = lockstep_incremental(cfg, &schedule);
+    assert_eq!(dl1.stats().spills_created, 1, "the store must spill");
+    assert_eq!(
+        dl1.stats().spill_invalidations,
+        1,
+        "the writeback must drop the stale copy"
+    );
+
+    // Doctor the export back into the missed-invalidation shape.
+    let now = 2 + ways;
+    let mut real = export_real_sets(&dl1, &backend, &[], now);
+    assert!(real.spill.is_empty());
+    real.spill.push(block(home, 1));
+    let err = model.check_touched(now, &real).unwrap_err();
+    assert!(err.contains("spill region diverged"), "{err}");
+}
+
+// ---------------------------------------------------------------------
 // The incremental/full division of labour.
 // ---------------------------------------------------------------------
 
@@ -207,15 +256,15 @@ fn incremental_refactor_keeps_the_conservative_t_table() {
 /// rather than redundant.
 #[test]
 fn full_sweep_catches_what_the_touched_diff_skips() {
-    let cfg = DataL1Config::paper_default(Scheme::BaseP);
+    let cfg = DataL1Config::paper_default(Scheme::BASE_P);
     // Two lines in two different sets.
-    let (dl1, mut model) = lockstep_incremental(
+    let (dl1, backend, mut model) = lockstep_incremental(
         cfg,
         &[(false, 0x000, 0), (false, 0x040, 5), (false, 0x000, 10)],
     );
     let now = 10;
     // Doctor the line in set 1 — untouched by the final access to set 0.
-    let mut full = export_real_state(&dl1, now);
+    let mut full = export_real_state(&dl1, &backend, now);
     let line = full
         .lines
         .iter_mut()
@@ -225,7 +274,7 @@ fn full_sweep_catches_what_the_touched_diff_skips() {
 
     // The incremental view of the final access only contains set 0, so
     // the doctored state is invisible to it.
-    let real = export_real_sets(&dl1, &[0], now);
+    let real = export_real_sets(&dl1, &backend, &[0], now);
     model
         .check_touched(now, &real)
         .expect("the touched diff cannot see set 1");
@@ -241,11 +290,12 @@ fn full_sweep_catches_what_the_touched_diff_skips() {
 /// optimisation changed the cost, not the verdict.
 #[test]
 fn incremental_and_full_cadence_agree_on_a_clean_run() {
-    let cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
-    let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+    let cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
+    let hierarchy = HierarchyConfig::default();
+    let mut backend = MemoryBackend::new(&hierarchy);
     let mut dl1 = DataL1::new(cfg.clone());
-    let mut incremental = LockstepChecker::new(&cfg, "synthetic");
-    let mut full = LockstepChecker::new(&cfg, "synthetic").with_sweep_every(1);
+    let mut incremental = LockstepChecker::new(&cfg, &hierarchy, "synthetic");
+    let mut full = LockstepChecker::new(&cfg, &hierarchy, "synthetic").with_sweep_every(1);
     // A deterministic mix of hits, misses, and replica-triggering stores
     // across several sets.
     let mut addr = 0x40u64;
@@ -257,12 +307,12 @@ fn incremental_and_full_cadence_agree_on_a_clean_run() {
         let now = i * 3;
         if i % 3 == 0 {
             dl1.store(Addr(block), now, &mut backend);
-            incremental.after_store(block, now, &dl1);
-            full.after_store(block, now, &dl1);
+            incremental.after_store(block, now, &dl1, &backend);
+            full.after_store(block, now, &dl1, &backend);
         } else {
             dl1.load(Addr(block), now, &mut backend);
-            incremental.after_load(block, now, &dl1);
-            full.after_load(block, now, &dl1);
+            incremental.after_load(block, now, &dl1, &backend);
+            full.after_load(block, now, &dl1, &backend);
         }
     }
     assert_eq!(incremental.accesses_checked(), 600);

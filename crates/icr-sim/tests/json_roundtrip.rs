@@ -36,7 +36,7 @@ fn roundtrip(doc: &str) -> Value {
 fn sim_result_json_round_trips() {
     let r = run_sim(&SimConfig::paper(
         "gzip",
-        DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+        DataL1Config::paper_default(Scheme::ICR_P_PS_S),
         2_000,
         5,
     ));
@@ -47,7 +47,7 @@ fn sim_result_json_round_trips() {
     // Determinism end to end: a second run serializes to the same bytes.
     let again = run_sim(&SimConfig::paper(
         "gzip",
-        DataL1Config::paper_default(Scheme::icr_p_ps_s()),
+        DataL1Config::paper_default(Scheme::ICR_P_PS_S),
         2_000,
         5,
     ));
@@ -56,7 +56,7 @@ fn sim_result_json_round_trips() {
 
 #[test]
 fn audit_report_json_round_trips() {
-    let spec = AuditSpec::new(vec![Scheme::icr_p_ps_s()], vec!["gzip".into()], 2_000, 5);
+    let spec = AuditSpec::new(vec![Scheme::ICR_P_PS_S], vec!["gzip".into()], 2_000, 5);
     let report = run_audit(&spec);
     let v = roundtrip(&report.to_json());
     let audit = v.get("audit").expect("audit section");
@@ -66,7 +66,7 @@ fn audit_report_json_round_trips() {
 
 #[test]
 fn vuln_report_json_round_trips() {
-    let spec = VulnSpec::new(vec![Scheme::BaseP], vec!["gzip".into()], 2_000, 5);
+    let spec = VulnSpec::new(vec![Scheme::BASE_P], vec!["gzip".into()], 2_000, 5);
     let report = run_vuln(&spec);
     let v = roundtrip(&report.to_json());
     assert!(v.get("vuln").is_some(), "vuln section kept");
@@ -74,7 +74,7 @@ fn vuln_report_json_round_trips() {
 
 #[test]
 fn campaign_report_json_round_trips() {
-    let mut spec = CampaignSpec::new(vec![Scheme::icr_p_ps_s()], vec!["gzip".into()], 20, 9);
+    let mut spec = CampaignSpec::new(vec![Scheme::ICR_P_PS_S], vec!["gzip".into()], 20, 9);
     spec.instructions = 2_000;
     spec.batch = 10;
     spec.threads = 1;

@@ -298,7 +298,7 @@ const RECORDED_WT: [u64; 8] = [
 ];
 
 fn wt_config() -> DataL1Config {
-    let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+    let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
     cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 8 };
     cfg
 }
@@ -330,7 +330,9 @@ fn write_through_digests_match_recorded_pre_refactor_state() {
 // ---------------------------------------------------------------------
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
-    prop::sample::select(Scheme::all_paper_schemes())
+    // Every named preset: the ten paper schemes, the speculative-ECC
+    // comparison point, and the eight L2-spill variants.
+    prop::sample::select(Scheme::all_named_schemes())
 }
 
 fn arb_victim() -> impl Strategy<Value = VictimPolicy> {
@@ -364,9 +366,10 @@ proptest! {
         cfg.keep_replicas_on_evict = keep;
         cfg.decay = icr_core::DecayConfig { window: decay_window };
         let g = cfg.geometry;
-        let mut model = icr_check::RefModel::new(ref_config(&cfg));
+        let hierarchy = HierarchyConfig::default();
+        let mut model = icr_check::RefModel::new(ref_config(&cfg, &hierarchy));
         let mut dl1 = DataL1::new(cfg);
-        let mut backend = MemoryBackend::new(&HierarchyConfig::default());
+        let mut backend = MemoryBackend::new(&hierarchy);
         let mut now = 0u64;
         for &(block, word, is_store, gap) in &ops {
             let addr = Addr(0x4000_0000 + u64::from(block) * g.block_bytes() as u64
@@ -378,7 +381,7 @@ proptest! {
                 model.load(addr.raw(), now);
                 dl1.load(addr, now, &mut backend)
             };
-            let real = export_real_state(&dl1, now);
+            let real = export_real_state(&dl1, &backend, now);
             if let Err(e) = model.check(now, &real) {
                 prop_assert!(false, "divergence at cycle {now}: {e}");
             }

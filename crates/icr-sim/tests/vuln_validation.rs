@@ -20,8 +20,12 @@ use icr_sim::{run_campaign, run_sim, wilson_ci95, CampaignSpec, SimConfig};
 const EPS: f64 = 0.02;
 
 fn campaign_spec() -> CampaignSpec {
+    // One dL1-only scheme, its L2-spill descriptor variant, and the
+    // unprotected baseline: the spill cell validates that the analytic
+    // ledger's region-resident replica windows price the L2 tier the
+    // same way the injector's region strikes play out.
     let mut spec = CampaignSpec::new(
-        vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+        vec![Scheme::BASE_P, Scheme::ICR_P_PS_S, Scheme::ICR_P_PS_S_L2],
         vec!["gzip".into(), "vpr".into()],
         240,
         20_260_803,
@@ -115,8 +119,8 @@ fn analytic_model_reproduces_the_campaign_scheme_ordering() {
     // every campaign in the repo does.
     let spec = campaign_spec();
     for app in &spec.apps {
-        let base = analytic_cell(&spec, Scheme::BaseP, app);
-        let icr = analytic_cell(&spec, Scheme::icr_p_ps_s(), app);
+        let base = analytic_cell(&spec, Scheme::BASE_P, app);
+        let icr = analytic_cell(&spec, Scheme::ICR_P_PS_S, app);
         assert!(
             icr.survived_fraction() > base.survived_fraction(),
             "{app}: ICR-P-PS(S) {:.4} must beat BaseP {:.4}",

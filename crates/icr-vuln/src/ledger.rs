@@ -245,6 +245,37 @@ impl ExposureLedger {
         self.words_per_line
     }
 
+    /// Total line slots tracked (active or not).
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Appends `n` inactive line slots to the ledger, returning the
+    /// index of the first new slot.
+    ///
+    /// Sound at any point of a run: inactive lines contribute nothing
+    /// to residency, the valid-word integral or the partition check, so
+    /// growing the slot space mid-flight (e.g. lazily attaching the L2
+    /// replica region the first time a scheme spills) leaves every
+    /// accumulated window untouched.
+    pub fn add_lines(&mut self, n: usize) -> usize {
+        let first = self.lines.len();
+        self.lines.extend(std::iter::repeat_n(
+            LineTrack {
+                active: false,
+                state: ProtState::CleanParity,
+                since: self.clock,
+                wsince: self.gclock,
+            },
+            n,
+        ));
+        self.snaps.extend(std::iter::repeat_n(
+            WordSnap::fresh(self.clock, self.gclock),
+            n * self.words_per_line,
+        ));
+        first
+    }
+
     /// The arrival model in force.
     pub fn arrival(&self) -> Arrival {
         self.arrival
@@ -686,6 +717,28 @@ mod tests {
             l.windows(100).consumed_of(VulnClass::Unrecoverable),
             100 + 40
         );
+    }
+
+    #[test]
+    fn add_lines_mid_run_leaves_existing_windows_untouched() {
+        let mut l = ExposureLedger::new(1, 4);
+        l.begin_line(0, ProtState::DirtyParity, 0);
+        let before = l.windows(50).residency_of(ProtState::DirtyParity);
+        assert_eq!(before, 4 * 50);
+
+        // Lazily attach a 2-slot replica region at t=50.
+        let base = l.add_lines(2);
+        assert_eq!(base, 1);
+        assert_eq!(l.line_count(), 3);
+        // New slots are inactive: nothing changes until they begin.
+        assert_eq!(l.windows(80).residency_of(ProtState::Replica), 0);
+
+        l.begin_line(base + 1, ProtState::Replica, 80);
+        l.end_line(base + 1, 100);
+        let w = l.windows(120);
+        assert_eq!(w.residency_of(ProtState::DirtyParity), 4 * 120);
+        assert_eq!(w.residency_of(ProtState::Replica), 4 * 20);
+        assert_eq!(total_residency(&w), w.total_word_cycles);
     }
 
     #[test]

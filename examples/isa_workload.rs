@@ -38,7 +38,7 @@ fn main() {
         "{:<15} {:>8} {:>8} {:>10} {:>14}",
         "workload", "cycles", "IPC", "miss rate", "loads w/ repl"
     );
-    let dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let dl1 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     for app in ISA_APP_NAMES.iter().copied().chain(["gzip"]) {
         let cfg = SimConfig::paper(app, dl1.clone(), instructions, seed);
         let r = run_sim(&cfg);

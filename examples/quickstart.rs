@@ -21,10 +21,10 @@ fn main() {
     );
 
     let schemes = [
-        Scheme::BaseP,
-        Scheme::BaseEcc { speculative: false },
-        Scheme::icr_p_ps_s(),
-        Scheme::icr_ecc_ps_s(),
+        Scheme::BASE_P,
+        Scheme::BASE_ECC,
+        Scheme::ICR_P_PS_S,
+        Scheme::ICR_ECC_PS_S,
     ];
 
     let mut base_cycles = None;

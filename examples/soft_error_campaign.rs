@@ -16,10 +16,10 @@ use icr::sim::campaign::{run_campaign_observed, CampaignSpec};
 fn main() {
     let mut spec = CampaignSpec::new(
         vec![
-            Scheme::BaseP,
-            Scheme::BaseEcc { speculative: false },
-            Scheme::icr_p_ps_s(),
-            Scheme::icr_ecc_ps_s(),
+            Scheme::BASE_P,
+            Scheme::BASE_ECC,
+            Scheme::ICR_P_PS_S,
+            Scheme::ICR_ECC_PS_S,
         ],
         vec!["gzip".into(), "gcc".into(), "mcf".into()],
         60, // trials per cell
@@ -64,8 +64,8 @@ fn main() {
             .map(|(_, t)| t.recovered())
             .unwrap_or(0)
     };
-    let base_p = recovered(Scheme::BaseP);
-    let icr_p = recovered(Scheme::icr_p_ps_s());
+    let base_p = recovered(Scheme::BASE_P);
+    let icr_p = recovered(Scheme::ICR_P_PS_S);
     println!("recovered faults: ICR-P-PS(S) {icr_p} vs BaseP {base_p}");
     assert!(
         icr_p > base_p,

@@ -24,10 +24,10 @@ fn main() {
     println!();
 
     for scheme in [
-        Scheme::BaseP,
-        Scheme::icr_p_ps_s(),
-        Scheme::icr_ecc_ps_s(),
-        Scheme::BaseEcc { speculative: false },
+        Scheme::BASE_P,
+        Scheme::ICR_P_PS_S,
+        Scheme::ICR_ECC_PS_S,
+        Scheme::BASE_ECC,
     ] {
         println!("--- {} ---", scheme.name());
         println!(

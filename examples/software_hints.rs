@@ -14,7 +14,7 @@ fn main() {
     let app = "gcc";
     let instructions = 150_000;
 
-    let base = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let base = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
 
     let mut hot_only = base.clone();
     hot_only.hints = ReplicationHints::new()

@@ -16,7 +16,7 @@ fn main() {
     // BaseP reference for normalization.
     let base = run_sim(&SimConfig::paper(
         &app,
-        DataL1Config::paper_default(Scheme::BaseP),
+        DataL1Config::paper_default(Scheme::BASE_P),
         instructions,
         42,
     ));
@@ -27,7 +27,7 @@ fn main() {
         "window", "ability", "loads w/ repl", "miss rate", "norm cycles"
     );
     for window in [0u64, 250, 500, 1000, 2500, 5000, 10_000, 50_000] {
-        let mut dl1 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let mut dl1 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         dl1.decay = DecayConfig { window };
         dl1.victim = VictimPolicy::DeadOnly;
         let r = run_sim(&SimConfig::paper(&app, dl1, instructions, 42));

@@ -20,10 +20,10 @@ fn main() {
         "app", "ICR cycles", "WT cycles", "ICR L1", "ICR L2", "ICR total", "WT/ICR energy"
     );
     for app in APP_NAMES {
-        let icr_cfg = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let icr_cfg = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         let icr = run_sim(&SimConfig::paper(app, icr_cfg, instructions, 42));
 
-        let mut wt_cfg = DataL1Config::paper_default(Scheme::BaseP);
+        let mut wt_cfg = DataL1Config::paper_default(Scheme::BASE_P);
         wt_cfg.write_policy = WritePolicy::WriteThrough { buffer_entries: 8 };
         let wt = run_sim(&SimConfig::paper(app, wt_cfg, instructions, 42));
 

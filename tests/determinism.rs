@@ -12,7 +12,7 @@ use icr::sim::{run_sim, FaultConfig, SimConfig};
 /// A faulty ICR run, debug-formatted: `SimResult` carries every counter
 /// the simulator produces, so equal strings mean equal runs.
 fn faulty_run(seed: u64) -> String {
-    let cfg = SimConfig::builder("gcc", DataL1Config::paper_default(Scheme::icr_p_ps_s()))
+    let cfg = SimConfig::builder("gcc", DataL1Config::paper_default(Scheme::ICR_P_PS_S))
         .instructions(20_000)
         .seed(seed)
         .fault(FaultConfig {
@@ -49,7 +49,7 @@ fn parallel_map_is_thread_count_invariant() {
 #[test]
 fn campaign_report_is_bit_identical_across_thread_counts() {
     let mut spec = CampaignSpec::new(
-        vec![Scheme::BaseP, Scheme::icr_p_ps_s()],
+        vec![Scheme::BASE_P, Scheme::ICR_P_PS_S],
         vec!["gzip".into(), "mcf".into()],
         8,
         0xC0FFEE,
@@ -74,12 +74,7 @@ fn campaign_report_is_bit_identical_across_thread_counts() {
 /// whatever the interleaving.
 #[test]
 fn early_stopped_campaign_is_still_thread_count_invariant() {
-    let mut spec = CampaignSpec::new(
-        vec![Scheme::BaseEcc { speculative: false }],
-        vec!["gzip".into()],
-        24,
-        9,
-    );
+    let mut spec = CampaignSpec::new(vec![Scheme::BASE_ECC], vec!["gzip".into()], 24, 9);
     spec.instructions = 4_000;
     spec.batch = 6;
     spec.target_ci_width = Some(0.9);

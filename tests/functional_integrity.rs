@@ -33,7 +33,7 @@ fn drive(
             dl1.load(addr, now, backend);
         }
         if let Some(inj) = inj.as_deref_mut() {
-            inj.advance(dl1, now, now + 2);
+            inj.advance(dl1, backend, now, now + 2);
         }
     }
 }
@@ -77,7 +77,7 @@ fn clean_lines_match_golden_state() {
 #[test]
 fn replicas_stay_coherent_with_primaries() {
     let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-    let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_s()));
+    let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_S));
     drive(&mut dl1, &mut backend, None, 30_000, 11);
     let g = dl1.geometry();
     let mut audited = 0;
@@ -119,9 +119,7 @@ fn replicas_stay_coherent_with_primaries() {
 #[test]
 fn secded_storm_leaves_no_silent_corruption_on_clean_lines() {
     let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-    let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BaseEcc {
-        speculative: false,
-    }));
+    let mut dl1 = DataL1::new(DataL1Config::paper_default(Scheme::BASE_ECC));
     let mut injector = FaultInjector::new(ErrorModel::Direct, 5e-3, 3);
     drive(&mut dl1, &mut backend, Some(&mut injector), 30_000, 13);
     assert!(injector.injected() > 50, "storm must actually strike");
@@ -169,7 +167,7 @@ fn secded_storm_leaves_no_silent_corruption_on_clean_lines() {
 /// any line (dirty lines cannot exist) is recoverable.
 #[test]
 fn write_through_storm_is_fully_recoverable() {
-    let mut cfg = DataL1Config::paper_default(Scheme::BaseP);
+    let mut cfg = DataL1Config::paper_default(Scheme::BASE_P);
     cfg.write_policy = icr::core::WritePolicy::WriteThrough { buffer_entries: 8 };
     let mut backend = MemoryBackend::new(&HierarchyConfig::default());
     let mut dl1 = DataL1::new(cfg);
@@ -188,7 +186,7 @@ fn write_through_storm_is_fully_recoverable() {
 #[test]
 fn line_population_invariants() {
     let mut backend = MemoryBackend::new(&HierarchyConfig::default());
-    let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::icr_p_ps_ls()));
+    let mut dl1 = DataL1::new(DataL1Config::aggressive(Scheme::ICR_P_PS_LS));
     drive(&mut dl1, &mut backend, None, 20_000, 23);
     let total = dl1.valid_lines().len();
     assert_eq!(

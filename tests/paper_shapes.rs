@@ -19,13 +19,10 @@ fn cycles(app: &str, dl1: DataL1Config) -> u64 {
 #[test]
 fn scheme_cycle_ordering_matches_figure_12() {
     for app in ["gzip", "vpr", "vortex"] {
-        let base_p = cycles(app, DataL1Config::paper_default(Scheme::BaseP));
-        let icr_p = cycles(app, DataL1Config::paper_default(Scheme::icr_p_ps_s()));
-        let icr_ecc = cycles(app, DataL1Config::paper_default(Scheme::icr_ecc_ps_s()));
-        let base_ecc = cycles(
-            app,
-            DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-        );
+        let base_p = cycles(app, DataL1Config::paper_default(Scheme::BASE_P));
+        let icr_p = cycles(app, DataL1Config::paper_default(Scheme::ICR_P_PS_S));
+        let icr_ecc = cycles(app, DataL1Config::paper_default(Scheme::ICR_ECC_PS_S));
+        let base_ecc = cycles(app, DataL1Config::paper_default(Scheme::BASE_ECC));
         assert!(base_p <= icr_p, "{app}: BaseP must be fastest");
         assert!(icr_p < icr_ecc, "{app}: ICR-P-PS(S) beats ICR-ECC-PS(S)");
         assert!(icr_ecc < base_ecc, "{app}: ICR-ECC-PS(S) beats BaseECC");
@@ -39,13 +36,13 @@ fn ls_trigger_covers_more_loads_than_s() {
     for app in ["gzip", "mcf", "mesa"] {
         let s = run_sim(&SimConfig::paper(
             app,
-            DataL1Config::aggressive(Scheme::icr_p_ps_s()),
+            DataL1Config::aggressive(Scheme::ICR_P_PS_S),
             N,
             SEED,
         ));
         let ls = run_sim(&SimConfig::paper(
             app,
-            DataL1Config::aggressive(Scheme::icr_p_ps_ls()),
+            DataL1Config::aggressive(Scheme::ICR_P_PS_LS),
             N,
             SEED,
         ));
@@ -73,7 +70,7 @@ fn ls_trigger_covers_more_loads_than_s() {
 /// §5.1 Figure 4: maintaining two replicas costs misses.
 #[test]
 fn second_replica_costs_miss_rate() {
-    let one = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let one = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut two = one.clone();
     two.placement = PlacementPolicy::two_replicas(two.geometry);
     for app in ["mesa", "gzip"] {
@@ -106,9 +103,9 @@ fn error_recovery_ordering_matches_figure_14() {
                 .build(),
         )
     };
-    let base_p = run(Scheme::BaseP);
-    let icr_p = run(Scheme::icr_p_ps_s());
-    let icr_ecc = run(Scheme::icr_ecc_ps_s());
+    let base_p = run(Scheme::BASE_P);
+    let icr_p = run(Scheme::ICR_P_PS_S);
+    let icr_ecc = run(Scheme::ICR_ECC_PS_S);
     assert!(
         base_p.icr.unrecoverable_loads > 0,
         "the storm must hurt BaseP"
@@ -134,7 +131,7 @@ fn error_recovery_ordering_matches_figure_14() {
 /// barely moves replica coverage at the paper's chosen 1000 cycles.
 #[test]
 fn decay_window_tradeoff_matches_figure_10() {
-    let mut w0 = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+    let mut w0 = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
     w0.decay = DecayConfig { window: 0 };
     w0.victim = VictimPolicy::DeadOnly;
     let mut w1000 = w0.clone();
@@ -162,7 +159,7 @@ fn decay_window_tradeoff_matches_figure_10() {
 #[test]
 fn keep_replicas_mode_helps() {
     for app in ["mcf", "vpr"] {
-        let drop = DataL1Config::paper_default(Scheme::icr_p_ps_s());
+        let drop = DataL1Config::paper_default(Scheme::ICR_P_PS_S);
         let mut keep = drop.clone();
         keep.keep_replicas_on_evict = true;
         let r_drop = run_sim(&SimConfig::paper(app, drop, N, SEED));
@@ -185,7 +182,7 @@ fn keep_replicas_mode_helps() {
 #[test]
 fn distance_seven_matches_vertical_placement() {
     for app in ["gzip", "vortex"] {
-        let vertical = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+        let vertical = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
         let mut prime = vertical.clone();
         prime.placement = PlacementPolicy::single(7);
         let rv = run_sim(&SimConfig::paper(app, vertical, N, SEED));
@@ -208,7 +205,7 @@ fn distance_seven_matches_vertical_placement() {
 /// and never loses to the single-attempt baseline on replica coverage.
 #[test]
 fn power2_fallback_never_hurts_coverage() {
-    let single = DataL1Config::aggressive(Scheme::icr_p_ps_s());
+    let single = DataL1Config::aggressive(Scheme::ICR_P_PS_S);
     let mut power2 = single.clone();
     power2.placement = PlacementPolicy::power2(32, 5);
     let rs = run_sim(&SimConfig::paper("mesa", single, N, SEED));
@@ -225,19 +222,16 @@ fn power2_fallback_never_hurts_coverage() {
 /// Full-machine determinism: identical config ⇒ identical results.
 #[test]
 fn runs_are_deterministic() {
-    let cfg = SimConfig::builder(
-        "parser",
-        DataL1Config::paper_default(Scheme::icr_ecc_ps_s()),
-    )
-    .instructions(30_000)
-    .seed(123)
-    .fault(FaultConfig {
-        model: ErrorModel::Adjacent,
-        p_per_cycle: 1e-3,
-        seed: 5,
-        max_faults: None,
-    })
-    .build();
+    let cfg = SimConfig::builder("parser", DataL1Config::paper_default(Scheme::ICR_ECC_PS_S))
+        .instructions(30_000)
+        .seed(123)
+        .fault(FaultConfig {
+            model: ErrorModel::Adjacent,
+            p_per_cycle: 1e-3,
+            seed: 5,
+            max_faults: None,
+        })
+        .build();
     let a = run_sim(&cfg);
     let b = run_sim(&cfg);
     assert_eq!(a.pipeline, b.pipeline);
@@ -269,15 +263,9 @@ fn replication_happens_exactly_for_icr_schemes() {
 /// The speculative-ECC variant recovers BaseECC's lost cycles (§5.9).
 #[test]
 fn speculative_ecc_recovers_performance() {
-    let ecc = cycles(
-        "gzip",
-        DataL1Config::paper_default(Scheme::BaseEcc { speculative: false }),
-    );
-    let spec = cycles(
-        "gzip",
-        DataL1Config::paper_default(Scheme::BaseEcc { speculative: true }),
-    );
-    let base = cycles("gzip", DataL1Config::paper_default(Scheme::BaseP));
+    let ecc = cycles("gzip", DataL1Config::paper_default(Scheme::BASE_ECC));
+    let spec = cycles("gzip", DataL1Config::paper_default(Scheme::BASE_ECC_SPEC));
+    let base = cycles("gzip", DataL1Config::paper_default(Scheme::BASE_P));
     assert!(spec < ecc, "speculation hides the ECC cycle");
     assert!(
         (spec as f64) < 1.02 * base as f64,
