@@ -3,16 +3,18 @@
 
 CARGO ?= cargo
 
-.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build bench-campaign bench-campaign-build bench-spill trace-roundtrip campaign campaign-resume audit isa-audit clean
+.PHONY: verify check build test fmt fmt-check clippy doc bench bench-engine bench-engine-build bench-all bench-all-build bench-all-gate bench-isa bench-isa-build bench-campaign bench-campaign-build bench-importance bench-importance-build bench-spill trace-roundtrip campaign campaign-resume campaign-fanout audit isa-audit clean
 
 ## Full verification: build + all tests + formatting + lints + docs,
 ## plus a build-only check of the bench targets, the dL1-vs-spill
 ## placement benchmark (fast enough to run, not just build), a lockstep
 ## audit of the full scheme × app matrix — ten paper presets plus two
 ## L2-spill descriptors — against the icr-check reference model, a
-## byte-identical trace save/replay round-trip through icr-run, and a
-## kill-and-resume smoke of the checkpointed campaign service.
-verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build bench-campaign-build bench-spill trace-roundtrip campaign-resume audit
+## byte-identical trace save/replay round-trip through icr-run, a
+## kill-and-resume smoke of the checkpointed campaign service, and a
+## two-worker fan-out whose merge must be byte-identical to the
+## single-process run.
+verify: build test fmt-check clippy doc bench-engine-build bench-all-build bench-isa-build bench-campaign-build bench-importance-build bench-spill trace-roundtrip campaign-resume campaign-fanout audit
 	@echo "verify: OK"
 
 ## Tier-1 gate (ROADMAP.md): release build + quiet tests.
@@ -136,6 +138,40 @@ bench-campaign:
 ## Compile the campaign benchmark without running it (used by `verify`).
 bench-campaign-build:
 	$(CARGO) bench -p icr-bench --bench campaign --no-run
+
+## Trials-to-target benchmark for importance-sampled fault injection:
+## uniform vs forced-arrival + site-tilted proposal to the same Wilson
+## CI width, recorded to BENCH_importance.json. Asserts the importance
+## leg needs 3x fewer trials on at least half the cells.
+bench-importance:
+	$(CARGO) bench -p icr-bench --bench importance
+
+## Compile the importance benchmark without running it (used by `verify`).
+bench-importance-build:
+	$(CARGO) bench -p icr-bench --bench importance --no-run
+
+## Multi-host fan-out smoke: the same sharded campaign run once in a
+## single process and once as two --worker halves into separate
+## checkpoint directories, then merged restore-only; the two JSON
+## reports must be byte-identical.
+CAMPAIGN_FANOUT_ARGS = --schemes basep,icr-p-ps-s --apps gzip --trials 200 \
+	--insts 20000 --shard-size 10 --seed 7 --importance --quiet
+campaign-fanout:
+	$(CARGO) build --release -p icr-sim --bin icr-campaign
+	rm -rf target/fan-single target/fan-w0 target/fan-w1
+	rm -f target/fan-single.json target/fan-merged.json
+	./target/release/icr-campaign $(CAMPAIGN_FANOUT_ARGS) \
+		--checkpoint target/fan-single --json target/fan-single.json
+	./target/release/icr-campaign $(CAMPAIGN_FANOUT_ARGS) \
+		--worker 0/2 --checkpoint target/fan-w0
+	./target/release/icr-campaign $(CAMPAIGN_FANOUT_ARGS) \
+		--worker 1/2 --checkpoint target/fan-w1
+	./target/release/icr-campaign merge --schemes basep,icr-p-ps-s \
+		--apps gzip --trials 200 --insts 20000 --shard-size 10 --seed 7 \
+		--importance --quiet --json target/fan-merged.json \
+		target/fan-w0 target/fan-w1
+	cmp target/fan-single.json target/fan-merged.json
+	@echo "campaign-fanout: OK (merged worker output is byte-identical)"
 
 ## dL1-only vs L2-spill placement: per-app wall time plus the spill
 ## region's lifecycle counters, recorded to BENCH_spill.json. Asserts

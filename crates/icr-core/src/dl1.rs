@@ -540,6 +540,62 @@ impl DataL1 {
         self.lines.slot(set, way)
     }
 
+    /// The [`ProtState`] the line at (`set`, `way`) currently sits in,
+    /// or `None` for an invalid line. This is the public window the
+    /// fault injector's importance proposal reads to tilt its site draw
+    /// toward dirty unreplicated parity lines — the high-ACE residency
+    /// the exposure ledger charges as unrecoverable.
+    pub fn line_exposure_state(&self, set: usize, way: usize) -> Option<ProtState> {
+        if !self.lines.valid[self.lines.slot(set, way)] {
+            return None;
+        }
+        Some(self.exposure_state(set, way))
+    }
+
+    /// `true` when the line at (`set`, `way`) is a valid dirty *primary*
+    /// line under parity protection — the only residency a single-bit
+    /// strike can turn into data loss. Clean parity lines refetch from
+    /// L2, SEC-DED lines correct, and replica lines never hold the sole
+    /// copy; a dirty parity primary is loss-prone even while a replica
+    /// exists, because the replica may be evicted, spilled out, or
+    /// bypassed (laundering) before the corrupted word is consumed.
+    /// This is the site predicate behind the fault injector's
+    /// importance proposal.
+    pub fn line_loss_prone(&self, set: usize, way: usize) -> bool {
+        let sl = self.lines.slot(set, way);
+        self.lines.valid[sl]
+            && !self.lines.is_replica[sl]
+            && self.lines.prot[sl] != Protection::SecDed
+            && self.lines.dirty[sl]
+    }
+
+    /// The cycle at which the line at (`set`, `way`) was last accessed
+    /// (`0` for never-touched slots). Exported for fault-site
+    /// diagnostics.
+    pub fn line_last_access(&self, set: usize, way: usize) -> u64 {
+        self.lines.last_access[self.lines.slot(set, way)]
+    }
+
+    /// `true` when the line at (`set`, `way`) is a valid parity-protected
+    /// primary holding one of `blocks` (aligned block addresses). The
+    /// fault injector's site proposal uses this with the workload's
+    /// store working set: such lines are the ones a clean-line strike
+    /// can *launder* through — a later store dirties the line and
+    /// replication re-encodes the corrupted word under clean parity —
+    /// so they are strike-worthy even while clean.
+    pub fn line_in_working_set(
+        &self,
+        set: usize,
+        way: usize,
+        blocks: &std::collections::HashSet<u64>,
+    ) -> bool {
+        let sl = self.lines.slot(set, way);
+        self.lines.valid[sl]
+            && !self.lines.is_replica[sl]
+            && self.lines.prot[sl] != Protection::SecDed
+            && blocks.contains(&self.lines.addr[sl].raw())
+    }
+
     /// The [`ProtState`] the valid line at (`set`, `way`) is in.
     fn exposure_state(&self, set: usize, way: usize) -> ProtState {
         let sl = self.lines.slot(set, way);

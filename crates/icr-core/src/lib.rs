@@ -54,10 +54,11 @@ pub use scheme::{
     ParseSchemeError, ReplicaLookup, ReplicaTier, ReplicationSpec, Scheme, SchemeSpec, Trigger,
 };
 pub use side_cache::DuplicationCache;
-pub use stats::{ErrorOutcome, IcrStats, OutcomeTally};
+pub use stats::{ErrorOutcome, IcrStats, OutcomeTally, WeightedEstimate, WeightedTally};
 pub use victim::{CandidateLine, VictimPolicy};
 // Vulnerability-window accounting vocabulary (the ledger lives in
 // `icr-vuln`; the dL1 drives it inline).
 pub use icr_vuln::{
-    Arrival, ExposureLedger, ExposureWindows, LaunderKind, ProtState, VulnClass, VulnModel,
+    Arrival, ExposureLedger, ExposureWindows, InjectionProposal, LaunderKind, ProtState, VulnClass,
+    VulnModel,
 };

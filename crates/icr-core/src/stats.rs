@@ -370,6 +370,229 @@ impl OutcomeTally {
     }
 }
 
+/// A self-normalized importance-sampling estimate of one outcome
+/// probability, conditioned on the fault having been delivered.
+///
+/// `p` is the ratio estimator `Σ wᵢxᵢ / Σ wᵢ` over injected trials and
+/// `n_eff` the effective sample size implied by its delta-method
+/// variance — the number of *uniform* trials that would estimate `p`
+/// equally tightly, so a Wilson interval over `(p·n_eff, n_eff)`
+/// generalizes the unweighted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEstimate {
+    /// Self-normalized probability estimate in `[0, 1]`.
+    pub p: f64,
+    /// Effective number of trials behind it (`0` when nothing was
+    /// delivered).
+    pub n_eff: f64,
+}
+
+/// Likelihood-ratio-weighted tallies of [`ErrorOutcome`]s for one
+/// importance-sampled campaign cell, kept alongside the raw
+/// [`OutcomeTally`].
+///
+/// Each delivered trial contributes its importance weight
+/// `w = P_uniform(site) / P_proposal(site)` to its outcome bucket;
+/// per bucket the tally keeps the trial count, `Σw` and `Σw²`, which is
+/// exactly enough to form self-normalized probability estimates with
+/// delta-method variances ([`WeightedTally::estimate`]) without storing
+/// per-trial weights. Sums are plain `f64` additions, so *byte-identical*
+/// reproduction additionally requires a fixed accumulation order — the
+/// campaign records in trial order within a shard and merges shards in
+/// shard-index order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedTally {
+    counts: [u64; ErrorOutcome::ALL.len()],
+    wsum: [f64; ErrorOutcome::ALL.len()],
+    wsq: [f64; ErrorOutcome::ALL.len()],
+}
+
+impl WeightedTally {
+    /// Records one trial's outcome with its likelihood ratio `weight`
+    /// (use `1.0` for [`ErrorOutcome::NotInjected`] and for uniform
+    /// trials).
+    pub fn record(&mut self, outcome: ErrorOutcome, weight: f64) {
+        debug_assert!(
+            weight.is_finite() && weight >= 0.0,
+            "importance weight must be finite and non-negative, got {weight}"
+        );
+        let i = OutcomeTally::index(outcome);
+        self.counts[i] += 1;
+        self.wsum[i] += weight;
+        self.wsq[i] += weight * weight;
+    }
+
+    /// Trials that ended with `outcome`.
+    pub fn count(&self, outcome: ErrorOutcome) -> u64 {
+        self.counts[OutcomeTally::index(outcome)]
+    }
+
+    /// Total weight recorded for `outcome`.
+    pub fn weight(&self, outcome: ErrorOutcome) -> f64 {
+        self.wsum[OutcomeTally::index(outcome)]
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total weight over *delivered* trials (the estimator's
+    /// normalizer).
+    pub fn injected_weight(&self) -> f64 {
+        ErrorOutcome::ALL
+            .iter()
+            .filter(|o| o.was_injected())
+            .map(|&o| self.weight(o))
+            .sum()
+    }
+
+    /// Self-normalized estimate of `P(outcome ∈ success | injected)`.
+    ///
+    /// Returns `p = Σ_{o ∈ success} w_o / W` with `W` the injected
+    /// weight, and the effective sample size `n_eff = p(1-p)/v̂` from
+    /// the delta-method variance
+    /// `v̂ = Σ_o Σw²_o (1[o ∈ success] - p)² / W²`. At the degenerate
+    /// ends (`p` exactly 0 or 1) the ratio is 0/0, so `n_eff` falls
+    /// back to the global effective sample size `W² / Σw²` — the
+    /// standard Kish measure of how many uniform trials the weighted
+    /// sample is worth.
+    pub fn estimate(&self, success: impl Fn(ErrorOutcome) -> bool) -> WeightedEstimate {
+        let w_total = self.injected_weight();
+        if w_total <= 0.0 {
+            return WeightedEstimate { p: 0.0, n_eff: 0.0 };
+        }
+        let mut w_succ = 0.0;
+        let mut wsq_total = 0.0;
+        for &o in ErrorOutcome::ALL.iter().filter(|o| o.was_injected()) {
+            let i = OutcomeTally::index(o);
+            if success(o) {
+                w_succ += self.wsum[i];
+            }
+            wsq_total += self.wsq[i];
+        }
+        let p = (w_succ / w_total).clamp(0.0, 1.0);
+        let mut var = 0.0;
+        for &o in ErrorOutcome::ALL.iter().filter(|o| o.was_injected()) {
+            let i = OutcomeTally::index(o);
+            let x = if success(o) { 1.0 } else { 0.0 };
+            var += self.wsq[i] * (x - p) * (x - p);
+        }
+        var /= w_total * w_total;
+        let kish = w_total * w_total / wsq_total.max(f64::MIN_POSITIVE);
+        let n_eff = if var > 0.0 && p > 0.0 && p < 1.0 {
+            p * (1.0 - p) / var
+        } else {
+            kish
+        };
+        WeightedEstimate { p, n_eff }
+    }
+
+    /// Weighted estimate of the campaign's headline survived fraction
+    /// (everything delivered except data loss and silent corruption).
+    pub fn survived_estimate(&self) -> WeightedEstimate {
+        self.estimate(|o| {
+            !matches!(
+                o,
+                ErrorOutcome::DetectedUnrecoverable | ErrorOutcome::SilentCorruption
+            )
+        })
+    }
+
+    /// Weighted estimate of the actively-recovered fraction.
+    pub fn recovered_estimate(&self) -> WeightedEstimate {
+        self.estimate(ErrorOutcome::is_recovered)
+    }
+
+    /// Folds another tally into this one. Addition is elementwise in
+    /// [`ErrorOutcome::ALL`] order; callers wanting byte-identical `f64`
+    /// sums must fix the order in which tallies are merged.
+    pub fn merge(&mut self, other: &WeightedTally) {
+        for i in 0..ErrorOutcome::ALL.len() {
+            self.counts[i] += other.counts[i];
+            self.wsum[i] += other.wsum[i];
+            self.wsq[i] += other.wsq[i];
+        }
+    }
+
+    /// The raw per-outcome trial counts, in [`ErrorOutcome::ALL`] order.
+    pub fn counts(&self) -> [u64; ErrorOutcome::ALL.len()] {
+        self.counts
+    }
+
+    /// The per-outcome weight sums, in [`ErrorOutcome::ALL`] order.
+    pub fn weights(&self) -> [f64; ErrorOutcome::ALL.len()] {
+        self.wsum
+    }
+
+    /// The per-outcome squared-weight sums, in [`ErrorOutcome::ALL`]
+    /// order.
+    pub fn weight_squares(&self) -> [f64; ErrorOutcome::ALL.len()] {
+        self.wsq
+    }
+
+    /// Rebuilds a tally from its serialized parts — the inverse of
+    /// [`counts`](WeightedTally::counts) /
+    /// [`weights`](WeightedTally::weights) /
+    /// [`weight_squares`](WeightedTally::weight_squares). Callers
+    /// restoring untrusted data should validate with
+    /// [`check_consistent`](WeightedTally::check_consistent).
+    pub fn from_parts(
+        counts: [u64; ErrorOutcome::ALL.len()],
+        weights: [f64; ErrorOutcome::ALL.len()],
+        weight_squares: [f64; ErrorOutcome::ALL.len()],
+    ) -> Self {
+        WeightedTally {
+            counts,
+            wsum: weights,
+            wsq: weight_squares,
+        }
+    }
+
+    /// `true` when no trial has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Checks the internal invariants any tally built through
+    /// [`record`](WeightedTally::record) / [`merge`](WeightedTally::merge)
+    /// satisfies, for validating restored checkpoint data:
+    ///
+    /// * every weight sum and squared sum is finite and non-negative;
+    /// * a bucket with zero trials carries zero weight, and a bucket
+    ///   with positive weight has at least one trial;
+    /// * Cauchy–Schwarz: `(Σw)² ≤ n · Σw²` per bucket (with a small
+    ///   relative tolerance for accumulated rounding).
+    pub fn check_consistent(&self) -> Result<(), String> {
+        for (i, &o) in ErrorOutcome::ALL.iter().enumerate() {
+            let (n, w, w2) = (self.counts[i], self.wsum[i], self.wsq[i]);
+            if !w.is_finite() || !w2.is_finite() || w < 0.0 || w2 < 0.0 {
+                return Err(format!(
+                    "weighted tally for {o}: non-finite or negative sums (w={w}, w2={w2})"
+                ));
+            }
+            if n == 0 && (w != 0.0 || w2 != 0.0) {
+                return Err(format!(
+                    "weighted tally for {o}: zero trials but nonzero weight (w={w}, w2={w2})"
+                ));
+            }
+            if w > 0.0 && w2 == 0.0 {
+                return Err(format!(
+                    "weighted tally for {o}: positive weight sum {w} with zero squared sum"
+                ));
+            }
+            let bound = n as f64 * w2;
+            if w * w > bound * (1.0 + 1e-9) {
+                return Err(format!(
+                    "weighted tally for {o}: Cauchy-Schwarz violated ((Σw)²={} > n·Σw²={bound})",
+                    w * w
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +713,96 @@ mod tests {
         assert_eq!(back, t);
         assert_eq!(back.total(), t.total());
         assert_eq!(back.injected(), t.injected());
+    }
+
+    #[test]
+    fn weighted_tally_with_unit_weights_matches_unweighted_fractions() {
+        let mut t = OutcomeTally::default();
+        let mut w = WeightedTally::default();
+        let outcomes = [
+            ErrorOutcome::CorrectedByReplica,
+            ErrorOutcome::CorrectedByReplica,
+            ErrorOutcome::Masked,
+            ErrorOutcome::DetectedUnrecoverable,
+            ErrorOutcome::NotInjected,
+        ];
+        for &o in &outcomes {
+            t.record(o);
+            w.record(o, 1.0);
+        }
+        let est = w.survived_estimate();
+        assert!((est.p - t.survived_fraction()).abs() < 1e-12);
+        // Unit weights: the effective sample size is the injected count.
+        assert!((est.n_eff - t.injected() as f64).abs() < 1e-9);
+        let rec = w.recovered_estimate();
+        assert!((rec.p - t.recovered_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_estimate_is_self_normalized() {
+        // Doubling every weight changes nothing: the estimator only
+        // sees weight *ratios*.
+        let mut a = WeightedTally::default();
+        let mut b = WeightedTally::default();
+        for (o, w) in [
+            (ErrorOutcome::Masked, 0.25),
+            (ErrorOutcome::DetectedUnrecoverable, 4.0),
+            (ErrorOutcome::CorrectedByReplica, 1.5),
+        ] {
+            a.record(o, w);
+            b.record(o, 2.0 * w);
+        }
+        let (ea, eb) = (a.survived_estimate(), b.survived_estimate());
+        assert!((ea.p - eb.p).abs() < 1e-12);
+        assert!((ea.n_eff - eb.n_eff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_estimates_fall_back_to_kish_ess() {
+        let mut w = WeightedTally::default();
+        w.record(ErrorOutcome::Masked, 1.0);
+        w.record(ErrorOutcome::Masked, 3.0);
+        let est = w.survived_estimate();
+        assert_eq!(est.p, 1.0);
+        // Kish ESS: (1+3)^2 / (1+9) = 1.6.
+        assert!((est.n_eff - 1.6).abs() < 1e-12);
+        let empty = WeightedTally::default();
+        let e = empty.survived_estimate();
+        assert_eq!((e.p, e.n_eff), (0.0, 0.0));
+    }
+
+    #[test]
+    fn weighted_tally_round_trips_and_validates() {
+        let mut w = WeightedTally::default();
+        w.record(ErrorOutcome::CorrectedByEcc, 0.5);
+        w.record(ErrorOutcome::CorrectedByEcc, 2.0);
+        w.record(ErrorOutcome::NotInjected, 1.0);
+        assert!(w.check_consistent().is_ok());
+        let back = WeightedTally::from_parts(w.counts(), w.weights(), w.weight_squares());
+        assert_eq!(back, w);
+
+        // Hand-built inconsistent states are rejected.
+        let mut counts = [0u64; 8];
+        let mut ws = [0f64; 8];
+        let wsq = [0f64; 8];
+        ws[0] = 1.0; // weight without a trial
+        assert!(WeightedTally::from_parts(counts, ws, wsq)
+            .check_consistent()
+            .is_err());
+        counts[0] = 1; // weight without squared weight
+        assert!(WeightedTally::from_parts(counts, ws, wsq)
+            .check_consistent()
+            .is_err());
+        let mut wsq2 = [0f64; 8];
+        wsq2[0] = 0.5; // (Σw)² = 4 > n·Σw² = 0.5
+        ws[0] = 2.0;
+        assert!(WeightedTally::from_parts(counts, ws, wsq2)
+            .check_consistent()
+            .is_err());
+        ws[0] = f64::NAN;
+        assert!(WeightedTally::from_parts(counts, ws, wsq2)
+            .check_consistent()
+            .is_err());
     }
 
     #[test]

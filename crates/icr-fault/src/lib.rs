@@ -12,6 +12,6 @@ pub mod injector;
 pub mod model;
 pub mod seed;
 
-pub use injector::{FaultInjector, FaultSite, InjectedFault};
+pub use injector::{conditional_arrival, FaultInjector, FaultSite, InjectedFault, SiteMismatch};
 pub use model::ErrorModel;
 pub use seed::trial_seed;

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! icr-campaign [options]
+//! icr-campaign merge [options] DIR...
 //!
 //! options:
 //!   --schemes a,b,c   comma-separated schemes       (default basep,baseecc,icr-p-ps-s,icr-ecc-ps-s)
@@ -17,15 +18,30 @@
 //!   --ci-width W      stop a cell once its Wilson 95% interval is narrower
 //!   --threads N       worker threads                (default all cores)
 //!   --no-oracle       disable the silent-corruption oracle shadow
+//!   --importance      importance-sample the injection sites: tilt strikes
+//!                     toward dirty-parity lines (per-cell proposal from a
+//!                     fault-free exposure profile) and report weighted,
+//!                     unbiased estimates next to the raw counts
 //!   --checkpoint DIR  run sharded: persist one digest-verified checkpoint
 //!                     per completed shard into DIR (see --shard-size)
 //!   --resume          skip shards DIR already holds verified checkpoints
 //!                     for; corrupt files are quarantined and re-run
 //!   --shard-size N    trials per shard per cell     (default: --batch)
+//!   --worker I/N      run only shards s with s % N == I — worker I of an
+//!                     N-way fan-out (requires --checkpoint; workers may
+//!                     share a directory or each use their own)
 //!   --json PATH       write the JSON report to PATH, '-' = stdout
 //!                     (default stdout — same convention as icr-run/icr-exp)
 //!   --quiet           suppress progress output
 //! ```
+//!
+//! `icr-campaign merge` takes the same spec options plus one or more
+//! checkpoint directories and replays the union of their verified
+//! shard checkpoints — strictly restore-only, executing no trial —
+//! into the report a single-process run of the spec would have
+//! written, byte for byte. Missing shards, spec-fingerprint
+//! mismatches and conflicting duplicates are runtime errors; merge
+//! never modifies the input directories.
 //!
 //! The JSON report is a pure function of the options: no timestamps, no
 //! host data, bit-identical across runs, thread counts, and — in
@@ -44,10 +60,10 @@ use icr_core::Scheme;
 use icr_fault::ErrorModel;
 use icr_sim::json::write_output;
 use icr_sim::{
-    run_campaign_observed, run_sharded_campaign_observed, CampaignSpec, ShardEvent,
-    ShardedCampaignSpec,
+    merge_sharded_campaign, run_campaign_observed, run_sharded_campaign_observed, CampaignSpec,
+    ShardEvent, ShardedCampaignSpec,
 };
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -71,11 +87,14 @@ fn fail_usage(diagnostic: &str) -> ExitCode {
         "usage: icr-campaign [--schemes a,b,c] [--apps a,b,c] [--trials N]\n\
          \x20                   [--batch N] [--seed S] [--insts N] [--model M]\n\
          \x20                   [--fault P] [--ci-width W] [--threads N]\n\
-         \x20                   [--no-oracle] [--checkpoint DIR] [--resume]\n\
-         \x20                   [--shard-size N] [--json PATH] [--quiet]\n\
+         \x20                   [--no-oracle] [--importance] [--checkpoint DIR]\n\
+         \x20                   [--resume] [--shard-size N] [--worker I/N]\n\
+         \x20                   [--json PATH] [--quiet]\n\
+         \x20      icr-campaign merge [spec options] DIR...\n\
          schemes: basep baseecc baseecc-spec icr-{{p,ecc}}-{{ps,pp}}[-l2]-{{s,ls}}\n\
          models:  direct adjacent column random\n\
-         apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap)"
+         apps:    gzip vpr gcc mcf parser mesa vortex art (+ bzip2 twolf crafty gap,\n\
+         \x20     execution-driven isa:{{bubble,qsort,matmul,chase,strsearch,lz,checksum}})"
     );
     ExitCode::from(2)
 }
@@ -104,7 +123,14 @@ fn install_sigint_flag() -> &'static AtomicBool {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `icr-campaign merge [spec options] DIR...` — same spec vocabulary,
+    // positional checkpoint directories, restore-only.
+    let merge_mode = args.first().is_some_and(|a| a == "merge");
+    if merge_mode {
+        args.remove(0);
+    }
 
     let mut spec = CampaignSpec::new(
         vec![
@@ -122,6 +148,8 @@ fn main() -> ExitCode {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
     let mut shard_size: Option<u64> = None;
+    let mut worker: Option<(u64, u64)> = None;
+    let mut merge_dirs: Vec<PathBuf> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
@@ -181,11 +209,25 @@ fn main() -> ExitCode {
             }
             "--threads" => spec.threads = take_parsed!("--threads", "an unsigned integer"),
             "--no-oracle" => spec.oracle = false,
+            "--importance" => spec.importance = true,
             "--checkpoint" => checkpoint_dir = Some(take_value!("--checkpoint")),
             "--resume" => resume = true,
             "--shard-size" => shard_size = Some(take_parsed!("--shard-size", "a positive integer")),
+            "--worker" => {
+                let v = take_value!("--worker");
+                let parsed = v.split_once('/').and_then(|(idx, total)| {
+                    Some((idx.parse::<u64>().ok()?, total.parse::<u64>().ok()?))
+                });
+                let Some((idx, total)) = parsed else {
+                    return fail_usage(&format!("--worker expects I/N (e.g. 0/4), got {v:?}"));
+                };
+                worker = Some((idx, total));
+            }
             "--json" => json_path = Some(take_value!("--json")),
             "--quiet" => quiet = true,
+            other if merge_mode && !other.starts_with('-') => {
+                merge_dirs.push(PathBuf::from(other));
+            }
             other => return fail_usage(&format!("unknown option {other:?}")),
         }
         i += 1;
@@ -218,13 +260,48 @@ fn main() -> ExitCode {
     if resume && checkpoint_dir.is_none() {
         return fail_usage("--resume requires --checkpoint DIR");
     }
-    if shard_size.is_some() && checkpoint_dir.is_none() {
+    // Merge has no checkpoint directory of its own but must agree with
+    // the workers on the shard partition, so it accepts --shard-size.
+    if shard_size.is_some() && checkpoint_dir.is_none() && !merge_mode {
         return fail_usage("--shard-size requires --checkpoint DIR");
     }
+    if let Some((idx, total)) = worker {
+        if checkpoint_dir.is_none() {
+            return fail_usage("--worker requires --checkpoint DIR");
+        }
+        if total == 0 {
+            return fail_usage("--worker I/N needs at least one worker (N >= 1)");
+        }
+        if idx >= total {
+            return fail_usage(&format!(
+                "--worker index {idx} is out of range for {total} worker(s)"
+            ));
+        }
+        if spec.target_ci_width.is_some() {
+            return fail_usage(
+                "--worker is incompatible with --ci-width: early stopping needs \
+                 the full cumulative shard order, which a worker slice cannot see",
+            );
+        }
+    }
+    if merge_mode {
+        if checkpoint_dir.is_some() || resume || worker.is_some() {
+            return fail_usage(
+                "merge takes checkpoint directories as positional arguments; \
+                               --checkpoint, --resume and --worker do not apply",
+            );
+        }
+        if merge_dirs.is_empty() {
+            return fail_usage("merge needs at least one checkpoint directory");
+        }
+    }
+    // Resolve workloads through the store — the same authority the
+    // simulator uses — so a bad name fails here with exit 2 instead of
+    // aborting mid-campaign, and execution-driven `isa:*` kernels are
+    // accepted once their source is installed.
+    icr_isa::install();
     for app in &spec.apps {
-        if !icr_trace::apps::APP_NAMES.contains(&app.as_str())
-            && !icr_trace::apps::EXTENDED_APP_NAMES.contains(&app.as_str())
-        {
+        if !icr_trace::store::global().resolvable(app) {
             return fail_usage(&format!("unknown app {app:?}"));
         }
     }
@@ -244,10 +321,51 @@ fn main() -> ExitCode {
         );
     }
 
+    if merge_mode {
+        return run_merge(spec, shard_size, &merge_dirs, json_path, quiet);
+    }
     match checkpoint_dir {
-        Some(dir) => run_checkpointed(spec, &dir, resume, shard_size, json_path, quiet),
+        Some(dir) => run_checkpointed(spec, &dir, resume, shard_size, worker, json_path, quiet),
         None => run_plain(spec, json_path, quiet),
     }
+}
+
+/// `icr-campaign merge` — replay worker checkpoint directories into the
+/// single-process report, restore-only.
+fn run_merge(
+    spec: CampaignSpec,
+    shard_size: Option<u64>,
+    dirs: &[PathBuf],
+    json_path: Option<String>,
+    quiet: bool,
+) -> ExitCode {
+    let shard_size = shard_size.unwrap_or(spec.batch);
+    let sspec = ShardedCampaignSpec::new(spec, shard_size);
+    if !quiet {
+        eprintln!(
+            "merging {} checkpoint directories: {} shards of {} trials/cell (spec fingerprint {:#018x})",
+            dirs.len(),
+            sspec.shards_total(),
+            sspec.shard_size,
+            sspec.fingerprint(),
+        );
+    }
+    let report = match merge_sharded_campaign(&sspec, dirs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        let executed: u64 = report.report.cells.iter().map(|c| c.trials).sum();
+        eprintln!(
+            "merged: {executed} trials restored from {} of {} shards\n",
+            report.shards_done, report.shards_total,
+        );
+        eprint!("{}", report.report.summary_table());
+    }
+    write_report(&report.to_json(), json_path.as_deref(), quiet)
 }
 
 /// The sharded, checkpointed service mode behind `--checkpoint`.
@@ -256,15 +374,23 @@ fn run_checkpointed(
     dir: &str,
     resume: bool,
     shard_size: Option<u64>,
+    worker: Option<(u64, u64)>,
     json_path: Option<String>,
     quiet: bool,
 ) -> ExitCode {
     let shard_size = shard_size.unwrap_or(spec.batch);
-    let sspec = ShardedCampaignSpec::new(spec, shard_size);
+    let mut sspec = ShardedCampaignSpec::new(spec, shard_size);
+    if let Some((idx, total)) = worker {
+        sspec = sspec.with_worker(idx, total);
+    }
     let stop = install_sigint_flag();
     if !quiet {
+        let worker_note = match worker {
+            Some((idx, total)) => format!(", worker {idx}/{total}"),
+            None => String::new(),
+        };
         eprintln!(
-            "checkpointing to {dir}: {} shards of {} trials/cell{} (spec fingerprint {:#018x})",
+            "checkpointing to {dir}: {} shards of {} trials/cell{}{worker_note} (spec fingerprint {:#018x})",
             sspec.shards_total(),
             sspec.shard_size,
             if resume { ", resuming" } else { "" },
@@ -318,15 +444,18 @@ fn run_checkpointed(
     };
 
     let secs = started.elapsed().as_secs_f64();
+    // A worker's slice is done when every shard it owns is accounted
+    // for; its report still carries `complete: false` because the other
+    // workers' shards are not in it.
+    let owned_shards = (0..sspec.shards_total())
+        .filter(|&s| sspec.owns_shard(s))
+        .count() as u64;
+    let slice_done = report.complete || (worker.is_some() && report.shards_done == owned_shards);
     if !quiet {
         let executed: u64 = report.report.cells.iter().map(|c| c.trials).sum();
         eprintln!(
             "{}: {executed} trials accounted ({} of {} shards, {} resumed{}) in {secs:.2}s\n",
-            if report.complete {
-                "done"
-            } else {
-                "interrupted"
-            },
+            if slice_done { "done" } else { "interrupted" },
             report.shards_done,
             report.shards_total,
             report.shards_resumed,
@@ -339,11 +468,20 @@ fn run_checkpointed(
         eprint!("{}", report.report.summary_table());
     }
     if !report.complete {
-        eprintln!(
-            "campaign drained after SIGINT: checkpoints are flushed; \
-             re-run with --checkpoint {dir} --resume to finish \
-             (JSON carries \"complete\": false)"
-        );
+        if slice_done {
+            eprintln!(
+                "worker slice finished: checkpoints are flushed; \
+                 run `icr-campaign merge` over every worker's directory \
+                 to assemble the full report \
+                 (a worker's own JSON carries \"complete\": false)"
+            );
+        } else {
+            eprintln!(
+                "campaign drained after SIGINT: checkpoints are flushed; \
+                 re-run with --checkpoint {dir} --resume to finish \
+                 (JSON carries \"complete\": false)"
+            );
+        }
     }
 
     write_report(&report.to_json(), json_path.as_deref(), quiet)
@@ -353,7 +491,7 @@ fn run_checkpointed(
 fn run_plain(spec: CampaignSpec, json_path: Option<String>, quiet: bool) -> ExitCode {
     let started = Instant::now();
     let mut per_cell: std::collections::HashMap<(String, String), u64> = Default::default();
-    let report = run_campaign_observed(&spec, |p| {
+    let result = run_campaign_observed(&spec, |p| {
         per_cell.insert((p.scheme.to_string(), p.app.to_string()), p.trials_done);
         if quiet {
             return;
@@ -385,6 +523,13 @@ fn run_plain(spec: CampaignSpec, json_path: Option<String>, quiet: bool) -> Exit
             },
         );
     });
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let executed: u64 = report.cells.iter().map(|c| c.trials).sum();
     let secs = started.elapsed().as_secs_f64();

@@ -69,9 +69,12 @@ fn main() -> ExitCode {
         return fail_usage("expected <app> and <scheme>");
     }
     let app = args[0].clone();
-    if !icr_trace::apps::APP_NAMES.contains(&app.as_str())
-        && !icr_trace::apps::EXTENDED_APP_NAMES.contains(&app.as_str())
-    {
+    // Resolve the workload through the store — the same authority the
+    // simulator asks at run time — so execution-driven `isa:*` kernels
+    // validate once their source is installed, and a bad name exits 2
+    // here instead of aborting (exit 101) deep inside the run.
+    icr_isa::install();
+    if !icr_trace::store::global().resolvable(&app) {
         return fail_usage(&format!("unknown app {app:?}"));
     }
     let scheme = match args[1].parse::<Scheme>() {

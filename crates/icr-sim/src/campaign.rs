@@ -20,14 +20,57 @@
 //! instead of burning the full trial budget. Because the check happens
 //! only between whole batches, the set of executed trials — and hence the
 //! report — is still thread-count independent.
+//!
+//! **Importance sampling.** With [`CampaignSpec::importance`], each
+//! cell first runs one fault-free profile (memoised by the engine) and
+//! keeps two things from it: an [`icr_core::InjectionProposal`] site
+//! boost from the exposure windows, and the run's cycle count `C`.
+//! Importance trials then change the proposal on both axes of the
+//! injection:
+//!
+//! * **Arrival (forced injection).** Instead of drawing per-cycle
+//!   Bernoulli(`p`) arrivals — which at a physical `p` deliver no
+//!   fault at all in a fraction `(1-p)^C` of trials, runs the
+//!   conditional-on-injection estimator then discards — the arrival
+//!   cycle is drawn directly from the arrival process's exact
+//!   conditional distribution given delivery within `C` cycles
+//!   ([`icr_fault::conditional_arrival`], a truncated geometric).
+//!   Every trial delivers; the likelihood ratio of the arrival is
+//!   exactly 1 because the proposal *is* the conditional being
+//!   estimated. Trials-to-target shrinks by `1 / (1 - (1-p)^C)`.
+//! * **Site.** The strike tilts toward strike-worthy lines — dirty
+//!   parity primaries (loss-prone while resident) plus residents of
+//!   the workload's store working set (the lines a clean strike can
+//!   *launder* through: a later store dirties the line and replication
+//!   re-encodes the corrupted word under clean parity). The boost is
+//!   the profiled inverse loss-prone residency fraction, and each
+//!   trial carries the exact site likelihood ratio.
+//!
+//! The cell accumulates a [`WeightedTally`] next to the raw counts;
+//! the self-normalised estimate is unbiased for the uniform campaign's
+//! conditional survived fraction but spends every trial on a delivered
+//! strike, so the CI target is reached in far fewer trials. Early
+//! stopping then tests the weighted interval
+//! ([`crate::stats::wilson_ci95_f`] over `(p̂·n_eff, n_eff)`).
+//!
+//! **Multi-host fan-out.** [`ShardedCampaignSpec::worker`] restricts a
+//! run to the shards `s` with `s % n == i` — worker `i` of an `n`-way
+//! fleet. Workers share one checkpoint directory or write their own;
+//! either way [`merge_sharded_campaign`] later replays the union of
+//! directories restore-only into a report byte-identical to a
+//! single-process run of the same spec. The worker split is excluded
+//! from the spec fingerprint, so every worker and the merge agree on
+//! checkpoint identity.
 
 use crate::checkpoint::{self, ShardCellState, ShardCheckpoint};
 use crate::engine::Engine;
 use crate::exec::Pool;
 use crate::simulator::{FaultConfig, SimConfig};
-use crate::stats::wilson_ci95;
-use icr_core::{DataL1Config, ErrorOutcome, OutcomeTally, Scheme};
-use icr_fault::{trial_seed, ErrorModel};
+use crate::stats::{wilson_ci95, wilson_ci95_f};
+use icr_core::{
+    DataL1Config, ErrorOutcome, InjectionProposal, OutcomeTally, Scheme, WeightedTally,
+};
+use icr_fault::{conditional_arrival, trial_seed, ErrorModel};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,6 +105,13 @@ pub struct CampaignSpec {
     pub threads: usize,
     /// Enable the oracle shadow so silent corruption is observable.
     pub oracle: bool,
+    /// Importance-sampled injection: tilt each trial's strike toward
+    /// dirty-parity lines (per-cell proposal derived from a fault-free
+    /// exposure profile), record the per-trial likelihood ratio, and
+    /// report a self-normalised [`WeightedTally`] next to the raw
+    /// counts. Arrival times stay exactly uniform, so the weighted
+    /// estimates are unbiased for the uniform campaign's fractions.
+    pub importance: bool,
 }
 
 impl CampaignSpec {
@@ -86,6 +136,7 @@ impl CampaignSpec {
             target_ci_width: None,
             threads: 0,
             oracle: true,
+            importance: false,
         }
     }
 
@@ -126,6 +177,10 @@ pub struct CellReport {
     pub stopped_early: bool,
     /// Outcome counts.
     pub tally: OutcomeTally,
+    /// Importance-sampling companion tally — per-outcome likelihood-ratio
+    /// sums next to the raw counts. `Some` exactly when the spec ran
+    /// with [`CampaignSpec::importance`].
+    pub weighted: Option<WeightedTally>,
 }
 
 impl CellReport {
@@ -133,6 +188,14 @@ impl CellReport {
     /// harmlessly masked, over delivered faults).
     pub fn wilson95(&self) -> (f64, f64) {
         wilson_ci95(self.tally.survived_count(), self.tally.injected())
+    }
+
+    /// Weighted Wilson 95% interval of the survived fraction, from the
+    /// importance-sampling estimate's `(p̂·n_eff, n_eff)` pseudo-counts.
+    /// `None` for uniform cells.
+    pub fn weighted_wilson95(&self) -> Option<(f64, f64)> {
+        let est = self.weighted.as_ref()?.survived_estimate();
+        Some(wilson_ci95_f(est.p * est.n_eff, est.n_eff))
     }
 }
 
@@ -169,17 +232,27 @@ pub struct CellProgress<'a> {
 }
 
 /// Runs a campaign silently; see [`run_campaign_observed`] for progress.
-pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+///
+/// # Errors
+///
+/// Returns an error (instead of aborting) when a cell's final tally
+/// violates outcome conservation or its weighted tally fails its
+/// internal invariants — the diagnostic names the offending cell.
+pub fn run_campaign(spec: &CampaignSpec) -> io::Result<CampaignReport> {
     run_campaign_observed(spec, |_| {})
 }
 
 /// Runs a campaign, reporting per-cell progress through `observer` after
 /// every batch round. The observer is called from the coordinating
 /// thread, never concurrently.
+///
+/// # Errors
+///
+/// See [`run_campaign`].
 pub fn run_campaign_observed(
     spec: &CampaignSpec,
     mut observer: impl FnMut(&CellProgress<'_>),
-) -> CampaignReport {
+) -> io::Result<CampaignReport> {
     spec.validate();
     let pool = Pool::new(spec.threads);
 
@@ -187,7 +260,9 @@ pub fn run_campaign_observed(
         scheme: Scheme,
         scheme_name: String,
         app: String,
+        proposal: Option<CellProposal>,
         tally: OutcomeTally,
+        weighted: Option<WeightedTally>,
         trials_done: u64,
         stopped_early: bool,
         active: bool,
@@ -201,7 +276,9 @@ pub fn run_campaign_observed(
                 scheme,
                 scheme_name: scheme.name(),
                 app: app.clone(),
+                proposal: spec.importance.then(|| cell_proposal(spec, scheme, app)),
                 tally: OutcomeTally::default(),
+                weighted: spec.importance.then(WeightedTally::default),
                 trials_done: 0,
                 stopped_early: false,
                 active: true,
@@ -225,17 +302,27 @@ pub fn run_campaign_observed(
         }
 
         let outcomes = pool.run(jobs.clone(), |(ci, trial)| {
-            run_trial(spec, cells[ci].scheme, &cells[ci].app, ci, trial)
+            run_trial(
+                spec,
+                cells[ci].scheme,
+                &cells[ci].app,
+                ci,
+                trial,
+                cells[ci].proposal,
+            )
         });
 
-        for ((ci, _), outcome) in jobs.into_iter().zip(outcomes) {
+        for ((ci, _), (outcome, weight)) in jobs.into_iter().zip(outcomes) {
             cells[ci].tally.record(outcome);
+            if let Some(w) = cells[ci].weighted.as_mut() {
+                w.record(outcome, weight);
+            }
             cells[ci].trials_done += 1;
         }
 
         for cell in cells.iter_mut().filter(|c| c.active) {
             let injected = cell.tally.injected();
-            let ci95 = wilson_ci95(cell.tally.survived_count(), injected);
+            let (survived, ci95) = cell_view(&cell.tally, cell.weighted.as_ref());
             let budget_spent = cell.trials_done >= spec.trials_per_cell;
             let ci_reached = spec
                 .target_ci_width
@@ -249,7 +336,7 @@ pub fn run_campaign_observed(
                 app: &cell.app,
                 trials_done: cell.trials_done,
                 trials_target: spec.trials_per_cell,
-                survived: cell.tally.survived_fraction(),
+                survived,
                 ci95,
                 done: !cell.active,
                 stopped_early: cell.stopped_early,
@@ -257,26 +344,18 @@ pub fn run_campaign_observed(
         }
     }
 
-    // Outcome conservation, checked by the dependency-free auditor:
-    // every delivered fault must land in exactly one terminal class.
     for c in &cells {
-        icr_check::tally_conserved(
+        check_conservation(
+            "campaign",
+            &c.scheme_name,
+            &c.app,
             c.trials_done,
-            c.tally.count(ErrorOutcome::NotInjected),
-            c.tally.recovered(),
-            c.tally.count(ErrorOutcome::Masked),
-            c.tally.count(ErrorOutcome::DetectedUnrecoverable),
-            c.tally.count(ErrorOutcome::SilentCorruption),
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "campaign tally violates conservation: scheme {}, app {}: {e}",
-                c.scheme_name, c.app
-            )
-        });
+            &c.tally,
+            c.weighted.as_ref(),
+        )?;
     }
 
-    CampaignReport {
+    Ok(CampaignReport {
         spec: spec.clone(),
         cells: cells
             .into_iter()
@@ -286,36 +365,148 @@ pub fn run_campaign_observed(
                 trials: c.trials_done,
                 stopped_early: c.stopped_early,
                 tally: c.tally,
+                weighted: c.weighted,
             })
             .collect(),
+    })
+}
+
+/// The progress numbers a cell reports: the weighted survived estimate
+/// and interval when the cell carries a weighted tally, the plain
+/// fractions otherwise. Early stopping tests the same interval, so the
+/// numbers the observer streams are the ones the stop rule acts on.
+fn cell_view(tally: &OutcomeTally, weighted: Option<&WeightedTally>) -> (f64, (f64, f64)) {
+    match weighted {
+        Some(w) => {
+            let est = w.survived_estimate();
+            (est.p, wilson_ci95_f(est.p * est.n_eff, est.n_eff))
+        }
+        None => (
+            tally.survived_fraction(),
+            wilson_ci95(tally.survived_count(), tally.injected()),
+        ),
     }
 }
 
-/// One trial: simulate the machine with a single randomly-timed,
-/// randomly-placed fault and classify the consequence. A pure function
-/// of `(spec, scheme, app, cell_index, trial_index)`.
+/// Outcome conservation plus weighted-tally consistency for one final
+/// cell, as a runtime error instead of an abort: the diagnostic names
+/// the offending cell so callers can quarantine it (and, in checkpoint
+/// mode, leave every durable shard file intact for inspection).
+fn check_conservation(
+    engine: &str,
+    scheme: &str,
+    app: &str,
+    trials: u64,
+    tally: &OutcomeTally,
+    weighted: Option<&WeightedTally>,
+) -> io::Result<()> {
+    let fail = |e: String| {
+        io::Error::other(format!(
+            "{engine} tally violates conservation: scheme {scheme}, app {app}: {e}; \
+             the cell is quarantined from the report and any checkpoints are preserved"
+        ))
+    };
+    icr_check::tally_conserved(
+        trials,
+        tally.count(ErrorOutcome::NotInjected),
+        tally.recovered(),
+        tally.count(ErrorOutcome::Masked),
+        tally.count(ErrorOutcome::DetectedUnrecoverable),
+        tally.count(ErrorOutcome::SilentCorruption),
+    )
+    .map_err(|e| fail(e.to_string()))?;
+    if let Some(w) = weighted {
+        w.check_consistent().map_err(fail)?;
+        if w.counts() != tally.counts() {
+            return Err(fail(format!(
+                "weighted trial counts {:?} disagree with outcome counts {:?}",
+                w.counts(),
+                tally.counts()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A cell's importance proposal, derived once per cell from a
+/// fault-free profiling run: the site boost and the profiled cycle
+/// count `C` that bounds the forced-arrival draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CellProposal {
+    /// Site boost for strike-worthy lines (the profiled inverse
+    /// loss-prone residency fraction, clamped).
+    boost: f64,
+    /// Cycle count of the fault-free profile. The pre-fault timeline of
+    /// a faulted run is fault-free, so this is the exact arrival
+    /// horizon every one-shot trial of the cell faces.
+    profile_cycles: u64,
+}
+
+/// Seed salt separating the forced-arrival stream from the injector's
+/// site/word/bit stream: both are SplitMix64 functions of
+/// `(master_seed, global_index)`, so without a salt they would be the
+/// *same* value and the arrival would be correlated with the site draw.
+const ARRIVAL_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives a cell's importance proposal from one fault-free exposure
+/// profile. The profiling run is an ordinary engine run (memoised, so
+/// each cell pays for it once per process) and the proposal is a pure
+/// function of the spec — every worker of a fan-out derives the same
+/// proposal independently.
+fn cell_proposal(spec: &CampaignSpec, scheme: Scheme, app: &str) -> CellProposal {
+    let mut dl1 = DataL1Config::paper_default(scheme);
+    dl1.oracle = spec.oracle;
+    let cfg = SimConfig::builder(app, dl1)
+        .instructions(spec.instructions)
+        .seed(spec.master_seed)
+        .build();
+    let r = Engine::global().run(&cfg);
+    CellProposal {
+        boost: InjectionProposal::from_windows(&r.exposure).dirty_boost,
+        profile_cycles: r.pipeline.cycles.max(1),
+    }
+}
+
+/// One trial: simulate the machine with a single fault — arriving
+/// per-cycle Bernoulli and placed uniformly, or (importance mode)
+/// forced to a conditional arrival draw and tilted toward
+/// strike-worthy sites — and classify the consequence. Returns the
+/// outcome and the trial's likelihood ratio (`1.0` for uniform trials
+/// and undelivered faults). A pure function of `(spec, scheme, app,
+/// cell_index, trial_index, proposal)`.
 fn run_trial(
     spec: &CampaignSpec,
     scheme: Scheme,
     app: &str,
     cell_index: usize,
     trial: u64,
-) -> ErrorOutcome {
+    proposal: Option<CellProposal>,
+) -> (ErrorOutcome, f64) {
     let global_index = cell_index as u64 * spec.trials_per_cell + trial;
     let fault_seed = trial_seed(spec.master_seed, global_index);
     let mut dl1 = DataL1Config::paper_default(scheme);
     dl1.oracle = spec.oracle;
-    let cfg = SimConfig::builder(app, dl1)
+    let mut builder = SimConfig::builder(app, dl1)
         .instructions(spec.instructions)
         .seed(spec.master_seed)
         .fault(FaultConfig::one_shot(
             spec.model,
             spec.effective_p(),
             fault_seed,
-        ))
-        .build();
-    let r = Engine::global().run(&cfg);
-    ErrorOutcome::classify_single_fault(r.faults_injected, &r.icr)
+        ));
+    if let Some(p) = proposal {
+        let arrival_seed = trial_seed(spec.master_seed ^ ARRIVAL_SALT, global_index);
+        builder = builder
+            .fault_bias(p.boost)
+            .fault_arrival(conditional_arrival(
+                spec.effective_p(),
+                p.profile_cycles,
+                arrival_seed,
+            ));
+    }
+    let r = Engine::global().run(&builder.build());
+    let outcome = ErrorOutcome::classify_single_fault(r.faults_injected, &r.icr);
+    (outcome, r.fault_weight.unwrap_or(1.0))
 }
 
 impl CampaignReport {
@@ -424,6 +615,11 @@ impl CampaignReport {
             spec.target_ci_width.map_or("null".into(), num)
         ));
         out.push_str(&format!("    \"oracle\": {},\n", spec.oracle));
+        // Gated on the mode so uniform reports keep their historical
+        // bytes exactly.
+        if spec.importance {
+            out.push_str("    \"importance\": true,\n");
+        }
         out.push_str(&format!("    \"schemes\": [{schemes}],\n"));
         out.push_str(&format!("    \"apps\": [{apps}]\n"));
         out.push_str("  },\n");
@@ -463,6 +659,29 @@ impl CampaignReport {
                 "      \"recovered_fraction\": {},\n",
                 num(cell.tally.recovered_fraction())
             ));
+            if let Some(w) = &cell.weighted {
+                let est = w.survived_estimate();
+                let (wlo, whi) = cell
+                    .weighted_wilson95()
+                    .expect("weighted cell has a weighted interval");
+                let arr = |xs: [f64; ErrorOutcome::ALL.len()]| {
+                    xs.iter().map(|&x| num(x)).collect::<Vec<_>>().join(", ")
+                };
+                out.push_str("      \"importance\": {\n");
+                out.push_str(&format!("        \"weights\": [{}],\n", arr(w.weights())));
+                out.push_str(&format!(
+                    "        \"weight_squares\": [{}],\n",
+                    arr(w.weight_squares())
+                ));
+                out.push_str(&format!("        \"survived_weighted\": {},\n", num(est.p)));
+                out.push_str(&format!("        \"n_eff\": {},\n", num(est.n_eff)));
+                out.push_str(&format!(
+                    "        \"wilson95_weighted\": [{}, {}]\n",
+                    num(wlo),
+                    num(whi)
+                ));
+                out.push_str("      },\n");
+            }
             out.push_str(&format!("      \"wilson95\": [{}, {}]\n", num(lo), num(hi)));
             out.push_str(if i + 1 < self.cells.len() {
                 "    },\n"
@@ -497,12 +716,41 @@ pub struct ShardedCampaignSpec {
     pub base: CampaignSpec,
     /// Per-cell trials per shard (the checkpoint granularity).
     pub shard_size: u64,
+    /// `Some((i, n))` runs only the shards `s` with `s % n == i` —
+    /// worker `i` of an `n`-way fan-out. The slice is deterministic, so
+    /// `n` workers over any split of the shard space cover every shard
+    /// exactly once and their checkpoints merge
+    /// ([`merge_sharded_campaign`]) to the single-process bytes.
+    /// Excluded from [`fingerprint`](ShardedCampaignSpec::fingerprint):
+    /// all workers and the merge agree on checkpoint identity.
+    /// Incompatible with early stopping (`target_ci_width`), which
+    /// needs the full cumulative shard order.
+    pub worker: Option<(u64, u64)>,
 }
 
 impl ShardedCampaignSpec {
     /// Shards `base` into ranges of `shard_size` trials per cell.
     pub fn new(base: CampaignSpec, shard_size: u64) -> Self {
-        ShardedCampaignSpec { base, shard_size }
+        ShardedCampaignSpec {
+            base,
+            shard_size,
+            worker: None,
+        }
+    }
+
+    /// Restricts the run to worker `index` of a `total`-way fan-out.
+    pub fn with_worker(mut self, index: u64, total: u64) -> Self {
+        self.worker = Some((index, total));
+        self
+    }
+
+    /// `true` when this spec's worker slice owns shard `s` (a spec
+    /// without a worker owns every shard).
+    pub fn owns_shard(&self, s: u64) -> bool {
+        match self.worker {
+            Some((i, n)) => s % n == i,
+            None => true,
+        }
     }
 
     /// Total shards the trial budget partitions into.
@@ -533,6 +781,11 @@ impl ShardedCampaignSpec {
             self.shard_size,
         )
         .expect("writing to a String cannot fail");
+        // Gated so uniform campaigns keep their historical fingerprints
+        // (and hence resume their pre-existing checkpoints).
+        if b.importance {
+            canon.push_str("|importance=true");
+        }
         for s in &b.schemes {
             write!(canon, "|s:{}", s.name()).expect("infallible");
         }
@@ -545,6 +798,15 @@ impl ShardedCampaignSpec {
     fn validate(&self) {
         self.base.validate();
         assert!(self.shard_size > 0, "shard size must be positive");
+        if let Some((i, n)) = self.worker {
+            assert!(n > 0, "worker fan-out must have at least one worker");
+            assert!(i < n, "worker index {i} out of range for {n} workers");
+            assert!(
+                self.base.target_ci_width.is_none(),
+                "early stopping needs the full cumulative shard order; \
+                 a worker slice cannot evaluate it"
+            );
+        }
     }
 }
 
@@ -612,6 +874,10 @@ pub struct ShardedReport {
     /// before every cell finished; the JSON carries this marker so
     /// partial results can never be mistaken for final ones.
     pub complete: bool,
+    /// The worker slice that produced this report, when it was one leg
+    /// of a fan-out. A merged or single-process report carries `None`,
+    /// keeping those bytes identical.
+    pub worker: Option<(u64, u64)>,
 }
 
 impl ShardedReport {
@@ -619,8 +885,12 @@ impl ShardedReport {
     /// `sharding` section. Identical bytes whether the run was
     /// straight-through or killed and resumed any number of times.
     pub fn to_json(&self) -> String {
+        let worker = match self.worker {
+            Some((i, n)) => format!("    \"worker\": [{i}, {n}],\n"),
+            None => String::new(),
+        };
         let sharding = format!(
-            "  \"sharding\": {{\n    \"shard_size\": {},\n    \"shards_total\": {},\n    \"shards_done\": {},\n    \"complete\": {}\n  }},\n",
+            "  \"sharding\": {{\n{worker}    \"shard_size\": {},\n    \"shards_total\": {},\n    \"shards_done\": {},\n    \"complete\": {}\n  }},\n",
             self.shard_size, self.shards_total, self.shards_done, self.complete
         );
         self.report.to_json_sections(&sharding)
@@ -631,7 +901,9 @@ struct ShardCellSlot {
     scheme: Scheme,
     scheme_name: String,
     app: String,
+    proposal: Option<CellProposal>,
     tally: OutcomeTally,
+    weighted: Option<WeightedTally>,
     trials_done: u64,
     stopped_early: bool,
     active: bool,
@@ -646,6 +918,108 @@ pub fn run_sharded_campaign(
 ) -> io::Result<ShardedReport> {
     let stop = AtomicBool::new(false);
     run_sharded_campaign_observed(spec, dir, resume, &stop, |_| {})
+}
+
+/// Builds the per-cell accumulation slots for a sharded run. `with_bias`
+/// derives each cell's importance proposal from a fault-free profiling
+/// run; the restore-only merge path passes `false` so it never
+/// simulates anything.
+fn shard_cells(base: &CampaignSpec, with_bias: bool) -> Vec<ShardCellSlot> {
+    base.schemes
+        .iter()
+        .flat_map(|&scheme| {
+            base.apps.iter().map(move |app| ShardCellSlot {
+                scheme,
+                scheme_name: scheme.name(),
+                app: app.clone(),
+                proposal: (with_bias && base.importance).then(|| cell_proposal(base, scheme, app)),
+                tally: OutcomeTally::default(),
+                weighted: base.importance.then(WeightedTally::default),
+                trials_done: 0,
+                stopped_early: false,
+                active: true,
+            })
+        })
+        .collect()
+}
+
+/// Folds one restored or freshly-run shard's per-cell contributions
+/// into the cumulative slots. Weighted sums are folded in cell order,
+/// shard-major — the same addition sequence every execution order
+/// reproduces, keeping `f64` totals bit-identical across straight runs,
+/// resumes and merges.
+fn fold_shard(cells: &mut [ShardCellSlot], shard_cells: &[ShardCellState]) -> u64 {
+    let mut n = 0;
+    for (slot, cell) in cells.iter_mut().zip(shard_cells) {
+        slot.tally.merge(&cell.tally);
+        if let (Some(total), Some(shard)) = (slot.weighted.as_mut(), cell.weighted.as_ref()) {
+            total.merge(shard);
+        }
+        slot.trials_done += cell.trials;
+        n += cell.trials;
+    }
+    n
+}
+
+/// Evaluates the shard-boundary early-stop rule over every active cell.
+fn evaluate_stops(cells: &mut [ShardCellSlot], base: &CampaignSpec) {
+    for cell in cells.iter_mut().filter(|c| c.active) {
+        let injected = cell.tally.injected();
+        let (_, ci95) = cell_view(&cell.tally, cell.weighted.as_ref());
+        let budget_spent = cell.trials_done >= base.trials_per_cell;
+        let ci_reached = base
+            .target_ci_width
+            .is_some_and(|w| injected > 0 && ci95.1 - ci95.0 <= w);
+        if budget_spent || ci_reached {
+            cell.active = false;
+            cell.stopped_early = !budget_spent;
+        }
+    }
+}
+
+/// Final conservation audit plus report assembly shared by the sharded
+/// runner and the merge.
+fn finish_sharded(
+    spec: &ShardedCampaignSpec,
+    cells: Vec<ShardCellSlot>,
+    shards_done: u64,
+    shards_resumed: u64,
+    quarantined: u64,
+) -> io::Result<ShardedReport> {
+    let complete = cells.iter().all(|c| !c.active);
+    for c in &cells {
+        check_conservation(
+            "sharded campaign",
+            &c.scheme_name,
+            &c.app,
+            c.trials_done,
+            &c.tally,
+            c.weighted.as_ref(),
+        )?;
+    }
+    Ok(ShardedReport {
+        report: CampaignReport {
+            spec: spec.base.clone(),
+            cells: cells
+                .into_iter()
+                .map(|c| CellReport {
+                    scheme: c.scheme,
+                    app: c.app,
+                    trials: c.trials_done,
+                    stopped_early: c.stopped_early,
+                    tally: c.tally,
+                    weighted: c.weighted,
+                })
+                .collect(),
+        },
+        shard_size: spec.shard_size,
+        shards_total: spec.shards_total(),
+        shards_done,
+        shards_resumed,
+        quarantined,
+        complete,
+        worker: spec.worker,
+    })
 }
 
 /// Runs a sharded campaign, persisting one verified checkpoint per
@@ -685,25 +1059,17 @@ pub fn run_sharded_campaign_observed(
     let fingerprint = spec.fingerprint();
     let pool = Pool::new(base.threads);
 
-    let mut cells: Vec<ShardCellSlot> = base
-        .schemes
-        .iter()
-        .flat_map(|&scheme| {
-            base.apps.iter().map(move |app| ShardCellSlot {
-                scheme,
-                scheme_name: scheme.name(),
-                app: app.clone(),
-                tally: OutcomeTally::default(),
-                trials_done: 0,
-                stopped_early: false,
-                active: true,
-            })
-        })
-        .collect();
+    let mut cells = shard_cells(base, true);
 
     let mut available: std::collections::BTreeMap<u64, PathBuf> = Default::default();
     if let Some(dir) = dir {
-        let found = checkpoint::scan_dir(dir)?;
+        // Only this worker's slice of the shard space matters: files
+        // other workers of the same fan-out wrote into a shared
+        // directory are neither restored nor treated as a conflict.
+        let found: Vec<_> = checkpoint::scan_dir(dir)?
+            .into_iter()
+            .filter(|&(s, _)| spec.owns_shard(s))
+            .collect();
         if !resume && !found.is_empty() {
             return Err(io::Error::other(format!(
                 "checkpoint directory {} already holds {} shard checkpoint(s); \
@@ -728,6 +1094,9 @@ pub fn run_sharded_campaign_observed(
         if !cells.iter().any(|c| c.active) {
             break;
         }
+        if !spec.owns_shard(s) {
+            continue;
+        }
         let start = s * spec.shard_size;
         let end = (start + spec.shard_size).min(base.trials_per_cell);
 
@@ -737,7 +1106,7 @@ pub fn run_sharded_campaign_observed(
             match checkpoint::read_shard(path, fingerprint)
                 .map_err(|e| e.to_string())
                 .and_then(|ckpt| {
-                    verify_participation(&ckpt, s, start, end, &cells)?;
+                    verify_participation(&ckpt, s, start, end, base.importance, &cells)?;
                     Ok(ckpt)
                 }) {
                 Ok(ckpt) => restored = Some(ckpt),
@@ -755,15 +1124,7 @@ pub fn run_sharded_campaign_observed(
 
         let resumed = restored.is_some();
         let trials_this_shard = match restored {
-            Some(ckpt) => {
-                let mut n = 0;
-                for (slot, cell) in cells.iter_mut().zip(&ckpt.cells) {
-                    slot.tally.merge(&cell.tally);
-                    slot.trials_done += cell.trials;
-                    n += cell.trials;
-                }
-                n
-            }
+            Some(ckpt) => fold_shard(&mut cells, &ckpt.cells),
             None => {
                 let jobs: Vec<(usize, u64)> = cells
                     .iter()
@@ -771,34 +1132,40 @@ pub fn run_sharded_campaign_observed(
                     .filter(|(_, c)| c.active)
                     .flat_map(|(ci, _)| (start..end).map(move |t| (ci, t)))
                     .collect();
-                let outcomes = pool.run(jobs.clone(), |(ci, trial)| {
-                    run_trial(base, cells[ci].scheme, &cells[ci].app, ci, trial)
+                let results = pool.run(jobs.clone(), |(ci, trial)| {
+                    run_trial(
+                        base,
+                        cells[ci].scheme,
+                        &cells[ci].app,
+                        ci,
+                        trial,
+                        cells[ci].proposal,
+                    )
                 });
-                let mut shard_tallies: Vec<OutcomeTally> =
-                    vec![OutcomeTally::default(); cells.len()];
-                for (&(ci, _), outcome) in jobs.iter().zip(outcomes) {
-                    shard_tallies[ci].record(outcome);
+                let mut shard_states: Vec<ShardCellState> = cells
+                    .iter()
+                    .map(|slot| ShardCellState {
+                        scheme: slot.scheme_name.clone(),
+                        app: slot.app.clone(),
+                        trials: 0,
+                        tally: OutcomeTally::default(),
+                        weighted: base.importance.then(WeightedTally::default),
+                    })
+                    .collect();
+                for (&(ci, _), (outcome, weight)) in jobs.iter().zip(results) {
+                    shard_states[ci].tally.record(outcome);
+                    if let Some(w) = shard_states[ci].weighted.as_mut() {
+                        w.record(outcome, weight);
+                    }
+                    shard_states[ci].trials += 1;
                 }
-                let n = jobs.len() as u64;
-                for (slot, shard_tally) in cells.iter_mut().zip(&shard_tallies) {
-                    slot.tally.merge(shard_tally);
-                    slot.trials_done += shard_tally.total();
-                }
+                let n = fold_shard(&mut cells, &shard_states);
                 if let Some(dir) = dir {
                     let ckpt = ShardCheckpoint {
                         shard: s,
                         start,
                         end,
-                        cells: cells
-                            .iter()
-                            .zip(&shard_tallies)
-                            .map(|(slot, shard_tally)| ShardCellState {
-                                scheme: slot.scheme_name.clone(),
-                                app: slot.app.clone(),
-                                trials: shard_tally.total(),
-                                tally: *shard_tally,
-                            })
-                            .collect(),
+                        cells: shard_states,
                     };
                     checkpoint::write_shard(dir, fingerprint, &ckpt)?;
                 }
@@ -809,18 +1176,7 @@ pub fn run_sharded_campaign_observed(
         // Early-stop evaluation at the shard boundary — deterministic
         // given the shard order, so straight-through and resumed runs
         // agree on exactly which cells run in every later shard.
-        for cell in cells.iter_mut().filter(|c| c.active) {
-            let injected = cell.tally.injected();
-            let ci95 = wilson_ci95(cell.tally.survived_count(), injected);
-            let budget_spent = cell.trials_done >= base.trials_per_cell;
-            let ci_reached = base
-                .target_ci_width
-                .is_some_and(|w| injected > 0 && ci95.1 - ci95.0 <= w);
-            if budget_spent || ci_reached {
-                cell.active = false;
-                cell.stopped_early = !budget_spent;
-            }
-        }
+        evaluate_stops(&mut cells, base);
 
         shards_done += 1;
         shards_resumed += resumed as u64;
@@ -840,47 +1196,98 @@ pub fn run_sharded_campaign_observed(
         }
     }
 
-    let complete = cells.iter().all(|c| !c.active);
+    finish_sharded(spec, cells, shards_done, shards_resumed, quarantined)
+}
 
-    // Outcome conservation, exactly as the unsharded engine checks it.
-    for c in &cells {
-        icr_check::tally_conserved(
-            c.trials_done,
-            c.tally.count(ErrorOutcome::NotInjected),
-            c.tally.recovered(),
-            c.tally.count(ErrorOutcome::Masked),
-            c.tally.count(ErrorOutcome::DetectedUnrecoverable),
-            c.tally.count(ErrorOutcome::SilentCorruption),
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "sharded campaign tally violates conservation: scheme {}, app {}: {e}",
-                c.scheme_name, c.app
-            )
-        });
+/// Merges the shard checkpoints a fan-out of workers left in `dirs`
+/// into the full campaign report — strictly restore-only, no trial is
+/// ever executed.
+///
+/// Every shard of the plan must be satisfied by a checkpoint that
+/// passes full verification (magic, version, spec fingerprint, payload
+/// digest, participation) in one of `dirs`. When several directories
+/// hold the same shard index, the earliest directory wins and every
+/// later copy must be byte-identical to it — two *different* files
+/// claiming the same shard mean the workers disagreed and the merge
+/// refuses rather than pick silently. The replay walks shards in index
+/// order with the same early-stop evaluation as a single-process run,
+/// so the returned report serialises to byte-identical JSON.
+///
+/// # Errors
+///
+/// Fails on I/O problems, a missing shard, a checkpoint failing any
+/// verification step (merge never quarantines — the inputs are other
+/// workers' property and are left untouched), conflicting duplicate
+/// shards, or a conservation violation in the merged tallies.
+pub fn merge_sharded_campaign(
+    spec: &ShardedCampaignSpec,
+    dirs: &[PathBuf],
+) -> io::Result<ShardedReport> {
+    spec.validate();
+    assert!(
+        spec.worker.is_none(),
+        "merge covers the whole shard space; give it the spec without a worker slice"
+    );
+    if dirs.is_empty() {
+        return Err(io::Error::other(
+            "merge needs at least one checkpoint directory",
+        ));
+    }
+    let base = &spec.base;
+    let fingerprint = spec.fingerprint();
+
+    // First directory wins; later duplicates must be byte-identical.
+    let mut chosen: std::collections::BTreeMap<u64, PathBuf> = Default::default();
+    for dir in dirs {
+        for (s, path) in checkpoint::scan_dir(dir)? {
+            match chosen.get(&s) {
+                None => {
+                    chosen.insert(s, path);
+                }
+                Some(first) => {
+                    if std::fs::read(first)? != std::fs::read(&path)? {
+                        return Err(io::Error::other(format!(
+                            "shard {s} exists in both {} and {} with different bytes; \
+                             the workers disagree and the merge refuses to pick",
+                            first.display(),
+                            path.display()
+                        )));
+                    }
+                }
+            }
+        }
     }
 
-    Ok(ShardedReport {
-        report: CampaignReport {
-            spec: base.clone(),
-            cells: cells
-                .into_iter()
-                .map(|c| CellReport {
-                    scheme: c.scheme,
-                    app: c.app,
-                    trials: c.trials_done,
-                    stopped_early: c.stopped_early,
-                    tally: c.tally,
-                })
-                .collect(),
-        },
-        shard_size: spec.shard_size,
-        shards_total,
-        shards_done,
-        shards_resumed,
-        quarantined,
-        complete,
-    })
+    let mut cells = shard_cells(base, false);
+    let shards_total = spec.shards_total();
+    let mut shards_done = 0u64;
+
+    for s in 0..shards_total {
+        if !cells.iter().any(|c| c.active) {
+            break;
+        }
+        let start = s * spec.shard_size;
+        let end = (start + spec.shard_size).min(base.trials_per_cell);
+        let path = chosen.get(&s).ok_or_else(|| {
+            io::Error::other(format!(
+                "no checkpoint covers shard {s} of {shards_total}; \
+                 run the missing worker (or resume it) before merging"
+            ))
+        })?;
+        let ckpt = checkpoint::read_shard(path, fingerprint).map_err(|e| {
+            io::Error::other(format!(
+                "{}: {e}; merge leaves the file untouched",
+                path.display()
+            ))
+        })?;
+        verify_participation(&ckpt, s, start, end, base.importance, &cells)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+        fold_shard(&mut cells, &ckpt.cells);
+        evaluate_stops(&mut cells, base);
+        shards_done += 1;
+    }
+
+    finish_sharded(spec, cells, shards_done, shards_done, 0)
 }
 
 /// Checks a decoded checkpoint against the replayed campaign state: it
@@ -894,6 +1301,7 @@ fn verify_participation(
     shard: u64,
     start: u64,
     end: u64,
+    importance: bool,
     cells: &[ShardCellSlot],
 ) -> Result<(), String> {
     if ckpt.shard != shard || ckpt.start != start || ckpt.end != end {
@@ -923,6 +1331,18 @@ fn verify_participation(
                 cell.scheme, cell.app, cell.trials
             ));
         }
+        if importance != cell.weighted.is_some() {
+            return Err(format!(
+                "cell ({}, {}) {} importance weights but the campaign runs with importance={importance}",
+                cell.scheme,
+                cell.app,
+                if cell.weighted.is_some() {
+                    "records"
+                } else {
+                    "lacks"
+                },
+            ));
+        }
     }
     Ok(())
 }
@@ -950,16 +1370,16 @@ mod tests {
         s1.threads = 1;
         let mut s4 = spec.clone();
         s4.threads = 4;
-        let a = run_campaign(&s1);
-        let b = run_campaign(&s4);
-        let c = run_campaign(&s4);
+        let a = run_campaign(&s1).unwrap();
+        let b = run_campaign(&s4).unwrap();
+        let c = run_campaign(&s4).unwrap();
         assert_eq!(a.cells, b.cells, "1 vs 4 threads diverged");
         assert_eq!(b.to_json(), c.to_json(), "repeat run diverged");
     }
 
     #[test]
     fn every_cell_runs_its_budget_without_early_stopping() {
-        let report = run_campaign(&tiny_spec());
+        let report = run_campaign(&tiny_spec()).unwrap();
         assert_eq!(report.cells.len(), 4);
         for cell in &report.cells {
             assert_eq!(cell.trials, 6);
@@ -974,7 +1394,7 @@ mod tests {
         spec.trials_per_cell = 12;
         // A huge target width stops every cell at its first batch check.
         spec.target_ci_width = Some(1.0);
-        let report = run_campaign(&spec);
+        let report = run_campaign(&spec).unwrap();
         for cell in &report.cells {
             assert_eq!(cell.trials, spec.batch, "stopped at first batch");
             assert!(cell.stopped_early);
@@ -986,7 +1406,7 @@ mod tests {
         let mut spec = tiny_spec();
         spec.trials_per_cell = 2;
         spec.batch = 2;
-        let json = run_campaign(&spec).to_json();
+        let json = run_campaign(&spec).unwrap().to_json();
         assert!(json.contains("\"master_seed\": 42"));
         assert!(json.contains("\"corrected_by_replica\""));
         assert!(json.contains("\"wilson95\""));
@@ -1010,7 +1430,7 @@ mod tests {
         // tallies — seeds are pure functions of trial coordinates and
         // tallies are commutative sums.
         let spec = tiny_spec();
-        let whole = run_campaign(&spec);
+        let whole = run_campaign(&spec).unwrap();
         for shard_size in [1, 2, 3, 4, 5, 6, 7] {
             let sharded = ShardedCampaignSpec::new(spec.clone(), shard_size);
             let got = run_sharded_campaign(&sharded, None, false).unwrap();
@@ -1147,6 +1567,270 @@ mod tests {
     }
 
     #[test]
+    fn importance_campaign_records_consistent_weights() {
+        let mut spec = tiny_spec();
+        spec.importance = true;
+        let report = run_campaign(&spec).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            let w = cell
+                .weighted
+                .as_ref()
+                .expect("importance cells carry weights");
+            w.check_consistent().expect("weights stay consistent");
+            assert_eq!(
+                w.counts(),
+                cell.tally.counts(),
+                "weighted counts mirror the outcome tally"
+            );
+            if cell.tally.injected() > 0 {
+                // n_eff is the delta-method effective sample size: it
+                // may exceed the raw trial count when the tilt makes
+                // the estimator tighter than uniform sampling — that
+                // gain is exactly what importance sampling buys.
+                let est = w.survived_estimate();
+                assert!(est.n_eff.is_finite() && est.n_eff > 0.0);
+                assert!(
+                    (0.0..=1.0).contains(&est.p),
+                    "estimate {} out of range",
+                    est.p
+                );
+            }
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"importance\": true"));
+        assert!(json.contains("\"n_eff\""));
+        assert!(json.contains("\"wilson95_weighted\""));
+
+        // Without the flag nothing weighted appears anywhere — the
+        // uniform report keeps its historical bytes.
+        let plain = run_campaign(&tiny_spec()).unwrap();
+        assert!(plain.cells.iter().all(|c| c.weighted.is_none()));
+        assert!(!plain.to_json().contains("importance"));
+    }
+
+    #[test]
+    fn importance_campaign_is_deterministic_across_thread_counts() {
+        let mut spec = tiny_spec();
+        spec.importance = true;
+        let mut s1 = spec.clone();
+        s1.threads = 1;
+        let mut s4 = spec;
+        s4.threads = 4;
+        let a = run_campaign(&s1).unwrap();
+        let b = run_campaign(&s4).unwrap();
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "weighted records must fold in job order"
+        );
+    }
+
+    #[test]
+    fn conservation_violations_surface_as_errors_not_panics() {
+        // A lost trial: the budget says 2 but the tally holds 1.
+        let mut tally = OutcomeTally::default();
+        tally.record(ErrorOutcome::Masked);
+        let err =
+            check_conservation("campaign", "icr-p-ps-s", "gzip", 2, &tally, None).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("icr-p-ps-s") && msg.contains("gzip"),
+            "got: {msg}"
+        );
+        assert!(msg.contains("quarantined from the report"), "got: {msg}");
+
+        // Weighted counts disagreeing with the outcome tally.
+        let mut w = WeightedTally::default();
+        w.record(ErrorOutcome::Masked, 1.0);
+        w.record(ErrorOutcome::Masked, 1.0);
+        let mut t2 = OutcomeTally::default();
+        t2.record(ErrorOutcome::Masked);
+        let err = check_conservation("campaign", "basep", "gcc", 1, &t2, Some(&w)).unwrap_err();
+        assert!(err.to_string().contains("disagree"), "got: {err}");
+
+        // And the happy path stays silent.
+        check_conservation("campaign", "basep", "gcc", 1, &t2, None).unwrap();
+    }
+
+    #[test]
+    fn worker_fanout_merges_to_single_process_bytes() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let straight = run_sharded_campaign(&spec, None, false).unwrap();
+        for n in [2u64, 3u64] {
+            let dirs: Vec<std::path::PathBuf> = (0..n)
+                .map(|i| scratch(&format!("fanout_{n}_{i}")))
+                .collect();
+            for i in 0..n {
+                let wspec = spec.clone().with_worker(i, n);
+                let leg = run_sharded_campaign(&wspec, Some(&dirs[i as usize]), false).unwrap();
+                assert_eq!(leg.worker, Some((i, n)));
+                assert!(!leg.complete, "a slice never fills the whole budget");
+                assert!(
+                    leg.to_json().contains(&format!("\"worker\": [{i}, {n}]")),
+                    "worker reports label their slice"
+                );
+            }
+            let merged = merge_sharded_campaign(&spec, &dirs).unwrap();
+            assert!(merged.complete);
+            assert_eq!(merged.worker, None);
+            assert_eq!(merged.shards_done, merged.shards_total);
+            assert_eq!(
+                merged.to_json(),
+                straight.to_json(),
+                "fan-out across {n} workers diverged from the single-process run"
+            );
+            for d in &dirs {
+                std::fs::remove_dir_all(d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn shared_directory_fanout_merges_identically() {
+        // Both workers write into ONE directory (e.g. shared storage):
+        // each scans only its own slice, so neither trips the
+        // populated-directory refusal, and the merge reads it whole.
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let straight = run_sharded_campaign(&spec, None, false).unwrap();
+        let dir = scratch("fanout_shared");
+        for i in 0..2u64 {
+            run_sharded_campaign(&spec.clone().with_worker(i, 2), Some(&dir), false).unwrap();
+        }
+        let merged = merge_sharded_campaign(&spec, std::slice::from_ref(&dir)).unwrap();
+        assert_eq!(merged.to_json(), straight.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn importance_fanout_merges_to_single_process_bytes() {
+        // The weighted path end to end: f64 weight sums survive the
+        // checkpoint round trip bit-exactly, so the merged importance
+        // report matches the single-process bytes too.
+        let mut base = tiny_spec();
+        base.importance = true;
+        let spec = ShardedCampaignSpec::new(base, 2);
+        let straight = run_sharded_campaign(&spec, None, false).unwrap();
+        let dirs = [scratch("imp_fan_0"), scratch("imp_fan_1")];
+        for i in 0..2u64 {
+            run_sharded_campaign(
+                &spec.clone().with_worker(i, 2),
+                Some(&dirs[i as usize]),
+                false,
+            )
+            .unwrap();
+        }
+        let dirs: Vec<std::path::PathBuf> = dirs.into_iter().collect();
+        let merged = merge_sharded_campaign(&spec, &dirs).unwrap();
+        assert_eq!(merged.to_json(), straight.to_json());
+        for d in &dirs {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_conflicting_shards() {
+        let spec = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let d0 = scratch("merge_missing");
+        run_sharded_campaign(&spec.clone().with_worker(0, 2), Some(&d0), false).unwrap();
+
+        // Worker 1 never ran: shard 1 has no checkpoint anywhere.
+        let err = merge_sharded_campaign(&spec, std::slice::from_ref(&d0)).unwrap_err();
+        assert!(
+            err.to_string().contains("no checkpoint covers shard 1"),
+            "got: {err}"
+        );
+
+        // Two directories claim shard 0 with different bytes: refuse.
+        let d1 = scratch("merge_conflict");
+        std::fs::create_dir_all(&d1).unwrap();
+        let name = "shard-00000.json";
+        let mut bytes = std::fs::read(d0.join(name)).unwrap();
+        let pos = bytes
+            .windows(2)
+            .position(|w| w == b"[4")
+            .map(|p| p + 1)
+            .unwrap_or(40);
+        bytes[pos] ^= 1;
+        std::fs::write(d1.join(name), bytes).unwrap();
+        let dirs = vec![d0.clone(), d1.clone()];
+        let err = merge_sharded_campaign(&spec, &dirs).unwrap_err();
+        assert!(err.to_string().contains("different bytes"), "got: {err}");
+        assert!(
+            d1.join(name).exists(),
+            "merge never deletes or quarantines its inputs"
+        );
+
+        std::fs::remove_dir_all(&d0).ok();
+        std::fs::remove_dir_all(&d1).ok();
+    }
+
+    #[test]
+    fn merge_refuses_checkpoints_missing_importance_weights() {
+        // A checkpoint that passes magic/version/fingerprint/digest but
+        // lacks the weighted tallies an importance campaign requires is
+        // rejected by the participation check — and the merge leaves
+        // the file exactly where it found it.
+        let mut base = tiny_spec();
+        base.importance = true;
+        let spec = ShardedCampaignSpec::new(base, 2);
+        let dir = scratch("merge_noweights");
+        let straight = run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+        assert!(straight.complete);
+
+        let victim = dir.join("shard-00001.json");
+        let fp = spec.fingerprint();
+        let mut ckpt = checkpoint::read_shard(&victim, fp).unwrap();
+        for cell in &mut ckpt.cells {
+            cell.weighted = None;
+        }
+        checkpoint::write_shard(&dir, fp, &ckpt).unwrap();
+
+        let err = merge_sharded_campaign(&spec, std::slice::from_ref(&dir)).unwrap_err();
+        assert!(err.to_string().contains("importance"), "got: {err}");
+        assert!(victim.exists(), "merge must not quarantine worker files");
+
+        // Resume, by contrast, quarantines the stripped file and reruns
+        // the shard, converging back to the straight-through bytes.
+        let recovered = run_sharded_campaign(&spec, Some(&dir), true).unwrap();
+        assert_eq!(recovered.quarantined, 1);
+        assert_eq!(recovered.to_json(), straight.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn importance_resume_replays_to_identical_bytes() {
+        let mut base = tiny_spec();
+        base.importance = true;
+        let spec = ShardedCampaignSpec::new(base, 2);
+        let dir = scratch("imp_resume");
+        let straight = run_sharded_campaign(&spec, Some(&dir), false).unwrap();
+        let resumed = run_sharded_campaign(&spec, Some(&dir), true).unwrap();
+        assert_eq!(resumed.shards_resumed, resumed.shards_done);
+        assert_eq!(resumed.to_json(), straight.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn importance_changes_the_fingerprint() {
+        let uniform = ShardedCampaignSpec::new(tiny_spec(), 2);
+        let mut base = tiny_spec();
+        base.importance = true;
+        let weighted = ShardedCampaignSpec::new(base, 2);
+        assert_ne!(
+            uniform.fingerprint(),
+            weighted.fingerprint(),
+            "uniform checkpoints must never resume into an importance campaign"
+        );
+        // The worker slice is NOT part of the fingerprint: any split of
+        // the same campaign produces mutually mergeable checkpoints.
+        assert_eq!(
+            weighted.fingerprint(),
+            weighted.clone().with_worker(1, 4).fingerprint()
+        );
+    }
+
+    #[test]
     fn observer_sees_monotone_progress() {
         let mut last: std::collections::HashMap<(String, String), u64> = Default::default();
         let mut calls = 0;
@@ -1156,7 +1840,8 @@ mod tests {
             let prev = last.insert(key, p.trials_done).unwrap_or(0);
             assert!(p.trials_done > prev, "progress must advance");
             assert!(p.trials_done <= p.trials_target);
-        });
+        })
+        .unwrap();
         assert!(calls >= 4, "at least one progress event per cell");
     }
 }

@@ -35,7 +35,7 @@
 //! silently trusted or deleted.
 
 use crate::json::{self, Value};
-use icr_core::{ErrorOutcome, OutcomeTally};
+use icr_core::{ErrorOutcome, OutcomeTally, WeightedTally};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -127,7 +127,7 @@ impl From<io::Error> for CheckpointError {
 /// One cell's contribution to one shard: how many trials of the shard's
 /// range this cell actually ran (0 when it was already stopped) and
 /// their outcome tally.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardCellState {
     /// Scheme name, as [`icr_core::Scheme::name`] renders it.
     pub scheme: String,
@@ -137,10 +137,18 @@ pub struct ShardCellState {
     pub trials: u64,
     /// Their outcomes.
     pub tally: OutcomeTally,
+    /// Importance-sampling weight sums for the same trials. `Some`
+    /// exactly when the campaign ran in importance mode; uniform
+    /// checkpoints carry no extra fields, keeping their bytes (and
+    /// digests) identical to earlier releases. Serialised as the
+    /// per-outcome `"weights"` / `"weight_squares"` arrays, printed
+    /// with Rust's shortest-round-trip `f64` formatting so a restore
+    /// recovers the exact bits.
+    pub weighted: Option<WeightedTally>,
 }
 
 /// The durable record of one completed shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardCheckpoint {
     /// Shard index (shards are contiguous trial ranges, run in order).
     pub shard: u64,
@@ -171,12 +179,20 @@ impl ShardCheckpoint {
                     .iter()
                     .map(|&n| Value::Num(n.to_string()))
                     .collect();
-                Value::Obj(vec![
+                let mut fields = vec![
                     ("scheme".into(), Value::Str(c.scheme.clone())),
                     ("app".into(), Value::Str(c.app.clone())),
                     ("trials".into(), Value::Num(c.trials.to_string())),
                     ("counts".into(), Value::Arr(counts)),
-                ])
+                ];
+                if let Some(w) = &c.weighted {
+                    let floats = |xs: [f64; ErrorOutcome::ALL.len()]| {
+                        Value::Arr(xs.iter().map(|&x| Value::Num(json::num(x))).collect())
+                    };
+                    fields.push(("weights".into(), floats(w.weights())));
+                    fields.push(("weight_squares".into(), floats(w.weight_squares())));
+                }
+                Value::Obj(fields)
             })
             .collect();
         Value::Obj(vec![
@@ -216,6 +232,31 @@ fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, CheckpointError> {
         Some(Value::Str(s)) => Ok(s),
         _ => Err(CheckpointError::BadShape(format!("missing string {key:?}"))),
     }
+}
+
+fn get_f64_array(v: &Value, key: &str) -> Result<[f64; ErrorOutcome::ALL.len()], CheckpointError> {
+    let Some(Value::Arr(values)) = v.get(key) else {
+        return Err(CheckpointError::BadShape(format!("missing array {key:?}")));
+    };
+    if values.len() != ErrorOutcome::ALL.len() {
+        return Err(CheckpointError::BadShape(format!(
+            "{key:?} has {} entries, expected {}",
+            values.len(),
+            ErrorOutcome::ALL.len()
+        )));
+    }
+    let mut out = [0.0; ErrorOutcome::ALL.len()];
+    for (slot, value) in out.iter_mut().zip(values) {
+        let Value::Num(tok) = value else {
+            return Err(CheckpointError::BadShape(format!(
+                "{key:?} entry is not a number"
+            )));
+        };
+        *slot = tok.parse().map_err(|_| {
+            CheckpointError::BadShape(format!("{key:?} entry is not an f64: {tok}"))
+        })?;
+    }
+    Ok(out)
 }
 
 /// Writes `ckpt` durably into `dir` under its canonical name and
@@ -304,11 +345,36 @@ pub fn read_shard(path: &Path, fingerprint: u64) -> Result<ShardCheckpoint, Chec
                 tally.total()
             )));
         }
+        let weighted = match (
+            cv.get("weights").is_some(),
+            cv.get("weight_squares").is_some(),
+        ) {
+            (false, false) => None,
+            (true, true) => {
+                let w = WeightedTally::from_parts(
+                    counts,
+                    get_f64_array(cv, "weights")?,
+                    get_f64_array(cv, "weight_squares")?,
+                );
+                // The restored sums must satisfy every invariant the
+                // recorder maintains; a violation means the weighted
+                // data cannot have come from this campaign's trials,
+                // even though the digest matched the file contents.
+                w.check_consistent().map_err(CheckpointError::BadShape)?;
+                Some(w)
+            }
+            _ => {
+                return Err(CheckpointError::BadShape(
+                    "\"weights\" and \"weight_squares\" must appear together".into(),
+                ))
+            }
+        };
         cells.push(ShardCellState {
             scheme: get_str(cv, "scheme")?.to_string(),
             app: get_str(cv, "app")?.to_string(),
             trials,
             tally,
+            weighted,
         });
     }
     Ok(ShardCheckpoint {
@@ -389,12 +455,14 @@ mod tests {
                     app: "gzip".into(),
                     trials: 3,
                     tally,
+                    weighted: None,
                 },
                 ShardCellState {
                     scheme: "basep".into(),
                     app: "gcc".into(),
                     trials: 0,
                     tally: OutcomeTally::default(),
+                    weighted: None,
                 },
             ],
         }
@@ -415,6 +483,45 @@ mod tests {
         assert_eq!(path.file_name().unwrap().to_str(), Some("shard-00003.json"));
         let back = read_shard(&path, 77).unwrap();
         assert_eq!(back, ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weighted_checkpoints_round_trip_to_exact_bits() {
+        let dir = scratch("weighted");
+        let mut ckpt = sample();
+        let mut w = WeightedTally::default();
+        w.record(ErrorOutcome::CorrectedByReplica, 0.371_428_571_428_571_4);
+        w.record(ErrorOutcome::Masked, 2.25);
+        w.record(ErrorOutcome::NotInjected, 1.0);
+        ckpt.cells[0].weighted = Some(w);
+        ckpt.cells[1].weighted = Some(WeightedTally::default());
+        let path = write_shard(&dir, 77, &ckpt).unwrap();
+        let back = read_shard(&path, 77).unwrap();
+        // PartialEq over the f64 sums: shortest-round-trip formatting
+        // must restore the exact bits, not an approximation.
+        assert_eq!(back, ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inconsistent_weight_sums_are_rejected_despite_a_valid_digest() {
+        // write_shard persists whatever it is given (the digest covers
+        // the bytes, not their meaning); read_shard must still refuse
+        // weight sums no sequence of recorded trials can produce.
+        let dir = scratch("badweights");
+        let mut ckpt = sample();
+        ckpt.cells[0].weighted = Some(WeightedTally::from_parts(
+            ckpt.cells[0].tally.counts(),
+            [5.0; ErrorOutcome::ALL.len()],
+            [0.5; ErrorOutcome::ALL.len()],
+        ));
+        ckpt.cells[1].weighted = Some(WeightedTally::default());
+        let path = write_shard(&dir, 77, &ckpt).unwrap();
+        assert!(matches!(
+            read_shard(&path, 77),
+            Err(CheckpointError::BadShape(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -68,9 +68,9 @@ pub mod vuln;
 
 pub use audit::{run_audit, AuditCell, AuditReport, AuditSpec, LockstepChecker};
 pub use campaign::{
-    run_campaign, run_campaign_observed, run_sharded_campaign, run_sharded_campaign_observed,
-    CampaignReport, CampaignSpec, CellProgress, CellReport, ShardEvent, ShardProgress,
-    ShardedCampaignSpec, ShardedReport,
+    merge_sharded_campaign, run_campaign, run_campaign_observed, run_sharded_campaign,
+    run_sharded_campaign_observed, CampaignReport, CampaignSpec, CellProgress, CellReport,
+    ShardEvent, ShardProgress, ShardedCampaignSpec, ShardedReport,
 };
 pub use engine::{Engine, EngineStats};
 pub use exec::{JobProgress, Pool};
@@ -79,5 +79,5 @@ pub use report::{FigureResult, Series};
 pub use simulator::{
     run_sim, CheckMode, FaultConfig, ScrubConfig, SimConfig, SimConfigBuilder, SimResult,
 };
-pub use stats::{wilson_ci95, Summary};
+pub use stats::{wilson_ci95, wilson_ci95_f, Summary};
 pub use vuln::{run_vuln, VulnCell, VulnReport, VulnSpec};

@@ -4,7 +4,7 @@
 use icr_core::{DataL1, DataL1Config, WritePolicy};
 use icr_cpu::{CpuConfig, DataMemory, InstrMemory, Pipeline, PipelineStats};
 use icr_energy::AccessCounts;
-use icr_fault::{ErrorModel, FaultInjector};
+use icr_fault::{ErrorModel, FaultInjector, InjectedFault};
 use icr_mem::{Addr, CacheStats, HierarchyConfig, InstrCache, MemoryBackend};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -92,6 +92,17 @@ pub struct SimConfig {
     /// campaign's `p_per_cycle` when cross-validating against
     /// Monte-Carlo one-shot trials.
     pub vuln_arrival_p: Option<f64>,
+    /// Importance-sampling site bias for the fault injector (`None` =
+    /// the historical uniform draw). When set, strike-worthy parity
+    /// lines — dirty primaries plus store-working-set residents — are
+    /// struck `boost`× as often and [`SimResult::fault_weight`] carries
+    /// the per-run likelihood ratio.
+    pub fault_bias: Option<f64>,
+    /// Forces the fault arrival to a fixed cycle instead of drawing
+    /// per-cycle Bernoulli arrivals (`None` = the stochastic arrival).
+    /// Campaigns set this to a [`icr_fault::conditional_arrival`] draw
+    /// so every importance-sampled trial delivers its fault.
+    pub fault_arrival: Option<u64>,
     /// Lockstep reference-model auditing (default [`CheckMode::Off`]).
     pub check: CheckMode,
 }
@@ -121,6 +132,8 @@ impl SimConfig {
                 fault: None,
                 scrub: None,
                 vuln_arrival_p: None,
+                fault_bias: None,
+                fault_arrival: None,
                 check: CheckMode::Off,
             },
         }
@@ -177,6 +190,24 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Biases the fault injector's site draw toward strike-worthy
+    /// parity lines — dirty primaries and lines holding the workload's
+    /// store working set — by `boost`× (importance sampling; see
+    /// `FaultInjector::with_site_bias`). Requires fault injection to be
+    /// configured to have any effect.
+    pub fn fault_bias(mut self, boost: f64) -> Self {
+        self.config.fault_bias = Some(boost);
+        self
+    }
+
+    /// Forces the fault arrival to the given cycle (see
+    /// `FaultInjector::with_forced_arrival`). Requires fault injection
+    /// to be configured to have any effect.
+    pub fn fault_arrival(mut self, cycle: u64) -> Self {
+        self.config.fault_arrival = Some(cycle);
+        self
+    }
+
     /// Runs the simulation under the given audit mode.
     pub fn check(mut self, mode: CheckMode) -> Self {
         self.config.check = mode;
@@ -221,6 +252,18 @@ pub struct SimResult {
     /// run: per-state residency and per-class consumed windows (see
     /// `icr-vuln`).
     pub exposure: icr_core::ExposureWindows,
+    /// The importance weight (likelihood ratio) of the injected fault
+    /// when the run used a biased site draw ([`SimConfig::fault_bias`]):
+    /// `Some(1.0)` for a biased run whose fault never arrived, `None`
+    /// for uniform runs. Deliberately kept out of
+    /// [`to_json`](SimResult::to_json) so uniform report bytes are
+    /// unchanged.
+    pub fault_weight: Option<f64>,
+    /// The strike log for bounded-fault runs (`max_faults` set): site,
+    /// word, bit and the struck line's state at injection. Empty for
+    /// unbounded runs, which skip logging to stay cheap. Also kept out
+    /// of [`to_json`](SimResult::to_json).
+    pub fault_log: Vec<InjectedFault>,
 }
 
 impl SimResult {
@@ -411,11 +454,35 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         icache: InstrCache::new(&config.hierarchy),
         backend: MemoryBackend::new(&config.hierarchy),
         injector: config.fault.map(|f| {
-            let inj = FaultInjector::new(f.model, f.p_per_cycle, f.seed);
-            match f.max_faults {
-                Some(max) => inj.with_max_faults(max),
-                None => inj,
+            let mut inj = FaultInjector::new(f.model, f.p_per_cycle, f.seed);
+            if let Some(max) = f.max_faults {
+                inj = inj.with_max_faults(max);
+                // One-shot trials log their (single) fault for free:
+                // campaigns and diagnostics read the strike site from
+                // the result instead of re-deriving it.
+                inj = inj.with_log();
             }
+            if let Some(boost) = config.fault_bias {
+                // The boosted class is loss-prone lines plus the
+                // workload's store working set — the blocks a clean-line
+                // strike can launder through once a later store dirties
+                // them. The set is a pure function of the trace, so the
+                // uniform (no-bias) RNG stream is untouched.
+                let g = config.dl1.geometry;
+                let stores: std::collections::HashSet<u64> = trace
+                    .iter()
+                    .filter(|i| i.op == icr_trace::OpClass::Store)
+                    .filter_map(|i| i.mem_addr)
+                    .map(|a| g.block_addr(Addr(a)).raw())
+                    .collect();
+                inj = inj
+                    .with_site_bias(boost)
+                    .with_hot_blocks(std::sync::Arc::new(stores));
+            }
+            if let Some(cycle) = config.fault_arrival {
+                inj = inj.with_forced_arrival(cycle);
+            }
+            inj
         }),
         fault_horizon: 0,
         scrub: config.scrub,
@@ -469,6 +536,15 @@ pub fn run_sim(config: &SimConfig) -> SimResult {
         energy_counts,
         avg_vulnerable_words: exposure.avg_words_in(icr_core::ProtState::DirtyParity),
         exposure,
+        fault_weight: match (config.fault_bias, m.injector.as_ref()) {
+            (Some(_), Some(inj)) => Some(inj.last_weight()),
+            _ => None,
+        },
+        fault_log: m
+            .injector
+            .as_ref()
+            .map(|i| i.log().to_vec())
+            .unwrap_or_default(),
     }
 }
 
@@ -548,6 +624,26 @@ mod tests {
             "with {} faults injected some loads must detect",
             r.faults_injected
         );
+    }
+
+    #[test]
+    fn fault_weight_reported_only_under_bias() {
+        let base = SimConfig::builder("gzip", DataL1Config::paper_default(Scheme::BASE_P))
+            .instructions(5_000)
+            .seed(1)
+            .fault(FaultConfig::one_shot(ErrorModel::Random, 0.001, 9));
+        let uniform = run_sim(&base.clone().build());
+        assert_eq!(uniform.fault_weight, None);
+
+        let biased = run_sim(&base.fault_bias(8.0).build());
+        let w = biased.fault_weight.expect("biased runs report a weight");
+        assert!(w.is_finite() && w > 0.0, "bad weight {w}");
+        if biased.faults_injected == 0 {
+            assert_eq!(w, 1.0, "undelivered trials carry weight 1");
+        }
+        // The arrival process is untouched by the bias: the same seed
+        // delivers (or withholds) the fault identically.
+        assert_eq!(uniform.faults_injected, biased.faults_injected);
     }
 
     #[test]

@@ -68,6 +68,30 @@ pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
     wilson_interval(successes, trials, 1.96)
 }
 
+/// Wilson score interval at 95% confidence over *fractional* counts —
+/// the generalization the importance-sampled campaign needs.
+///
+/// A self-normalized weighted estimator yields a probability estimate
+/// `p` with an effective sample size `n_eff`; treating it as if it were
+/// a binomial observation of `p·n_eff` successes in `n_eff` trials
+/// gives the weighted analogue of [`wilson_ci95`], reducing to it
+/// exactly when the inputs are the integer counts. Inputs are clamped
+/// (`successes` into `[0, trials]`); `(0, 1)` when `trials` is not
+/// positive.
+pub fn wilson_ci95_f(successes: f64, trials: f64) -> (f64, f64) {
+    if trials.is_nan() || trials <= 0.0 || !successes.is_finite() {
+        return (0.0, 1.0);
+    }
+    let n = trials;
+    let p = (successes / n).clamp(0.0, 1.0);
+    let z = 1.96;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 /// Wilson score interval at critical value `z`.
 pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     assert!(
@@ -189,5 +213,29 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn empty_samples_panic() {
         Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn fractional_wilson_reduces_to_the_integer_interval() {
+        for &(s, n) in &[(0u64, 10u64), (3, 10), (10, 10), (997, 1000), (0, 1)] {
+            let (lo, hi) = wilson_ci95(s, n);
+            let (flo, fhi) = wilson_ci95_f(s as f64, n as f64);
+            assert!((lo - flo).abs() < 1e-12, "lo mismatch at {s}/{n}");
+            assert!((hi - fhi).abs() < 1e-12, "hi mismatch at {s}/{n}");
+        }
+    }
+
+    #[test]
+    fn fractional_wilson_handles_degenerate_inputs() {
+        assert_eq!(wilson_ci95_f(1.0, 0.0), (0.0, 1.0));
+        assert_eq!(wilson_ci95_f(1.0, -3.0), (0.0, 1.0));
+        assert_eq!(wilson_ci95_f(f64::NAN, 5.0), (0.0, 1.0));
+        // Out-of-range successes clamp instead of panicking.
+        let (lo, hi) = wilson_ci95_f(7.0, 5.0);
+        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0);
+        // Wider effective samples tighten the interval.
+        let (a_lo, a_hi) = wilson_ci95_f(45.0, 50.0);
+        let (b_lo, b_hi) = wilson_ci95_f(450.0, 500.0);
+        assert!(b_hi - b_lo < a_hi - a_lo);
     }
 }

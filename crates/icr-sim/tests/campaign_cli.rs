@@ -57,6 +57,62 @@ fn unknown_app_exits_2() {
 }
 
 #[test]
+fn unknown_isa_app_exits_2() {
+    // `isa:` kernels validate through the same store lookup as the
+    // synthetic apps; a bad kernel name is an invocation error.
+    assert_usage_error(&["--apps", "isa:doom"], "unknown app \"isa:doom\"");
+}
+
+#[test]
+fn worker_without_checkpoint_exits_2() {
+    assert_usage_error(&["--worker", "0/2"], "--worker requires --checkpoint DIR");
+}
+
+#[test]
+fn malformed_worker_exits_2() {
+    assert_usage_error(
+        &["--checkpoint", "/tmp/x", "--worker", "2"],
+        "--worker expects I/N",
+    );
+}
+
+#[test]
+fn worker_index_out_of_range_exits_2() {
+    assert_usage_error(
+        &["--checkpoint", "/tmp/x", "--worker", "3/2"],
+        "--worker index 3 is out of range",
+    );
+}
+
+#[test]
+fn worker_with_ci_width_exits_2() {
+    assert_usage_error(
+        &[
+            "--checkpoint",
+            "/tmp/x",
+            "--worker",
+            "0/2",
+            "--ci-width",
+            "0.1",
+        ],
+        "--worker is incompatible with --ci-width",
+    );
+}
+
+#[test]
+fn merge_without_directories_exits_2() {
+    assert_usage_error(&["merge"], "merge needs at least one checkpoint directory");
+}
+
+#[test]
+fn merge_with_checkpoint_flags_exits_2() {
+    assert_usage_error(
+        &["merge", "--checkpoint", "/tmp/x", "/tmp/d"],
+        "--checkpoint, --resume and --worker do not apply",
+    );
+}
+
+#[test]
 fn non_numeric_trials_exits_2() {
     assert_usage_error(&["--trials", "abc"], "--trials expects a positive integer");
 }
@@ -186,6 +242,111 @@ fn valid_tiny_run_exits_0_with_report_on_stdout() {
         stdout.contains("\"campaign\"") && stdout.contains("\"cells\""),
         "JSON report missing from stdout:\n{stdout}"
     );
+}
+
+#[test]
+fn importance_run_reports_weighted_estimates() {
+    let out = run(&[
+        "--schemes",
+        "icr-p-ps-s",
+        "--apps",
+        "gzip",
+        "--trials",
+        "6",
+        "--insts",
+        "500",
+        "--importance",
+        "--quiet",
+        "--json",
+        "-",
+    ]);
+    assert!(out.status.success(), "importance run failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"importance\": true") && stdout.contains("\"wilson95_weighted\""),
+        "weighted estimates missing from JSON:\n{stdout}"
+    );
+}
+
+#[test]
+fn two_worker_fanout_cli_merges_to_single_process_bytes() {
+    // The full service path through the binary: two workers write
+    // disjoint shard slices, `merge` replays them, and the merged JSON
+    // on stdout is byte-identical to a single-process checkpointed run.
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let d0 = tmp.join(format!("icr_cli_fanout0_{pid}"));
+    let d1 = tmp.join(format!("icr_cli_fanout1_{pid}"));
+    let dsolo = tmp.join(format!("icr_cli_fanout_solo_{pid}"));
+    for d in [&d0, &d1, &dsolo] {
+        std::fs::remove_dir_all(d).ok();
+    }
+
+    let spec = [
+        "--schemes",
+        "basep,icr-p-ps-s",
+        "--apps",
+        "gzip",
+        "--trials",
+        "6",
+        "--insts",
+        "500",
+        "--shard-size",
+        "2",
+        "--importance",
+        "--quiet",
+        "--json",
+        "-",
+    ];
+
+    let solo = run(&[&spec[..], &["--checkpoint", dsolo.to_str().unwrap()]].concat());
+    assert!(solo.status.success(), "single-process run failed: {solo:?}");
+
+    for (i, d) in [(0u64, &d0), (1u64, &d1)] {
+        let slice = format!("{i}/2");
+        let out = run(&[
+            &spec[..],
+            &["--checkpoint", d.to_str().unwrap(), "--worker", &slice],
+        ]
+        .concat());
+        assert!(out.status.success(), "worker {i} failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("\"complete\": false"),
+            "a worker slice must never claim completeness:\n{stdout}"
+        );
+        assert!(stdout.contains(&format!("\"worker\": [{i}, 2]")));
+    }
+
+    let merged = run(&[
+        &["merge"][..],
+        &spec[..],
+        &[d0.to_str().unwrap(), d1.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(
+        merged.status.success(),
+        "merge failed: {}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(
+        merged.stdout, solo.stdout,
+        "merged JSON differs from the single-process run"
+    );
+
+    // A merge over half the shard space is a runtime failure (exit 1).
+    let partial = run(&[&["merge"][..], &spec[..], &[d0.to_str().unwrap()]].concat());
+    assert_eq!(
+        partial.status.code(),
+        Some(1),
+        "incomplete merge must exit 1\nstderr: {}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+    assert!(String::from_utf8_lossy(&partial.stderr).contains("no checkpoint covers shard"));
+
+    for d in [&d0, &d1, &dsolo] {
+        std::fs::remove_dir_all(d).ok();
+    }
 }
 
 #[test]

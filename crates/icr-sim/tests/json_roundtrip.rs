@@ -78,7 +78,7 @@ fn campaign_report_json_round_trips() {
     spec.instructions = 2_000;
     spec.batch = 10;
     spec.threads = 1;
-    let report = run_campaign(&spec);
+    let report = run_campaign(&spec).expect("campaign runs");
     let v = roundtrip(&report.to_json());
     assert!(v.get("campaign").is_some(), "campaign section kept");
     // The tally fields the conservation audit feeds on survive parsing.

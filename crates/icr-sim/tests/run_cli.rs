@@ -46,6 +46,21 @@ fn unknown_app_exits_2() {
 }
 
 #[test]
+fn unknown_isa_kernel_exits_2() {
+    // `isa:` names route through the same store lookup as synthetic
+    // apps: a bad kernel name is an invocation error (exit 2), not an
+    // abort deep inside the run.
+    assert_usage_error(&["isa:doom", "basep"], "unknown app \"isa:doom\"");
+}
+
+#[test]
+fn isa_kernel_run_exits_0() {
+    let out = run(&["isa:bubble", "basep", "--insts", "500"]);
+    assert!(out.status.success(), "isa kernel run failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("-- dL1 --"));
+}
+
+#[test]
 fn unknown_scheme_exits_2() {
     assert_usage_error(&["gzip", "tmr"], "unknown scheme \"tmr\"");
 }

@@ -54,7 +54,7 @@ fn analytic_cell(spec: &CampaignSpec, scheme: Scheme, app: &str) -> VulnCell {
 #[test]
 fn analytic_probabilities_sit_inside_campaign_wilson_intervals() {
     let spec = campaign_spec();
-    let report = run_campaign(&spec);
+    let report = run_campaign(&spec).expect("campaign runs");
 
     // The mapped vocabulary. CaughtByCompare has no analytic
     // counterpart and must not occur under the single-bit model for

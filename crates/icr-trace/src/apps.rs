@@ -56,14 +56,52 @@ pub const EXTENDED_APP_NAMES: [&str; 11] = [
     "isa:checksum",
 ];
 
-/// Builds the profile for one application by name.
+/// An application name no synthetic profile exists for — either a name
+/// nobody knows, or an `isa:*` workload that must resolve through a
+/// registered [`crate::store::WorkloadSource`] instead of a profile.
 ///
-/// # Panics
-///
-/// Panics if `name` is not one of [`APP_NAMES`] or the synthetic part of
-/// [`EXTENDED_APP_NAMES`] — in particular, `isa:*` workloads are
-/// execution-driven and have no profile.
-pub fn profile(name: &str) -> AppProfile {
+/// CLIs map this to their exit-2 invalid-invocation contract; only the
+/// infallible [`profile`] wrapper still panics, with the same messages
+/// it always printed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAppError {
+    /// The offending application name.
+    pub name: String,
+}
+
+impl UnknownAppError {
+    /// `true` when the name is a syntactically-valid `isa:*` workload
+    /// that simply has no *synthetic* profile (it may still resolve
+    /// through the workload store once the interpreter is installed).
+    pub fn is_execution_driven(&self) -> bool {
+        self.name.starts_with("isa:")
+    }
+}
+
+impl std::fmt::Display for UnknownAppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_execution_driven() {
+            write!(
+                f,
+                "unknown application profile {:?}: isa:* workloads are execution-driven; \
+                 resolve them through the WorkloadStore after icr_isa::install()",
+                self.name
+            )
+        } else {
+            write!(
+                f,
+                "unknown application {:?}; expected one of {APP_NAMES:?} or {EXTENDED_APP_NAMES:?}",
+                self.name
+            )
+        }
+    }
+}
+
+impl std::error::Error for UnknownAppError {}
+
+/// Builds the profile for one application by name, or a typed
+/// [`UnknownAppError`] for names with no synthetic profile.
+pub fn try_profile(name: &str) -> Result<AppProfile, UnknownAppError> {
     let p = match name {
         "gzip" => gzip(),
         "vpr" => vpr(),
@@ -77,16 +115,27 @@ pub fn profile(name: &str) -> AppProfile {
         "twolf" => twolf(),
         "crafty" => crafty(),
         "gap" => gap(),
-        other if other.starts_with("isa:") => panic!(
-            "unknown application profile {other:?}: isa:* workloads are execution-driven; \
-             resolve them through the WorkloadStore after icr_isa::install()"
-        ),
-        other => panic!(
-            "unknown application {other:?}; expected one of {APP_NAMES:?} or {EXTENDED_APP_NAMES:?}"
-        ),
+        other => {
+            return Err(UnknownAppError {
+                name: other.to_owned(),
+            })
+        }
     };
     debug_assert!(p.validate().is_ok(), "built-in profile must validate");
-    p
+    Ok(p)
+}
+
+/// Builds the profile for one application by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`APP_NAMES`] or the synthetic part of
+/// [`EXTENDED_APP_NAMES`] — in particular, `isa:*` workloads are
+/// execution-driven and have no profile. Fallible callers (anything a
+/// CLI argument can reach) should use [`try_profile`] and map the error
+/// to their usage contract.
+pub fn profile(name: &str) -> AppProfile {
+    try_profile(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// All eight profiles, in [`APP_NAMES`] order.
@@ -596,5 +645,19 @@ mod tests {
     #[should_panic(expected = "execution-driven")]
     fn isa_app_has_no_profile() {
         profile("isa:bubble");
+    }
+
+    #[test]
+    fn try_profile_returns_typed_errors_instead_of_aborting() {
+        for name in APP_NAMES {
+            assert!(try_profile(name).is_ok());
+        }
+        let err = try_profile("doom").unwrap_err();
+        assert_eq!(err.name, "doom");
+        assert!(!err.is_execution_driven());
+        assert!(err.to_string().contains("unknown application"));
+        let isa = try_profile("isa:bubble").unwrap_err();
+        assert!(isa.is_execution_driven());
+        assert!(isa.to_string().contains("execution-driven"));
     }
 }

@@ -223,6 +223,50 @@ impl WorkloadStore {
         }
     }
 
+    /// `true` when [`get`](Self::get) can materialise `app`: a
+    /// registered source claims it, or a synthetic profile exists. The
+    /// CLIs validate `--app` arguments through this instead of a
+    /// hard-coded name list, so the check can never drift from what the
+    /// store actually serves.
+    pub fn resolvable(&self, app: &str) -> bool {
+        let claimed = {
+            let sources = self.sources.lock().expect("not poisoned");
+            sources.iter().any(|s| s.matches(app))
+        };
+        claimed || apps::try_profile(app).is_ok()
+    }
+
+    /// Fallible [`get`](Self::get): a typed [`apps::UnknownAppError`]
+    /// instead of a panic when no registered source claims `app` and no
+    /// synthetic profile exists. Traces already resident under the key
+    /// (e.g. preloaded via [`insert`](Self::insert)) are returned
+    /// regardless of resolvability.
+    pub fn try_get(
+        &self,
+        app: &str,
+        seed: u64,
+        instructions: u64,
+    ) -> Result<Arc<[Inst]>, apps::UnknownAppError> {
+        {
+            let probe = KeyRef {
+                app,
+                seed,
+                instructions,
+            };
+            let traces = self.traces.lock().expect("not poisoned");
+            if let Some(trace) = traces.get(&probe as &dyn KeyView).and_then(|s| s.get()) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(trace.clone());
+            }
+        }
+        if !self.resolvable(app) {
+            return Err(apps::UnknownAppError {
+                name: app.to_owned(),
+            });
+        }
+        Ok(self.get(app, seed, instructions))
+    }
+
     /// Preloads a trace under `(app, seed, instructions)` — the seam
     /// `icr-run --trace-in` uses to replay a stored file instead of
     /// regenerating. Returns `false` without touching the store when a
@@ -424,5 +468,44 @@ mod tests {
     #[should_panic(expected = "unknown application")]
     fn unclaimed_app_still_panics() {
         WorkloadStore::new().get("isa:no-source-registered", 1, 10);
+    }
+
+    #[test]
+    fn try_get_reports_unknown_apps_without_aborting() {
+        // Regression: an unknown app used to be reachable only through
+        // the panicking get(), turning a bad --app into an abort (exit
+        // 101) instead of a routable error.
+        let store = WorkloadStore::new();
+        let err = store.try_get("doom", 1, 10).unwrap_err();
+        assert_eq!(err.name, "doom");
+        assert!(err.to_string().contains("unknown application"));
+        assert!(!store.resolvable("doom"));
+
+        // Resolvable names behave exactly like get().
+        assert!(store.resolvable("gzip"));
+        let a = store.try_get("gzip", 1, 50).expect("profiled app");
+        let b = store.get("gzip", 1, 50);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        // A registered source makes its names resolvable...
+        store.register_source(Arc::new(Canned));
+        assert!(store.resolvable("canned:x"));
+        assert_eq!(store.try_get("canned:x", 3, 100).unwrap().len(), 3);
+        // ...and unclaimed isa:* names stay typed errors, not panics.
+        let isa = store
+            .try_get("isa:no-source-registered", 1, 10)
+            .unwrap_err();
+        assert!(isa.is_execution_driven());
+    }
+
+    #[test]
+    fn try_get_serves_preloaded_traces_even_when_unresolvable() {
+        let store = WorkloadStore::new();
+        let canned: Arc<[Inst]> = store.get("gzip", 1, 50);
+        assert!(store.insert("replayed:only", 9, 50, canned.clone()));
+        let got = store
+            .try_get("replayed:only", 9, 50)
+            .expect("resident trace must be served");
+        assert!(Arc::ptr_eq(&got, &canned));
     }
 }

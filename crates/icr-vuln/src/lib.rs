@@ -88,6 +88,8 @@
 
 pub mod ledger;
 pub mod model;
+pub mod proposal;
 
 pub use ledger::{Arrival, ExposureLedger, ExposureWindows, LaunderKind, ProtState, VulnClass};
 pub use model::VulnModel;
+pub use proposal::InjectionProposal;

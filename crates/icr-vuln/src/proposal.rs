@@ -1,0 +1,145 @@
+//! Importance-sampling proposal for the fault injector, derived from
+//! the exposure ledger's residency windows.
+//!
+//! The Monte-Carlo campaign wastes most of its trials confirming that
+//! recoverable strikes recover: under the single-bit model, data loss
+//! only comes out of *dirty parity-protected primary* residency. A
+//! strike on a clean line refetches from L2, SEC-DED corrects, and a
+//! replica never holds the sole copy — but a dirty primary is
+//! loss-prone even while replicated, because the replica can be
+//! evicted, spilled out, or bypassed (laundering) before the corrupted
+//! word is consumed. In the ledger's vocabulary that residency is
+//! [`ProtState::DirtyParity`] plus [`ProtState::Replicated`] (ICR
+//! replicates dirty lines, so replicated primaries are dirty ones).
+//! When the loss-prone region is a fraction `f` of total exposure, a
+//! uniform site draw spends `1/f` trials per observation inside it.
+//!
+//! [`InjectionProposal::from_windows`] turns one fault-free profiling
+//! run's [`ExposureWindows`] into a site-bias factor for the injector:
+//! loss-prone sites are drawn `dirty_boost ≈ 1/f` times as often as
+//! everything else, which roughly equalizes the sampling effort spent
+//! on the rare-loss region against everything else and shrinks the
+//! loss-rate estimator's variance by up to the same factor. The boost
+//! only shapes *variance* — unbiasedness comes from the per-trial
+//! likelihood ratio the injector reports, whatever the boost — so
+//! deriving it from time-averaged residency and applying it to
+//! instantaneous line states is sound.
+//!
+//! The injector applies the same boost to a second strike-worthy
+//! class this crate cannot see (it needs the trace, not the ledger):
+//! clean parity primaries holding the workload's store working set,
+//! through which a strike can *launder* — a later store dirties the
+//! line and replication re-encodes the corrupted word under clean
+//! parity. See `FaultInjector::with_hot_blocks`. The campaign layer
+//! additionally forces each importance trial's *arrival* from the
+//! exact conditional-on-delivery distribution
+//! (`icr_fault::conditional_arrival`), which carries likelihood
+//! ratio 1 and is orthogonal to this site proposal.
+
+use crate::ledger::{ExposureWindows, ProtState};
+
+/// A site-bias proposal for importance-sampled fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionProposal {
+    /// How many times more often a loss-prone line (a dirty
+    /// parity-protected primary, replicated or not) is drawn than any
+    /// other site. `1.0` means the uniform draw.
+    pub dirty_boost: f64,
+    /// The profiled fraction of valid residency that is loss-prone —
+    /// [`ProtState::DirtyParity`] plus [`ProtState::Replicated`]
+    /// (diagnostic; `0.0` when the profile saw no valid residency at
+    /// all).
+    pub dirty_fraction: f64,
+}
+
+impl InjectionProposal {
+    /// Cap on [`dirty_boost`](Self::dirty_boost). Bounding the boost
+    /// bounds the weight spread (the smallest likelihood ratio is
+    /// ≈ `1/MAX_BOOST`), which keeps the effective sample size from
+    /// collapsing when the profile *underestimates* how much dirty
+    /// residency the faulted runs will actually see.
+    pub const MAX_BOOST: f64 = 64.0;
+
+    /// Derives the proposal from a fault-free run's residency windows:
+    /// `dirty_boost = clamp(total / loss_prone, 1, MAX_BOOST)`, the
+    /// inverse of the loss-prone residency fraction, where `loss_prone`
+    /// is [`ProtState::DirtyParity`] plus [`ProtState::Replicated`]
+    /// residency. Profiles with no loss-prone residency at all get the
+    /// maximum boost — if faulted runs never see the state either, the
+    /// proposal degenerates to uniform at runtime (the injector weights
+    /// an all-clean draw at exactly 1) — and an empty profile falls
+    /// back to uniform.
+    pub fn from_windows(windows: &ExposureWindows) -> InjectionProposal {
+        let total = windows.total_word_cycles;
+        let dirty = windows.residency_of(ProtState::DirtyParity)
+            + windows.residency_of(ProtState::Replicated);
+        if total == 0 {
+            return InjectionProposal {
+                dirty_boost: 1.0,
+                dirty_fraction: 0.0,
+            };
+        }
+        if dirty == 0 {
+            return InjectionProposal {
+                dirty_boost: Self::MAX_BOOST,
+                dirty_fraction: 0.0,
+            };
+        }
+        let fraction = dirty as f64 / total as f64;
+        InjectionProposal {
+            dirty_boost: (1.0 / fraction).clamp(1.0, Self::MAX_BOOST),
+            dirty_fraction: fraction,
+        }
+    }
+
+    /// `true` when the proposal is exactly the uniform draw.
+    pub fn is_uniform(&self) -> bool {
+        self.dirty_boost == 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows_with(total: u128, dirty: u128) -> ExposureWindows {
+        let mut w = ExposureWindows {
+            cycles: 1000,
+            residency: Default::default(),
+            weighted_residency: Default::default(),
+            consumed: Default::default(),
+            weighted_consumed: Default::default(),
+            total_word_cycles: total,
+            total_weight: 1.0,
+        };
+        w.residency[ProtState::DirtyParity.index()] = dirty;
+        w.residency[ProtState::CleanParity.index()] = total - dirty;
+        w
+    }
+
+    #[test]
+    fn boost_is_the_inverse_dirty_fraction() {
+        let p = InjectionProposal::from_windows(&windows_with(1000, 100));
+        assert!((p.dirty_boost - 10.0).abs() < 1e-12);
+        assert!((p.dirty_fraction - 0.1).abs() < 1e-12);
+        assert!(!p.is_uniform());
+    }
+
+    #[test]
+    fn boost_clamps_at_the_cap_and_at_uniform() {
+        let rare = InjectionProposal::from_windows(&windows_with(1_000_000, 1));
+        assert_eq!(rare.dirty_boost, InjectionProposal::MAX_BOOST);
+        let all_dirty = InjectionProposal::from_windows(&windows_with(1000, 1000));
+        assert_eq!(all_dirty.dirty_boost, 1.0);
+        assert!(all_dirty.is_uniform());
+    }
+
+    #[test]
+    fn degenerate_profiles_stay_usable() {
+        let empty = InjectionProposal::from_windows(&windows_with(0, 0));
+        assert!(empty.is_uniform());
+        assert_eq!(empty.dirty_fraction, 0.0);
+        let never_dirty = InjectionProposal::from_windows(&windows_with(1000, 0));
+        assert_eq!(never_dirty.dirty_boost, InjectionProposal::MAX_BOOST);
+    }
+}

@@ -50,7 +50,8 @@ fn main() {
                 if p.stopped_early { "  (early)" } else { "" },
             );
         }
-    });
+    })
+    .expect("campaign tallies stay conserved");
 
     println!("\n{}", report.summary_table());
 

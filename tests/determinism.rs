@@ -60,7 +60,7 @@ fn campaign_report_is_bit_identical_across_thread_counts() {
     let json_of = |threads: usize| {
         let mut s = spec.clone();
         s.threads = threads;
-        run_campaign(&s).to_json()
+        run_campaign(&s).expect("campaign runs").to_json()
     };
 
     let single = json_of(1);
@@ -82,7 +82,7 @@ fn early_stopped_campaign_is_still_thread_count_invariant() {
     let json_of = |threads: usize| {
         let mut s = spec.clone();
         s.threads = threads;
-        run_campaign(&s).to_json()
+        run_campaign(&s).expect("campaign runs").to_json()
     };
     let single = json_of(1);
     assert_eq!(single, json_of(2));
